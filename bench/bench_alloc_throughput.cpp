@@ -1,0 +1,122 @@
+// Fig. 6b reproduction: sustained memory-allocation rate as a function of
+// allocation size. Allocate/free identically-sized buffers for a total of
+// 8x the heap size and report MiB/s of allocated memory at the simulated
+// 33 MHz clock (§5.3.2).
+//
+// Expected regimes (paper): below 32 KiB throughput is bounded by the two
+// compartment calls per buffer (rising roughly linearly with size); above
+// 32 KiB the revoker becomes the bottleneck; past ~1/3 and ~1/2 of the heap
+// only two / one object(s) fit and every free synchronizes with a full
+// revocation sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+namespace cheriot {
+namespace {
+
+struct Sample {
+  Word size = 0;
+  double mib_per_s = 0;
+  double cycles_per_pair = 0;
+  uint32_t failures = 0;
+};
+
+Sample MeasureSize(Word size) {
+  Machine machine;
+  auto sample = std::make_shared<Sample>();
+  sample->size = size;
+  ImageBuilder b("alloc-bench");
+  b.Compartment("bench")
+      .Globals(32)
+      // Quota: the whole heap (the paper sizes its heap at 228 KiB).
+      .AllocCap("q", 256 * 1024)
+      .Export("main", [sample, size](CompartmentCtx& ctx,
+                                     const std::vector<Capability>&) {
+        const Capability q = ctx.SealedImport("q");
+        // Total traffic: 8x a 228 KiB heap, at least 24 pairs.
+        const uint64_t total_bytes = 8ull * 228 * 1024;
+        uint64_t pairs = total_bytes / size;
+        if (pairs < 24) {
+          pairs = 24;
+        }
+        if (pairs > 20000) {
+          pairs = 20000;  // keep host time sane for tiny sizes
+        }
+        const Cycles t0 = ctx.Now();
+        uint64_t allocated = 0;
+        for (uint64_t i = 0; i < pairs; ++i) {
+          const Capability p = ctx.HeapAllocate(q, size, ~0u);
+          if (!p.tag()) {
+            ++sample->failures;
+            continue;
+          }
+          allocated += size;
+          ctx.HeapFree(q, p);
+        }
+        const double cycles = static_cast<double>(ctx.Now() - t0);
+        sample->cycles_per_pair = cycles / pairs;
+        const double seconds = cycles / cost::kCoreHz;
+        sample->mib_per_s = (allocated / (1024.0 * 1024.0)) / seconds;
+        return StatusCap(Status::kOk);
+      });
+  sync::UseAllocator(b, "bench");
+  sync::UseScheduler(b, "bench");
+  b.Thread("t", 2, 8192, 8, "bench.main");
+  System sys(machine, b.Build());
+  sys.Boot();
+  sys.Run(400'000'000'000ull);
+  return *sample;
+}
+
+const Word kSizes[] = {64,    128,   256,   512,    1024,  2048,
+                       4096,  8192,  16384, 32768,  49152, 65536,
+                       81920, 98304, 114688};
+
+}  // namespace
+}  // namespace cheriot
+
+int main(int argc, char** argv) {
+  using namespace cheriot;
+  for (Word size : kSizes) {
+    benchmark::RegisterBenchmark(
+        ("alloc_rate/" + std::to_string(size)).c_str(),
+        [size](benchmark::State& state) {
+          const Sample s = MeasureSize(size);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(s.mib_per_s);
+          }
+          state.counters["MiBps"] = s.mib_per_s;
+          state.counters["cycles_per_pair"] = s.cycles_per_pair;
+        });
+  }
+  benchmark::Initialize(&argc, argv);
+  // The per-size measurement is deterministic; a single gbench iteration
+  // suffices, so run the table directly for the figure.
+  benchmark::Shutdown();
+
+  std::printf("=== Figure 6b: sustained allocation rate vs allocation size ===\n");
+  std::printf("(heap ~228 KiB of 256 KiB SRAM; malloc+free pairs; 33 MHz)\n\n");
+  std::printf("  %10s %12s %16s %10s  %s\n", "size(B)", "MiB/s",
+              "cycles/pair", "failures", "rate");
+  double peak = 0;
+  std::vector<Sample> samples;
+  for (Word size : kSizes) {
+    samples.push_back(MeasureSize(size));
+    peak = std::max(peak, samples.back().mib_per_s);
+  }
+  for (const Sample& s : samples) {
+    const int bar = peak > 0 ? static_cast<int>(40 * s.mib_per_s / peak) : 0;
+    std::printf("  %10u %12.2f %16.0f %10u  %s\n", s.size, s.mib_per_s,
+                s.cycles_per_pair, s.failures,
+                std::string(static_cast<size_t>(bar), '#').c_str());
+  }
+  std::printf("\npaper reference: ~5 MiB/s at 1 KiB buffers; throughput "
+              "rises with size until ~32 KiB,\nthen the revoker dominates; "
+              "past ~80/112 KiB each free synchronizes with a full sweep.\n");
+  return 0;
+}

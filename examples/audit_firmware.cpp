@@ -1,0 +1,95 @@
+// Auditing example (§4, Fig. 4 and the §5.1.3 liblzma case study): builds an
+// HTTP-client-style firmware image, emits the linker JSON report, and checks
+// declarative policies against it — first on a clean image, then on one
+// whose compression library has been backdoored to import the network API.
+#include <cstdio>
+
+#include "src/audit/policy.h"
+#include "src/audit/report.h"
+#include "src/rtos.h"
+
+using namespace cheriot;
+
+namespace {
+
+EntryFn Nop() {
+  return [](CompartmentCtx&, const std::vector<Capability>&) {
+    return Capability();
+  };
+}
+
+FirmwareImage BuildFirmware(bool backdoored) {
+  ImageBuilder b(backdoored ? "http-firmware-BACKDOORED" : "http-firmware");
+  b.Compartment("NetAPI")
+      .CodeSize(4096)
+      .Export("network_socket_connect_tcp", Nop(), 512)
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true);
+  b.Compartment("http_client")
+      .CodeSize(8192)
+      .AllocCap("http_quota", 16 * 1024)
+      .ImportCompartment("NetAPI.network_socket_connect_tcp")
+      .Export("fetch", Nop(), 1024);
+  auto compressor = b.Compartment("compressor");
+  compressor.CodeSize(20 * 1024).Export("decompress", Nop(), 512);
+  if (backdoored) {
+    // The supply-chain attack: a new release of the compression library
+    // quietly declares a dependency on the network API.
+    compressor.ImportCompartment("NetAPI.network_socket_connect_tcp");
+  }
+  b.Thread("main", 1, 2048, 4, "http_client.fetch");
+  return b.Build();
+}
+
+const char kPolicy[] = R"(
+# Firmware integration policy (checked before signing, §4)
+# 1. Exactly one compartment may open network connections.
+count(compartments_calling("NetAPI.network_socket_connect_tcp")) == 1
+# 2. Only the network compartment touches the NIC.
+count(importers_of_mmio("ethernet")) == 1 && contains(importers_of_mmio("ethernet"), "NetAPI")
+# 3. The compression library must not talk to the network.
+!calls("compressor", "NetAPI")
+# 4. Heap quotas must fit in the heap.
+allocation_quota_sum() <= heap_size()
+)";
+
+int CheckImage(bool backdoored) {
+  Machine machine;
+  auto boot = Loader::Load(machine, BuildFirmware(backdoored));
+  const json::Value report = audit::BuildReport(*boot);
+
+  if (!backdoored) {
+    // Show the report fragment from Fig. 4.
+    std::printf("--- firmware report (http_client compartment) ---\n%s\n\n",
+                report["compartments"]["http_client"].Dump(2).c_str());
+  }
+
+  audit::PolicyEngine engine(report);
+  const auto violations = engine.CheckDocument(kPolicy);
+  std::printf("policy check for %-28s: %s\n",
+              backdoored ? "BACKDOORED image" : "clean image",
+              violations.empty() ? "PASS" : "FAIL");
+  for (const auto& v : violations) {
+    std::printf("  line %d: %s  (%s)\n", v.line, v.expression.c_str(),
+                v.reason.c_str());
+    const auto callers =
+        engine.CompartmentsCalling("NetAPI.network_socket_connect_tcp");
+    std::printf("  compartments calling the network API:");
+    for (const auto& c : callers) {
+      std::printf(" %s", c.c_str());
+    }
+    std::printf("\n");
+    break;
+  }
+  return static_cast<int>(violations.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CHERIoT firmware auditing (Fig. 4 / §5.1.3) ===\n\n");
+  const int clean = CheckImage(false);
+  const int bad = CheckImage(true);
+  std::printf("\nThe backdoor cannot hide: its new import shows up in the "
+              "report and violates the policy.\n");
+  return (clean == 0 && bad > 0) ? 0 : 1;
+}

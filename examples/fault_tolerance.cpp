@@ -1,0 +1,103 @@
+// Fault tolerance and error handling (§3.2.6): scoped DURING/HANDLER
+// handlers, a global handler that *corrects* a fault and resumes, and a full
+// compartment micro-reboot with state reset — the three error-handling
+// policies the paper describes.
+#include <cstdio>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+using namespace cheriot;
+
+namespace {
+struct CounterState {
+  int requests_served = 0;
+};
+}  // namespace
+
+int main() {
+  Machine machine;
+  ImageBuilder image("fault-tolerance");
+
+  // Policy (b): a compartment whose global handler corrects the fault by
+  // installing a valid capability and resuming.
+  image.Compartment("self_healing")
+      .Globals(64)
+      .ErrorHandler([](CompartmentCtx& ctx, TrapInfo& info) {
+        std::printf("[self_healing] handler: %s at 0x%x -> installing "
+                    "corrected capability, resuming\n",
+                    TrapCodeName(info.cause), info.fault_address);
+        info.regs.a[0] = ctx.globals();
+        return ErrorRecovery::kInstallContext;
+      })
+      .Export("read_config",
+              [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.StoreWord(ctx.globals(), 0, 777);
+                // Oops: dereferencing a config "pointer" that is a stale
+                // integer. The handler redirects it to our globals.
+                const Word v = ctx.LoadWord(Capability::FromWord(0x40), 0);
+                std::printf("[self_healing] read_config -> %u (resumed!)\n", v);
+                return WordCap(v);
+              });
+
+  // Policy (c): a stateful service that micro-reboots itself on any fault.
+  image.Compartment("counter")
+      .Globals(32)
+      .AllocCap("cq", 4096)
+      .State([] { return std::make_shared<CounterState>(); })
+      .ErrorHandler([](CompartmentCtx& ctx, TrapInfo& info) {
+        std::printf("[counter] fault (%s): micro-rebooting (5 steps, §3.2.6)\n",
+                    TrapCodeName(info.cause));
+        ctx.MicroRebootSelf();
+        return ErrorRecovery::kForceUnwind;
+      })
+      .Export("serve",
+              [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+                auto& state = ctx.State<CounterState>();
+                ++state.requests_served;
+                if (!args.empty() && args[0].word() == 666) {
+                  ctx.LoadWord(Capability::FromWord(0xBAD), 0);  // crash
+                }
+                return WordCap(static_cast<Word>(state.requests_served));
+              });
+  sync::UseAllocator(image, "counter");
+
+  image.Compartment("app")
+      .ImportCompartment("self_healing.read_config")
+      .ImportCompartment("counter.serve")
+      .Export("main", [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        // Policy (a): scoped handlers, near-zero cost on the happy path.
+        auto trap = ctx.Try([&] {
+          auto buf = ctx.AllocStack(8);
+          ctx.StoreWord(buf.cap(), 8, 1);  // out of bounds
+        });
+        std::printf("[app] scoped handler caught: %s\n",
+                    trap ? TrapCodeName(trap->cause) : "(nothing)");
+
+        ctx.Call("self_healing.read_config", {});
+
+        std::printf("[app] counter.serve x3...\n");
+        for (int i = 0; i < 3; ++i) {
+          std::printf("[app]   served=%u\n",
+                      ctx.Call("counter.serve", {}).word());
+        }
+        std::printf("[app] crashing the counter...\n");
+        const Capability r = ctx.Call("counter.serve", {WordCap(666)});
+        std::printf("[app] crash call returned status %s\n",
+                    StatusName(static_cast<Status>(
+                        static_cast<int32_t>(r.word()))));
+        std::printf("[app] counter after micro-reboot (state reset to 0):\n");
+        std::printf("[app]   served=%u (fresh count)\n",
+                    ctx.Call("counter.serve", {}).word());
+        return StatusCap(Status::kOk);
+      });
+
+  image.Thread("main", 1, 8192, 8, "app.main");
+
+  System system(machine, image.Build());
+  system.Boot();
+  system.Run(8'000'000'000ull);
+  std::printf("[host] counter compartment rebooted %u time(s)\n",
+              system.boot().FindCompartment("counter")->reboot_count);
+  return 0;
+}

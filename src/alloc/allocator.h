@@ -1,0 +1,125 @@
+// The shared-heap memory allocator (§3.1.3): spatially- and temporally-safe
+// heap shared by all compartments, with allocation capabilities & quotas
+// (§3.2.2), quarantine batched against the hardware revoker, zero-on-free,
+// claims and ephemeral claims (§3.2.5), and sealed-object allocation
+// backing the token API (§3.2.1).
+//
+// Chunk header (16 bytes, in-band, at payload-16):
+//   +0  u32 chunk size including header
+//   +4  u32 previous chunk size (for coalescing); 0 for the first chunk
+//   +8  u32 state(8) | owner_quota(8) | claim_count(8) | flags(8)
+//   +12 u32 safe-reuse revoker epoch (quarantined chunks)
+#ifndef SRC_ALLOC_ALLOCATOR_H_
+#define SRC_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+#include "src/loader/loader.h"
+
+namespace cheriot {
+
+class System;
+class CompartmentCtx;
+
+class Allocator {
+ public:
+  static constexpr Address kHeaderBytes = 16;
+  static constexpr Address kMinChunk = 32;
+  // Quarantine entries examined per malloc/free (§3.1.3: "a small, constant
+  // number"; more than one so the quarantine eventually drains).
+  static constexpr int kQuarantineDequeuePerOp = 2;
+
+  enum class ChunkState : uint8_t { kFree = 0, kUsed = 1, kQuarantined = 2 };
+
+  explicit Allocator(System* system) : system_(system) {}
+  void Init();
+
+  // --- Compartment-call entry points (run on the caller's thread inside the
+  // "alloc" compartment) ---
+  Capability HeapAllocate(CompartmentCtx& ctx, const Capability& alloc_cap,
+                          Word size, Word timeout_cycles);
+  Status HeapFree(CompartmentCtx& ctx, const Capability& alloc_cap,
+                  const Capability& ptr);
+  Status HeapClaim(CompartmentCtx& ctx, const Capability& alloc_cap,
+                   const Capability& ptr);
+  bool HeapCanFree(CompartmentCtx& ctx, const Capability& alloc_cap,
+                   const Capability& ptr);
+  Word QuotaRemaining(CompartmentCtx& ctx, const Capability& alloc_cap);
+  // Frees every allocation owned by the quota (micro-reboot step 3).
+  // Returns bytes released.
+  Word HeapFreeAll(CompartmentCtx& ctx, const Capability& alloc_cap);
+
+  // --- Token API backing (§3.2.1) ---
+  Capability TokenKeyNew(CompartmentCtx& ctx);
+  Capability TokenObjNew(CompartmentCtx& ctx, const Capability& alloc_cap,
+                         const Capability& key, Word size);
+  Status TokenObjDestroy(CompartmentCtx& ctx, const Capability& alloc_cap,
+                         const Capability& key, const Capability& sealed_obj);
+
+  // --- Kernel-side (micro-reboot, hazard-deferred frees) ---
+  Word FreeAllForQuota(uint32_t quota_id);
+  void RetryPendingFrees();
+
+  // --- Introspection (tests & benches) ---
+  Word FreeBytes() const;
+  Word QuarantinedBytes() const;
+  size_t UsedChunks() const { return used_.size(); }
+  Word LargestFreeChunk() const;
+
+  // Unseals an allocation capability; returns untagged cap on failure.
+  Capability UnsealAllocCap(const Capability& alloc_cap) const;
+
+ private:
+  struct Header {
+    Word size = 0;
+    Word prev_size = 0;
+    ChunkState state = ChunkState::kFree;
+    uint8_t quota = 0;
+    uint8_t claims = 0;
+    uint8_t flags = 0;
+    Word epoch = 0;
+  };
+
+  Header ReadHeader(Address chunk) const;
+  void WriteHeader(Address chunk, const Header& h);
+  Address PayloadOf(Address chunk) const { return chunk + kHeaderBytes; }
+
+  // Quota bookkeeping lives in the sealed payload (simulated memory).
+  Word QuotaLimit(const Capability& unsealed) const;
+  Word QuotaUsed(const Capability& unsealed) const;
+  void SetQuotaUsed(const Capability& unsealed, Word used);
+  uint32_t QuotaId(const Capability& unsealed) const;
+
+  // Internal allocation path shared by HeapAllocate / TokenObjNew.
+  Capability AllocateInternal(CompartmentCtx& ctx, const Capability& unsealed_q,
+                              Word size, Word timeout_cycles);
+  // Actually releases a used chunk into quarantine (zero + revoke).
+  void ReleaseChunk(Address chunk, const Header& h);
+  void ProcessQuarantine(int max_items);
+  void CoalesceAndFree(Address chunk);
+  Capability MakeHeapCap(Address payload, Word size) const;
+
+  System* system_;
+  Capability heap_root_;  // privileged, revocation-exempt (§3.1.3)
+  Address heap_base_ = 0;
+  Address heap_size_ = 0;
+
+  // Native bookkeeping mirrors (headers remain authoritative in-band).
+  std::set<Address> free_chunks_;  // ordered by address (first-fit)
+  std::set<Address> used_;
+  std::deque<Address> quarantine_;
+  // Claims: payload -> (quota id -> count). The header tracks the total.
+  std::map<Address, std::map<uint32_t, uint32_t>> claims_;
+  // Frees deferred by ephemeral claims (§3.2.5).
+  std::set<Address> pending_free_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_ALLOC_ALLOCATOR_H_

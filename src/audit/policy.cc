@@ -1,0 +1,572 @@
+#include "src/audit/policy.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace cheriot::audit {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& why) {
+  throw std::runtime_error("policy error: " + why);
+}
+
+bool ValueTruth(const PolicyValue& v) {
+  if (std::holds_alternative<bool>(v)) {
+    return std::get<bool>(v);
+  }
+  Fail("expression is not a boolean");
+}
+
+int64_t ValueInt(const PolicyValue& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::get<int64_t>(v);
+  }
+  Fail("expression is not an integer");
+}
+
+std::string ValueString(const PolicyValue& v) {
+  if (std::holds_alternative<std::string>(v)) {
+    return std::get<std::string>(v);
+  }
+  Fail("expression is not a string");
+}
+
+std::vector<std::string> ValueList(const PolicyValue& v) {
+  if (std::holds_alternative<std::vector<std::string>>(v)) {
+    return std::get<std::vector<std::string>>(v);
+  }
+  Fail("expression is not a list");
+}
+
+// Splits "name.function" into {name, function}; function may be empty, which
+// matches any function of that target.
+std::pair<std::string, std::string> SplitTarget(const std::string& t) {
+  const auto dot = t.find('.');
+  if (dot == std::string::npos) {
+    return {t, ""};
+  }
+  return {t.substr(0, dot), t.substr(dot + 1)};
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  struct Token {
+    enum class Kind { kEnd, kInt, kString, kIdent, kPunct };
+    Kind kind = Kind::kEnd;
+    int64_t int_value = 0;
+    std::string text;
+  };
+
+  const Token& Peek() {
+    if (!has_) {
+      next_ = LexOne();
+      has_ = true;
+    }
+    return next_;
+  }
+  Token Take() {
+    Peek();
+    has_ = false;
+    return next_;
+  }
+  bool TakePunct(const std::string& p) {
+    if (Peek().kind == Token::Kind::kPunct && Peek().text == p) {
+      Take();
+      return true;
+    }
+    return false;
+  }
+  void ExpectPunct(const std::string& p) {
+    if (!TakePunct(p)) {
+      Fail("expected '" + p + "' near '" + Peek().text + "'");
+    }
+  }
+
+ private:
+  Token LexOne() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    Token t;
+    if (pos_ >= text_.size()) {
+      return t;
+    }
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      t.kind = Token::Kind::kInt;
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      std::string digits;
+      for (size_t i = pos_; i < end; ++i) {
+        if (text_[i] != '_') {
+          digits.push_back(text_[i]);
+        }
+      }
+      t.int_value = std::stoll(digits);
+      pos_ = end;
+      return t;
+    }
+    if (c == '"') {
+      t.kind = Token::Kind::kString;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        t.text.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string literal");
+      }
+      ++pos_;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = Token::Kind::kIdent;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        t.text.push_back(text_[pos_++]);
+      }
+      return t;
+    }
+    t.kind = Token::Kind::kPunct;
+    // Two-character operators first.
+    static const char* kTwo[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    for (const char* op : kTwo) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        t.text = op;
+        pos_ += 2;
+        return t;
+      }
+    }
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token next_;
+  bool has_ = false;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const PolicyEngine& engine, const std::string& text)
+      : engine_(engine), lex_(text) {}
+
+  PolicyValue Run() {
+    PolicyValue v = Or();
+    if (lex_.Peek().kind != Lexer::Token::Kind::kEnd) {
+      Fail("unexpected trailing token '" + lex_.Peek().text + "'");
+    }
+    return v;
+  }
+
+ private:
+  PolicyValue Or() {
+    PolicyValue v = And();
+    while (lex_.TakePunct("||")) {
+      const bool lhs = ValueTruth(v);
+      const bool rhs = ValueTruth(And());
+      v = PolicyValue(lhs || rhs);
+    }
+    return v;
+  }
+  PolicyValue And() {
+    PolicyValue v = Compare();
+    while (lex_.TakePunct("&&")) {
+      const bool lhs = ValueTruth(v);
+      const bool rhs = ValueTruth(Compare());
+      v = PolicyValue(lhs && rhs);
+    }
+    return v;
+  }
+  PolicyValue Compare() {
+    PolicyValue v = Sum();
+    for (;;) {
+      std::string op;
+      for (const char* candidate : {"==", "!=", "<=", ">=", "<", ">"}) {
+        if (lex_.TakePunct(candidate)) {
+          op = candidate;
+          break;
+        }
+      }
+      if (op.empty()) {
+        return v;
+      }
+      PolicyValue rhs = Sum();
+      if (op == "==" || op == "!=") {
+        const bool eq = Equals(v, rhs);
+        v = PolicyValue(op == "==" ? eq : !eq);
+      } else {
+        const int64_t a = ValueInt(v);
+        const int64_t b = ValueInt(rhs);
+        bool r = false;
+        if (op == "<") r = a < b;
+        if (op == "<=") r = a <= b;
+        if (op == ">") r = a > b;
+        if (op == ">=") r = a >= b;
+        v = PolicyValue(r);
+      }
+    }
+  }
+  static bool Equals(const PolicyValue& a, const PolicyValue& b) {
+    if (a.index() != b.index()) {
+      // Allow int/bool mismatches to fail rather than throw.
+      return false;
+    }
+    return a == b;
+  }
+  PolicyValue Sum() {
+    PolicyValue v = Unary();
+    for (;;) {
+      if (lex_.TakePunct("+")) {
+        v = PolicyValue(ValueInt(v) + ValueInt(Unary()));
+      } else if (lex_.TakePunct("-")) {
+        v = PolicyValue(ValueInt(v) - ValueInt(Unary()));
+      } else {
+        return v;
+      }
+    }
+  }
+  PolicyValue Unary() {
+    if (lex_.TakePunct("!")) {
+      return PolicyValue(!ValueTruth(Unary()));
+    }
+    if (lex_.TakePunct("-")) {
+      return PolicyValue(-ValueInt(Unary()));
+    }
+    return Primary();
+  }
+
+  std::vector<PolicyValue> Args() {
+    std::vector<PolicyValue> args;
+    lex_.ExpectPunct("(");
+    if (lex_.TakePunct(")")) {
+      return args;
+    }
+    for (;;) {
+      args.push_back(Or());
+      if (lex_.TakePunct(",")) {
+        continue;
+      }
+      lex_.ExpectPunct(")");
+      return args;
+    }
+  }
+
+  PolicyValue Primary() {
+    const auto& t = lex_.Peek();
+    if (t.kind == Lexer::Token::Kind::kInt) {
+      return PolicyValue(lex_.Take().int_value);
+    }
+    if (t.kind == Lexer::Token::Kind::kString) {
+      return PolicyValue(lex_.Take().text);
+    }
+    if (t.kind == Lexer::Token::Kind::kPunct && t.text == "(") {
+      lex_.Take();
+      PolicyValue v = Or();
+      lex_.ExpectPunct(")");
+      return v;
+    }
+    if (t.kind != Lexer::Token::Kind::kIdent) {
+      Fail("unexpected token '" + t.text + "'");
+    }
+    const std::string name = lex_.Take().text;
+    if (name == "true") {
+      return PolicyValue(true);
+    }
+    if (name == "false") {
+      return PolicyValue(false);
+    }
+    return Call(name, Args());
+  }
+
+  PolicyValue Call(const std::string& name, std::vector<PolicyValue> args) {
+    auto need = [&](size_t n) {
+      if (args.size() != n) {
+        Fail(name + " expects " + std::to_string(n) + " argument(s)");
+      }
+    };
+    if (name == "count") {
+      need(1);
+      return PolicyValue(static_cast<int64_t>(ValueList(args[0]).size()));
+    }
+    if (name == "contains") {
+      need(2);
+      const auto list = ValueList(args[0]);
+      const auto item = ValueString(args[1]);
+      for (const auto& s : list) {
+        if (s == item) {
+          return PolicyValue(true);
+        }
+      }
+      return PolicyValue(false);
+    }
+    if (name == "compartments_calling") {
+      need(1);
+      return PolicyValue(engine_.CompartmentsCalling(ValueString(args[0])));
+    }
+    if (name == "importers_of_mmio") {
+      need(1);
+      return PolicyValue(engine_.ImportersOfMmio(ValueString(args[0])));
+    }
+    if (name == "importers_of_library") {
+      need(1);
+      return PolicyValue(engine_.ImportersOfLibrary(ValueString(args[0])));
+    }
+    if (name == "holders_of_sealed_object") {
+      need(1);
+      return PolicyValue(engine_.HoldersOfSealedObject(ValueString(args[0])));
+    }
+    if (name == "owners_of_sealing_type") {
+      need(1);
+      return PolicyValue(engine_.OwnersOfSealingType(ValueString(args[0])));
+    }
+    if (name == "exports_of") {
+      need(1);
+      return PolicyValue(engine_.ExportsOf(ValueString(args[0])));
+    }
+    if (name == "compartments") {
+      need(0);
+      return PolicyValue(engine_.Compartments());
+    }
+    if (name == "threads_entering") {
+      need(1);
+      return PolicyValue(engine_.ThreadsEntering(ValueString(args[0])));
+    }
+    if (name == "allocation_quota_sum") {
+      need(0);
+      return PolicyValue(engine_.AllocationQuotaSum());
+    }
+    if (name == "heap_size") {
+      need(0);
+      return PolicyValue(engine_.HeapSize());
+    }
+    if (name == "code_size") {
+      need(1);
+      return PolicyValue(engine_.CodeSize(ValueString(args[0])));
+    }
+    if (name == "compartment_exists") {
+      need(1);
+      return PolicyValue(engine_.CompartmentExists(ValueString(args[0])));
+    }
+    if (name == "calls") {
+      need(2);
+      return PolicyValue(
+          engine_.Calls(ValueString(args[0]), ValueString(args[1])));
+    }
+    if (name == "has_error_handler") {
+      need(1);
+      return PolicyValue(engine_.HasErrorHandler(ValueString(args[0])));
+    }
+    Fail("unknown function: " + name);
+  }
+
+  const PolicyEngine& engine_;
+  Lexer lex_;
+};
+
+}  // namespace
+
+PolicyValue PolicyEngine::Eval(const std::string& expression) const {
+  return Evaluator(*this, expression).Run();
+}
+
+bool PolicyEngine::CheckExpression(const std::string& expression) const {
+  return ValueTruth(Eval(expression));
+}
+
+std::vector<PolicyViolation> PolicyEngine::CheckDocument(
+    const std::string& policy) const {
+  std::vector<PolicyViolation> violations;
+  std::istringstream in(policy);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string expr = line.substr(begin, end - begin + 1);
+    try {
+      if (!CheckExpression(expr)) {
+        violations.push_back({line_no, expr, "evaluated to false"});
+      }
+    } catch (const std::exception& e) {
+      violations.push_back({line_no, expr, e.what()});
+    }
+  }
+  return violations;
+}
+
+// --- Report queries ---------------------------------------------------------
+
+std::vector<std::string> PolicyEngine::CompartmentsCalling(
+    const std::string& target) const {
+  const auto [callee, function] = SplitTarget(target);
+  std::vector<std::string> out;
+  for (const auto& [name, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      if (imp["kind"].AsString() != "call") {
+        continue;
+      }
+      if (imp["compartment_name"].AsString() == callee &&
+          (function.empty() || imp["function"].AsString() == function)) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::ImportersOfMmio(
+    const std::string& device) const {
+  std::vector<std::string> out;
+  for (const auto& [name, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      if (imp["kind"].AsString() == "mmio" &&
+          imp["device"].AsString() == device) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::ImportersOfLibrary(
+    const std::string& target) const {
+  const auto [library, function] = SplitTarget(target);
+  std::vector<std::string> out;
+  for (const auto& [name, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      if (imp["kind"].AsString() == "library" &&
+          imp["library"].AsString() == library &&
+          (function.empty() || imp["function"].AsString() == function)) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::HoldersOfSealedObject(
+    const std::string& object) const {
+  std::vector<std::string> out;
+  for (const auto& [name, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      const auto& kind = imp["kind"].AsString();
+      if ((kind == "sealed_object" || kind == "allocation_capability") &&
+          imp["name"].AsString() == object) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::OwnersOfSealingType(
+    const std::string& type) const {
+  std::vector<std::string> out;
+  for (const auto& [name, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      if (imp["kind"].AsString() == "sealing_key" &&
+          imp["sealing_type"].AsString() == type) {
+        out.push_back(name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::ExportsOf(
+    const std::string& compartment) const {
+  std::vector<std::string> out;
+  const auto& comp = report_["compartments"][compartment];
+  for (const auto& e : comp["exports"].AsArray()) {
+    out.push_back(e["function"].AsString());
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::Compartments() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : report_["compartments"].AsObject()) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyEngine::ThreadsEntering(
+    const std::string& compartment) const {
+  std::vector<std::string> out;
+  for (const auto& t : report_["threads"].AsArray()) {
+    if (t["entry_compartment"].AsString() == compartment) {
+      out.push_back(t["name"].AsString());
+    }
+  }
+  return out;
+}
+
+int64_t PolicyEngine::AllocationQuotaSum() const {
+  int64_t sum = 0;
+  for (const auto& [_, comp] : report_["compartments"].AsObject()) {
+    for (const auto& imp : comp["imports"].AsArray()) {
+      if (imp["kind"].AsString() == "allocation_capability") {
+        sum += imp["quota"].AsInt();
+      }
+    }
+  }
+  return sum;
+}
+
+int64_t PolicyEngine::HeapSize() const { return report_["heap"]["size"].AsInt(); }
+
+int64_t PolicyEngine::CodeSize(const std::string& compartment) const {
+  return report_["compartments"][compartment]["code_size"].AsInt();
+}
+
+bool PolicyEngine::CompartmentExists(const std::string& name) const {
+  return report_["compartments"].Has(name);
+}
+
+bool PolicyEngine::Calls(const std::string& caller,
+                         const std::string& target) const {
+  const auto [callee, function] = SplitTarget(target);
+  const auto& comp = report_["compartments"][caller];
+  for (const auto& imp : comp["imports"].AsArray()) {
+    if (imp["kind"].AsString() == "call" &&
+        imp["compartment_name"].AsString() == callee &&
+        (function.empty() || imp["function"].AsString() == function)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PolicyEngine::HasErrorHandler(const std::string& compartment) const {
+  const auto& v = report_["compartments"][compartment]["error_handler"];
+  return !v.is_null() && v.AsBool();
+}
+
+}  // namespace cheriot::audit

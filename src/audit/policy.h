@@ -1,0 +1,73 @@
+// Declarative policy checking over the firmware audit report (§4, Fig. 4).
+//
+// Plays the role of the Rego-based cheriot-audit tool: policies are boolean
+// expressions over the JSON report, e.g.
+//
+//   count(compartments_calling("NetAPI.network_socket_connect_tcp")) == 1
+//   allocation_quota_sum() <= heap_size()
+//   !contains(importers_of_mmio("ethernet"), "js_app")
+//
+// A policy document is a sequence of lines; blank lines and '#' comments are
+// ignored; every remaining line must evaluate to true.
+#ifndef SRC_AUDIT_POLICY_H_
+#define SRC_AUDIT_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/json/json.h"
+
+namespace cheriot::audit {
+
+// Expression values: integers, booleans, strings, string lists.
+using PolicyValue =
+    std::variant<int64_t, bool, std::string, std::vector<std::string>>;
+
+struct PolicyViolation {
+  int line = 0;
+  std::string expression;
+  std::string reason;  // "evaluated to false" or a parse/eval error
+};
+
+class PolicyEngine {
+ public:
+  // The engine audits the *report document*, not live kernel state: the
+  // same JSON an external integrator would receive.
+  explicit PolicyEngine(json::Value report) : report_(std::move(report)) {}
+
+  // Evaluates one expression. Throws std::runtime_error on syntax errors or
+  // type mismatches.
+  PolicyValue Eval(const std::string& expression) const;
+  // Evaluates an expression that must produce a boolean.
+  bool CheckExpression(const std::string& expression) const;
+
+  // Checks a whole policy document; returns the violations (empty = pass).
+  std::vector<PolicyViolation> CheckDocument(const std::string& policy) const;
+
+  // --- Report query functions (exposed for direct C++ use) ---
+  std::vector<std::string> CompartmentsCalling(const std::string& target) const;
+  std::vector<std::string> ImportersOfMmio(const std::string& device) const;
+  std::vector<std::string> ImportersOfLibrary(const std::string& target) const;
+  std::vector<std::string> HoldersOfSealedObject(const std::string& name) const;
+  std::vector<std::string> OwnersOfSealingType(const std::string& type) const;
+  std::vector<std::string> ExportsOf(const std::string& compartment) const;
+  std::vector<std::string> Compartments() const;
+  std::vector<std::string> ThreadsEntering(const std::string& compartment) const;
+  int64_t AllocationQuotaSum() const;
+  int64_t HeapSize() const;
+  int64_t CodeSize(const std::string& compartment) const;
+  bool CompartmentExists(const std::string& name) const;
+  bool Calls(const std::string& caller, const std::string& target) const;
+  bool HasErrorHandler(const std::string& compartment) const;
+
+  const json::Value& report() const { return report_; }
+
+ private:
+  json::Value report_;
+};
+
+}  // namespace cheriot::audit
+
+#endif  // SRC_AUDIT_POLICY_H_

@@ -1,0 +1,155 @@
+#include "src/audit/report.h"
+
+namespace cheriot::audit {
+
+namespace {
+
+const char* PostureName(InterruptPosture p) {
+  switch (p) {
+    case InterruptPosture::kInherited: return "inherited";
+    case InterruptPosture::kEnabled: return "enabled";
+    case InterruptPosture::kDisabled: return "disabled";
+  }
+  return "?";
+}
+
+json::Value ExportEntry(const ExportDef& e) {
+  json::Object o;
+  o["function"] = e.name;
+  o["minimum_stack"] = static_cast<int64_t>(e.min_stack_bytes);
+  o["argument_registers"] = static_cast<int64_t>(e.arg_registers);
+  o["interrupt_posture"] = PostureName(e.posture);
+  return json::Value(std::move(o));
+}
+
+json::Value ImportEntry(const BootInfo& boot, const CompartmentRuntime& rt,
+                        const ImportBinding& b) {
+  json::Object o;
+  switch (b.kind) {
+    case ImportBinding::Kind::kCompartmentCall: {
+      o["kind"] = "call";
+      const auto dot = b.qualified_name.find('.');
+      o["compartment_name"] = b.qualified_name.substr(0, dot);
+      o["function"] = b.qualified_name.substr(dot + 1);
+      break;
+    }
+    case ImportBinding::Kind::kLibraryCall: {
+      o["kind"] = "library";
+      const auto dot = b.qualified_name.find('.');
+      o["library"] = b.qualified_name.substr(0, dot);
+      o["function"] = b.qualified_name.substr(dot + 1);
+      break;
+    }
+    case ImportBinding::Kind::kMmio: {
+      o["kind"] = "mmio";
+      o["device"] = b.qualified_name;
+      o["start"] = static_cast<int64_t>(b.cap.base());
+      o["length"] = static_cast<int64_t>(b.cap.length());
+      o["writeable"] = b.cap.permissions().Has(Permission::kStore);
+      break;
+    }
+    case ImportBinding::Kind::kSealedObject: {
+      // Distinguish allocation capabilities from user sealed objects.
+      if (b.cap.otype() == OType::kAllocatorQuota) {
+        o["kind"] = "allocation_capability";
+        o["name"] = b.qualified_name;
+        for (const auto& ac : rt.def->alloc_caps) {
+          if (ac.name == b.qualified_name) {
+            o["quota"] = static_cast<int64_t>(ac.quota_bytes);
+          }
+        }
+      } else {
+        o["kind"] = "sealed_object";
+        o["name"] = b.qualified_name;
+        for (const auto& so : rt.def->sealed_objects) {
+          if (so.name == b.qualified_name) {
+            o["sealing_type"] = so.sealing_type;
+            o["payload_bytes"] = static_cast<int64_t>(so.payload.size());
+          }
+        }
+      }
+      break;
+    }
+    case ImportBinding::Kind::kSealingKey: {
+      o["kind"] = "sealing_key";
+      o["sealing_type"] = b.qualified_name;
+      o["type_id"] =
+          static_cast<int64_t>(boot.virtual_type_ids.count(b.qualified_name)
+                                   ? boot.virtual_type_ids.at(b.qualified_name)
+                                   : 0);
+      break;
+    }
+  }
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+json::Value BuildReport(const BootInfo& boot) {
+  json::Object root;
+  root["firmware"] = boot.image.name;
+
+  json::Object heap;
+  heap["start"] = static_cast<int64_t>(boot.heap_base);
+  heap["size"] = static_cast<int64_t>(boot.heap_size);
+  root["heap"] = json::Value(std::move(heap));
+
+  json::Object compartments;
+  for (const auto& rt : boot.compartments) {
+    json::Object c;
+    c["code_size"] = static_cast<int64_t>(rt.code_size);
+    c["globals_size"] = static_cast<int64_t>(rt.globals_size);
+    json::Array exports;
+    for (const auto& e : rt.def->exports) {
+      exports.push_back(ExportEntry(e));
+    }
+    c["exports"] = json::Value(std::move(exports));
+    json::Array imports;
+    for (const auto& b : rt.imports) {
+      imports.push_back(ImportEntry(boot, rt, b));
+    }
+    c["imports"] = json::Value(std::move(imports));
+    if (rt.def->error_handler) {
+      c["error_handler"] = true;
+    }
+    compartments[rt.name] = json::Value(std::move(c));
+  }
+  root["compartments"] = json::Value(std::move(compartments));
+
+  json::Object libraries;
+  for (const auto& lib : boot.libraries) {
+    json::Object l;
+    l["code_size"] = static_cast<int64_t>(lib.code_size);
+    json::Array exports;
+    for (const auto& e : lib.def->exports) {
+      exports.push_back(ExportEntry(e));
+    }
+    l["exports"] = json::Value(std::move(exports));
+    libraries[lib.name] = json::Value(std::move(l));
+  }
+  root["libraries"] = json::Value(std::move(libraries));
+
+  json::Array threads;
+  for (const auto& t : boot.threads) {
+    json::Object to;
+    to["name"] = t.name;
+    to["priority"] = static_cast<int64_t>(t.priority);
+    to["stack_size"] = static_cast<int64_t>(t.stack_size);
+    to["trusted_stack_frames"] = static_cast<int64_t>(t.max_frames);
+    to["entry_compartment"] = boot.compartments[t.entry_compartment].name;
+    threads.push_back(json::Value(std::move(to)));
+  }
+  root["threads"] = json::Value(std::move(threads));
+
+  json::Object types;
+  for (const auto& [name, id] : boot.virtual_type_ids) {
+    types[name] = static_cast<int64_t>(id);
+  }
+  root["sealing_types"] = json::Value(std::move(types));
+
+  return json::Value(std::move(root));
+}
+
+std::string ReportJson(const BootInfo& boot) { return BuildReport(boot).Dump(2); }
+
+}  // namespace cheriot::audit

@@ -1,0 +1,25 @@
+// Firmware audit report (§4): the linker-style JSON document describing the
+// full static structure of the image — every compartment, its exports, and
+// crucially everything its import table authorizes (compartment calls,
+// library sentries, MMIO grants, allocation capabilities, sealed objects,
+// sealing keys). Integrators check this against policy without needing the
+// source of every component.
+#ifndef SRC_AUDIT_REPORT_H_
+#define SRC_AUDIT_REPORT_H_
+
+#include <string>
+
+#include "src/json/json.h"
+#include "src/loader/loader.h"
+
+namespace cheriot::audit {
+
+// Builds the machine-readable report from the booted (or just loaded) image.
+json::Value BuildReport(const BootInfo& boot);
+
+// Convenience: serialized with stable key order (signable).
+std::string ReportJson(const BootInfo& boot);
+
+}  // namespace cheriot::audit
+
+#endif  // SRC_AUDIT_REPORT_H_

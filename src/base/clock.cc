@@ -1,0 +1,4 @@
+#include "src/base/clock.h"
+
+// CycleClock is header-only; this translation unit exists so the build graph
+// has a stable home for future out-of-line additions.

@@ -1,0 +1,50 @@
+// The simulated cycle clock. All hardware-model components (revoker, timer,
+// network world) register tick hooks so that "background" work advances in
+// lock-step with CPU execution, as it does on the real core.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace cheriot {
+
+class CycleClock {
+ public:
+  // Called with the number of cycles that just elapsed.
+  using TickHook = std::function<void(Cycles delta)>;
+
+  Cycles now() const { return now_; }
+
+  // Advances simulated time. Hooks run after the clock moves so they observe
+  // the post-advance time.
+  void Tick(Cycles delta) {
+    if (delta == 0) {
+      return;
+    }
+    now_ += delta;
+    if (in_hook_) {
+      return;  // Hooks must not recursively re-run hooks.
+    }
+    in_hook_ = true;
+    for (auto& hook : hooks_) {
+      hook(delta);
+    }
+    in_hook_ = false;
+  }
+
+  void AddHook(TickHook hook) { hooks_.push_back(std::move(hook)); }
+
+ private:
+  Cycles now_ = 0;
+  bool in_hook_ = false;
+  std::vector<TickHook> hooks_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_BASE_CLOCK_H_

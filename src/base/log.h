@@ -1,0 +1,36 @@
+// Minimal leveled logging for the simulator itself (host-side diagnostics,
+// not the guest's debug compartment).
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdio>
+#include <string>
+
+namespace cheriot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log threshold; defaults to kWarn so tests stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const std::string& msg);
+
+}  // namespace cheriot
+
+#define CHERIOT_LOG(level, ...)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::cheriot::GetLogLevel())) {                \
+      char buf_[512];                                                \
+      std::snprintf(buf_, sizeof(buf_), __VA_ARGS__);                \
+      ::cheriot::LogMessage(level, buf_);                            \
+    }                                                                \
+  } while (0)
+
+#define LOG_DEBUG(...) CHERIOT_LOG(::cheriot::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) CHERIOT_LOG(::cheriot::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) CHERIOT_LOG(::cheriot::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) CHERIOT_LOG(::cheriot::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,47 @@
+// Error codes shared across RTOS APIs. Mirrors the -Exxx convention of the
+// original CHERIoT RTOS (negative values returned in a0 on failure).
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+
+namespace cheriot {
+
+enum class Status : int32_t {
+  kOk = 0,
+  kInvalidArgument = -1,   // -EINVAL
+  kNoMemory = -2,          // -ENOMEM: quota or heap exhausted
+  kPermissionDenied = -3,  // -EPERM
+  kTimedOut = -4,          // -ETIMEDOUT
+  kWouldBlock = -5,        // -EWOULDBLOCK
+  kCompartmentFail = -6,   // callee compartment faulted and unwound
+  kNotFound = -7,
+  kBusy = -8,
+  kOverflow = -9,
+  kNotPermittedByPolicy = -10,
+  kDeadlock = -11,
+  kNotEnoughStack = -12,  // switcher: caller stack below callee requirement
+};
+
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kNoMemory: return "NO_MEMORY";
+    case Status::kPermissionDenied: return "PERMISSION_DENIED";
+    case Status::kTimedOut: return "TIMED_OUT";
+    case Status::kWouldBlock: return "WOULD_BLOCK";
+    case Status::kCompartmentFail: return "COMPARTMENT_FAIL";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kBusy: return "BUSY";
+    case Status::kOverflow: return "OVERFLOW";
+    case Status::kNotPermittedByPolicy: return "NOT_PERMITTED_BY_POLICY";
+    case Status::kDeadlock: return "DEADLOCK";
+    case Status::kNotEnoughStack: return "NOT_ENOUGH_STACK";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace cheriot
+
+#endif  // SRC_BASE_STATUS_H_

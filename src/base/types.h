@@ -1,0 +1,30 @@
+// Fundamental scalar types for the simulated 32-bit CHERIoT machine.
+#ifndef SRC_BASE_TYPES_H_
+#define SRC_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cheriot {
+
+// A physical address in the simulated 32-bit address space.
+using Address = uint32_t;
+// A machine word (XLEN = 32).
+using Word = uint32_t;
+// Simulated CPU cycles.
+using Cycles = uint64_t;
+
+// Capabilities occupy eight bytes in memory (32-bit address + 32-bit
+// metadata); tags and revocation bits are tracked per granule of this size.
+inline constexpr Address kGranuleBytes = 8;
+
+inline constexpr Address AlignDown(Address a, Address alignment) {
+  return a & ~(alignment - 1);
+}
+inline constexpr Address AlignUp(Address a, Address alignment) {
+  return (a + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace cheriot
+
+#endif  // SRC_BASE_TYPES_H_

@@ -1,0 +1,190 @@
+#include "src/cap/capability.h"
+
+#include <sstream>
+
+namespace cheriot {
+
+Capability Capability::RootReadWrite(Address base, Address top) {
+  Capability c;
+  c.tag_ = true;
+  c.base_ = base;
+  c.top_ = top;
+  c.cursor_ = base;
+  c.perms_ = PermissionSet::All()
+                 .Without(Permission::kExecute)
+                 .Without(Permission::kSeal)
+                 .Without(Permission::kUnseal);
+  return c;
+}
+
+Capability Capability::RootExecute(Address base, Address top) {
+  Capability c;
+  c.tag_ = true;
+  c.base_ = base;
+  c.top_ = top;
+  c.cursor_ = base;
+  c.perms_ = PermissionSet({Permission::kGlobal, Permission::kLoad,
+                            Permission::kExecute, Permission::kLoadStoreCap,
+                            Permission::kLoadGlobal, Permission::kLoadMutable,
+                            Permission::kAccessSystemRegisters});
+  return c;
+}
+
+Capability Capability::RootSealing() {
+  Capability c;
+  c.tag_ = true;
+  c.base_ = 0;
+  c.top_ = 16;  // otype space
+  c.cursor_ = 0;
+  c.perms_ = PermissionSet({Permission::kGlobal, Permission::kSeal,
+                            Permission::kUnseal});
+  return c;
+}
+
+Capability Capability::MakeSealingAuthority(Address first, Address count) {
+  Capability c;
+  c.tag_ = true;
+  c.base_ = first;
+  c.top_ = first + count;
+  c.cursor_ = first;
+  c.perms_ = PermissionSet({Permission::kGlobal, Permission::kSeal,
+                            Permission::kUnseal});
+  return c;
+}
+
+Capability Capability::WithAddress(Address addr) const {
+  Capability c = *this;
+  c.cursor_ = addr;
+  if (IsSealed()) {
+    c.tag_ = false;  // Sealed capabilities are immutable.
+  }
+  return c;
+}
+
+Capability Capability::WithBounds(Address new_base, Address len) const {
+  Capability c = *this;
+  const Address new_top = new_base + len;
+  const bool overflow = new_top < new_base;
+  if (!tag_ || IsSealed() || overflow || new_base < base_ || new_top > top_) {
+    c.tag_ = false;
+  }
+  c.base_ = new_base;
+  c.top_ = new_top;
+  c.cursor_ = new_base;
+  return c;
+}
+
+Capability Capability::WithPermissions(PermissionSet keep) const {
+  Capability c = *this;
+  if (IsSealed()) {
+    c.tag_ = false;
+  }
+  c.perms_ = perms_.And(keep);
+  return c;
+}
+
+Capability Capability::SealedWith(const Capability& authority) const {
+  Capability c = *this;
+  const auto type = static_cast<OType>(authority.cursor());
+  if (!tag_ || !authority.tag() || authority.IsSealed() ||
+      !authority.permissions().Has(Permission::kSeal) ||
+      !authority.InBounds(authority.cursor(), 1) || IsSealed() ||
+      !IsDataOType(type)) {
+    c.tag_ = false;
+    return c;
+  }
+  c.otype_ = type;
+  return c;
+}
+
+Capability Capability::UnsealedWith(const Capability& authority) const {
+  Capability c = *this;
+  const auto type = static_cast<OType>(authority.cursor());
+  if (!tag_ || !authority.tag() || authority.IsSealed() ||
+      !authority.permissions().Has(Permission::kUnseal) ||
+      !authority.InBounds(authority.cursor(), 1) || otype_ != type ||
+      !IsSealed()) {
+    c.tag_ = false;
+    return c;
+  }
+  c.otype_ = OType::kUnsealed;
+  return c;
+}
+
+Capability Capability::SealedAs(OType type) const {
+  Capability c = *this;
+  if (!tag_ || IsSealed()) {
+    c.tag_ = false;
+  }
+  c.otype_ = type;
+  return c;
+}
+
+Capability Capability::UnsealedExact(OType type) const {
+  Capability c = *this;
+  if (!tag_ || otype_ != type) {
+    c.tag_ = false;
+  }
+  c.otype_ = OType::kUnsealed;
+  return c;
+}
+
+Capability Capability::AttenuatedForLoadVia(const Capability& authority) const {
+  Capability c = *this;
+  if (!c.tag_) {
+    return c;
+  }
+  if (!authority.permissions().Has(Permission::kLoadStoreCap)) {
+    c.tag_ = false;
+    return c;
+  }
+  if (!authority.permissions().Has(Permission::kLoadMutable)) {
+    // Deep immutability: everything reachable becomes read-only.
+    c.perms_ = c.perms_.Without(Permission::kStore)
+                   .Without(Permission::kLoadMutable)
+                   .Without(Permission::kStoreLocal);
+  }
+  if (!authority.permissions().Has(Permission::kLoadGlobal)) {
+    // Deep no-capture: everything reachable becomes local.
+    c.perms_ = c.perms_.Without(Permission::kGlobal)
+                   .Without(Permission::kLoadGlobal);
+  }
+  return c;
+}
+
+std::string PermissionSet::ToString() const {
+  std::string s;
+  auto add = [&](Permission p, char ch) {
+    if (Has(p)) {
+      s.push_back(ch);
+    }
+  };
+  add(Permission::kGlobal, 'G');
+  add(Permission::kLoad, 'r');
+  add(Permission::kStore, 'w');
+  add(Permission::kExecute, 'x');
+  add(Permission::kLoadStoreCap, 'c');
+  add(Permission::kLoadGlobal, 'g');
+  add(Permission::kLoadMutable, 'm');
+  add(Permission::kStoreLocal, 'l');
+  add(Permission::kSeal, 'S');
+  add(Permission::kUnseal, 'U');
+  add(Permission::kAccessSystemRegisters, '$');
+  add(Permission::kRevocationExempt, '!');
+  return s;
+}
+
+std::string Capability::ToString() const {
+  std::ostringstream os;
+  os << (tag_ ? "cap" : "int") << "{0x" << std::hex << cursor_;
+  if (tag_ || base_ != 0 || top_ != 0) {
+    os << " [0x" << base_ << ", 0x" << top_ << ") " << perms_.ToString();
+    if (IsSealed()) {
+      os << " sealed:" << std::dec << static_cast<int>(otype_);
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cheriot

@@ -1,0 +1,101 @@
+// CHERIoT capability permissions (§2.1 of the paper).
+//
+// Beyond classic CHERI load/store/execute, CHERIoT adds the deep-attenuation
+// permissions permit-load-mutable and permit-load-global, and uses
+// permit-store-local/global for the shallow no-capture guarantee.
+#ifndef SRC_CAP_PERMISSIONS_H_
+#define SRC_CAP_PERMISSIONS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace cheriot {
+
+enum class Permission : uint16_t {
+  // The capability may be stored through any store-cap-authorized cap; a cap
+  // *without* global may be stored only through a cap with permit-store-local
+  // (stacks and register-save areas).
+  kGlobal = 1u << 0,
+  kLoad = 1u << 1,
+  kStore = 1u << 2,
+  kExecute = 1u << 3,
+  // Permit loading/storing of capabilities (MC). Loads through a cap lacking
+  // this yield untagged data.
+  kLoadStoreCap = 1u << 4,
+  // Deep no-capture (LG): caps loaded through a cap lacking this lose kGlobal
+  // and kLoadGlobal.
+  kLoadGlobal = 1u << 5,
+  // Deep immutability (LM): caps loaded through a cap lacking this lose
+  // kStore and kLoadMutable.
+  kLoadMutable = 1u << 6,
+  // Permit storing non-global (local) capabilities through this cap.
+  kStoreLocal = 1u << 7,
+  kSeal = 1u << 8,
+  kUnseal = 1u << 9,
+  // Held only by the switcher's PCC: access to the trusted-stack CSR.
+  kAccessSystemRegisters = 1u << 10,
+  // Model-only (see DESIGN.md §4.2): accesses through this cap skip the
+  // revocation check. The loader grants it solely to the allocator's
+  // whole-heap capability, mirroring the paper's "its loads do not consult
+  // the revocation bits" (§3.1.3), and to switcher-internal caps.
+  kRevocationExempt = 1u << 11,
+};
+
+class PermissionSet {
+ public:
+  constexpr PermissionSet() = default;
+  constexpr explicit PermissionSet(uint16_t bits) : bits_(bits) {}
+  constexpr PermissionSet(std::initializer_list<Permission> perms) {
+    for (Permission p : perms) {
+      bits_ |= static_cast<uint16_t>(p);
+    }
+  }
+
+  constexpr bool Has(Permission p) const {
+    return (bits_ & static_cast<uint16_t>(p)) != 0;
+  }
+  constexpr bool HasAll(PermissionSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr PermissionSet With(Permission p) const {
+    return PermissionSet(bits_ | static_cast<uint16_t>(p));
+  }
+  constexpr PermissionSet Without(Permission p) const {
+    return PermissionSet(bits_ & static_cast<uint16_t>(~static_cast<uint16_t>(p)));
+  }
+  // Monotonic intersection: the only way to combine permission sets.
+  constexpr PermissionSet And(PermissionSet other) const {
+    return PermissionSet(bits_ & other.bits_);
+  }
+  constexpr uint16_t bits() const { return bits_; }
+  constexpr bool operator==(const PermissionSet&) const = default;
+
+  // The omnipotent permission set held by the loader's root capabilities.
+  static constexpr PermissionSet All() { return PermissionSet(0x0FFF); }
+  // Typical data capability: read/write/cap-traffic with deep rights.
+  static constexpr PermissionSet ReadWriteGlobal() {
+    return PermissionSet({Permission::kGlobal, Permission::kLoad,
+                          Permission::kStore, Permission::kLoadStoreCap,
+                          Permission::kLoadGlobal, Permission::kLoadMutable});
+  }
+  // Stack capability: adds store-local, but is itself non-global.
+  static constexpr PermissionSet Stack() {
+    return PermissionSet({Permission::kLoad, Permission::kStore,
+                          Permission::kLoadStoreCap, Permission::kLoadGlobal,
+                          Permission::kLoadMutable, Permission::kStoreLocal});
+  }
+  static constexpr PermissionSet ReadOnlyGlobal() {
+    return PermissionSet({Permission::kGlobal, Permission::kLoad,
+                          Permission::kLoadStoreCap, Permission::kLoadGlobal});
+  }
+
+  std::string ToString() const;
+
+ private:
+  uint16_t bits_ = 0;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_CAP_PERMISSIONS_H_

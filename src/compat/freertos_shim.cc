@@ -1,0 +1,114 @@
+#include "src/compat/freertos_shim.h"
+
+namespace cheriot::compat {
+
+void UseFreeRtosCompat(ImageBuilder& image, const std::string& compartment) {
+  sync::UseLocks(image, compartment);
+  sync::UseSemaphore(image, compartment);
+  sync::UseQueueLibrary(image, compartment);
+  sync::UseAllocator(image, compartment);
+}
+
+QueueHandle_t xQueueCreate(CompartmentCtx& ctx, const Capability& alloc_cap,
+                           Word length, Word item_size) {
+  const Capability buf =
+      ctx.HeapAllocate(alloc_cap, sync::QueueBufferBytes(item_size, length));
+  if (!buf.tag()) {
+    return {};
+  }
+  sync::Queue::Init(ctx, buf, item_size, length);
+  return {buf};
+}
+
+BaseType_t xQueueSend(CompartmentCtx& ctx, QueueHandle_t queue,
+                      const Capability& item, TickType_t ticks_to_wait) {
+  sync::Queue q(queue.buffer);
+  const Word timeout = ticks_to_wait == portMAX_DELAY
+                           ? ~0u
+                           : static_cast<Word>(ticks_to_wait * kCyclesPerTick);
+  return q.Send(ctx, item, timeout) == Status::kOk ? pdTRUE : pdFALSE;
+}
+
+BaseType_t xQueueReceive(CompartmentCtx& ctx, QueueHandle_t queue,
+                         const Capability& out, TickType_t ticks_to_wait) {
+  sync::Queue q(queue.buffer);
+  const Word timeout = ticks_to_wait == portMAX_DELAY
+                           ? ~0u
+                           : static_cast<Word>(ticks_to_wait * kCyclesPerTick);
+  return q.Receive(ctx, out, timeout) == Status::kOk ? pdTRUE : pdFALSE;
+}
+
+Word uxQueueMessagesWaiting(CompartmentCtx& ctx, QueueHandle_t queue) {
+  return sync::Queue(queue.buffer).Count(ctx);
+}
+
+void vQueueDelete(CompartmentCtx& ctx, const Capability& alloc_cap,
+                  QueueHandle_t queue) {
+  ctx.HeapFree(alloc_cap, queue.buffer);
+}
+
+SemaphoreHandle_t xSemaphoreCreateBinary(CompartmentCtx& ctx,
+                                         const Capability& alloc_cap) {
+  return xSemaphoreCreateCounting(ctx, alloc_cap, 1, 0);
+}
+
+SemaphoreHandle_t xSemaphoreCreateCounting(CompartmentCtx& ctx,
+                                           const Capability& alloc_cap,
+                                           Word max_count, Word initial) {
+  (void)max_count;  // the futex-word semaphore is unbounded by design
+  const Capability word = ctx.HeapAllocate(alloc_cap, 8);
+  if (!word.tag()) {
+    return {};
+  }
+  ctx.StoreWord(word, 0, initial);
+  return {word};
+}
+
+BaseType_t xSemaphoreTake(CompartmentCtx& ctx, SemaphoreHandle_t sem,
+                          TickType_t ticks_to_wait) {
+  sync::Semaphore s(sem.word);
+  const Word timeout = ticks_to_wait == portMAX_DELAY
+                           ? ~0u
+                           : static_cast<Word>(ticks_to_wait * kCyclesPerTick);
+  return s.Get(ctx, timeout) == Status::kOk ? pdTRUE : pdFALSE;
+}
+
+BaseType_t xSemaphoreGive(CompartmentCtx& ctx, SemaphoreHandle_t sem) {
+  return sync::Semaphore(sem.word).Put(ctx) == Status::kOk ? pdTRUE : pdFALSE;
+}
+
+SemaphoreHandle_t xSemaphoreCreateMutex(CompartmentCtx& ctx,
+                                        const Capability& alloc_cap) {
+  const Capability word = ctx.HeapAllocate(alloc_cap, 8);
+  if (!word.tag()) {
+    return {};
+  }
+  ctx.StoreWord(word, 0, 0);
+  return {word};
+}
+
+BaseType_t xSemaphoreTakeMutex(CompartmentCtx& ctx, SemaphoreHandle_t mutex,
+                               TickType_t ticks_to_wait) {
+  sync::Mutex m(mutex.word);
+  const Word timeout = ticks_to_wait == portMAX_DELAY
+                           ? ~0u
+                           : static_cast<Word>(ticks_to_wait * kCyclesPerTick);
+  return m.Lock(ctx, timeout) == Status::kOk ? pdTRUE : pdFALSE;
+}
+
+BaseType_t xSemaphoreGiveMutex(CompartmentCtx& ctx, SemaphoreHandle_t mutex) {
+  sync::Mutex(mutex.word).Unlock(ctx);
+  return pdTRUE;
+}
+
+void vTaskDelay(CompartmentCtx& ctx, TickType_t ticks) {
+  ctx.SleepCycles(static_cast<Cycles>(ticks) * kCyclesPerTick);
+}
+
+TickType_t xTaskGetTickCount(CompartmentCtx& ctx) {
+  return static_cast<TickType_t>(ctx.Now() / kCyclesPerTick);
+}
+
+void taskYIELD(CompartmentCtx& ctx) { ctx.Yield(); }
+
+}  // namespace cheriot::compat

@@ -1,0 +1,89 @@
+// FreeRTOS-style compatibility wrappers (P5, §3.2): the core OS is not
+// FreeRTOS-compatible, but thin wrappers bring familiar task/queue/semaphore
+// APIs on top of the native primitives, easing ports of existing code.
+//
+// Naming follows FreeRTOS conventions (xQueueCreate, vTaskDelay, ...) so
+// ported call sites need minimal edits; handles wrap native capabilities.
+#ifndef SRC_COMPAT_FREERTOS_SHIM_H_
+#define SRC_COMPAT_FREERTOS_SHIM_H_
+
+#include "src/firmware/image.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/sync/sync.h"
+
+namespace cheriot::compat {
+
+using TickType_t = Word;
+using BaseType_t = int32_t;
+inline constexpr BaseType_t pdTRUE = 1;
+inline constexpr BaseType_t pdFALSE = 0;
+inline constexpr TickType_t portMAX_DELAY = ~0u;
+// 1 tick = 1 ms at the 33 MHz evaluation clock.
+inline constexpr Cycles kCyclesPerTick = 33'000;
+
+// Adds the library/compartment imports the shim needs ("queue", "semaphore",
+// "locks" libraries + scheduler + allocator).
+void UseFreeRtosCompat(ImageBuilder& image, const std::string& compartment);
+
+// --- Queues (wrap the native queue library over a heap buffer) ---
+struct QueueHandle_t {
+  Capability buffer;
+  bool valid() const { return buffer.tag(); }
+};
+
+QueueHandle_t xQueueCreate(CompartmentCtx& ctx, const Capability& alloc_cap,
+                           Word length, Word item_size);
+BaseType_t xQueueSend(CompartmentCtx& ctx, QueueHandle_t queue,
+                      const Capability& item, TickType_t ticks_to_wait);
+BaseType_t xQueueReceive(CompartmentCtx& ctx, QueueHandle_t queue,
+                         const Capability& out, TickType_t ticks_to_wait);
+Word uxQueueMessagesWaiting(CompartmentCtx& ctx, QueueHandle_t queue);
+void vQueueDelete(CompartmentCtx& ctx, const Capability& alloc_cap,
+                  QueueHandle_t queue);
+
+// --- Semaphores (binary/counting over a futex word) ---
+struct SemaphoreHandle_t {
+  Capability word;
+  bool valid() const { return word.tag(); }
+};
+
+SemaphoreHandle_t xSemaphoreCreateBinary(CompartmentCtx& ctx,
+                                         const Capability& alloc_cap);
+SemaphoreHandle_t xSemaphoreCreateCounting(CompartmentCtx& ctx,
+                                           const Capability& alloc_cap,
+                                           Word max_count, Word initial);
+BaseType_t xSemaphoreTake(CompartmentCtx& ctx, SemaphoreHandle_t sem,
+                          TickType_t ticks_to_wait);
+BaseType_t xSemaphoreGive(CompartmentCtx& ctx, SemaphoreHandle_t sem);
+
+// --- Mutexes ---
+SemaphoreHandle_t xSemaphoreCreateMutex(CompartmentCtx& ctx,
+                                        const Capability& alloc_cap);
+BaseType_t xSemaphoreTakeMutex(CompartmentCtx& ctx, SemaphoreHandle_t mutex,
+                               TickType_t ticks_to_wait);
+BaseType_t xSemaphoreGiveMutex(CompartmentCtx& ctx, SemaphoreHandle_t mutex);
+
+// --- Task utilities ---
+void vTaskDelay(CompartmentCtx& ctx, TickType_t ticks);
+TickType_t xTaskGetTickCount(CompartmentCtx& ctx);
+void taskYIELD(CompartmentCtx& ctx);
+
+// FreeRTOS code commonly brackets critical sections with interrupt toggles;
+// CHERIoT forbids direct interrupt control (§2.1), so the shim maps these to
+// a mutex — exactly the paper's FreeRTOS-TCP/IP porting change (§5.2).
+class CriticalSection {
+ public:
+  CriticalSection(CompartmentCtx& ctx, SemaphoreHandle_t mutex)
+      : ctx_(ctx), mutex_(mutex) {
+    xSemaphoreTakeMutex(ctx_, mutex_, portMAX_DELAY);
+  }
+  ~CriticalSection() { xSemaphoreGiveMutex(ctx_, mutex_); }
+
+ private:
+  CompartmentCtx& ctx_;
+  SemaphoreHandle_t mutex_;
+};
+
+}  // namespace cheriot::compat
+
+#endif  // SRC_COMPAT_FREERTOS_SHIM_H_

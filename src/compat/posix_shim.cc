@@ -1,0 +1,78 @@
+#include "src/compat/posix_shim.h"
+
+#include <vector>
+
+#include "src/sync/sync.h"
+
+namespace cheriot::compat {
+
+void UseMalloc(ImageBuilder& image, const std::string& compartment,
+               uint32_t quota_bytes) {
+  image.Compartment(compartment)
+      .AllocCap(kDefaultAllocCapName, quota_bytes);
+  sync::UseAllocator(image, compartment);
+}
+
+Capability Malloc(CompartmentCtx& ctx, Word size) {
+  const ImportBinding* def = ctx.FindImport(kDefaultAllocCapName);
+  if (def == nullptr) {
+    return Capability();  // no default allocation capability declared
+  }
+  return ctx.HeapAllocate(def->cap, size);
+}
+
+Capability Calloc(CompartmentCtx& ctx, Word count, Word size) {
+  const uint64_t total = static_cast<uint64_t>(count) * size;
+  if (total > 0xFFFFFFFFull) {
+    return Capability();
+  }
+  // The allocator zero-fills (zero-on-free + boot zeroing, §3.1.3), so
+  // calloc is just malloc.
+  return Malloc(ctx, static_cast<Word>(total));
+}
+
+Status Free(CompartmentCtx& ctx, const Capability& ptr) {
+  const ImportBinding* def = ctx.FindImport(kDefaultAllocCapName);
+  if (def == nullptr) {
+    return Status::kPermissionDenied;
+  }
+  return ctx.HeapFree(def->cap, ptr);
+}
+
+void Memcpy(CompartmentCtx& ctx, const Capability& dst, const Capability& src,
+            Word len) {
+  std::vector<uint8_t> tmp(len);
+  ctx.ReadBytes(src, 0, tmp.data(), len);
+  ctx.WriteBytes(dst, 0, tmp.data(), len);
+}
+
+void Memset(CompartmentCtx& ctx, const Capability& dst, uint8_t value,
+            Word len) {
+  std::vector<uint8_t> tmp(len, value);
+  ctx.WriteBytes(dst, 0, tmp.data(), len);
+}
+
+int Memcmp(CompartmentCtx& ctx, const Capability& a, const Capability& b,
+           Word len) {
+  std::vector<uint8_t> ta(len);
+  std::vector<uint8_t> tb(len);
+  ctx.ReadBytes(a, 0, ta.data(), len);
+  ctx.ReadBytes(b, 0, tb.data(), len);
+  for (Word i = 0; i < len; ++i) {
+    if (ta[i] != tb[i]) {
+      return ta[i] < tb[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+Word Strlen(CompartmentCtx& ctx, const Capability& s, Word max) {
+  for (Word i = 0; i < max; ++i) {
+    if (ctx.LoadByte(s, i) == 0) {
+      return i;
+    }
+  }
+  return max;
+}
+
+}  // namespace cheriot::compat

@@ -1,0 +1,39 @@
+// POSIX-flavoured compatibility wrappers (P5): malloc/free against the
+// compartment's *default allocation capability* (§3.2.2 "For compatibility
+// we provide malloc and free which use, if extant, the compartment's default
+// allocation capability") plus tiny string/time helpers that operate on
+// guest memory through capabilities.
+#ifndef SRC_COMPAT_POSIX_SHIM_H_
+#define SRC_COMPAT_POSIX_SHIM_H_
+
+#include "src/firmware/image.h"
+#include "src/runtime/compartment_ctx.h"
+
+namespace cheriot::compat {
+
+// The conventional name of a compartment's default allocation capability.
+inline constexpr char kDefaultAllocCapName[] = "__default_malloc_capability";
+
+// Declares a default allocation capability for the compartment and imports
+// the allocator APIs.
+void UseMalloc(ImageBuilder& image, const std::string& compartment,
+               uint32_t quota_bytes);
+
+// malloc/free/calloc using the default allocation capability; Malloc returns
+// an untagged capability on failure (check with .tag()).
+Capability Malloc(CompartmentCtx& ctx, Word size);
+Capability Calloc(CompartmentCtx& ctx, Word count, Word size);
+Status Free(CompartmentCtx& ctx, const Capability& ptr);
+
+// mem*/str* over guest memory.
+void Memcpy(CompartmentCtx& ctx, const Capability& dst, const Capability& src,
+            Word len);
+void Memset(CompartmentCtx& ctx, const Capability& dst, uint8_t value,
+            Word len);
+int Memcmp(CompartmentCtx& ctx, const Capability& a, const Capability& b,
+           Word len);
+Word Strlen(CompartmentCtx& ctx, const Capability& s, Word max = 4096);
+
+}  // namespace cheriot::compat
+
+#endif  // SRC_COMPAT_POSIX_SHIM_H_

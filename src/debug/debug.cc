@@ -1,0 +1,74 @@
+#include "src/debug/debug.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "src/hw/devices.h"
+#include "src/runtime/hardening.h"
+
+namespace cheriot::debug {
+
+void AddConsoleCompartment(ImageBuilder& image) {
+  if (image.FindCompartment("console") != nullptr) {
+    return;
+  }
+  image.Compartment("console")
+      .CodeSize(1024)
+      .Globals(16)
+      .ImportMmio("uart", kUartMmioBase, kMmioRegionSize, true)
+      .Export(
+          "write",
+          [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+            const Capability buf = args[0];
+            const Word len = args[1].word();
+            if (len > 1024 ||
+                !hardening::CheckPointer(buf, len,
+                                         PermissionSet({Permission::kLoad}))) {
+              return StatusCap(Status::kInvalidArgument);
+            }
+            const Capability uart = ctx.Mmio("uart");
+            for (Word i = 0; i < len; ++i) {
+              ctx.StoreWord(uart, 0, ctx.LoadByte(buf, i));
+            }
+            return StatusCap(Status::kOk);
+          },
+          256, InterruptPosture::kDisabled);
+}
+
+void UseConsole(ImageBuilder& image, const std::string& compartment) {
+  AddConsoleCompartment(image);
+  image.Compartment(compartment).ImportCompartment("console.write");
+}
+
+Status ConsoleWrite(CompartmentCtx& ctx, const std::string& text) {
+  auto buf = ctx.AllocStack(static_cast<Address>(text.size() + 8));
+  ctx.WriteBytes(buf.cap(), 0, text.data(), static_cast<Address>(text.size()));
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.Call("console.write",
+               {hardening::ReadOnly(buf.cap(), static_cast<Address>(text.size())),
+                WordCap(static_cast<Word>(text.size()))})
+          .word()));
+}
+
+Address StackPeakBytes(CompartmentCtx& ctx) { return ctx.StackPeakUse(); }
+
+Address StackHeadroom(CompartmentCtx& ctx) { return ctx.StackRemaining(); }
+
+std::string HexDump(CompartmentCtx& ctx, const Capability& cap, Address len) {
+  std::vector<uint8_t> data(len);
+  ctx.ReadBytes(cap, 0, data.data(), len);
+  std::string out;
+  char line[80];
+  for (Address i = 0; i < len; i += 16) {
+    int n = std::snprintf(line, sizeof(line), "%08x: ", cap.cursor() + i);
+    out.append(line, n);
+    for (Address j = i; j < i + 16 && j < len; ++j) {
+      n = std::snprintf(line, sizeof(line), "%02x ", data[j]);
+      out.append(line, n);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cheriot::debug

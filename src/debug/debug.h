@@ -1,0 +1,35 @@
+// Debug utilities (Fig. 5 "Debug Utilities" / "Input/Output"): a UART
+// console compartment and stack-usage tooling (§3.2.5: "we provide tooling
+// to dynamically determine stack usage with a watermark").
+#ifndef SRC_DEBUG_DEBUG_H_
+#define SRC_DEBUG_DEBUG_H_
+
+#include <string>
+
+#include "src/firmware/image.h"
+#include "src/runtime/compartment_ctx.h"
+
+namespace cheriot::debug {
+
+// Registers the "console" compartment: the only compartment that touches the
+// UART (auditable single writer). Exports:
+//   write(buf, len) -> status
+void AddConsoleCompartment(ImageBuilder& image);
+void UseConsole(ImageBuilder& image, const std::string& compartment);
+
+// Writes a NUL-free string through the console compartment.
+Status ConsoleWrite(CompartmentCtx& ctx, const std::string& text);
+
+// Stack watermark tooling: bytes of the current thread's stack that have
+// ever been dirtied (the loader zero-fills stacks; the kernel tracks the
+// high-water mark the way the hardware's stack-high-water register does).
+Address StackPeakBytes(CompartmentCtx& ctx);
+// Bytes still free below the stack pointer right now.
+Address StackHeadroom(CompartmentCtx& ctx);
+
+// Hexdump of guest memory through a capability (for tests and examples).
+std::string HexDump(CompartmentCtx& ctx, const Capability& cap, Address len);
+
+}  // namespace cheriot::debug
+
+#endif  // SRC_DEBUG_DEBUG_H_

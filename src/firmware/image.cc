@@ -1,0 +1,138 @@
+#include "src/firmware/image.h"
+
+#include <stdexcept>
+
+namespace cheriot {
+
+CompartmentBuilder ImageBuilder::Compartment(const std::string& name) {
+  for (size_t i = 0; i < image_.compartments.size(); ++i) {
+    if (image_.compartments[i].name == name) {
+      return CompartmentBuilder(this, i);
+    }
+  }
+  CompartmentDef def;
+  def.name = name;
+  image_.compartments.push_back(std::move(def));
+  return CompartmentBuilder(this, image_.compartments.size() - 1);
+}
+
+LibraryBuilder ImageBuilder::Library(const std::string& name) {
+  for (size_t i = 0; i < image_.libraries.size(); ++i) {
+    if (image_.libraries[i].name == name) {
+      return LibraryBuilder(this, i);
+    }
+  }
+  LibraryDef def;
+  def.name = name;
+  image_.libraries.push_back(std::move(def));
+  return LibraryBuilder(this, image_.libraries.size() - 1);
+}
+
+ImageBuilder& ImageBuilder::Thread(const std::string& name, uint16_t priority,
+                                   uint32_t stack_size,
+                                   uint16_t trusted_stack_frames,
+                                   const std::string& entry) {
+  ThreadDef def;
+  def.name = name;
+  def.priority = priority;
+  def.stack_size = stack_size;
+  def.trusted_stack_frames = trusted_stack_frames;
+  def.entry = entry;
+  image_.threads.push_back(std::move(def));
+  return *this;
+}
+
+CompartmentDef* ImageBuilder::FindCompartment(const std::string& name) {
+  for (auto& c : image_.compartments) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+LibraryDef* ImageBuilder::FindLibrary(const std::string& name) {
+  for (auto& l : image_.libraries) {
+    if (l.name == name) {
+      return &l;
+    }
+  }
+  return nullptr;
+}
+
+CompartmentBuilder& CompartmentBuilder::CodeSize(uint32_t bytes,
+                                                 uint32_t wrapper_bytes) {
+  def().code_size = bytes;
+  def().wrapper_code_size = wrapper_bytes;
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::Globals(uint32_t bytes) {
+  def().globals_size = bytes;
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::Export(const std::string& name,
+                                               EntryFn fn,
+                                               uint32_t min_stack_bytes,
+                                               InterruptPosture posture) {
+  for (const auto& e : def().exports) {
+    if (e.name == name) {
+      throw std::invalid_argument("duplicate export: " + name);
+    }
+  }
+  def().exports.push_back({name, std::move(fn), min_stack_bytes, 6, posture});
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::ImportCompartment(
+    const std::string& qualified) {
+  def().compartment_imports.push_back(qualified);
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::ImportLibrary(
+    const std::string& qualified) {
+  def().library_imports.push_back(qualified);
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::ImportMmio(const std::string& device,
+                                                   Address base, Address size,
+                                                   bool writeable) {
+  def().mmio_imports.push_back({device, base, size, writeable});
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::AllocCap(const std::string& name,
+                                                 uint32_t quota_bytes) {
+  def().alloc_caps.push_back({name, quota_bytes});
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::SealedObject(
+    const std::string& name, const std::string& sealing_type,
+    std::vector<uint8_t> payload) {
+  def().sealed_objects.push_back({name, sealing_type, std::move(payload)});
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::OwnSealingType(
+    const std::string& type_name) {
+  def().sealing_types_owned.push_back(type_name);
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::ErrorHandler(ErrorHandlerFn handler) {
+  def().error_handler = std::move(handler);
+  return *this;
+}
+CompartmentBuilder& CompartmentBuilder::State(
+    std::function<std::shared_ptr<void>()> factory) {
+  def().state_factory = std::move(factory);
+  return *this;
+}
+
+LibraryBuilder& LibraryBuilder::CodeSize(uint32_t bytes) {
+  def().code_size = bytes;
+  return *this;
+}
+LibraryBuilder& LibraryBuilder::Export(const std::string& name, EntryFn fn,
+                                       uint32_t min_stack_bytes,
+                                       InterruptPosture posture) {
+  def().exports.push_back({name, std::move(fn), min_stack_bytes, 6, posture});
+  return *this;
+}
+
+}  // namespace cheriot

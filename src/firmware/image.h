@@ -1,0 +1,211 @@
+// Firmware image description: the build-time artefact consumed by the loader
+// and by the auditing pipeline (§3.1.1, §4).
+//
+// In the real system this information is produced by compiler annotations
+// (__cheri_compartment, entry-point attributes) and the linker; here an
+// ImageBuilder plays that role. The static isolation model (P4) lives in
+// these structures: compartments, threads, exports, imports, MMIO grants,
+// allocation capabilities and static sealed objects are all fixed before
+// boot, which is what makes the firmware auditable.
+#ifndef SRC_FIRMWARE_IMAGE_H_
+#define SRC_FIRMWARE_IMAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+#include "src/mem/trap.h"
+#include "src/switcher/registers.h"
+
+namespace cheriot {
+
+class CompartmentCtx;
+
+// A compartment entry point. Entry points are the only way control enters a
+// compartment (checked entry points, §3.2.5). The return value lands in a0;
+// use StatusCap/WordCap helpers for plain integers.
+using EntryFn =
+    std::function<Capability(CompartmentCtx&, const std::vector<Capability>&)>;
+
+inline Capability WordCap(Word w) { return Capability::FromWord(w); }
+inline Capability StatusCap(Status s) {
+  return Capability::FromWord(static_cast<Word>(static_cast<int32_t>(s)));
+}
+
+// Interrupt posture adopted when an entry point is invoked (§2.1 "More
+// expressive sealing": sentries carry interrupt semantics; functions are
+// annotated with their desired posture).
+enum class InterruptPosture : uint8_t {
+  kInherited = 0,
+  kEnabled = 1,
+  kDisabled = 2,
+};
+
+// What a compartment error handler instructs the switcher to do (§3.2.6).
+enum class ErrorRecovery : uint8_t {
+  kForceUnwind = 0,     // unwind the thread into the caller compartment
+  kInstallContext = 1,  // resume with the (modified) register file
+};
+
+// Delivered to global error handlers.
+struct TrapInfo {
+  TrapCode cause = TrapCode::kNone;
+  Address fault_address = 0;
+  RegisterFile regs;  // mutable copy; a0 is consulted on kInstallContext
+};
+
+using ErrorHandlerFn = std::function<ErrorRecovery(CompartmentCtx&, TrapInfo&)>;
+
+struct ExportDef {
+  std::string name;
+  EntryFn fn;
+  // Minimum stack the callee requires; the switcher rejects calls with less
+  // available (defends against stack-exhaustion interface attacks, §3.2.5).
+  uint32_t min_stack_bytes = 256;
+  uint8_t arg_registers = 6;
+  InterruptPosture posture = InterruptPosture::kEnabled;
+};
+
+struct MmioImportDef {
+  std::string device;  // symbolic name for auditing ("uart", "ethernet", ...)
+  Address base = 0;
+  Address size = 0;
+  bool writeable = true;
+};
+
+// An allocation capability: the static opaque object embodying the right to
+// allocate heap memory against a quota (§3.2.2).
+struct AllocationCapabilityDef {
+  std::string name;
+  uint32_t quota_bytes = 0;
+};
+
+// A generic static sealed object instantiated by the loader (§3.2.1).
+struct StaticSealedObjectDef {
+  std::string name;
+  std::string sealing_type;  // virtual sealing type, owned by some compartment
+  std::vector<uint8_t> payload;
+};
+
+struct CompartmentDef {
+  std::string name;
+  // Modelled code+rodata footprint in bytes (Table 2; see EXPERIMENTS.md for
+  // how code sizes are accounted). Data sizes are measured from the layout.
+  uint32_t code_size = 1024;
+  uint32_t wrapper_code_size = 0;  // share of code_size that is wrapper code
+  uint32_t globals_size = 64;
+  std::vector<ExportDef> exports;
+  // Imports, by qualified name "compartment.export" / "library.export".
+  std::vector<std::string> compartment_imports;
+  std::vector<std::string> library_imports;
+  std::vector<MmioImportDef> mmio_imports;
+  std::vector<AllocationCapabilityDef> alloc_caps;
+  std::vector<StaticSealedObjectDef> sealed_objects;
+  // Virtual sealing types whose (un)sealing keys this compartment receives.
+  std::vector<std::string> sealing_types_owned;
+  ErrorHandlerFn error_handler;  // optional global handler (§3.2.6)
+  // Factory for the compartment's native state object (the model analog of
+  // compartment globals; micro-reboot re-creates it from scratch, the
+  // "compile-time snapshot" of §3.2.6 step 4).
+  std::function<std::shared_ptr<void>()> state_factory;
+};
+
+// A shared library: code without a security context; executes in the
+// caller's compartment and must have no mutable globals (§3).
+struct LibraryDef {
+  std::string name;
+  uint32_t code_size = 512;
+  std::vector<ExportDef> exports;
+};
+
+struct ThreadDef {
+  std::string name;
+  uint16_t priority = 1;  // higher value = higher priority
+  uint32_t stack_size = 1024;
+  uint16_t trusted_stack_frames = 4;
+  std::string entry;  // "compartment.export"
+};
+
+struct FirmwareImage {
+  std::string name;
+  std::vector<CompartmentDef> compartments;
+  std::vector<LibraryDef> libraries;
+  std::vector<ThreadDef> threads;
+};
+
+// Fluent builder; plays the role of the CHERIoT compiler+linker front half.
+class CompartmentBuilder;
+class LibraryBuilder;
+
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(std::string name) { image_.name = std::move(name); }
+
+  CompartmentBuilder Compartment(const std::string& name);
+  LibraryBuilder Library(const std::string& name);
+  ImageBuilder& Thread(const std::string& name, uint16_t priority,
+                       uint32_t stack_size, uint16_t trusted_stack_frames,
+                       const std::string& entry);
+  FirmwareImage Build() const { return image_; }
+
+  CompartmentDef* FindCompartment(const std::string& name);
+  LibraryDef* FindLibrary(const std::string& name);
+
+ private:
+  friend class CompartmentBuilder;
+  friend class LibraryBuilder;
+  FirmwareImage image_;
+};
+
+class CompartmentBuilder {
+ public:
+  CompartmentBuilder(ImageBuilder* owner, size_t index)
+      : owner_(owner), index_(index) {}
+
+  CompartmentBuilder& CodeSize(uint32_t bytes, uint32_t wrapper_bytes = 0);
+  CompartmentBuilder& Globals(uint32_t bytes);
+  CompartmentBuilder& Export(const std::string& name, EntryFn fn,
+                             uint32_t min_stack_bytes = 256,
+                             InterruptPosture posture = InterruptPosture::kEnabled);
+  CompartmentBuilder& ImportCompartment(const std::string& qualified);
+  CompartmentBuilder& ImportLibrary(const std::string& qualified);
+  CompartmentBuilder& ImportMmio(const std::string& device, Address base,
+                                 Address size, bool writeable = true);
+  CompartmentBuilder& AllocCap(const std::string& name, uint32_t quota_bytes);
+  CompartmentBuilder& SealedObject(const std::string& name,
+                                   const std::string& sealing_type,
+                                   std::vector<uint8_t> payload);
+  CompartmentBuilder& OwnSealingType(const std::string& type_name);
+  CompartmentBuilder& ErrorHandler(ErrorHandlerFn handler);
+  CompartmentBuilder& State(std::function<std::shared_ptr<void>()> factory);
+
+ private:
+  CompartmentDef& def() { return owner_->image_.compartments[index_]; }
+  ImageBuilder* owner_;
+  size_t index_;
+};
+
+class LibraryBuilder {
+ public:
+  LibraryBuilder(ImageBuilder* owner, size_t index)
+      : owner_(owner), index_(index) {}
+  LibraryBuilder& CodeSize(uint32_t bytes);
+  LibraryBuilder& Export(const std::string& name, EntryFn fn,
+                         uint32_t min_stack_bytes = 128,
+                         InterruptPosture posture = InterruptPosture::kInherited);
+
+ private:
+  LibraryDef& def() { return owner_->image_.libraries[index_]; }
+  ImageBuilder* owner_;
+  size_t index_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_FIRMWARE_IMAGE_H_

@@ -1,0 +1,139 @@
+#include "src/hw/devices.h"
+
+#include <cstdio>
+
+namespace cheriot {
+
+Word Uart::Mmio(Address offset, bool is_store, Word value) {
+  switch (offset) {
+    case 0:  // TX data
+      if (is_store) {
+        output_.push_back(static_cast<char>(value & 0xFF));
+        if (echo_) {
+          std::fputc(static_cast<int>(value & 0xFF), stdout);
+        }
+      }
+      return 0;
+    case 4:  // status: TX always ready
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+Word LedBank::Mmio(Address offset, bool is_store, Word value) {
+  if (offset == 0) {
+    if (is_store) {
+      state_ = value;
+      events_.push_back({clock_->now(), value});
+    }
+    return state_;
+  }
+  return 0;
+}
+
+Word Timer::Mmio(Address offset, bool is_store, Word value) {
+  const Cycles now = clock_->now();
+  switch (offset) {
+    case 0:  // mtime low
+      return static_cast<Word>(now);
+    case 4:  // mtime high
+      return static_cast<Word>(now >> 32);
+    case 8:  // mtimecmp low
+      if (is_store) {
+        mtimecmp_ = (mtimecmp_ & ~0xFFFFFFFFull) | value;
+        armed_ = true;
+        irqs_->Clear(IrqLine::kTimer);
+      }
+      return static_cast<Word>(mtimecmp_);
+    case 12:  // mtimecmp high
+      if (is_store) {
+        mtimecmp_ = (mtimecmp_ & 0xFFFFFFFFull) |
+                    (static_cast<Cycles>(value) << 32);
+        armed_ = true;
+        irqs_->Clear(IrqLine::kTimer);
+      }
+      return static_cast<Word>(mtimecmp_ >> 32);
+    default:
+      return 0;
+  }
+}
+
+void Timer::Poll() {
+  if (armed_ && clock_->now() >= mtimecmp_) {
+    irqs_->Raise(IrqLine::kTimer);
+    armed_ = false;
+  }
+}
+
+Word EthernetDevice::Mmio(Address offset, bool is_store, Word value) {
+  switch (offset) {
+    case 0x00:  // RX status: pending frame count
+      return static_cast<Word>(rx_.size());
+    case 0x04:  // RX length: latch head frame for reading
+      if (rx_.empty()) {
+        return 0;
+      }
+      rx_latched_ = rx_.front();
+      rx_read_pos_ = 0;
+      return static_cast<Word>(rx_latched_.size());
+    case 0x08: {  // RX data: stream latched frame, word at a time
+      Word w = 0;
+      for (int i = 0; i < 4 && rx_read_pos_ < rx_latched_.size();
+           ++i, ++rx_read_pos_) {
+        w |= static_cast<Word>(rx_latched_[rx_read_pos_]) << (8 * i);
+      }
+      return w;
+    }
+    case 0x0C:  // RX done: pop the frame
+      if (is_store && !rx_.empty()) {
+        rx_.pop_front();
+        if (rx_.empty()) {
+          irqs_->Clear(IrqLine::kEthernet);
+        }
+      }
+      return 0;
+    case 0x10:  // TX length: begin a frame
+      if (is_store) {
+        tx_building_.clear();
+        tx_expected_ = value;
+      }
+      return 0;
+    case 0x14:  // TX data: append a word
+      if (is_store) {
+        for (int i = 0; i < 4 && tx_building_.size() < tx_expected_; ++i) {
+          tx_building_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+        }
+      }
+      return 0;
+    case 0x18:  // TX done: commit
+      if (is_store && on_transmit) {
+        on_transmit(tx_building_);
+        tx_building_.clear();
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+void EthernetDevice::HostInject(Frame frame) {
+  rx_.push_back(std::move(frame));
+  irqs_->Raise(IrqLine::kEthernet);
+}
+
+Word EntropySource::Next() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return static_cast<Word>(state_);
+}
+
+Word EntropySource::Mmio(Address offset, bool is_store, Word value) {
+  if (offset == 0 && !is_store) {
+    return Next();
+  }
+  return 0;
+}
+
+}  // namespace cheriot

@@ -1,0 +1,147 @@
+// MMIO device models: UART, LED bank, timer, Ethernet adaptor, entropy
+// source. Each device exposes a register bank through Memory::AddMmioRegion;
+// compartments reach devices only through MMIO capabilities placed in their
+// import tables by the loader (§3.1.1, footnote 2).
+#ifndef SRC_HW_DEVICES_H_
+#define SRC_HW_DEVICES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/types.h"
+
+namespace cheriot {
+
+// Fixed MMIO map of the simulated SoC.
+inline constexpr Address kUartMmioBase = 0x10000000;
+inline constexpr Address kLedMmioBase = 0x10001000;
+inline constexpr Address kTimerMmioBase = 0x10002000;
+inline constexpr Address kRevokerMmioBase = 0x10003000;
+inline constexpr Address kEthernetMmioBase = 0x10004000;
+inline constexpr Address kEntropyMmioBase = 0x10005000;
+inline constexpr Address kMmioRegionSize = 0x100;
+
+// Interrupt lines of the simulated interrupt controller.
+enum class IrqLine : uint32_t {
+  kTimer = 0,
+  kRevoker = 1,
+  kEthernet = 2,
+  kUart = 3,
+  kCount = 4,
+};
+
+class InterruptController {
+ public:
+  void Raise(IrqLine line) { pending_ |= 1u << static_cast<uint32_t>(line); }
+  void Clear(IrqLine line) { pending_ &= ~(1u << static_cast<uint32_t>(line)); }
+  bool Pending(IrqLine line) const {
+    return (pending_ >> static_cast<uint32_t>(line)) & 1u;
+  }
+  bool AnyPending() const { return pending_ != 0; }
+  uint32_t pending_mask() const { return pending_; }
+
+ private:
+  uint32_t pending_ = 0;
+};
+
+// Transmit-only console; register 0 = TX data, register 4 = status (always
+// ready).
+class Uart {
+ public:
+  Word Mmio(Address offset, bool is_store, Word value);
+  const std::string& output() const { return output_; }
+  void set_echo(bool echo) { echo_ = echo; }
+
+ private:
+  std::string output_;
+  bool echo_ = false;
+};
+
+// GPIO LED bank; register 0 = LED bitmask. Records every change with its
+// timestamp so the IoT case study can assert "the LEDs flashed".
+class LedBank {
+ public:
+  struct Event {
+    Cycles at;
+    Word mask;
+  };
+
+  explicit LedBank(CycleClock* clock) : clock_(clock) {}
+  Word Mmio(Address offset, bool is_store, Word value);
+  Word state() const { return state_; }
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  CycleClock* clock_;
+  Word state_ = 0;
+  std::vector<Event> events_;
+};
+
+// RISC-V style timer: mtime (read-only, derived from the cycle clock) and
+// mtimecmp. Raises IrqLine::kTimer when mtime >= mtimecmp.
+class Timer {
+ public:
+  Timer(CycleClock* clock, InterruptController* irqs)
+      : clock_(clock), irqs_(irqs) {}
+  Word Mmio(Address offset, bool is_store, Word value);
+  // Tick hook: checks the compare register.
+  void Poll();
+  void SetDeadline(Cycles absolute) {
+    mtimecmp_ = absolute;
+    armed_ = true;
+  }
+  Cycles deadline() const { return mtimecmp_; }
+  bool armed() const { return armed_; }
+
+ private:
+  CycleClock* clock_;
+  InterruptController* irqs_;
+  Cycles mtimecmp_ = ~0ull;
+  bool armed_ = false;
+};
+
+// Simple no-offload network adaptor (§5.3.3 uses "a simple network adaptor
+// with no offload features"). Frames move word-at-a-time through MMIO.
+class EthernetDevice {
+ public:
+  using Frame = std::vector<uint8_t>;
+
+  explicit EthernetDevice(InterruptController* irqs) : irqs_(irqs) {}
+
+  Word Mmio(Address offset, bool is_store, Word value);
+
+  // Host/world side: deliver a frame into the RX queue (raises the IRQ).
+  void HostInject(Frame frame);
+  // Host/world side: called for each committed TX frame.
+  std::function<void(Frame)> on_transmit;
+
+  size_t rx_pending() const { return rx_.size(); }
+
+ private:
+  InterruptController* irqs_;
+  std::deque<Frame> rx_;
+  Frame rx_latched_;
+  size_t rx_read_pos_ = 0;
+  Frame tx_building_;
+  size_t tx_expected_ = 0;
+};
+
+// Deterministic xorshift entropy source.
+class EntropySource {
+ public:
+  explicit EntropySource(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed) {}
+  Word Mmio(Address offset, bool is_store, Word value);
+  Word Next();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_HW_DEVICES_H_

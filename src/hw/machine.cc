@@ -1,0 +1,76 @@
+#include "src/hw/machine.h"
+
+#include <algorithm>
+
+namespace cheriot {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.sram_base, config.sram_size, &clock_),
+      leds_(&clock_),
+      timer_(&clock_, &irqs_),
+      revoker_(&memory_, &irqs_),
+      ethernet_(&irqs_) {
+  uart_.set_echo(config.uart_echo);
+
+  memory_.AddMmioRegion(kUartMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return uart_.Mmio(o, s, v); });
+  memory_.AddMmioRegion(kLedMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return leds_.Mmio(o, s, v); });
+  memory_.AddMmioRegion(kTimerMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return timer_.Mmio(o, s, v); });
+  memory_.AddMmioRegion(kRevokerMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return revoker_.Mmio(o, s, v); });
+  memory_.AddMmioRegion(kEthernetMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return ethernet_.Mmio(o, s, v); });
+  memory_.AddMmioRegion(kEntropyMmioBase, kMmioRegionSize,
+                        [this](Address o, bool s, Word v) { return entropy_.Mmio(o, s, v); });
+
+  // Background hardware advances with the clock.
+  clock_.AddHook([this](Cycles delta) {
+    revoker_.Advance(delta);
+    timer_.Poll();
+  });
+}
+
+bool Machine::HasFutureEvent() const {
+  return timer_.armed() || HasFutureEventIgnoringTimer();
+}
+
+bool Machine::HasFutureEventIgnoringTimer() const {
+  if (revoker_.sweeping()) {
+    return true;
+  }
+  for (const auto& source : next_event_sources_) {
+    if (source().has_value()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Cycles Machine::AdvanceIdle(Cycles max_skip) {
+  if (irqs_.AnyPending()) {
+    return 0;
+  }
+  const Cycles now = clock_.now();
+  Cycles target = now + max_skip;
+  if (timer_.armed()) {
+    target = std::min(target, std::max(timer_.deadline(), now + 1));
+  }
+  if (revoker_.sweeping()) {
+    target = std::min(target, now + std::max<Cycles>(revoker_.CyclesUntilDone(), 1));
+  }
+  for (auto& source : next_event_sources_) {
+    if (auto next = source()) {
+      target = std::min(target, std::max(*next, now + 1));
+    }
+  }
+  if (target <= now) {
+    target = now + 1;
+  }
+  clock_.Tick(target - now);
+  return target - now;
+}
+
+}  // namespace cheriot

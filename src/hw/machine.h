@@ -1,0 +1,82 @@
+// The simulated SoC: core clock, SRAM, interrupt controller and the device
+// complement of the evaluation platform (Arty A7 @33 MHz with 256 KiB SRAM
+// and a simple network adaptor, §5.3).
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/costs.h"
+#include "src/base/types.h"
+#include "src/hw/devices.h"
+#include "src/hw/revoker.h"
+#include "src/mem/memory.h"
+
+namespace cheriot {
+
+struct MachineConfig {
+  Address sram_base = 0x20000000;
+  Address sram_size = 256 * 1024;  // evaluation board SRAM (§5.3)
+  bool uart_echo = false;
+};
+
+class Machine {
+ public:
+  // Components may publish the absolute cycle of their next pending event so
+  // the idle loop can skip time deterministically.
+  using NextEventFn = std::function<std::optional<Cycles>()>;
+
+  explicit Machine(const MachineConfig& config = {});
+
+  CycleClock& clock() { return clock_; }
+  Memory& memory() { return memory_; }
+  InterruptController& irqs() { return irqs_; }
+  Uart& uart() { return uart_; }
+  LedBank& leds() { return leds_; }
+  Timer& timer() { return timer_; }
+  Revoker& revoker() { return revoker_; }
+  EthernetDevice& ethernet() { return ethernet_; }
+  EntropySource& entropy() { return entropy_; }
+  const MachineConfig& config() const { return config_; }
+
+  // Advances simulated time (CPU executing); background hooks (revoker,
+  // timer, registered world models) run in lock-step.
+  void Tick(Cycles n) { clock_.Tick(n); }
+
+  // Skips the clock forward while the CPU is idle: advances to the earliest
+  // of the timer deadline, revoker completion and any registered next-event
+  // source, bounded by max_skip. Returns the cycles skipped (0 if an IRQ is
+  // already pending).
+  Cycles AdvanceIdle(Cycles max_skip);
+
+  void AddNextEventSource(NextEventFn fn) {
+    next_event_sources_.push_back(std::move(fn));
+  }
+
+  // True if any hardware activity is scheduled for the future (armed timer,
+  // in-flight revocation sweep, pending world events).
+  bool HasFutureEvent() const;
+  // Same, but ignores the CPU-armed timer (used for deadlock detection).
+  bool HasFutureEventIgnoringTimer() const;
+
+ private:
+  MachineConfig config_;
+  CycleClock clock_;
+  Memory memory_;
+  InterruptController irqs_;
+  Uart uart_;
+  LedBank leds_;
+  Timer timer_;
+  Revoker revoker_;
+  EthernetDevice ethernet_;
+  EntropySource entropy_;
+  std::vector<NextEventFn> next_event_sources_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_HW_MACHINE_H_

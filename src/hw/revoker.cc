@@ -1,0 +1,83 @@
+#include "src/hw/revoker.h"
+
+#include "src/base/costs.h"
+
+namespace cheriot {
+
+Word Revoker::Mmio(Address offset, bool is_store, Word value) {
+  switch (offset) {
+    case 0:  // epoch counter (hardware-exposed, §3.1.3 "Quarantine")
+      return epoch_;
+    case 4:  // control
+      if (is_store && (value & 1)) {
+        StartSweep();
+      }
+      return 0;
+    case 8:  // status
+      return sweeping_ ? 1 : 0;
+    case 12:  // interrupt request
+      if (is_store && (value & 1)) {
+        irq_requested_ = true;
+        if (!sweeping_) {
+          StartSweep();
+        }
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+void Revoker::StartSweep() {
+  if (sweeping_) {
+    // A sweep is already running; remember to run another one so that
+    // objects freed after the in-flight sweep's scan point get covered.
+    restart_requested_ = true;
+    return;
+  }
+  sweeping_ = true;
+  next_granule_ = 0;
+  budget_ = 0;
+}
+
+Cycles Revoker::CyclesUntilDone() const {
+  if (!sweeping_) {
+    return 0;
+  }
+  const size_t remaining = memory_->GranuleCount() - next_granule_;
+  return static_cast<Cycles>(remaining) * cost::kRevokerCyclesPerGranule;
+}
+
+void Revoker::Advance(Cycles delta) {
+  if (!sweeping_) {
+    return;
+  }
+  budget_ += delta;
+  size_t granules = budget_ / cost::kRevokerCyclesPerGranule;
+  budget_ -= granules * cost::kRevokerCyclesPerGranule;
+  const size_t total = memory_->GranuleCount();
+  while (granules > 0 && next_granule_ < total) {
+    if (memory_->GranuleTagged(next_granule_)) {
+      const Capability& cap = memory_->GranuleCap(next_granule_);
+      if (memory_->revocation().Test(cap.base())) {
+        memory_->ClearGranuleTag(next_granule_);
+      }
+    }
+    ++next_granule_;
+    --granules;
+  }
+  if (next_granule_ >= total) {
+    ++epoch_;
+    sweeping_ = false;
+    if (irq_requested_) {
+      irqs_->Raise(IrqLine::kRevoker);
+      irq_requested_ = false;
+    }
+    if (restart_requested_) {
+      restart_requested_ = false;
+      StartSweep();
+    }
+  }
+}
+
+}  // namespace cheriot

@@ -1,0 +1,93 @@
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/js/minivm.h"
+
+namespace cheriot::js {
+
+Program Assemble(const std::string& source) {
+  static const std::map<std::string, Op> kMnemonics = {
+      {"halt", Op::kHalt},      {"push", Op::kPush},
+      {"add", Op::kAdd},        {"sub", Op::kSub},
+      {"mul", Op::kMul},        {"dup", Op::kDup},
+      {"drop", Op::kDrop},      {"lt", Op::kLt},
+      {"eq", Op::kEq},          {"gt", Op::kGt},
+      {"jmp", Op::kJmp},        {"jz", Op::kJz},
+      {"loadg", Op::kLoadGlobal},
+      {"storeg", Op::kStoreGlobal},
+      {"callhost", Op::kCallHost},
+      {"not", Op::kNot},        {"and", Op::kAnd},
+      {"or", Op::kOr},
+  };
+
+  Program program;
+  std::map<std::string, size_t> labels;
+  std::vector<std::pair<size_t, std::string>> fixups;  // (pc, label)
+
+  std::istringstream in(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) {
+      continue;
+    }
+    if (word.back() == ':') {
+      labels[word.substr(0, word.size() - 1)] = program.size();
+      if (!(ls >> word)) {
+        continue;
+      }
+    }
+    auto it = kMnemonics.find(word);
+    if (it == kMnemonics.end()) {
+      throw std::invalid_argument("minivm asm line " + std::to_string(line_no) +
+                                  ": unknown mnemonic '" + word + "'");
+    }
+    Instruction ins{it->second, 0};
+    if (ins.op == Op::kCallHost) {
+      int index = 0;
+      int nargs = 0;
+      if (!(ls >> index >> nargs)) {
+        throw std::invalid_argument("minivm asm line " +
+                                    std::to_string(line_no) +
+                                    ": callhost needs index and nargs");
+      }
+      ins.operand = (index << 8) | (nargs & 0xFF);
+    } else if (ins.op == Op::kPush || ins.op == Op::kLoadGlobal ||
+               ins.op == Op::kStoreGlobal || ins.op == Op::kJmp ||
+               ins.op == Op::kJz) {
+      std::string operand;
+      if (!(ls >> operand)) {
+        throw std::invalid_argument("minivm asm line " +
+                                    std::to_string(line_no) +
+                                    ": missing operand");
+      }
+      if ((ins.op == Op::kJmp || ins.op == Op::kJz) &&
+          (std::isalpha(static_cast<unsigned char>(operand[0])) ||
+           operand[0] == '_')) {
+        fixups.emplace_back(program.size(), operand);
+      } else {
+        ins.operand = std::stoi(operand);
+      }
+    }
+    program.push_back(ins);
+  }
+  for (const auto& [pc, label] : fixups) {
+    auto it = labels.find(label);
+    if (it == labels.end()) {
+      throw std::invalid_argument("minivm asm: undefined label '" + label + "'");
+    }
+    program[pc].operand =
+        static_cast<int32_t>(it->second) - static_cast<int32_t>(pc);
+  }
+  return program;
+}
+
+}  // namespace cheriot::js

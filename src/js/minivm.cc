@@ -1,0 +1,177 @@
+#include "src/js/minivm.h"
+
+#include "src/base/costs.h"
+
+namespace cheriot::js {
+
+namespace {
+// Arena word offsets.
+constexpr int kSp = 0;
+constexpr int kPc = 1;
+constexpr int kGlobals = 2;
+constexpr int kStack = 18;
+constexpr int kStackWords = kVmArenaWords - kStack;
+
+// Interpreter dispatch cost per bytecode op (an interpreted VM runs tens of
+// native instructions per opcode).
+constexpr Cycles kDispatchCost = 25;
+}  // namespace
+
+void RegisterMiniVmLibrary(ImageBuilder& image) {
+  if (image.FindLibrary("minivm") != nullptr) {
+    return;
+  }
+  auto lib = image.Library("minivm");
+  lib.CodeSize(6 * 1024);  // Microvium is ~6K LoC (§5.2)
+  // Marker export: makes the dependency auditable; the callable interpreter
+  // surface is js::Run (see header).
+  lib.Export("interpreter",
+             [](CompartmentCtx&, const std::vector<Capability>&) {
+               return StatusCap(Status::kOk);
+             });
+}
+
+void ResetArena(CompartmentCtx& ctx, const Capability& arena) {
+  ctx.Zero(arena, 0, kVmArenaBytes);
+}
+
+VmResult Run(CompartmentCtx& ctx, const Capability& arena,
+             const Program& program, const std::vector<HostFn>& host_table,
+             uint64_t fuel) {
+  VmResult result;
+  auto load = [&](int word_index) {
+    return ctx.LoadWord(arena, word_index * 4);
+  };
+  auto store = [&](int word_index, Word v) {
+    ctx.StoreWord(arena, word_index * 4, v);
+  };
+  auto push = [&](Word v) -> bool {
+    const Word sp = load(kSp);
+    if (sp >= kStackWords) {
+      return false;
+    }
+    store(kStack + static_cast<int>(sp), v);
+    store(kSp, sp + 1);
+    return true;
+  };
+  auto pop = [&](Word* v) -> bool {
+    const Word sp = load(kSp);
+    if (sp == 0) {
+      return false;
+    }
+    *v = load(kStack + static_cast<int>(sp) - 1);
+    store(kSp, sp - 1);
+    return true;
+  };
+
+  Word pc = load(kPc);
+  while (result.executed < fuel) {
+    if (pc >= program.size()) {
+      result.kind = VmResult::Kind::kError;
+      break;
+    }
+    const Instruction& ins = program[pc];
+    ++pc;
+    ++result.executed;
+    ctx.Burn(kDispatchCost);
+    Word a = 0;
+    Word b = 0;
+    bool ok = true;
+    switch (ins.op) {
+      case Op::kHalt: {
+        const Word sp = load(kSp);
+        if (sp > 0) {
+          result.top = load(kStack + static_cast<int>(sp) - 1);
+        }
+        store(kPc, pc);
+        result.kind = VmResult::Kind::kHalted;
+        return result;
+      }
+      case Op::kPush:
+        ok = push(static_cast<Word>(ins.operand));
+        break;
+      case Op::kAdd:
+        ok = pop(&b) && pop(&a) && push(a + b);
+        break;
+      case Op::kSub:
+        ok = pop(&b) && pop(&a) && push(a - b);
+        break;
+      case Op::kMul:
+        ok = pop(&b) && pop(&a) && push(a * b);
+        break;
+      case Op::kDup:
+        ok = pop(&a) && push(a) && push(a);
+        break;
+      case Op::kDrop:
+        ok = pop(&a);
+        break;
+      case Op::kLt:
+        ok = pop(&b) && pop(&a) && push(a < b ? 1 : 0);
+        break;
+      case Op::kEq:
+        ok = pop(&b) && pop(&a) && push(a == b ? 1 : 0);
+        break;
+      case Op::kGt:
+        ok = pop(&b) && pop(&a) && push(a > b ? 1 : 0);
+        break;
+      case Op::kNot:
+        ok = pop(&a) && push(a == 0 ? 1 : 0);
+        break;
+      case Op::kAnd:
+        ok = pop(&b) && pop(&a) && push((a != 0 && b != 0) ? 1 : 0);
+        break;
+      case Op::kOr:
+        ok = pop(&b) && pop(&a) && push((a != 0 || b != 0) ? 1 : 0);
+        break;
+      case Op::kJmp:
+        pc = static_cast<Word>(static_cast<int64_t>(pc) + ins.operand - 1);
+        break;
+      case Op::kJz:
+        ok = pop(&a);
+        if (ok && a == 0) {
+          pc = static_cast<Word>(static_cast<int64_t>(pc) + ins.operand - 1);
+        }
+        break;
+      case Op::kLoadGlobal:
+        ok = ins.operand >= 0 && ins.operand < 16 &&
+             push(load(kGlobals + ins.operand));
+        break;
+      case Op::kStoreGlobal:
+        ok = pop(&a) && ins.operand >= 0 && ins.operand < 16;
+        if (ok) {
+          store(kGlobals + ins.operand, a);
+        }
+        break;
+      case Op::kCallHost: {
+        const int index = ins.operand >> 8;
+        const int nargs = ins.operand & 0xFF;
+        if (index < 0 || index >= static_cast<int>(host_table.size())) {
+          ok = false;
+          break;
+        }
+        std::vector<Word> args(nargs);
+        for (int i = nargs - 1; i >= 0 && ok; --i) {
+          ok = pop(&args[i]);
+        }
+        if (ok) {
+          store(kPc, pc);  // host may re-enter/inspect
+          const Word r = host_table[index](ctx, args);
+          ok = push(r);
+        }
+        break;
+      }
+    }
+    if (!ok) {
+      result.kind = VmResult::Kind::kError;
+      store(kPc, pc);
+      return result;
+    }
+  }
+  if (result.executed >= fuel) {
+    result.kind = VmResult::Kind::kOutOfFuel;
+    store(kPc, pc);
+  }
+  return result;
+}
+
+}  // namespace cheriot::js

@@ -1,0 +1,94 @@
+// MiniVM: a small stack-based bytecode interpreter standing in for the
+// Microvium JavaScript engine (§5.2, DESIGN.md §1). Provided as a *shared
+// library*: no mutable globals of its own — all interpreter state lives in a
+// caller-supplied arena allocated from the caller's default allocation
+// capability, exactly the integration shape the paper describes for
+// Microvium (memory hooks bound to the default allocation capability).
+//
+// Bytecode model: 32-bit operands, a value stack, 16 VM globals, host
+// function table. Instructions:
+//   PUSH imm | ADD SUB MUL | DUP DROP | LT EQ GT | JMP off | JZ off
+//   LOADG i | STOREG i | CALLHOST i(nargs) | SLEEP | YIELD? (via host)
+//   HALT
+#ifndef SRC_JS_MINIVM_H_
+#define SRC_JS_MINIVM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/firmware/image.h"
+#include "src/runtime/compartment_ctx.h"
+
+namespace cheriot::js {
+
+enum class Op : uint8_t {
+  kHalt = 0,
+  kPush = 1,
+  kAdd = 2,
+  kSub = 3,
+  kMul = 4,
+  kDup = 5,
+  kDrop = 6,
+  kLt = 7,
+  kEq = 8,
+  kGt = 9,
+  kJmp = 10,
+  kJz = 11,
+  kLoadGlobal = 12,
+  kStoreGlobal = 13,
+  kCallHost = 14,  // operand: (host_index << 8) | nargs; result pushed
+  kNot = 15,
+  kAnd = 16,
+  kOr = 17,
+};
+
+struct Instruction {
+  Op op;
+  int32_t operand = 0;
+};
+
+using Program = std::vector<Instruction>;
+
+// Host interface: functions the embedding compartment exposes to scripts.
+// Receives the popped arguments (first argument first) and returns a value.
+using HostFn = std::function<Word(CompartmentCtx&, const std::vector<Word>&)>;
+
+struct VmResult {
+  enum class Kind { kHalted, kError, kOutOfFuel } kind = Kind::kHalted;
+  Word top = 0;           // top of stack at halt (0 if empty)
+  uint64_t executed = 0;  // instructions retired
+};
+
+// Interpreter arena layout in guest memory (all words):
+//   [0]   stack pointer (index into stack area)
+//   [1]   program counter
+//   [2..17]  16 VM globals
+//   [18..]   value stack
+inline constexpr Word kVmArenaWords = 18 + 64;
+inline constexpr Word kVmArenaBytes = kVmArenaWords * 4;
+
+// Registers the "minivm" shared library in the image. The library export
+// cannot take a std::function table through registers, so embedders run the
+// interpreter via js::Run() below, which charges the same costs; the library
+// registration exists so the dependency is visible to auditing.
+void RegisterMiniVmLibrary(ImageBuilder& image);
+
+// Runs `program` against a guest arena until HALT, an error, or `fuel`
+// instructions. The arena must be a writable capability of at least
+// kVmArenaBytes; host functions are dispatched by CALLHOST.
+VmResult Run(CompartmentCtx& ctx, const Capability& arena,
+             const Program& program, const std::vector<HostFn>& host_table,
+             uint64_t fuel = ~0ull);
+
+// Resets an arena (zeroes registers, stack, globals).
+void ResetArena(CompartmentCtx& ctx, const Capability& arena);
+
+// --- Assembler: builds programs from text mnemonics, one per line:
+//   push 42 / add / callhost 2 1 / jz +3 / jmp -5 / loadg 0 / halt
+// '#' starts a comment. Throws std::invalid_argument on bad input.
+Program Assemble(const std::string& source);
+
+}  // namespace cheriot::js
+
+#endif  // SRC_JS_MINIVM_H_

@@ -1,0 +1,331 @@
+#include "src/json/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cheriot::json {
+
+namespace {
+const Value kNull{};
+}
+
+const Value& Value::operator[](const std::string& key) const {
+  if (type_ != Type::kObject) {
+    return kNull;
+  }
+  auto it = object_->find(key);
+  return it == object_->end() ? kNull : it->second;
+}
+
+size_t Value::size() const {
+  switch (type_) {
+    case Type::kArray: return array_->size();
+    case Type::kObject: return object_->size();
+    default: return 0;
+  }
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent < 0 ? "" : std::string(static_cast<size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad =
+      indent < 0 ? "" : std::string(static_cast<size_t>(indent) * depth, ' ');
+  const char* nl = indent < 0 ? "" : "\n";
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      *out += '"';
+      *out += Escape(string_);
+      *out += '"';
+      break;
+    case Type::kArray: {
+      if (array_->empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < array_->size(); ++i) {
+        *out += pad;
+        (*array_)[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_->size()) {
+          *out += ',';
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_->empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      *out += nl;
+      size_t i = 0;
+      for (const auto& [k, v] : *object_) {
+        *out += pad;
+        *out += '"';
+        *out += Escape(k);
+        *out += "\": ";
+        v.DumpTo(out, indent, depth + 1);
+        if (++i < object_->size()) {
+          *out += ',';
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& why) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+  bool Consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value ParseValue() {
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      return Value(ParseString());
+    }
+    if (Consume("true")) {
+      return Value(true);
+    }
+    if (Consume("false")) {
+      return Value(false);
+    }
+    if (Consume("null")) {
+      return Value();
+    }
+    return ParseNumber();
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Object obj;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      SkipWs();
+      std::string key = ParseString();
+      SkipWs();
+      Expect(':');
+      obj.emplace(std::move(key), ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Array arr;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(ParseValue());
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("bad escape");
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("bad \\u escape");
+          }
+          const int code = std::stoi(text_.substr(pos_, 4), nullptr, 16);
+          pos_ += 4;
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else {
+            // Minimal UTF-8 encoding (BMP only).
+            if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            }
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (start == pos_) {
+      Fail("invalid number");
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Value(std::stod(tok));
+    }
+    return Value(static_cast<int64_t>(std::stoll(tok)));
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Parse(const std::string& text) { return Parser(text).ParseDocument(); }
+
+}  // namespace cheriot::json

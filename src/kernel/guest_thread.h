@@ -1,0 +1,82 @@
+// A guest thread: a statically-created schedulable entity with a simulated
+// stack, register state and a trusted stack (§3). Execution state is hosted
+// on a ucontext fiber so the whole system runs deterministically on one host
+// thread.
+#ifndef SRC_KERNEL_GUEST_THREAD_H_
+#define SRC_KERNEL_GUEST_THREAD_H_
+
+#include <ucontext.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+
+namespace cheriot {
+
+class GuestThread {
+ public:
+  enum class State : uint8_t {
+    kReady,
+    kRunning,
+    kBlocked,   // on a futex (possibly with timeout)
+    kSleeping,  // pure timed sleep
+    kExited,
+  };
+
+  int id = -1;
+  std::string name;
+  uint16_t priority = 1;
+  State state = State::kReady;
+
+  // --- Simulated stack (grows down; sp/high_water track usage) ---
+  Address stack_base = 0;
+  uint32_t stack_size = 0;
+  Address sp = 0;          // current stack pointer
+  Address high_water = 0;  // lowest address dirtied since last zeroing
+  Capability stack_cap;    // full-range template (non-global, store-local)
+
+  // --- Trusted stack (switcher-private, in simulated memory) ---
+  Address trusted_stack_base = 0;
+  uint16_t max_frames = 0;
+  uint16_t frame_depth = 0;
+
+  // --- Execution state ---
+  int current_compartment = -1;
+  bool interrupts_enabled = true;
+  // Ephemeral-claim hazard slots (§3.2.5), cleared at each compartment call.
+  std::array<Address, 2> hazard_slots{};
+  // Compartments this thread must be forcibly unwound out of (§3.2.6 step 2).
+  std::set<int> forced_unwind;
+
+  // --- Blocking state ---
+  Address futex_addr = 0;  // nonzero while blocked on a futex
+  Cycles wake_at = kNoDeadline;
+  bool timed_out = false;
+  int multiwaiter_id = -1;  // nonzero while blocked on a multiwaiter
+
+  // --- Entry ---
+  int entry_compartment = -1;
+  int entry_export = -1;
+
+  // --- Host fiber ---
+  ucontext_t context{};
+  std::vector<uint8_t> host_stack;
+  bool started = false;
+
+  // --- Accounting ---
+  Cycles run_cycles = 0;
+  uint32_t compartment_calls = 0;
+
+  static constexpr Cycles kNoDeadline = ~0ull;
+
+  bool Runnable() const { return state == State::kReady; }
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_KERNEL_GUEST_THREAD_H_

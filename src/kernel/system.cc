@@ -1,0 +1,636 @@
+#include "src/kernel/system.h"
+
+#include <algorithm>
+
+#include "src/base/costs.h"
+#include "src/base/log.h"
+#include "src/runtime/compartment_ctx.h"
+
+namespace cheriot {
+
+namespace {
+// ucontext trampolines take no arguments portably; the starting thread id is
+// staged in the (single, deterministic) active System.
+System* g_active_system = nullptr;
+
+extern "C" void ThreadTrampoline() {
+  System* sys = g_active_system;
+  sys->RunThreadBody(sys->StartingThreadId());
+}
+}  // namespace
+
+System::System(Machine& machine, FirmwareImage image, SystemOptions options)
+    : machine_(machine), options_(options) {
+  image_ = AugmentWithTcb(std::move(image));
+}
+
+System::~System() {
+  if (g_active_system == this) {
+    g_active_system = nullptr;
+  }
+}
+
+int System::StartingThreadId() const { return starting_thread_id_; }
+
+void System::Boot() {
+  boot_ = Loader::Load(machine_, std::move(image_));
+  sched_ = std::make_unique<Scheduler>(&threads_);
+  switcher_ = std::make_unique<Switcher>(this);
+  alloc_ = std::make_unique<Allocator>(this);
+  token_ = std::make_unique<TokenService>(this);
+  alloc_->Init();
+  token_->Init();
+
+  // Interrupt futex words live in the scheduler compartment's globals.
+  const int sched_comp = boot_->CompartmentIndex("sched");
+  const Address sched_globals = boot_->compartments[sched_comp].globals_base;
+  for (size_t i = 0; i < static_cast<size_t>(IrqLine::kCount); ++i) {
+    sched_->SetInterruptFutexAddress(static_cast<IrqLine>(i),
+                                     sched_globals + 4 * static_cast<Address>(i));
+  }
+
+  CreateThreads();
+  machine_.memory().SetAccessHook([this] { PreemptCheck(); });
+  booted_ = true;
+}
+
+void System::CreateThreads() {
+  threads_.reserve(boot_->threads.size());
+  for (size_t i = 0; i < boot_->threads.size(); ++i) {
+    const ThreadLayout& layout = boot_->threads[i];
+    GuestThread t;
+    t.id = static_cast<int>(i);
+    t.name = layout.name;
+    t.priority = layout.priority;
+    t.stack_base = layout.stack_base;
+    t.stack_size = layout.stack_size;
+    t.sp = layout.stack_base + layout.stack_size;
+    t.high_water = t.sp;
+    t.stack_cap =
+        Capability::RootReadWrite(layout.stack_base,
+                                  layout.stack_base + layout.stack_size)
+            .WithPermissions(PermissionSet::Stack());
+    t.trusted_stack_base = layout.trusted_stack_base;
+    t.max_frames = layout.max_frames;
+    t.entry_compartment = layout.entry_compartment;
+    t.entry_export = layout.entry_export;
+    t.host_stack.resize(256 * 1024);
+    threads_.push_back(std::move(t));
+  }
+  for (auto& t : threads_) {
+    getcontext(&t.context);
+    t.context.uc_stack.ss_sp = t.host_stack.data();
+    t.context.uc_stack.ss_size = t.host_stack.size();
+    t.context.uc_link = &main_context_;
+    makecontext(&t.context, ThreadTrampoline, 0);
+    t.state = GuestThread::State::kSleeping;  // transitions to ready below
+    sched_->MakeReady(t.id);
+  }
+}
+
+void System::RunThreadBody(int thread_id) {
+  GuestThread& t = threads_[thread_id];
+  try {
+    switcher_->InitialCall(t);
+  } catch (UnwindException&) {
+    LOG_INFO("thread %s unwound out of its entry compartment", t.name.c_str());
+  } catch (ForcedUnwindException&) {
+    LOG_INFO("thread %s force-unwound", t.name.c_str());
+  } catch (TrapException& e) {
+    LOG_WARN("thread %s died on unhandled trap: %s", t.name.c_str(), e.what());
+  }
+  t.state = GuestThread::State::kExited;
+  sched_->RemoveFromReady(thread_id);
+  const int next = sched_->PickNext();
+  if (next >= 0) {
+    SwitchTo(next);
+  } else {
+    SwitchToIdle();
+  }
+  // Never resumed: the fiber is dead.
+}
+
+void System::SwitchTo(int next_id) {
+  GuestThread& next = threads_[next_id];
+  const int prev = current_thread_id_;
+  if (prev == next_id) {
+    next.state = GuestThread::State::kRunning;
+    return;
+  }
+  if (prev >= 0 && threads_[prev].state == GuestThread::State::kRunning) {
+    threads_[prev].state = GuestThread::State::kReady;
+  }
+  next.state = GuestThread::State::kRunning;
+  current_thread_id_ = next_id;
+  quantum_end_ = Now() + options_.tick_quantum;
+  ArmTimer();
+  machine_.Tick(cost::kContextSwitch);
+  ucontext_t* prev_ctx =
+      prev >= 0 ? &threads_[prev].context : &main_context_;
+  if (!next.started) {
+    next.started = true;
+    starting_thread_id_ = next_id;
+    g_active_system = this;
+  }
+  in_kernel_ = false;  // the target resumes in guest context
+  swapcontext(prev_ctx, &next.context);
+  // Resumed as `prev`; in_kernel_ was cleared by whoever resumed us.
+}
+
+void System::SwitchToIdle() {
+  const int prev = current_thread_id_;
+  current_thread_id_ = -1;
+  in_kernel_ = false;
+  swapcontext(&threads_[prev].context, &main_context_);
+}
+
+void System::ArmTimer() {
+  Cycles deadline = Now() + options_.tick_quantum;
+  if (auto next = sched_->NextDeadline()) {
+    deadline = std::min(deadline, *next);
+  }
+  machine_.timer().SetDeadline(std::max(deadline, Now() + 1));
+}
+
+bool System::DeliverPendingIrqs(bool from_guest) {
+  bool resched = false;
+  auto& irqs = machine_.irqs();
+  Memory& mem = machine_.memory();
+  static constexpr IrqLine kFutexLines[] = {IrqLine::kRevoker,
+                                            IrqLine::kEthernet, IrqLine::kUart};
+  for (IrqLine line : kFutexLines) {
+    if (!irqs.Pending(line)) {
+      continue;
+    }
+    irqs.Clear(line);
+    const Address fa = sched_->InterruptFutexAddress(line);
+    if (fa != 0) {
+      mem.RawStoreWord(fa, mem.RawLoadWord(fa) + 1);
+      machine_.Tick(cost::kLoadWord + cost::kStoreWord);
+      if (sched_->FutexWake(fa, 1 << 30) > 0) {
+        resched = true;
+      }
+    }
+  }
+  if (irqs.Pending(IrqLine::kTimer)) {
+    irqs.Clear(IrqLine::kTimer);
+    if (sched_->WakeExpired(Now()) > 0) {
+      resched = true;
+    }
+    resched = true;  // quantum may have expired
+    ArmTimer();
+  }
+  return resched;
+}
+
+void System::PreemptCheck() {
+  if (in_kernel_ || !booted_ || current_thread_id_ < 0) {
+    return;
+  }
+  GuestThread& t = current_thread();
+  // Forced unwind (micro-reboot step 2) is delivered at preemption points.
+  if (!t.forced_unwind.empty() &&
+      t.forced_unwind.count(t.current_compartment) > 0) {
+    throw ForcedUnwindException{t.current_compartment};
+  }
+  // Run-budget pause: park the thread (still ready, still in its queue) and
+  // return to the idle loop so Run() can hand control back to the caller.
+  if (Now() >= run_deadline_ || stop_requested_) {
+    in_kernel_ = true;
+    t.state = GuestThread::State::kReady;
+    SwitchToIdle();
+    return;  // resumed later with in_kernel_ already cleared
+  }
+  if (!t.interrupts_enabled || !machine_.irqs().AnyPending()) {
+    return;
+  }
+  in_kernel_ = true;
+  machine_.Tick(cost::kTrapEntry);
+  const bool resched = DeliverPendingIrqs(/*from_guest=*/true);
+  if (resched) {
+    const int next = sched_->PickNext();
+    if (next >= 0 && next != t.id) {
+      const bool higher = threads_[next].priority > t.priority;
+      const bool quantum_expired = Now() >= quantum_end_;
+      if (higher || quantum_expired) {
+        machine_.Tick(cost::kSchedule);
+        if (quantum_expired) {
+          sched_->RoundRobin(t.id);
+        }
+        SwitchTo(next);
+        return;  // in_kernel_ cleared on resume path
+      }
+    }
+  }
+  in_kernel_ = false;
+}
+
+void System::SwitchAway() {
+  ArmTimer();
+  const int next = sched_->PickNext();
+  if (next >= 0) {
+    SwitchTo(next);
+  } else {
+    SwitchToIdle();
+  }
+}
+
+Status System::BlockCurrentOnFutex(Address addr, Cycles timeout_cycles) {
+  GuestThread& t = current_thread();
+  const Cycles wake_at = timeout_cycles == ~0ull || timeout_cycles == ~0u
+                             ? GuestThread::kNoDeadline
+                             : Now() + timeout_cycles;
+  machine_.Tick(cost::kSchedule / 4);
+  sched_->MakeBlocked(t.id, addr, wake_at);
+  SwitchAway();
+  return t.timed_out ? Status::kTimedOut : Status::kOk;
+}
+
+int System::FutexWakeAndPreempt(Address addr, int count) {
+  const int woken = sched_->FutexWake(addr, count);
+  // A wake from inside a deferred-interrupt section (e.g. the scheduler's
+  // own export) must not preempt immediately; the reschedule is deferred to
+  // the point where the posture re-enables (§2.1 interrupt posture).
+  if (woken > 0) {
+    need_resched_ = true;
+    CheckDeferredResched();
+  }
+  return woken;
+}
+
+void System::CheckDeferredResched() {
+  if (!need_resched_ || current_thread_id_ < 0 || !booted_) {
+    return;
+  }
+  GuestThread& t = current_thread();
+  if (!t.interrupts_enabled) {
+    return;  // retried when the switcher restores an enabled posture
+  }
+  need_resched_ = false;
+  const int next = sched_->PickNext();
+  if (next >= 0 && next != t.id && threads_[next].priority > t.priority) {
+    machine_.Tick(cost::kSchedule);
+    SwitchTo(next);
+  }
+}
+
+void System::YieldCurrent() {
+  GuestThread& t = current_thread();
+  sched_->RoundRobin(t.id);
+  const int next = sched_->PickNext();
+  if (next >= 0 && next != t.id) {
+    SwitchTo(next);
+  }
+}
+
+void System::SleepCurrent(Cycles cycles) {
+  GuestThread& t = current_thread();
+  sched_->MakeSleeping(t.id, Now() + std::max<Cycles>(cycles, 1));
+  SwitchAway();
+}
+
+bool System::WaitForRevokerPass(Cycles deadline) {
+  Revoker& revoker = machine_.revoker();
+  const uint32_t target = revoker.epoch() + 1;
+  while (revoker.epoch() < target) {
+    if (Now() >= deadline) {
+      return false;
+    }
+    // Ask the revoker for a completion interrupt, then wait on its interrupt
+    // futex — the same pattern guest code uses (§5.3.2).
+    revoker.Mmio(12, /*is_store=*/true, 1);
+    machine_.Tick(cost::kStoreWord);
+    const Address fa = sched_->InterruptFutexAddress(IrqLine::kRevoker);
+    const Cycles budget =
+        deadline == ~0ull ? ~0ull : deadline - Now();
+    BlockCurrentOnFutex(fa, budget);
+  }
+  return true;
+}
+
+Cycles System::MicroRebootCompartment(int compartment_id) {
+  const Cycles start = Now();
+  CompartmentRuntime& rt = boot_->compartments[compartment_id];
+  // Step 1: close the call guard; new entries bounce with kBusy.
+  rt.call_guard_closed = true;
+  // Step 2: rewind all other threads that are in the compartment.
+  switcher_->UnwindThreadsIn(compartment_id, current_thread_id_);
+  // Step 3: release all heap memory held under the compartment's quotas.
+  for (const auto& binding : rt.imports) {
+    if (binding.kind != ImportBinding::Kind::kSealedObject) {
+      continue;
+    }
+    const Capability q = alloc_->UnsealAllocCap(binding.cap);
+    if (q.tag()) {
+      alloc_->FreeAllForQuota(machine_.memory().LoadWord(q, q.base() + 12));
+      machine_.memory().StoreWord(q, q.base() + 8, 0);  // quota whole again
+    }
+  }
+  // Step 4: reset globals from the compile-time snapshot and rebuild the
+  // native state object.
+  Memory& mem = machine_.memory();
+  if (rt.globals_size > 0) {
+    std::copy(rt.globals_snapshot.begin(), rt.globals_snapshot.end(),
+              mem.raw(rt.globals_base));
+    machine_.Tick(cost::kStoreWord * (rt.globals_size / 4 + 1));
+  }
+  rt.state = rt.def->state_factory ? rt.def->state_factory() : nullptr;
+  ++rt.reboot_count;
+  // Step 5: reopen the guard.
+  rt.call_guard_closed = false;
+  rt.last_reboot_at = start;
+  rt.last_reboot_duration = Now() - start;
+  return rt.last_reboot_duration;
+}
+
+System::RunResult System::Run(Cycles max_cycles) {
+  g_active_system = this;
+  run_deadline_ =
+      max_cycles == ~0ull ? ~0ull : Now() + max_cycles;
+  stop_requested_ = false;
+  while (true) {
+    if (sched_->AllExited()) {
+      return RunResult::kAllExited;
+    }
+    if (stop_requested_) {
+      return RunResult::kStopped;
+    }
+    if (Now() >= run_deadline_) {
+      return RunResult::kBudgetExhausted;
+    }
+    DeliverPendingIrqs(/*from_guest=*/false);
+    sched_->WakeExpired(Now());
+    const int next = sched_->PickNext();
+    if (next >= 0) {
+      SwitchTo(next);
+      continue;
+    }
+    if (machine_.irqs().AnyPending()) {
+      continue;  // deliver on the next iteration
+    }
+    // Idle: skip time to the next event, or declare deadlock. The quantum
+    // timer we arm ourselves does not count as a future event — with no
+    // runnable thread it would only ever re-arm itself.
+    const bool has_deadline = sched_->NextDeadline().has_value();
+    const bool has_hw_event = machine_.HasFutureEventIgnoringTimer();
+    if (!has_deadline && !has_hw_event) {
+      deadlocked_ = true;
+      LOG_WARN("system deadlock: all threads blocked with no pending event");
+      return RunResult::kDeadlock;
+    }
+    const Cycles budget =
+        run_deadline_ == ~0ull ? options_.idle_chunk
+                               : std::min<Cycles>(options_.idle_chunk,
+                                                  run_deadline_ - Now());
+    const Cycles skipped = machine_.AdvanceIdle(std::max<Cycles>(budget, 1));
+    sched_->AddIdleCycles(skipped);
+  }
+}
+
+bool System::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
+  const Cycles deadline = Now() + max_cycles;
+  while (!pred()) {
+    if (Now() >= deadline || sched_->AllExited() || deadlocked_) {
+      return pred();
+    }
+    const Cycles slice = std::min<Cycles>(options_.tick_quantum,
+                                          deadline - Now());
+    Run(std::max<Cycles>(slice, 1));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TCB service compartments: "alloc" and "sched" entry points, "token" library
+// ---------------------------------------------------------------------------
+
+FirmwareImage System::AugmentWithTcb(FirmwareImage image) {
+  if (image.compartments.empty() && image.threads.empty()) {
+    LOG_WARN("booting an empty firmware image");
+  }
+  ImageBuilder b(image.name);
+  // Re-seat the user image in a builder so we can append.
+  FirmwareImage augmented = std::move(image);
+
+  auto arg = [](const std::vector<Capability>& a, size_t i) {
+    return i < a.size() ? a[i] : Capability();
+  };
+
+  // --- allocator compartment (TCB, trusted for heap memory safety) ---
+  CompartmentDef alloc;
+  alloc.name = "alloc";
+  alloc.code_size = 9 * 1024;  // Table 2: 9 KB
+  alloc.globals_size = 56;     // Table 2: 56 B
+  alloc.exports.push_back(
+      {"heap_allocate",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return alloc_->HeapAllocate(ctx, arg(a, 0), arg(a, 1).word(),
+                                     arg(a, 2).word());
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"heap_free",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return StatusCap(alloc_->HeapFree(ctx, arg(a, 0), arg(a, 1)));
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"heap_claim",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return StatusCap(alloc_->HeapClaim(ctx, arg(a, 0), arg(a, 1)));
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"heap_can_free",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return WordCap(alloc_->HeapCanFree(ctx, arg(a, 0), arg(a, 1)) ? 1 : 0);
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"quota_remaining",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return WordCap(alloc_->QuotaRemaining(ctx, arg(a, 0)));
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"heap_free_all",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return WordCap(alloc_->HeapFreeAll(ctx, arg(a, 0)));
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"token_key_new",
+       [this](CompartmentCtx& ctx, const std::vector<Capability>&) {
+         return alloc_->TokenKeyNew(ctx);
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"token_obj_new",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return alloc_->TokenObjNew(ctx, arg(a, 0), arg(a, 1),
+                                    arg(a, 2).word());
+       },
+       256, 6, InterruptPosture::kDisabled});
+  alloc.exports.push_back(
+      {"token_obj_destroy",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return StatusCap(
+             alloc_->TokenObjDestroy(ctx, arg(a, 0), arg(a, 1), arg(a, 2)));
+       },
+       256, 6, InterruptPosture::kDisabled});
+  // The allocator blocks on the revoker's interrupt futex; it imports the
+  // revoker device like any other compartment (auditable).
+  alloc.mmio_imports.push_back({"revoker", kRevokerMmioBase, kMmioRegionSize,
+                                true});
+  augmented.compartments.push_back(std::move(alloc));
+
+  // --- scheduler compartment (TCB, trusted for availability only) ---
+  CompartmentDef sched;
+  sched.name = "sched";
+  sched.code_size = 3300 + 300;  // Table 2: 3.3 KB
+  sched.globals_size = 472;      // Table 2: 472 B (incl. interrupt futexes)
+  sched.exports.push_back(
+      {"futex_timed_wait",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         const Capability word = arg(a, 0);
+         const Word expected = arg(a, 1).word();
+         const Word timeout = arg(a, 2).word();
+         // Compare through the caller-supplied capability: the scheduler
+         // needs only load permission and does not retain it (§3.2.4).
+         Word value;
+         try {
+           value = machine_.memory().LoadWord(word, word.cursor());
+         } catch (TrapException&) {
+           return StatusCap(Status::kInvalidArgument);
+         }
+         if (value != expected) {
+           return StatusCap(Status::kWouldBlock);
+         }
+         return StatusCap(BlockCurrentOnFutex(
+             word.cursor(), timeout == ~0u ? ~0ull : timeout));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"futex_wake",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         const Capability word = arg(a, 0);
+         if (!word.tag() || word.IsSealed()) {
+           return StatusCap(Status::kInvalidArgument);
+         }
+         const int count = static_cast<int>(arg(a, 1).word());
+         return WordCap(static_cast<Word>(
+             FutexWakeAndPreempt(word.cursor(), count)));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"yield",
+       [this](CompartmentCtx&, const std::vector<Capability>&) {
+         YieldCurrent();
+         return StatusCap(Status::kOk);
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"sleep",
+       [this, arg](CompartmentCtx&, const std::vector<Capability>& a) {
+         SleepCurrent(arg(a, 0).word());
+         return StatusCap(Status::kOk);
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"interrupt_futex_get",
+       [this, arg](CompartmentCtx&, const std::vector<Capability>& a) {
+         const auto line = static_cast<IrqLine>(arg(a, 0).word());
+         if (static_cast<size_t>(line) >=
+             static_cast<size_t>(IrqLine::kCount)) {
+           return StatusCap(Status::kInvalidArgument);
+         }
+         const Address addr = sched_->InterruptFutexAddress(line);
+         // Read-only capability to the futex word (least privilege).
+         return Capability::RootReadWrite(addr, addr + 4).WithPermissions(
+             PermissionSet({Permission::kGlobal, Permission::kLoad}));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"multiwaiter_create",
+       [this, arg](CompartmentCtx&, const std::vector<Capability>& a) {
+         return WordCap(static_cast<Word>(
+             sched_->MultiwaiterCreate(static_cast<int>(arg(a, 0).word()))));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"multiwaiter_wait",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         const int mw = static_cast<int>(arg(a, 0).word());
+         const Capability events = arg(a, 1);
+         const int count = static_cast<int>(arg(a, 2).word());
+         const Word timeout = arg(a, 3).word();
+         std::vector<Address> addrs;
+         Memory& mem = machine_.memory();
+         try {
+           for (int i = 0; i < count; ++i) {
+             const Address addr =
+                 mem.LoadWord(events, events.cursor() + 8 * i);
+             const Word expected =
+                 mem.LoadWord(events, events.cursor() + 8 * i + 4);
+             if (addr < mem.sram_base() || addr + 4 > mem.sram_top()) {
+               return StatusCap(Status::kInvalidArgument);
+             }
+             const Word value = mem.RawLoadWord(addr);
+             if (value != expected) {
+               return StatusCap(Status::kWouldBlock);
+             }
+             addrs.push_back(addr);
+           }
+         } catch (TrapException&) {
+           return StatusCap(Status::kInvalidArgument);
+         }
+         const Status armed = sched_->MultiwaiterArm(mw, addrs);
+         if (armed != Status::kOk) {
+           return StatusCap(armed);
+         }
+         GuestThread& t = current_thread();
+         const Cycles wake_at =
+             timeout == ~0u ? GuestThread::kNoDeadline : Now() + timeout;
+         sched_->BlockOnMultiwaiter(t.id, mw, wake_at);
+         SwitchAway();
+         return StatusCap(t.timed_out ? Status::kTimedOut : Status::kOk);
+       },
+       256, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"multiwaiter_destroy",
+       [this, arg](CompartmentCtx&, const std::vector<Capability>& a) {
+         return StatusCap(
+             sched_->MultiwaiterDestroy(static_cast<int>(arg(a, 0).word())));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"thread_id",
+       [this](CompartmentCtx&, const std::vector<Capability>&) {
+         return WordCap(static_cast<Word>(current_thread_id_));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  sched.exports.push_back(
+      {"idle_cycles",
+       [this](CompartmentCtx&, const std::vector<Capability>&) {
+         return WordCap(static_cast<Word>(sched_->idle_cycles()));
+       },
+       128, 6, InterruptPosture::kDisabled});
+  augmented.compartments.push_back(std::move(sched));
+
+  // --- token shared library (fast-path unseal, §3.2.1) ---
+  LibraryDef token;
+  token.name = "token";
+  token.code_size = 256;
+  token.exports.push_back(
+      {"token_unseal",
+       [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         return token_->Unseal(arg(a, 0), arg(a, 1));
+       },
+       64, 6, InterruptPosture::kInherited});
+  augmented.libraries.push_back(std::move(token));
+
+  (void)b;
+  return augmented;
+}
+
+}  // namespace cheriot

@@ -1,0 +1,132 @@
+// System: composes the machine, the loader output and the four TCB
+// components (switcher, allocator, scheduler — the loader has already erased
+// itself by the time Run() starts) and hosts guest threads on deterministic
+// single-host-thread fibers.
+#ifndef SRC_KERNEL_SYSTEM_H_
+#define SRC_KERNEL_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/firmware/image.h"
+#include "src/hw/machine.h"
+#include "src/kernel/guest_thread.h"
+#include "src/loader/loader.h"
+#include "src/sched/scheduler.h"
+#include "src/switcher/switcher.h"
+#include "src/token/token.h"
+
+namespace cheriot {
+
+struct SystemOptions {
+  Cycles tick_quantum = 33'000;   // 1 ms scheduler tick at 33 MHz
+  Cycles idle_chunk = 1'000'000;  // max idle time-skip per step
+};
+
+class System {
+ public:
+  // Augments the image with the TCB service compartments ("alloc", "sched")
+  // and the "token" library, then holds it for Boot().
+  System(Machine& machine, FirmwareImage image, SystemOptions options = {});
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Runs the loader, initializes the TCB and creates thread fibers.
+  void Boot();
+
+  // Runs until every thread exits, the cycle budget is exhausted, or the
+  // system deadlocks (all threads blocked with no pending event).
+  enum class RunResult { kAllExited, kBudgetExhausted, kDeadlock, kStopped };
+  RunResult Run(Cycles max_cycles = ~0ull);
+  // Runs until pred() holds (checked at every idle point / thread switch).
+  bool RunUntil(const std::function<bool()>& pred, Cycles max_cycles);
+
+  Machine& machine() { return machine_; }
+  BootInfo& boot() { return *boot_; }
+  Scheduler& sched() { return *sched_; }
+  Switcher& switcher() { return *switcher_; }
+  Allocator& alloc() { return *alloc_; }
+  TokenService& token() { return *token_; }
+  const SystemOptions& options() const { return options_; }
+
+  std::vector<GuestThread>& threads() { return threads_; }
+  GuestThread& current_thread() { return threads_[current_thread_id_]; }
+  int current_thread_id() const { return current_thread_id_; }
+  Cycles Now() const { return machine_.clock().now(); }
+
+  // --- Kernel internals (used by switcher / ctx / TCB services) ---
+  // Preemption point: called from the memory-access hook.
+  void PreemptCheck();
+  // The current thread has been marked blocked/sleeping; switch away and
+  // return when it is scheduled again.
+  void SwitchAway();
+  // Wakes per FutexWake and preempts if a higher-priority thread woke (or
+  // defers the reschedule while interrupts are off).
+  int FutexWakeAndPreempt(Address addr, int count);
+  // Runs a pending deferred reschedule if the current posture allows it;
+  // called by the switcher when it restores an interrupt-enabled posture.
+  void CheckDeferredResched();
+  // Blocks the current thread on a futex word (already compared by caller).
+  Status BlockCurrentOnFutex(Address addr, Cycles timeout_cycles);
+  void YieldCurrent();
+  void SleepCurrent(Cycles cycles);
+  // Blocks the current thread until the revoker completes a sweep (or the
+  // absolute-cycle deadline passes). Returns false on timeout. Used by the
+  // allocator when an allocation must wait for quarantined memory (§3.1.3).
+  bool WaitForRevokerPass(Cycles deadline);
+
+  // Micro-reboot orchestration (§3.2.6). Returns cycles the reboot took.
+  Cycles MicroRebootCompartment(int compartment_id);
+
+  // Called by guards to stop the run loop (e.g. test harness hooks).
+  void RequestStop() { stop_requested_ = true; }
+
+  bool deadlocked() const { return deadlocked_; }
+
+  // Internal: thread fiber entry.
+  void RunThreadBody(int thread_id);
+  int StartingThreadId() const;
+
+ private:
+  FirmwareImage AugmentWithTcb(FirmwareImage image);
+  void CreateThreads();
+  void SwitchTo(int thread_id);
+  void SwitchToIdle();
+  void ArmTimer();
+  // Bumps interrupt futex words for pending non-timer IRQs, wakes waiters;
+  // handles timer expiry (wake sleepers, rotate quantum). Returns true if a
+  // reschedule might be needed.
+  bool DeliverPendingIrqs(bool from_guest);
+
+  Machine& machine_;
+  SystemOptions options_;
+  FirmwareImage image_;
+  std::unique_ptr<BootInfo> boot_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<Switcher> switcher_;
+  std::unique_ptr<Allocator> alloc_;
+  std::unique_ptr<TokenService> token_;
+  std::vector<GuestThread> threads_;
+
+  ucontext_t main_context_{};
+  int current_thread_id_ = -1;
+  int starting_thread_id_ = -1;
+  bool in_kernel_ = false;
+  bool booted_ = false;
+  bool need_resched_ = false;
+  bool stop_requested_ = false;
+  bool deadlocked_ = false;
+  Cycles quantum_end_ = 0;
+  Cycles run_deadline_ = ~0ull;
+
+  friend class Switcher;
+  friend class CompartmentCtx;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_KERNEL_SYSTEM_H_

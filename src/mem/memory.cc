@@ -1,0 +1,323 @@
+#include "src/mem/memory.h"
+
+#include <cstring>
+
+#include "src/base/costs.h"
+
+namespace cheriot {
+
+const char* TrapCodeName(TrapCode code) {
+  switch (code) {
+    case TrapCode::kNone: return "none";
+    case TrapCode::kTagViolation: return "tag violation";
+    case TrapCode::kSealViolation: return "seal violation";
+    case TrapCode::kBoundsViolation: return "bounds violation";
+    case TrapCode::kPermitLoadViolation: return "permit-load violation";
+    case TrapCode::kPermitStoreViolation: return "permit-store violation";
+    case TrapCode::kPermitExecuteViolation: return "permit-execute violation";
+    case TrapCode::kStoreLocalViolation: return "store-local violation";
+    case TrapCode::kAlignmentFault: return "alignment fault";
+    case TrapCode::kIllegalInstruction: return "illegal instruction";
+    case TrapCode::kStackOverflow: return "stack overflow";
+    case TrapCode::kTrustedStackOverflow: return "trusted-stack overflow";
+    case TrapCode::kForcedUnwind: return "forced unwind";
+  }
+  return "unknown";
+}
+
+std::string TrapException::ToHex(Address a) {
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%08x", a);
+  return buf;
+}
+
+Memory::Memory(Address sram_base, Address sram_size, CycleClock* clock)
+    : sram_base_(sram_base),
+      sram_size_(sram_size),
+      clock_(clock),
+      bytes_(sram_size, 0),
+      tags_(sram_size / kGranuleBytes, false),
+      shadow_(sram_size / kGranuleBytes),
+      revocation_(sram_base, sram_size) {}
+
+void Memory::HookAndTick(Cycles cycles) {
+  ++access_count_;
+  if (access_hook_) {
+    access_hook_();
+  }
+  clock_->Tick(cycles);
+}
+
+void Memory::CheckDataAccess(const Capability& authority, Address addr,
+                             Address size, Permission perm) const {
+  if (!checks_enabled_) {
+    return;
+  }
+  if (!authority.tag()) {
+    throw TrapException(TrapCode::kTagViolation, addr,
+                        "access via untagged capability");
+  }
+  if (authority.IsSealed()) {
+    throw TrapException(TrapCode::kSealViolation, addr,
+                        "access via sealed capability");
+  }
+  if (!authority.permissions().Has(perm)) {
+    throw TrapException(perm == Permission::kLoad
+                            ? TrapCode::kPermitLoadViolation
+                            : TrapCode::kPermitStoreViolation,
+                        addr, "missing permission");
+  }
+  if (!authority.InBounds(addr, size)) {
+    throw TrapException(TrapCode::kBoundsViolation, addr,
+                        "outside capability bounds");
+  }
+  // Temporal check: the real core's load filter untagged any stale cap at
+  // load time and the revoker sweeps the register file, so by the time a
+  // freed object is touched the authority is untagged. We model the combined
+  // effect by checking the revocation bit of the authority's *base* at use
+  // ("accesses to freed objects trap as soon as free returns", §3.1.3). The
+  // allocator's whole-heap capability is exempt (kRevocationExempt).
+  if (!authority.permissions().Has(Permission::kRevocationExempt) &&
+      revocation_.Test(authority.base())) {
+    throw TrapException(TrapCode::kTagViolation, addr,
+                        "use of revoked (freed) capability");
+  }
+  if ((size == 4 && (addr & 3)) || (size == 2 && (addr & 1)) ||
+      (size == 8 && (addr & 7))) {
+    throw TrapException(TrapCode::kAlignmentFault, addr, "misaligned access");
+  }
+}
+
+Memory::MmioRegion* Memory::FindMmio(Address addr, Address size) {
+  for (auto& r : mmio_) {
+    if (addr >= r.base && addr + size <= r.base + r.size) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+bool Memory::IsMmio(Address addr) const {
+  for (const auto& r : mmio_) {
+    if (addr >= r.base && addr < r.base + r.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Memory::AddMmioRegion(Address base, Address size, MmioHandler handler) {
+  mmio_.push_back({base, size, std::move(handler)});
+}
+
+Word Memory::LoadWord(const Capability& authority, Address addr) {
+  HookAndTick(cost::kLoadWord);
+  CheckDataAccess(authority, addr, 4, Permission::kLoad);
+  if (auto* r = FindMmio(addr, 4)) {
+    return r->handler(addr - r->base, /*is_store=*/false, 0);
+  }
+  if (addr < sram_base_ || addr + 4 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  Word v;
+  std::memcpy(&v, &bytes_[addr - sram_base_], 4);
+  return v;
+}
+
+void Memory::StoreWord(const Capability& authority, Address addr, Word value) {
+  HookAndTick(cost::kStoreWord);
+  CheckDataAccess(authority, addr, 4, Permission::kStore);
+  if (auto* r = FindMmio(addr, 4)) {
+    r->handler(addr - r->base, /*is_store=*/true, value);
+    return;
+  }
+  if (addr < sram_base_ || addr + 4 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  ClearTagsCovering(addr, 4);
+  std::memcpy(&bytes_[addr - sram_base_], &value, 4);
+}
+
+uint8_t Memory::LoadByte(const Capability& authority, Address addr) {
+  HookAndTick(cost::kLoadByte);
+  CheckDataAccess(authority, addr, 1, Permission::kLoad);
+  if (auto* r = FindMmio(addr, 1)) {
+    return static_cast<uint8_t>(r->handler(addr - r->base, false, 0));
+  }
+  if (addr < sram_base_ || addr >= sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  return bytes_[addr - sram_base_];
+}
+
+void Memory::StoreByte(const Capability& authority, Address addr,
+                       uint8_t value) {
+  HookAndTick(cost::kStoreByte);
+  CheckDataAccess(authority, addr, 1, Permission::kStore);
+  if (auto* r = FindMmio(addr, 1)) {
+    r->handler(addr - r->base, true, value);
+    return;
+  }
+  if (addr < sram_base_ || addr >= sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  ClearTagsCovering(addr, 1);
+  bytes_[addr - sram_base_] = value;
+}
+
+uint16_t Memory::LoadHalf(const Capability& authority, Address addr) {
+  HookAndTick(cost::kLoadByte);
+  CheckDataAccess(authority, addr, 2, Permission::kLoad);
+  if (addr < sram_base_ || addr + 2 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  uint16_t v;
+  std::memcpy(&v, &bytes_[addr - sram_base_], 2);
+  return v;
+}
+
+void Memory::StoreHalf(const Capability& authority, Address addr,
+                       uint16_t value) {
+  HookAndTick(cost::kStoreByte);
+  CheckDataAccess(authority, addr, 2, Permission::kStore);
+  if (addr < sram_base_ || addr + 2 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
+  }
+  ClearTagsCovering(addr, 2);
+  std::memcpy(&bytes_[addr - sram_base_], &value, 2);
+}
+
+Capability Memory::LoadCap(const Capability& authority, Address addr) {
+  ++cap_loads_;
+  HookAndTick(cost::kLoadCap + cost::kLoadFilter);
+  CheckDataAccess(authority, addr, 8, Permission::kLoad);
+  if (addr < sram_base_ || addr + 8 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr,
+                        "capability load outside SRAM");
+  }
+  const size_t g = GranuleIndex(addr);
+  Capability result;
+  if (tags_[g]) {
+    result = shadow_[g];
+  } else {
+    Word v;
+    std::memcpy(&v, &bytes_[addr - sram_base_], 4);
+    result = Capability::FromWord(v);
+  }
+  result = result.AttenuatedForLoadVia(authority);
+  // The load filter (§2.1): if the loaded capability's base granule has its
+  // revocation bit set, the tag is cleared as the value enters the register.
+  if (result.tag() && revocation_.Test(result.base())) {
+    result = result.Untagged();
+  }
+  return result;
+}
+
+void Memory::StoreCap(const Capability& authority, Address addr,
+                      const Capability& value) {
+  ++cap_stores_;
+  HookAndTick(cost::kStoreCap);
+  CheckDataAccess(authority, addr, 8, Permission::kStore);
+  if (addr < sram_base_ || addr + 8 > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr,
+                        "capability store outside SRAM");
+  }
+  if (checks_enabled_ && value.tag()) {
+    if (!authority.permissions().Has(Permission::kLoadStoreCap)) {
+      // Storing through a data-only cap strips the tag (stores raw bytes).
+      StoreCap(authority, addr, value.Untagged());
+      return;
+    }
+    if (!value.permissions().Has(Permission::kGlobal) &&
+        !authority.permissions().Has(Permission::kStoreLocal)) {
+      throw TrapException(TrapCode::kStoreLocalViolation, addr,
+                          "storing local capability without permit-store-local");
+    }
+  }
+  ClearTagsCovering(addr, 8);
+  // Serialized form: cursor in the low word, a metadata summary in the high
+  // word (so guests that read a pointer as an integer see its address).
+  Word meta = (static_cast<Word>(value.permissions().bits()) << 8) |
+              static_cast<Word>(value.otype());
+  Word cursor = value.cursor();
+  std::memcpy(&bytes_[addr - sram_base_], &cursor, 4);
+  std::memcpy(&bytes_[addr - sram_base_ + 4], &meta, 4);
+  const size_t g = GranuleIndex(addr);
+  if (value.tag()) {
+    tags_[g] = true;
+    shadow_[g] = value;
+  }
+}
+
+void Memory::ReadBytes(const Capability& authority, Address addr, void* out,
+                       Address len) {
+  if (len == 0) {
+    return;
+  }
+  HookAndTick(cost::kLoadWord * ((len + 3) / 4));
+  CheckDataAccess(authority, addr, len, Permission::kLoad);
+  if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");
+  }
+  std::memcpy(out, &bytes_[addr - sram_base_], len);
+}
+
+void Memory::WriteBytes(const Capability& authority, Address addr,
+                        const void* in, Address len) {
+  if (len == 0) {
+    return;
+  }
+  HookAndTick(cost::kStoreWord * ((len + 3) / 4));
+  CheckDataAccess(authority, addr, len, Permission::kStore);
+  if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");
+  }
+  ClearTagsCovering(addr, len);
+  std::memcpy(&bytes_[addr - sram_base_], in, len);
+}
+
+void Memory::ZeroRange(const Capability& authority, Address addr,
+                       Address len) {
+  if (len == 0) {
+    return;
+  }
+  const Address granules =
+      (AlignUp(addr + len, kGranuleBytes) - AlignDown(addr, kGranuleBytes)) /
+      kGranuleBytes;
+  HookAndTick(cost::kZeroPerGranule * granules);
+  CheckDataAccess(authority, addr, len, Permission::kStore);
+  if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
+    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");
+  }
+  ClearTagsCovering(addr, len);
+  std::memset(&bytes_[addr - sram_base_], 0, len);
+}
+
+void Memory::ClearTagsCovering(Address addr, Address len) {
+  const size_t first = GranuleIndex(AlignDown(addr, kGranuleBytes));
+  const size_t last = GranuleIndex(AlignDown(addr + len - 1, kGranuleBytes));
+  for (size_t g = first; g <= last && g < tags_.size(); ++g) {
+    tags_[g] = false;
+  }
+}
+
+uint8_t* Memory::raw(Address addr) { return &bytes_[addr - sram_base_]; }
+
+Word Memory::RawLoadWord(Address addr) const {
+  Word v;
+  std::memcpy(&v, &bytes_[addr - sram_base_], 4);
+  return v;
+}
+
+void Memory::RawStoreWord(Address addr, Word value) {
+  std::memcpy(&bytes_[addr - sram_base_], &value, 4);
+}
+
+bool Memory::TagAt(Address addr) const {
+  if (addr < sram_base_ || addr >= sram_top()) {
+    return false;
+  }
+  return tags_[(addr - sram_base_) / kGranuleBytes];
+}
+
+}  // namespace cheriot

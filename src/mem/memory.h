@@ -1,0 +1,156 @@
+// The simulated SRAM with CHERI tags, the revocation-bit SRAM and the load
+// filter (§2.1), plus the MMIO bus.
+//
+// Every guest access goes through a capability and is checked here: tag,
+// seal, permission, bounds, alignment. Capability loads additionally apply
+// CHERIoT's deep attenuation (permit-load-mutable / permit-load-global) and
+// the load filter against the revocation bits. Partially overwriting a
+// capability in memory clears its tag.
+#ifndef SRC_MEM_MEMORY_H_
+#define SRC_MEM_MEMORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+#include "src/mem/trap.h"
+
+namespace cheriot {
+
+// Tracks the revocation bit for each heap granule (stored in a dedicated
+// SRAM region on the real chip, §2.1).
+class RevocationMap {
+ public:
+  RevocationMap(Address base, Address size)
+      : base_(base), bits_((size + kGranuleBytes - 1) / kGranuleBytes, false) {}
+
+  bool Covers(Address addr) const {
+    return addr >= base_ && (addr - base_) / kGranuleBytes < bits_.size();
+  }
+  bool Test(Address addr) const {
+    return Covers(addr) && bits_[(addr - base_) / kGranuleBytes];
+  }
+  void SetRange(Address addr, Address len, bool value) {
+    for (Address a = AlignDown(addr, kGranuleBytes); a < addr + len;
+         a += kGranuleBytes) {
+      if (Covers(a)) {
+        bits_[(a - base_) / kGranuleBytes] = value;
+      }
+    }
+  }
+
+ private:
+  Address base_;
+  std::vector<bool> bits_;
+};
+
+// An MMIO device register bank. `is_store` distinguishes reads from writes;
+// reads return the register value.
+using MmioHandler = std::function<Word(Address offset, bool is_store, Word value)>;
+
+class Memory {
+ public:
+  // Called before every guest-visible access; the kernel installs the
+  // preemption check here (deterministic preemption points, DESIGN.md §4.3).
+  using AccessHook = std::function<void()>;
+
+  Memory(Address sram_base, Address sram_size, CycleClock* clock);
+
+  Address sram_base() const { return sram_base_; }
+  Address sram_size() const { return sram_size_; }
+  Address sram_top() const { return sram_base_ + sram_size_; }
+  RevocationMap& revocation() { return revocation_; }
+  CycleClock& clock() { return *clock_; }
+
+  void SetAccessHook(AccessHook hook) { access_hook_ = std::move(hook); }
+
+  // --- Guest (capability-checked) accesses ---
+  Word LoadWord(const Capability& authority, Address addr);
+  void StoreWord(const Capability& authority, Address addr, Word value);
+  uint8_t LoadByte(const Capability& authority, Address addr);
+  void StoreByte(const Capability& authority, Address addr, uint8_t value);
+  uint16_t LoadHalf(const Capability& authority, Address addr);
+  void StoreHalf(const Capability& authority, Address addr, uint16_t value);
+  Capability LoadCap(const Capability& authority, Address addr);
+  void StoreCap(const Capability& authority, Address addr,
+                const Capability& value);
+
+  // Bulk helpers (checked once, then byte-costed).
+  void ReadBytes(const Capability& authority, Address addr, void* out,
+                 Address len);
+  void WriteBytes(const Capability& authority, Address addr, const void* in,
+                  Address len);
+  // Zeroes [addr, addr+len), clearing capability tags; costs
+  // cost::kZeroPerGranule per granule (the switcher's stack-clearing cost).
+  void ZeroRange(const Capability& authority, Address addr, Address len);
+
+  // --- MMIO ---
+  void AddMmioRegion(Address base, Address size, MmioHandler handler);
+  bool IsMmio(Address addr) const;
+
+  // --- Hardware-internal (uncosted, unchecked) access ---
+  // Used by the revoker sweep, the loader's metadata bookkeeping and tests'
+  // white-box assertions. Not reachable from guest code.
+  uint8_t* raw(Address addr);
+  Word RawLoadWord(Address addr) const;
+  void RawStoreWord(Address addr, Word value);
+  size_t GranuleCount() const { return tags_.size(); }
+  bool GranuleTagged(size_t index) const { return tags_[index]; }
+  const Capability& GranuleCap(size_t index) const { return shadow_[index]; }
+  void ClearGranuleTag(size_t index) { tags_[index] = false; }
+  bool TagAt(Address addr) const;
+
+  // Statistics for the ablation bench (bench_cap_overhead).
+  uint64_t access_count() const { return access_count_; }
+  uint64_t cap_load_count() const { return cap_loads_; }
+  uint64_t cap_store_count() const { return cap_stores_; }
+  void ResetAccessCounters() {
+    access_count_ = 0;
+    cap_loads_ = 0;
+    cap_stores_ = 0;
+  }
+  // When false, capability checks are skipped (models the baseline RV32E
+  // core for the CoreMark-style ablation). Protection-relevant code must
+  // never run in this mode.
+  void set_checks_enabled(bool enabled) { checks_enabled_ = enabled; }
+
+ private:
+  struct MmioRegion {
+    Address base;
+    Address size;
+    MmioHandler handler;
+  };
+
+  void CheckDataAccess(const Capability& authority, Address addr, Address size,
+                       Permission perm) const;
+  // Index of the granule containing addr (SRAM only).
+  size_t GranuleIndex(Address addr) const {
+    return (addr - sram_base_) / kGranuleBytes;
+  }
+  void ClearTagsCovering(Address addr, Address len);
+  MmioRegion* FindMmio(Address addr, Address size);
+  void HookAndTick(Cycles cycles);
+
+  Address sram_base_;
+  Address sram_size_;
+  CycleClock* clock_;
+  std::vector<uint8_t> bytes_;
+  std::vector<bool> tags_;          // one per granule
+  std::vector<Capability> shadow_;  // full capability per tagged granule
+  RevocationMap revocation_;
+  std::vector<MmioRegion> mmio_;
+  AccessHook access_hook_;
+  uint64_t access_count_ = 0;
+  uint64_t cap_loads_ = 0;
+  uint64_t cap_stores_ = 0;
+  bool checks_enabled_ = true;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_MEM_MEMORY_H_

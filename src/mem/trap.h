@@ -1,0 +1,54 @@
+// Trap causes raised by the simulated hardware. Mirrors the CHERI exception
+// cause register: every protection violation traps *before* the operation
+// takes effect (§3.2.6: "illegal operations trap before affecting data").
+#ifndef SRC_MEM_TRAP_H_
+#define SRC_MEM_TRAP_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/base/types.h"
+
+namespace cheriot {
+
+enum class TrapCode : uint8_t {
+  kNone = 0,
+  kTagViolation,           // untagged (or load-filtered) capability used
+  kSealViolation,          // sealed capability used without unsealing
+  kBoundsViolation,        // access outside [base, top)
+  kPermitLoadViolation,    // load without kLoad
+  kPermitStoreViolation,   // store without kStore
+  kPermitExecuteViolation, // jump through a non-executable capability
+  kStoreLocalViolation,    // storing a local cap without kStoreLocal
+  kAlignmentFault,
+  kIllegalInstruction,
+  kStackOverflow,          // callee declared more stack than available
+  kTrustedStackOverflow,   // compartment-call depth exhausted
+  kForcedUnwind,           // switcher-initiated unwind (micro-reboot step 2)
+};
+
+const char* TrapCodeName(TrapCode code);
+
+// Thrown by the hardware model; caught by the switcher's first-level trap
+// handler, which consults the faulting compartment's error handler.
+class TrapException : public std::runtime_error {
+ public:
+  TrapException(TrapCode code, Address addr, const std::string& detail)
+      : std::runtime_error(std::string(TrapCodeName(code)) + " @0x" +
+                           ToHex(addr) + ": " + detail),
+        code_(code),
+        addr_(addr) {}
+
+  TrapCode code() const { return code_; }
+  Address fault_address() const { return addr_; }
+
+ private:
+  static std::string ToHex(Address a);
+  TrapCode code_;
+  Address addr_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_MEM_TRAP_H_

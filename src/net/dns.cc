@@ -1,0 +1,105 @@
+// DNS resolver compartment: DNS-lite queries over a UDP socket, with a small
+// positive cache. Stateless towards callers — the query buffer is passed in,
+// the answer is a plain word (§3.2.1-style nearly-stateless service).
+#include <map>
+
+#include "src/net/netstack.h"
+#include "src/net/packet.h"
+#include "src/net/world.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/runtime/hardening.h"
+#include "src/sync/sync.h"
+
+namespace cheriot::net {
+
+namespace {
+struct DnsState {
+  std::map<std::string, Ipv4> cache;
+  uint16_t next_qid = 1;
+  uint32_t queries_sent = 0;
+};
+}  // namespace
+
+void AddDnsCompartment(ImageBuilder& image, const NetStackOptions& options) {
+  if (image.FindCompartment("dns") != nullptr) {
+    return;
+  }
+  auto comp = image.Compartment("dns");
+  comp.CodeSize(3600)  // Table 2: 3.6 KB
+      .Globals(400)    // Table 2: 400 B
+      .AllocCap("dns_quota", options.dns_quota)
+      .ImportCompartment("tcpip.socket_udp_new")
+      .ImportCompartment("tcpip.udp_send")
+      .ImportCompartment("tcpip.udp_recv")
+      .ImportCompartment("tcpip.socket_close")
+      .ImportCompartment("tcpip.dns_server")
+      .State([] { return std::make_shared<DnsState>(); });
+  sync::UseScheduler(image, "dns");
+  sync::UseAllocator(image, "dns");
+
+  comp.Export(
+      "resolve",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<DnsState>();
+        const Capability name_buf = args[0];
+        const Word name_len = args[1].word();
+        if (name_len == 0 || name_len > 255 ||
+            !hardening::CheckPointer(name_buf, name_len,
+                                     PermissionSet({Permission::kLoad}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        std::string name(name_len, '\0');
+        ctx.ReadBytes(name_buf, 0, name.data(), name_len);
+        if (auto it = state.cache.find(name); it != state.cache.end()) {
+          return WordCap(it->second);
+        }
+        const Ipv4 server = ctx.Call("tcpip.dns_server", {}).word();
+        if (server == 0) {
+          return StatusCap(Status::kWouldBlock);  // network not up yet
+        }
+        const Capability quota = ctx.SealedImport("dns_quota");
+        const Capability sock =
+            ctx.Call("tcpip.socket_udp_new",
+                     {quota, WordCap(server), WordCap(kDnsPort)});
+        if (!sock.tag()) {
+          return sock;
+        }
+        Ipv4 answer = 0;
+        for (int attempt = 0; attempt < 3 && answer == 0; ++attempt) {
+          const uint16_t qid = state.next_qid++;
+          Bytes query = {static_cast<uint8_t>(qid >> 8),
+                         static_cast<uint8_t>(qid)};
+          query.insert(query.end(), name.begin(), name.end());
+          auto qbuf = ctx.AllocStack(static_cast<Address>(query.size() + 8));
+          ctx.WriteBytes(qbuf.cap(), 0, query.data(),
+                         static_cast<Address>(query.size()));
+          ++state.queries_sent;
+          ctx.Call("tcpip.udp_send",
+                   {sock, hardening::ReadOnly(qbuf.cap(),
+                                              static_cast<Address>(query.size())),
+                    WordCap(static_cast<Word>(query.size()))});
+          auto rbuf = ctx.AllocStack(16);
+          const Capability r = ctx.Call(
+              "tcpip.udp_recv",
+              {sock, rbuf.cap(), WordCap(16), WordCap(16'500'000)});  // 500 ms
+          if (static_cast<int32_t>(r.word()) >= 6) {
+            const Word b0 = ctx.LoadByte(rbuf.cap(), 0);
+            const Word b1 = ctx.LoadByte(rbuf.cap(), 1);
+            if (((b0 << 8) | b1) == qid) {
+              answer = (static_cast<Ipv4>(ctx.LoadByte(rbuf.cap(), 2)) << 24) |
+                       (static_cast<Ipv4>(ctx.LoadByte(rbuf.cap(), 3)) << 16) |
+                       (static_cast<Ipv4>(ctx.LoadByte(rbuf.cap(), 4)) << 8) |
+                       ctx.LoadByte(rbuf.cap(), 5);
+            }
+          }
+        }
+        ctx.Call("tcpip.socket_close", {quota, sock});
+        if (answer != 0) {
+          state.cache[name] = answer;
+        }
+        return WordCap(answer);
+      },
+      2048, InterruptPosture::kEnabled);
+}
+
+}  // namespace cheriot::net

@@ -1,0 +1,172 @@
+// The firewall + driver compartment (Fig. 5): the only compartment with
+// access to the Ethernet MMIO. Filters egress/ingress by protocol and port
+// with a static-default + runtime-adjustable rule table, and moves frames
+// between device registers and caller-provided buffers.
+#include "src/net/netstack.h"
+
+#include <vector>
+
+#include "src/hw/devices.h"
+#include "src/net/packet.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/runtime/hardening.h"
+
+namespace cheriot::net {
+
+namespace {
+
+struct FirewallState {
+  struct Rule {
+    uint8_t protocol;  // kIpProtoUdp / kIpProtoTcp; 0 = any
+    uint16_t port;     // remote port; 0 = any
+    bool allow;
+  };
+  // Default-deny for TCP/UDP except core services; ARP/ICMP always pass
+  // (the stack needs them to function at all).
+  std::vector<Rule> rules = {
+      {kIpProtoUdp, 67, true},    // DHCP
+      {kIpProtoUdp, 53, true},    // DNS
+      {kIpProtoUdp, 123, true},   // NTP
+      {kIpProtoTcp, 8883, true},  // MQTT over TLS
+      {kIpProtoTcp, 7, true},     // echo (tests)
+  };
+  uint32_t tx_frames = 0;
+  uint32_t rx_frames = 0;
+  uint32_t dropped = 0;
+};
+
+bool FrameAllowed(FirewallState& state, const Bytes& frame, bool egress) {
+  const ParsedFrame p = ParseFrame(frame);
+  if (!p.valid) {
+    return false;
+  }
+  if (p.is_arp || p.is_icmp) {
+    return true;
+  }
+  uint8_t proto = 0;
+  uint16_t remote_port = 0;
+  if (p.is_udp) {
+    proto = kIpProtoUdp;
+    remote_port = egress ? p.udp.dst_port : p.udp.src_port;
+  } else if (p.is_tcp) {
+    proto = kIpProtoTcp;
+    remote_port = egress ? p.tcp.dst_port : p.tcp.src_port;
+  } else {
+    return false;
+  }
+  for (const auto& rule : state.rules) {
+    if ((rule.protocol == 0 || rule.protocol == proto) &&
+        (rule.port == 0 || rule.port == remote_port)) {
+      return rule.allow;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void AddFirewallCompartment(ImageBuilder& image) {
+  if (image.FindCompartment("firewall") != nullptr) {
+    return;
+  }
+  auto comp = image.Compartment("firewall");
+  comp.CodeSize(6600)  // Table 2: Firewall + Driver 6.6 KB
+      .Globals(176)    // Table 2: 176 B
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true)
+      .State([] { return std::make_shared<FirewallState>(); });
+
+  comp.Export(
+      "send_frame",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<FirewallState>();
+        const Capability buf = args[0];
+        const Word len = args[1].word();
+        if (len == 0 || len > 1536 ||
+            !hardening::CheckPointer(buf, len,
+                                     PermissionSet({Permission::kLoad}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        Bytes frame(len);
+        ctx.ReadBytes(buf, 0, frame.data(), len);
+        if (!FrameAllowed(state, frame, /*egress=*/true)) {
+          ++state.dropped;
+          return StatusCap(Status::kNotPermittedByPolicy);
+        }
+        // Drive the no-offload adaptor word by word (§5.3.3).
+        const Capability dev = ctx.Mmio("ethernet");
+        ctx.StoreWord(dev, 0x10, len);
+        for (Word i = 0; i < len; i += 4) {
+          Word w = 0;
+          for (Word b = 0; b < 4 && i + b < len; ++b) {
+            w |= static_cast<Word>(frame[i + b]) << (8 * b);
+          }
+          ctx.StoreWord(dev, 0x14, w);
+        }
+        ctx.StoreWord(dev, 0x18, 1);
+        ++state.tx_frames;
+        return StatusCap(Status::kOk);
+      },
+      512, InterruptPosture::kDisabled);
+
+  comp.Export(
+      "recv_frame",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<FirewallState>();
+        const Capability buf = args[0];
+        const Word maxlen = args[1].word();
+        if (!hardening::CheckPointer(
+                buf, maxlen,
+                PermissionSet({Permission::kLoad, Permission::kStore}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        const Capability dev = ctx.Mmio("ethernet");
+        for (;;) {
+          if (ctx.LoadWord(dev, 0x00) == 0) {
+            return WordCap(0);  // nothing pending
+          }
+          const Word len = ctx.LoadWord(dev, 0x04);  // latch
+          Bytes frame(len);
+          for (Word i = 0; i < len; i += 4) {
+            const Word w = ctx.LoadWord(dev, 0x08);
+            for (Word b = 0; b < 4 && i + b < len; ++b) {
+              frame[i + b] = static_cast<uint8_t>(w >> (8 * b));
+            }
+          }
+          ctx.StoreWord(dev, 0x0C, 1);  // pop
+          if (!FrameAllowed(state, frame, /*egress=*/false)) {
+            ++state.dropped;
+            continue;  // filtered; try the next frame
+          }
+          if (len > maxlen) {
+            ++state.dropped;
+            continue;
+          }
+          ctx.WriteBytes(buf, 0, frame.data(), len);
+          ++state.rx_frames;
+          return WordCap(len);
+        }
+      },
+      512, InterruptPosture::kDisabled);
+
+  comp.Export(
+      "add_rule",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<FirewallState>();
+        state.rules.insert(state.rules.begin(),
+                           {static_cast<uint8_t>(args[0].word()),
+                            static_cast<uint16_t>(args[1].word()),
+                            args[2].word() != 0});
+        return StatusCap(Status::kOk);
+      },
+      128, InterruptPosture::kDisabled);
+
+  comp.Export(
+      "stats",
+      [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        auto& state = ctx.State<FirewallState>();
+        return WordCap((state.tx_frames << 16) | (state.rx_frames & 0xFFFF));
+      },
+      128, InterruptPosture::kDisabled);
+}
+
+}  // namespace cheriot::net

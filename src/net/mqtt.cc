@@ -1,0 +1,304 @@
+// MQTT-lite compartment: connect/subscribe/publish/poll over a TLS session.
+// The wrapper exposes notification polling as the application-level API
+// (hence its sizeable wrapper share in Table 2).
+#include <array>
+#include <deque>
+
+#include "src/net/netstack.h"
+#include "src/net/world.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/runtime/hardening.h"
+#include "src/sync/sync.h"
+
+namespace cheriot::net {
+
+namespace {
+
+constexpr int kMaxMqttSessions = 2;
+
+struct MqttSession {
+  bool live = false;
+  uint32_t generation = 0;
+  Capability tls;             // TLS session handle
+  Capability caller_quota;    // for nested TLS receives? kept out; see poll
+  std::deque<Bytes> inbound;  // queued PUBLISH bodies ([topic_len][topic][..])
+  Bytes stream;               // partial MQTT message bytes
+};
+
+struct MqttState {
+  std::array<MqttSession, kMaxMqttSessions> sessions;
+  uint32_t next_generation = 1;
+};
+
+MqttSession* FromHandle(CompartmentCtx& ctx, MqttState& state,
+                        const Capability& handle) {
+  const Capability payload =
+      ctx.TokenUnseal(ctx.SealingKey("mqtt.session"), handle);
+  if (!payload.tag()) {
+    return nullptr;
+  }
+  const Word index = ctx.LoadWord(payload, 0);
+  const Word generation = ctx.LoadWord(payload, 4);
+  if (index >= kMaxMqttSessions || !state.sessions[index].live ||
+      state.sessions[index].generation != generation) {
+    return nullptr;
+  }
+  return &state.sessions[index];
+}
+
+Status SendMessage(CompartmentCtx& ctx, MqttSession& s, uint8_t op,
+                   const Bytes& body) {
+  Bytes msg;
+  msg.push_back(op);
+  msg.push_back(static_cast<uint8_t>(body.size() >> 8));
+  msg.push_back(static_cast<uint8_t>(body.size()));
+  msg.insert(msg.end(), body.begin(), body.end());
+  auto buf = ctx.AllocStack(static_cast<Address>(msg.size() + 8));
+  ctx.WriteBytes(buf.cap(), 0, msg.data(), static_cast<Address>(msg.size()));
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.Call("tls.send",
+               {s.tls, hardening::ReadOnly(buf.cap(),
+                                           static_cast<Address>(msg.size())),
+                WordCap(static_cast<Word>(msg.size()))})
+          .word()));
+}
+
+// Pulls TLS plaintext and splits it into MQTT messages. Returns the opcode
+// of the first message matching `want` (queueing PUBLISHes meanwhile), or a
+// negative status.
+int AwaitMessage(CompartmentCtx& ctx, MqttSession& s, uint8_t want,
+                 Word timeout, Bytes* body_out) {
+  const Cycles deadline = timeout == ~0u ? ~0ull : ctx.Now() + timeout;
+  for (;;) {
+    // Split any buffered bytes into messages.
+    while (s.stream.size() >= 3) {
+      const size_t len = (static_cast<size_t>(s.stream[1]) << 8) | s.stream[2];
+      if (s.stream.size() < 3 + len) {
+        break;
+      }
+      const uint8_t op = s.stream[0];
+      Bytes body(s.stream.begin() + 3, s.stream.begin() + 3 + len);
+      s.stream.erase(s.stream.begin(), s.stream.begin() + 3 + len);
+      if (op == kMqttPublish) {
+        if (s.inbound.size() < 16) {
+          s.inbound.push_back(body);
+        }
+        if (want == kMqttPublish) {
+          return kMqttPublish;
+        }
+        continue;
+      }
+      if (op == want) {
+        if (body_out != nullptr) {
+          *body_out = std::move(body);
+        }
+        return op;
+      }
+      // Unexpected control message: ignore (hardened parser).
+    }
+    if (want == kMqttPublish && !s.inbound.empty()) {
+      return kMqttPublish;
+    }
+    if (ctx.Now() >= deadline) {
+      return static_cast<int>(Status::kTimedOut);
+    }
+    auto buf = ctx.AllocStack(256);
+    const Word budget =
+        deadline == ~0ull
+            ? ~0u
+            : static_cast<Word>(
+                  std::min<Cycles>(deadline - ctx.Now(), 0xFFFFFFFEu));
+    const Capability r = ctx.Call(
+        "tls.recv", {s.tls, buf.cap(), WordCap(256), WordCap(budget)});
+    const auto n = static_cast<int32_t>(r.word());
+    if (n < 0) {
+      return n;
+    }
+    Bytes chunk(static_cast<size_t>(n));
+    ctx.ReadBytes(buf.cap(), 0, chunk.data(), static_cast<Address>(n));
+    s.stream.insert(s.stream.end(), chunk.begin(), chunk.end());
+  }
+}
+
+}  // namespace
+
+void AddMqttCompartment(ImageBuilder& image, const NetStackOptions& options) {
+  if (image.FindCompartment("mqtt") != nullptr) {
+    return;
+  }
+  auto comp = image.Compartment("mqtt");
+  comp.CodeSize(11 * 1024, /*wrapper=*/static_cast<uint32_t>(11 * 1024 * 0.28))
+      .Globals(24)  // Table 2: 24 B
+      .AllocCap("mqtt_quota", options.mqtt_quota)
+      .OwnSealingType("mqtt.session")
+      .ImportCompartment("tls.connect")
+      .ImportCompartment("tls.send")
+      .ImportCompartment("tls.recv")
+      .ImportCompartment("tls.close")
+      .ImportCompartment("alloc.token_obj_new")
+      .ImportCompartment("alloc.token_obj_destroy")
+      .State([] { return std::make_shared<MqttState>(); });
+  sync::UseScheduler(image, "mqtt");
+  sync::UseAllocator(image, "mqtt");
+
+  comp.Export(
+      "connect",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<MqttState>();
+        const Capability caller_quota = args[0];
+        const Word ip = args[1].word();
+        const Word port = args[2].word();
+        const Capability id_buf = args[3];
+        const Word id_len = args.size() > 4 ? args[4].word() : 0;
+        int index = -1;
+        for (int i = 0; i < kMaxMqttSessions; ++i) {
+          if (!state.sessions[i].live) {
+            index = i;
+            break;
+          }
+        }
+        if (index < 0) {
+          return StatusCap(Status::kNoMemory);
+        }
+        const Capability tls = ctx.Call(
+            "tls.connect",
+            {caller_quota, WordCap(ip), WordCap(port), WordCap(330'000'000)});
+        if (!tls.tag()) {
+          return tls;
+        }
+        MqttSession& s = state.sessions[index];
+        s = MqttSession{};
+        s.live = true;
+        s.generation = state.next_generation++;
+        s.tls = tls;
+        Bytes client_id(id_len);
+        if (id_len > 0 &&
+            hardening::CheckPointer(id_buf, id_len,
+                                    PermissionSet({Permission::kLoad}))) {
+          ctx.ReadBytes(id_buf, 0, client_id.data(), id_len);
+        }
+        Status st = SendMessage(ctx, s, kMqttConnect, client_id);
+        if (st == Status::kOk) {
+          const int op =
+              AwaitMessage(ctx, s, kMqttConnAck, 330'000'000, nullptr);
+          if (op != kMqttConnAck) {
+            st = Status::kTimedOut;
+          }
+        }
+        if (st != Status::kOk) {
+          ctx.Call("tls.close", {caller_quota, tls});
+          s.live = false;
+          return StatusCap(st);
+        }
+        const Capability key = ctx.SealingKey("mqtt.session");
+        const Capability handle = ctx.TokenObjNew(caller_quota, key, 8);
+        if (!handle.tag()) {
+          s.live = false;
+          return handle;
+        }
+        const Capability payload = ctx.TokenUnseal(key, handle);
+        ctx.StoreWord(payload, 0, static_cast<Word>(index));
+        ctx.StoreWord(payload, 4, s.generation);
+        return handle;
+      },
+      4096, InterruptPosture::kEnabled);
+
+  comp.Export(
+      "subscribe",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<MqttState>();
+        MqttSession* s = FromHandle(ctx, state, args[0]);
+        const Capability topic = args[1];
+        const Word len = args[2].word();
+        if (s == nullptr || len == 0 || len > 128 ||
+            !hardening::CheckPointer(topic, len,
+                                     PermissionSet({Permission::kLoad}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        Bytes body(len);
+        ctx.ReadBytes(topic, 0, body.data(), len);
+        Status st = SendMessage(ctx, *s, kMqttSubscribe, body);
+        if (st == Status::kOk) {
+          const int op = AwaitMessage(ctx, *s, kMqttSubAck, 330'000'000, nullptr);
+          if (op != kMqttSubAck) {
+            st = Status::kTimedOut;
+          }
+        }
+        return StatusCap(st);
+      },
+      4096, InterruptPosture::kEnabled);
+
+  comp.Export(
+      "publish",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<MqttState>();
+        MqttSession* s = FromHandle(ctx, state, args[0]);
+        const Capability topic = args[1];
+        const Word topic_len = args[2].word();
+        const Capability payload = args[3];
+        const Word payload_len = args.size() > 4 ? args[4].word() : 0;
+        if (s == nullptr || topic_len == 0 || topic_len > 128 ||
+            !hardening::CheckPointer(topic, topic_len,
+                                     PermissionSet({Permission::kLoad}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        Bytes body;
+        body.push_back(static_cast<uint8_t>(topic_len));
+        Bytes t(topic_len);
+        ctx.ReadBytes(topic, 0, t.data(), topic_len);
+        body.insert(body.end(), t.begin(), t.end());
+        if (payload_len > 0 &&
+            hardening::CheckPointer(payload, payload_len,
+                                    PermissionSet({Permission::kLoad}))) {
+          Bytes p(payload_len);
+          ctx.ReadBytes(payload, 0, p.data(), payload_len);
+          body.insert(body.end(), p.begin(), p.end());
+        }
+        return StatusCap(SendMessage(ctx, *s, kMqttPublish, body));
+      },
+      4096, InterruptPosture::kEnabled);
+
+  comp.Export(
+      "poll",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<MqttState>();
+        MqttSession* s = FromHandle(ctx, state, args[0]);
+        const Capability out = args[1];
+        const Word maxlen = args[2].word();
+        const Word timeout = args.size() > 3 ? args[3].word() : ~0u;
+        if (s == nullptr ||
+            !hardening::CheckPointer(
+                out, maxlen,
+                PermissionSet({Permission::kLoad, Permission::kStore}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        const int op = AwaitMessage(ctx, *s, kMqttPublish, timeout, nullptr);
+        if (op < 0) {
+          return StatusCap(static_cast<Status>(op));
+        }
+        const Bytes body = s->inbound.front();
+        s->inbound.pop_front();
+        const Word n = std::min<Word>(maxlen, static_cast<Word>(body.size()));
+        ctx.WriteBytes(out, 0, body.data(), n);
+        return WordCap(n);
+      },
+      4096, InterruptPosture::kEnabled);
+
+  comp.Export(
+      "disconnect",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto& state = ctx.State<MqttState>();
+        const Capability caller_quota = args[0];
+        MqttSession* s = FromHandle(ctx, state, args[1]);
+        if (s == nullptr) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        ctx.Call("tls.close", {caller_quota, s->tls});
+        s->live = false;
+        return StatusCap(ctx.TokenObjDestroy(
+            caller_quota, ctx.SealingKey("mqtt.session"), args[1]));
+      },
+      2048, InterruptPosture::kEnabled);
+}
+
+}  // namespace cheriot::net

@@ -1,0 +1,72 @@
+// The compartmentalized network stack (Fig. 5): firewall+driver, TCP/IP,
+// DNS resolver, SNTP, TLS and MQTT compartments, plus a small supervisor
+// that keeps the stack alive across micro-reboots.
+//
+// Every service hands out connection state as opaque (token-sealed) objects
+// and allocates on behalf of callers through quota delegation (§3.2.1-3):
+// tls_connect(alloc_cap, ...) threads the *caller's* allocation capability
+// all the way down to the TCP socket buffers.
+#ifndef SRC_NET_NETSTACK_H_
+#define SRC_NET_NETSTACK_H_
+
+#include <string>
+
+#include "src/firmware/image.h"
+
+namespace cheriot::net {
+
+struct NetStackOptions {
+  bool with_dns = true;
+  bool with_sntp = true;
+  bool with_tls = true;
+  bool with_mqtt = true;
+  // Install the feature-flagged "ping of death" parser bug and the
+  // micro-rebooting error handler (§5.3.3 case study).
+  bool ping_of_death_bug = false;
+  bool microreboot_on_fault = true;
+  uint32_t tcpip_quota = 24 * 1024;
+  uint32_t dns_quota = 4 * 1024;
+  uint32_t sntp_quota = 2 * 1024;
+  uint32_t tls_quota = 8 * 1024;
+  uint32_t mqtt_quota = 4 * 1024;
+  uint16_t worker_priority = 4;
+};
+
+// Registers the network compartments, their imports and the worker thread.
+// Compartment entry points exposed to applications ("NetAPI"):
+//   tcpip.wait_ready()                         -> status (blocks for DHCP)
+//   tcpip.ifconfig()                           -> device IP (0 if down)
+//   tcpip.ping(ip, timeout)                    -> status
+//   tcpip.socket_connect_tcp(q, ip, port)      -> sealed socket handle
+//   tcpip.socket_send(h, buf, len)             -> status
+//   tcpip.socket_recv(h, buf, maxlen, timeout) -> byte count or status
+//   tcpip.socket_close(q, h)                   -> status
+//   tcpip.socket_udp_new(q, remote_ip, port)   -> sealed socket handle
+//   tcpip.udp_send(h, buf, len)                -> status
+//   dns.resolve(name_buf, len)                 -> IPv4 (0 = NXDOMAIN)
+//   sntp.sync(timeout)                         -> status
+//   sntp.now()                                 -> unix seconds
+//   tls.connect(q, ip, port, timeout)          -> sealed session handle
+//   tls.send(h, buf, len) / tls.recv(h, buf, maxlen, timeout)
+//   tls.close(q, h)
+//   mqtt.connect(q, ip, port, id_buf, id_len)  -> sealed session handle
+//   mqtt.subscribe(h, topic_buf, len) / mqtt.publish(h, topic, payload)
+//   mqtt.poll(h, out_buf, maxlen, timeout)     -> publish length or status
+//   mqtt.disconnect(q, h)
+void AddNetworkStack(ImageBuilder& image, const NetStackOptions& options = {});
+
+// Wires an application compartment to the stack's public API.
+void UseNetwork(ImageBuilder& image, const std::string& compartment,
+                const NetStackOptions& options = {});
+
+// Internal registration helpers (one per compartment; exposed for tests).
+void AddFirewallCompartment(ImageBuilder& image);
+void AddTcpIpCompartment(ImageBuilder& image, const NetStackOptions& options);
+void AddDnsCompartment(ImageBuilder& image, const NetStackOptions& options);
+void AddSntpCompartment(ImageBuilder& image, const NetStackOptions& options);
+void AddTlsCompartment(ImageBuilder& image, const NetStackOptions& options);
+void AddMqttCompartment(ImageBuilder& image, const NetStackOptions& options);
+
+}  // namespace cheriot::net
+
+#endif  // SRC_NET_NETSTACK_H_

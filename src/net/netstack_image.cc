@@ -1,0 +1,58 @@
+#include "src/net/netstack.h"
+
+namespace cheriot::net {
+
+void AddNetworkStack(ImageBuilder& image, const NetStackOptions& options) {
+  AddFirewallCompartment(image);
+  AddTcpIpCompartment(image, options);
+  if (options.with_dns) {
+    AddDnsCompartment(image, options);
+  }
+  if (options.with_sntp) {
+    AddSntpCompartment(image, options);
+  }
+  if (options.with_tls) {
+    AddTlsCompartment(image, options);
+  }
+  if (options.with_mqtt && options.with_tls) {
+    AddMqttCompartment(image, options);
+  }
+}
+
+void UseNetwork(ImageBuilder& image, const std::string& compartment,
+                const NetStackOptions& options) {
+  AddNetworkStack(image, options);
+  auto comp = image.Compartment(compartment);
+  comp.ImportCompartment("tcpip.wait_ready")
+      .ImportCompartment("tcpip.ifconfig")
+      .ImportCompartment("tcpip.ping")
+      .ImportCompartment("tcpip.socket_connect_tcp")
+      .ImportCompartment("tcpip.socket_send")
+      .ImportCompartment("tcpip.socket_recv")
+      .ImportCompartment("tcpip.socket_close")
+      .ImportCompartment("tcpip.socket_udp_new")
+      .ImportCompartment("tcpip.udp_send")
+      .ImportCompartment("tcpip.udp_recv")
+      .ImportCompartment("tcpip.dns_server");
+  if (options.with_dns) {
+    comp.ImportCompartment("dns.resolve");
+  }
+  if (options.with_sntp) {
+    comp.ImportCompartment("sntp.sync").ImportCompartment("sntp.now");
+  }
+  if (options.with_tls) {
+    comp.ImportCompartment("tls.connect")
+        .ImportCompartment("tls.send")
+        .ImportCompartment("tls.recv")
+        .ImportCompartment("tls.close");
+  }
+  if (options.with_mqtt && options.with_tls) {
+    comp.ImportCompartment("mqtt.connect")
+        .ImportCompartment("mqtt.subscribe")
+        .ImportCompartment("mqtt.publish")
+        .ImportCompartment("mqtt.poll")
+        .ImportCompartment("mqtt.disconnect");
+  }
+}
+
+}  // namespace cheriot::net

@@ -1,0 +1,163 @@
+// Wire-format helpers for the from-scratch network stack: byte-order-aware
+// packet reader/writer and header builders for Ethernet / ARP / IPv4 / ICMP /
+// UDP / TCP. Network byte order throughout, as on the real wire.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheriot::net {
+
+using Bytes = std::vector<uint8_t>;
+using MacAddress = std::array<uint8_t, 6>;
+using Ipv4 = uint32_t;  // host byte order internally
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+inline constexpr uint8_t kIpProtoIcmp = 1;
+inline constexpr uint8_t kIpProtoTcp = 6;
+inline constexpr uint8_t kIpProtoUdp = 17;
+
+std::string IpToString(Ipv4 ip);
+Ipv4 IpFromParts(uint8_t a, uint8_t b, uint8_t c, uint8_t d);
+
+// Sequential big-endian writer.
+class PacketWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v) {
+    out_.push_back(static_cast<uint8_t>(v >> 8));
+    out_.push_back(static_cast<uint8_t>(v));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v >> 16));
+    U16(static_cast<uint16_t>(v));
+  }
+  void Raw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    out_.insert(out_.end(), p, p + len);
+  }
+  void Mac(const MacAddress& mac) { Raw(mac.data(), mac.size()); }
+  uint8_t* At(size_t offset) { return &out_[offset]; }
+  size_t size() const { return out_.size(); }
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+// Sequential big-endian reader; `ok()` goes false on over-read instead of
+// throwing, so parsers can bail out cleanly.
+class PacketReader {
+ public:
+  explicit PacketReader(const Bytes& data) : data_(data) {}
+  PacketReader(const uint8_t* data, size_t len) : view_(data), view_len_(len) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  MacAddress Mac();
+  Bytes Raw(size_t len);
+  void Skip(size_t len);
+  size_t remaining() const { return size() - pos_; }
+  size_t position() const { return pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  size_t size() const { return view_ ? view_len_ : data_.size(); }
+  const uint8_t* base() const { return view_ ? view_ : data_.data(); }
+
+  Bytes data_;
+  const uint8_t* view_ = nullptr;
+  size_t view_len_ = 0;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Internet checksum (RFC 1071).
+uint16_t Checksum(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+struct EthernetHeader {
+  MacAddress dst{};
+  MacAddress src{};
+  uint16_t ethertype = 0;
+};
+
+struct Ipv4Header {
+  uint8_t protocol = 0;
+  uint8_t ttl = 64;
+  Ipv4 src = 0;
+  Ipv4 dst = 0;
+  uint16_t total_length = 0;  // filled on parse
+};
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;  // FIN=1, SYN=2, RST=4, PSH=8, ACK=16
+  uint16_t window = 8192;
+};
+
+inline constexpr uint8_t kTcpFin = 1;
+inline constexpr uint8_t kTcpSyn = 2;
+inline constexpr uint8_t kTcpRst = 4;
+inline constexpr uint8_t kTcpPsh = 8;
+inline constexpr uint8_t kTcpAck = 16;
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+};
+
+// A fully parsed inbound frame.
+struct ParsedFrame {
+  bool valid = false;
+  EthernetHeader eth;
+  // ARP
+  bool is_arp = false;
+  bool arp_is_request = false;
+  Ipv4 arp_sender_ip = 0;
+  MacAddress arp_sender_mac{};
+  Ipv4 arp_target_ip = 0;
+  // IPv4
+  bool is_ipv4 = false;
+  Ipv4Header ip;
+  // ICMP
+  bool is_icmp = false;
+  uint8_t icmp_type = 0;
+  uint16_t icmp_id = 0;
+  uint16_t icmp_seq = 0;
+  // Deliberately attacker-controlled: the length field the "ping of death"
+  // bug trusts (§5.3.3). Equals the real payload size for honest packets.
+  uint16_t icmp_claimed_len = 0;
+  Bytes icmp_payload;
+  // UDP / TCP
+  bool is_udp = false;
+  UdpHeader udp;
+  bool is_tcp = false;
+  TcpHeader tcp;
+  Bytes payload;
+};
+
+ParsedFrame ParseFrame(const Bytes& frame);
+
+// Frame builders (they compute lengths and checksums).
+Bytes BuildArpRequest(const MacAddress& src_mac, Ipv4 src_ip, Ipv4 target_ip);
+Bytes BuildArpReply(const MacAddress& src_mac, Ipv4 src_ip,
+                    const MacAddress& dst_mac, Ipv4 dst_ip);
+Bytes BuildIpv4(const MacAddress& src_mac, const MacAddress& dst_mac,
+                Ipv4 src_ip, Ipv4 dst_ip, uint8_t protocol,
+                const Bytes& l4_payload);
+Bytes BuildIcmpEcho(uint8_t type, uint16_t id, uint16_t seq,
+                    const Bytes& payload, uint16_t claimed_len_override = 0);
+Bytes BuildUdp(uint16_t src_port, uint16_t dst_port, const Bytes& payload);
+Bytes BuildTcp(const TcpHeader& header, const Bytes& payload);
+
+}  // namespace cheriot::net
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,411 @@
+#include "src/net/world.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace cheriot::net {
+
+namespace {
+Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+}  // namespace
+
+NetWorld::NetWorld(Machine& machine, WorldOptions options)
+    : machine_(machine), options_(options) {
+  machine_.ethernet().on_transmit = [this](Bytes frame) {
+    OnGuestFrame(std::move(frame));
+  };
+  machine_.clock().AddHook([this](Cycles) { PumpDeliveries(); });
+  machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
+    if (pending_.empty()) {
+      return std::nullopt;
+    }
+    return pending_.front().first;
+  });
+}
+
+void NetWorld::Deliver(Bytes frame) {
+  const Cycles due = machine_.clock().now() + options_.link_latency;
+  // Keep sorted by due time (link is FIFO: latency is constant).
+  pending_.emplace_back(due, std::move(frame));
+}
+
+void NetWorld::PumpDeliveries() {
+  const Cycles now = machine_.clock().now();
+  while (!pending_.empty() && pending_.front().first <= now) {
+    machine_.ethernet().HostInject(std::move(pending_.front().second));
+    pending_.pop_front();
+  }
+}
+
+void NetWorld::OnGuestFrame(Bytes frame) {
+  ++frames_rx_;
+  const ParsedFrame p = ParseFrame(frame);
+  if (!p.valid) {
+    return;
+  }
+  if (p.is_arp) {
+    HandleArp(p);
+  } else if (p.is_icmp) {
+    HandleIcmp(p);
+  } else if (p.is_udp) {
+    HandleUdp(p);
+  } else if (p.is_tcp) {
+    HandleTcp(p);
+  }
+}
+
+void NetWorld::HandleArp(const ParsedFrame& p) {
+  if (p.arp_is_request && p.arp_target_ip == kWorldIp) {
+    Deliver(BuildArpReply(kWorldMac, kWorldIp, p.arp_sender_mac,
+                          p.arp_sender_ip));
+  }
+}
+
+void NetWorld::HandleIcmp(const ParsedFrame& p) {
+  if (p.ip.dst != kWorldIp) {
+    return;
+  }
+  if (p.icmp_type == 8) {  // echo request from guest: reply
+    Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, p.ip.src, kIpProtoIcmp,
+                      BuildIcmpEcho(0, p.icmp_id, p.icmp_seq, p.icmp_payload)));
+  } else if (p.icmp_type == 0) {  // echo reply (to our SendPing)
+    ++ping_replies_;
+  }
+}
+
+Bytes NetWorld::SendUdpReply(const ParsedFrame& request, const Bytes& payload) {
+  Bytes udp = BuildUdp(request.udp.dst_port, request.udp.src_port, payload);
+  Bytes frame = BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp,
+                          kIpProtoUdp, udp);
+  Deliver(frame);
+  return frame;
+}
+
+void NetWorld::HandleUdp(const ParsedFrame& p) {
+  const Bytes& body = p.payload;
+  switch (p.udp.dst_port) {
+    case kDhcpPort: {
+      if (body.empty()) {
+        return;
+      }
+      if (body[0] == 1) {  // DISCOVER -> OFFER
+        Bytes reply = {2};
+        for (int i = 3; i >= 0; --i) {
+          reply.push_back(static_cast<uint8_t>(kDeviceIp >> (8 * i)));
+        }
+        SendUdpReply(p, reply);
+      } else if (body[0] == 3) {  // REQUEST -> ACK
+        Bytes reply = {5};
+        for (Ipv4 ip : {kDeviceIp, kWorldIp, kWorldIp}) {  // ip, gw, dns
+          for (int i = 3; i >= 0; --i) {
+            reply.push_back(static_cast<uint8_t>(ip >> (8 * i)));
+          }
+        }
+        ++dhcp_acks_;
+        SendUdpReply(p, reply);
+      }
+      return;
+    }
+    case kDnsPort: {
+      if (body.size() < 2) {
+        return;
+      }
+      const std::string name(body.begin() + 2, body.end());
+      Ipv4 ip = 0;
+      auto it = options_.dns_table.find(name);
+      if (it != options_.dns_table.end()) {
+        ip = it->second;
+      }
+      Bytes reply = {body[0], body[1]};
+      for (int i = 3; i >= 0; --i) {
+        reply.push_back(static_cast<uint8_t>(ip >> (8 * i)));
+      }
+      SendUdpReply(p, reply);
+      return;
+    }
+    case kNtpPort: {
+      const uint32_t seconds =
+          options_.ntp_unix_base +
+          static_cast<uint32_t>(machine_.clock().now() / cost::kCoreHz);
+      Bytes reply;
+      for (int i = 3; i >= 0; --i) {
+        reply.push_back(static_cast<uint8_t>(seconds >> (8 * i)));
+      }
+      SendUdpReply(p, reply);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void NetWorld::TcpSend(TcpConn& conn, uint8_t flags, const Bytes& payload) {
+  TcpHeader h;
+  h.src_port = conn.local_port;
+  h.dst_port = conn.peer_port;
+  h.seq = conn.snd_nxt;
+  h.ack = conn.rcv_nxt;
+  h.flags = flags;
+  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoTcp,
+                    BuildTcp(h, payload)));
+  conn.snd_nxt += payload.size();
+  if (flags & (kTcpSyn | kTcpFin)) {
+    conn.snd_nxt += 1;
+  }
+}
+
+void NetWorld::HandleTcp(const ParsedFrame& p) {
+  if (p.ip.dst != kWorldIp) {
+    return;
+  }
+  const uint16_t guest_port = p.tcp.src_port;
+  auto it = conns_.find(guest_port);
+
+  if (p.tcp.flags & kTcpSyn) {
+    if (p.tcp.dst_port != kMqttTlsPort && p.tcp.dst_port != kEchoPort) {
+      // Port closed: RST.
+      TcpConn rst;
+      rst.local_port = p.tcp.dst_port;
+      rst.peer_port = guest_port;
+      rst.rcv_nxt = p.tcp.seq + 1;
+      TcpSend(rst, kTcpRst | kTcpAck, {});
+      return;
+    }
+    TcpConn conn;
+    conn.local_port = p.tcp.dst_port;
+    conn.peer_port = guest_port;
+    conn.rcv_nxt = p.tcp.seq + 1;
+    conn.snd_nxt = 0x10000 + guest_port;  // deterministic ISN
+    TcpSend(conn, kTcpSyn | kTcpAck, {});
+    conn.state = TcpConn::State::kSynReceived;
+    conns_[guest_port] = conn;
+    ++tcp_accepts_;
+    return;
+  }
+  if (it == conns_.end()) {
+    return;
+  }
+  TcpConn& conn = it->second;
+  if (p.tcp.flags & kTcpRst) {
+    conns_.erase(it);
+    return;
+  }
+  if (conn.state == TcpConn::State::kSynReceived && (p.tcp.flags & kTcpAck)) {
+    conn.state = TcpConn::State::kEstablished;
+  }
+  if (!p.payload.empty()) {
+    ++tcp_data_segments_;
+    if (options_.drop_every_nth_tcp > 0 &&
+        tcp_data_segments_ % options_.drop_every_nth_tcp == 0) {
+      return;  // simulated loss; guest must retransmit
+    }
+    if (p.tcp.seq == conn.rcv_nxt) {
+      conn.rcv_nxt += p.payload.size();
+      TcpSend(conn, kTcpAck, {});
+      AppBytes(conn, p.payload);
+    } else {
+      // Out-of-order (e.g. duplicate after a drop): re-ACK what we have.
+      TcpSend(conn, kTcpAck, {});
+    }
+  }
+  if (p.tcp.flags & kTcpFin) {
+    conn.rcv_nxt += 1;
+    TcpSend(conn, kTcpAck | kTcpFin, {});
+    conn.state = TcpConn::State::kClosed;
+  }
+}
+
+void NetWorld::AppBytes(TcpConn& conn, const Bytes& data) {
+  if (conn.local_port == kEchoPort) {
+    TcpSend(conn, kTcpAck | kTcpPsh, data);
+    return;
+  }
+  conn.inbound.insert(conn.inbound.end(), data.begin(), data.end());
+  TlsServerInput(conn);
+}
+
+void NetWorld::SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body) {
+  if (type == kTlsRecordData && conn.tls_established) {
+    // Encrypt + MAC (server-to-client key).
+    Bytes wire;
+    wire.push_back(static_cast<uint8_t>(conn.tls_tx_counter >> 8));
+    wire.push_back(static_cast<uint8_t>(conn.tls_tx_counter));
+    crypto::ChaCha20Xor(conn.key_s2c, conn.tls_tx_counter, 0, body.data(),
+                        body.size());
+    wire.insert(wire.end(), body.begin(), body.end());
+    const auto mac = crypto::HmacSha256(conn.mac_key.data(),
+                                        conn.mac_key.size(), wire.data(),
+                                        wire.size());
+    wire.insert(wire.end(), mac.begin(), mac.begin() + 16);
+    ++conn.tls_tx_counter;
+    body = std::move(wire);
+  }
+  Bytes record;
+  record.push_back(type);
+  record.push_back(static_cast<uint8_t>(body.size() >> 8));
+  record.push_back(static_cast<uint8_t>(body.size()));
+  record.insert(record.end(), body.begin(), body.end());
+  TcpSend(conn, kTcpAck | kTcpPsh, record);
+}
+
+void NetWorld::TlsServerInput(TcpConn& conn) {
+  for (;;) {
+    if (conn.inbound.size() < 3) {
+      return;
+    }
+    const uint8_t type = conn.inbound[0];
+    const size_t len = (static_cast<size_t>(conn.inbound[1]) << 8) |
+                       conn.inbound[2];
+    if (conn.inbound.size() < 3 + len) {
+      return;
+    }
+    Bytes body(conn.inbound.begin() + 3, conn.inbound.begin() + 3 + len);
+    conn.inbound.erase(conn.inbound.begin(), conn.inbound.begin() + 3 + len);
+
+    if (type == kTlsRecordHello && !conn.tls_established) {
+      // ClientHello: random(32) || dh_pub(8).
+      if (body.size() < 40) {
+        continue;
+      }
+      crypto::Digest client_random;
+      std::memcpy(client_random.data(), body.data(), 32);
+      uint64_t client_pub = 0;
+      for (int i = 0; i < 8; ++i) {
+        client_pub |= static_cast<uint64_t>(body[32 + i]) << (8 * i);
+      }
+      entropy_ = entropy_ * 6364136223846793005ull + 1442695040888963407ull;
+      const auto kp = crypto::DhGenerate(entropy_);
+      const uint64_t shared = crypto::DhShared(kp.secret, client_pub);
+      crypto::Digest server_random =
+          crypto::Sha256(reinterpret_cast<const uint8_t*>(&entropy_), 8);
+      // salt = SHA256(client_random || server_random)
+      Bytes salt_input(client_random.begin(), client_random.end());
+      salt_input.insert(salt_input.end(), server_random.begin(),
+                        server_random.end());
+      const crypto::Digest salt = crypto::Sha256(salt_input);
+      conn.key_c2s = crypto::DeriveKey(shared, salt, "c2s");
+      conn.key_s2c = crypto::DeriveKey(shared, salt, "s2c");
+      conn.mac_key = crypto::DeriveKey(shared, salt, "mac");
+      // ServerHello: server_random(32) || dh_pub(8) || verify(16).
+      Bytes hello(server_random.begin(), server_random.end());
+      for (int i = 0; i < 8; ++i) {
+        hello.push_back(static_cast<uint8_t>(kp.public_value >> (8 * i)));
+      }
+      const auto verify =
+          crypto::HmacSha256(conn.mac_key.data(), conn.mac_key.size(),
+                             salt.data(), salt.size());
+      hello.insert(hello.end(), verify.begin(), verify.begin() + 16);
+      conn.tls_established = true;  // keys live from here
+      conn.tls_tx_counter = 0;
+      conn.tls_rx_counter = 0;
+      SendTlsRecord(conn, kTlsRecordHello, std::move(hello));
+      continue;
+    }
+    if (type == kTlsRecordData && conn.tls_established) {
+      // [ctr u16][ciphertext][mac16]
+      if (body.size() < 18) {
+        continue;
+      }
+      const size_t cipher_len = body.size() - 18;
+      const auto mac = crypto::HmacSha256(conn.mac_key.data(),
+                                          conn.mac_key.size(), body.data(),
+                                          2 + cipher_len);
+      if (std::memcmp(mac.data(), body.data() + 2 + cipher_len, 16) != 0) {
+        LOG_WARN("world: TLS MAC mismatch, dropping record");
+        continue;
+      }
+      const uint32_t ctr = (static_cast<uint32_t>(body[0]) << 8) | body[1];
+      Bytes plain(body.begin() + 2, body.begin() + 2 + cipher_len);
+      crypto::ChaCha20Xor(conn.key_c2s, ctr, 0, plain.data(), plain.size());
+      // MQTT-lite message(s).
+      size_t pos = 0;
+      while (pos + 3 <= plain.size()) {
+        const uint8_t op = plain[pos];
+        const size_t mlen = (static_cast<size_t>(plain[pos + 1]) << 8) |
+                            plain[pos + 2];
+        if (pos + 3 + mlen > plain.size()) {
+          break;
+        }
+        MqttServerMessage(conn, op,
+                          Bytes(plain.begin() + pos + 3,
+                                plain.begin() + pos + 3 + mlen));
+        pos += 3 + mlen;
+      }
+    }
+  }
+}
+
+void NetWorld::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
+  auto reply = [&](uint8_t rop, const Bytes& rbody) {
+    Bytes msg;
+    msg.push_back(rop);
+    msg.push_back(static_cast<uint8_t>(rbody.size() >> 8));
+    msg.push_back(static_cast<uint8_t>(rbody.size()));
+    msg.insert(msg.end(), rbody.begin(), rbody.end());
+    SendTlsRecord(conn, kTlsRecordData, std::move(msg));
+  };
+  switch (op) {
+    case kMqttConnect:
+      conn.mqtt_connected = true;
+      reply(kMqttConnAck, {});
+      break;
+    case kMqttSubscribe:
+      subscriptions_.push_back(std::string(body.begin(), body.end()));
+      reply(kMqttSubAck, {});
+      break;
+    case kMqttPublish:
+      ++mqtt_rx_publishes_;
+      break;
+    case kMqttPingReq:
+      reply(kMqttPingResp, {});
+      break;
+    default:
+      break;
+  }
+}
+
+bool NetWorld::mqtt_client_connected() const {
+  for (const auto& [port, conn] : conns_) {
+    if (conn.mqtt_connected && conn.state == TcpConn::State::kEstablished) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NetWorld::PublishMqtt(const std::string& topic, const Bytes& payload) {
+  for (auto& [port, conn] : conns_) {
+    if (!conn.mqtt_connected || conn.state != TcpConn::State::kEstablished) {
+      continue;
+    }
+    Bytes body;
+    body.push_back(static_cast<uint8_t>(topic.size()));
+    body.insert(body.end(), topic.begin(), topic.end());
+    body.insert(body.end(), payload.begin(), payload.end());
+    Bytes msg;
+    msg.push_back(kMqttPublish);
+    msg.push_back(static_cast<uint8_t>(body.size() >> 8));
+    msg.push_back(static_cast<uint8_t>(body.size()));
+    msg.insert(msg.end(), body.begin(), body.end());
+    SendTlsRecord(conn, kTlsRecordData, std::move(msg));
+  }
+}
+
+void NetWorld::SendPing(uint16_t id, uint16_t seq, size_t payload_len) {
+  Bytes payload(payload_len, 0xA5);
+  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoIcmp,
+                    BuildIcmpEcho(8, id, seq, payload)));
+}
+
+void NetWorld::SendPingOfDeath() {
+  // Claims 1400 bytes of echo payload while carrying only 8: the buggy
+  // parser copies the claimed length and runs off the end of its buffer.
+  Bytes payload(8, 0xEE);
+  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoIcmp,
+                    BuildIcmpEcho(8, 0xDEAD, 1, payload,
+                                  /*claimed_len_override=*/1400)));
+}
+
+}  // namespace cheriot::net

@@ -1,0 +1,138 @@
+// The simulated "outside world" behind the Ethernet device: a gateway host
+// providing ARP, DHCP, DNS, NTP and an MQTT broker behind TLS-lite. This is
+// the substitution for the paper's real network testbed (DESIGN.md §1): it
+// runs natively (it is the environment, not the system under test) and
+// exchanges frames with the guest through the device model with configurable
+// link latency.
+#ifndef SRC_NET_WORLD_H_
+#define SRC_NET_WORLD_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/net/crypto.h"
+#include "src/net/packet.h"
+
+namespace cheriot::net {
+
+// Well-known addresses of the simulated network.
+inline constexpr Ipv4 kWorldIp = 0x0A000001;        // 10.0.0.1 (gateway/host)
+inline constexpr Ipv4 kDeviceIp = 0x0A000002;       // 10.0.0.2 (DHCP offer)
+inline constexpr uint16_t kDnsPort = 53;
+inline constexpr uint16_t kDhcpPort = 67;
+inline constexpr uint16_t kNtpPort = 123;
+inline constexpr uint16_t kEchoPort = 7;            // plain TCP echo service
+inline constexpr uint16_t kMqttTlsPort = 8883;
+inline constexpr MacAddress kWorldMac = {2, 0, 0, 0, 0, 1};
+inline constexpr MacAddress kDeviceMac = {2, 0, 0, 0, 0, 2};
+
+// --- Compact wire protocols (simulation-grade, see DESIGN.md) ---
+// DHCP-lite (UDP 67): [1]=discover -> [2, ip]; [3, ip]=request -> [5, ip,
+//   gateway_ip, dns_ip]=ack.
+// DNS-lite (UDP 53): [qid u16][name...] -> [qid u16][ip u32] (0 = NXDOMAIN).
+// NTP-lite (UDP 123): [0x4E] -> [unix_seconds u32].
+// TLS-lite record: [type u8][len u16][body]; type 1 = hello, 2 = data.
+// MQTT-lite message: [op u8][len u16][body]; 1=CONNECT 2=CONNACK
+//   3=SUBSCRIBE 4=SUBACK 5=PUBLISH([topic_len u8][topic][payload])
+//   6=PINGREQ 7=PINGRESP.
+inline constexpr uint8_t kTlsRecordHello = 1;
+inline constexpr uint8_t kTlsRecordData = 2;
+inline constexpr uint8_t kMqttConnect = 1;
+inline constexpr uint8_t kMqttConnAck = 2;
+inline constexpr uint8_t kMqttSubscribe = 3;
+inline constexpr uint8_t kMqttSubAck = 4;
+inline constexpr uint8_t kMqttPublish = 5;
+inline constexpr uint8_t kMqttPingReq = 6;
+inline constexpr uint8_t kMqttPingResp = 7;
+
+struct WorldOptions {
+  Cycles link_latency = 3'300;        // ~100 us at 33 MHz
+  // Names the DNS-lite server resolves.
+  std::map<std::string, Ipv4> dns_table = {
+      {"mqtt.example.com", kWorldIp},
+      {"ntp.example.com", kWorldIp},
+  };
+  uint32_t ntp_unix_base = 1'751'500'800;  // 2025-07-03
+  // Drop every Nth guest TCP data segment (0 = lossless) to exercise the
+  // guest's retransmission path.
+  int drop_every_nth_tcp = 0;
+};
+
+class NetWorld {
+ public:
+  NetWorld(Machine& machine, WorldOptions options = {});
+
+  // --- Test/bench control surface ---
+  // Queues an MQTT publish from the broker to every subscribed client.
+  void PublishMqtt(const std::string& topic, const Bytes& payload);
+  // Sends an ICMP echo request to the device (it should reply).
+  void SendPing(uint16_t id, uint16_t seq, size_t payload_len = 32);
+  // Sends the malformed "ping of death" (claimed length > actual) that the
+  // feature-flagged parser bug mishandles (§5.3.3).
+  void SendPingOfDeath();
+
+  // --- Observability ---
+  uint32_t ping_replies_seen() const { return ping_replies_; }
+  uint32_t mqtt_publishes_received() const { return mqtt_rx_publishes_; }
+  uint32_t tcp_connections_accepted() const { return tcp_accepts_; }
+  uint32_t dhcp_acks_sent() const { return dhcp_acks_; }
+  bool mqtt_client_connected() const;
+  const std::vector<std::string>& mqtt_subscriptions() const {
+    return subscriptions_;
+  }
+  uint32_t frames_from_guest() const { return frames_rx_; }
+
+ private:
+  struct TcpConn {
+    enum class State { kSynReceived, kEstablished, kClosed };
+    State state = State::kSynReceived;
+    uint16_t peer_port = 0;
+    uint16_t local_port = 0;
+    uint32_t snd_nxt = 0;   // next sequence we send
+    uint32_t rcv_nxt = 0;   // next sequence we expect
+    Bytes inbound;          // reassembled application bytes
+    // TLS-lite server state (MQTT port only).
+    bool tls_established = false;
+    crypto::Key key_c2s{};
+    crypto::Key key_s2c{};
+    crypto::Key mac_key{};
+    uint32_t tls_rx_counter = 0;
+    uint32_t tls_tx_counter = 0;
+    bool mqtt_connected = false;
+  };
+
+  void OnGuestFrame(Bytes frame);
+  void Deliver(Bytes frame);
+  void PumpDeliveries();
+  void HandleArp(const ParsedFrame& p);
+  void HandleIcmp(const ParsedFrame& p);
+  void HandleUdp(const ParsedFrame& p);
+  void HandleTcp(const ParsedFrame& p);
+  void TcpSend(TcpConn& conn, uint8_t flags, const Bytes& payload);
+  void AppBytes(TcpConn& conn, const Bytes& data);
+  void TlsServerInput(TcpConn& conn);
+  void SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body);
+  void MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body);
+  Bytes SendUdpReply(const ParsedFrame& request, const Bytes& payload);
+
+  Machine& machine_;
+  WorldOptions options_;
+  std::deque<std::pair<Cycles, Bytes>> pending_;  // scheduled deliveries
+  std::map<uint16_t, TcpConn> conns_;             // keyed by guest port
+  std::vector<std::string> subscriptions_;
+  uint32_t ping_replies_ = 0;
+  uint32_t mqtt_rx_publishes_ = 0;
+  uint32_t tcp_accepts_ = 0;
+  uint32_t dhcp_acks_ = 0;
+  uint32_t frames_rx_ = 0;
+  uint32_t tcp_data_segments_ = 0;
+  uint64_t entropy_ = 0xC0FFEE12345678ull;
+};
+
+}  // namespace cheriot::net
+
+#endif  // SRC_NET_WORLD_H_

@@ -1,0 +1,31 @@
+// Umbrella header: the public API of the CHERIoT RTOS reproduction.
+//
+// Typical usage:
+//   cheriot::Machine machine;
+//   cheriot::ImageBuilder image("my-firmware");
+//   image.Compartment("hello")
+//       .Export("entry", [](cheriot::CompartmentCtx& ctx, const auto& args) {
+//         ctx.DebugLog("hello from a compartment");
+//         return cheriot::StatusCap(cheriot::Status::kOk);
+//       });
+//   image.Thread("main", /*priority=*/1, /*stack=*/1024, /*frames=*/4,
+//                "hello.entry");
+//   cheriot::System system(machine, image.Build());
+//   system.Boot();
+//   system.Run();
+#ifndef SRC_RTOS_H_
+#define SRC_RTOS_H_
+
+#include "src/base/costs.h"
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+#include "src/firmware/image.h"
+#include "src/hw/machine.h"
+#include "src/kernel/system.h"
+#include "src/loader/loader.h"
+#include "src/mem/memory.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/runtime/hardening.h"
+
+#endif  // SRC_RTOS_H_

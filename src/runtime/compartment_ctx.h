@@ -1,0 +1,180 @@
+// CompartmentCtx: the guest-facing API surface ("libcheriot"). Every entry
+// point receives one; all access to simulated memory, imports, the stack,
+// the TCB services and error handling flows through it.
+//
+// This is the model's contract point (DESIGN.md §1): compartment code only
+// touches machine state through this API, which enforces the capability
+// model on every operation.
+#ifndef SRC_RUNTIME_COMPARTMENT_CTX_H_
+#define SRC_RUNTIME_COMPARTMENT_CTX_H_
+
+#include <cstdarg>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/firmware/image.h"
+#include "src/kernel/guest_thread.h"
+#include "src/loader/loader.h"
+
+namespace cheriot {
+
+class System;
+class Machine;
+
+class CompartmentCtx {
+ public:
+  CompartmentCtx(System* system, GuestThread* thread, int compartment);
+
+  System& system() { return *system_; }
+  GuestThread& thread() { return *thread_; }
+  int compartment() const { return compartment_; }
+  const std::string& compartment_name() const;
+  Machine& machine();
+
+  // --- Memory access (capability-checked; faults are delivered to the
+  // nearest scoped handler, else the compartment's global handler) ---
+  Word LoadWord(const Capability& cap, int64_t offset = 0);
+  void StoreWord(const Capability& cap, int64_t offset, Word value);
+  void StoreWord(const Capability& cap, Word value) { StoreWord(cap, 0, value); }
+  uint8_t LoadByte(const Capability& cap, int64_t offset = 0);
+  void StoreByte(const Capability& cap, int64_t offset, uint8_t value);
+  Capability LoadCap(const Capability& cap, int64_t offset = 0);
+  void StoreCap(const Capability& cap, int64_t offset, const Capability& value);
+  void ReadBytes(const Capability& cap, int64_t offset, void* out, Address len);
+  void WriteBytes(const Capability& cap, int64_t offset, const void* in,
+                  Address len);
+  std::vector<uint8_t> ReadVector(const Capability& cap, int64_t offset,
+                                  Address len);
+  void Zero(const Capability& cap, int64_t offset, Address len);
+
+  // Burns CPU (models compute-heavy guest code, e.g. crypto inner loops).
+  void Burn(Cycles cycles);
+
+  // --- Globals & stack ---
+  Capability globals() const;
+
+  // RAII stack allocation: moves sp down; restored on destruction. The
+  // returned capability is local (no kGlobal) with permit-store-local.
+  class StackBuffer {
+   public:
+    StackBuffer(CompartmentCtx* ctx, Address bytes);
+    ~StackBuffer();
+    StackBuffer(const StackBuffer&) = delete;
+    StackBuffer& operator=(const StackBuffer&) = delete;
+    const Capability& cap() const { return cap_; }
+
+   private:
+    CompartmentCtx* ctx_;
+    Address bytes_;
+    Capability cap_;
+  };
+  StackBuffer AllocStack(Address bytes) { return StackBuffer(this, bytes); }
+  // Remaining stack below sp.
+  Address StackRemaining() const;
+  // Stack watermark tooling (§3.2.5): bytes of this thread's stack ever
+  // dirtied (loader zero-fills; we track the high-water mark).
+  Address StackPeakUse() const;
+
+  // --- Imports ---
+  const ImportBinding* FindImport(const std::string& qualified_name) const;
+  // Capability for an MMIO import (by device name). Throws trap-like
+  // invalid-argument on missing import (statically detectable; audited).
+  Capability Mmio(const std::string& device) const;
+  // Static sealed object / sealing key imports by name.
+  Capability SealedImport(const std::string& name) const;
+  Capability SealingKey(const std::string& type_name) const;
+
+  // --- Calls ---
+  // Compartment call via a declared import ("callee.export").
+  Capability Call(const std::string& qualified_name,
+                  const std::vector<Capability>& args = {});
+  // Shared-library call via a declared import ("library.export").
+  Capability LibCall(const std::string& qualified_name,
+                     const std::vector<Capability>& args = {});
+
+  // --- Allocator conveniences (compartment calls to "alloc.*"; the
+  // compartment must have imported them — see ImageBuilderExt helpers) ---
+  Capability HeapAllocate(const Capability& alloc_cap, Word size,
+                          Word timeout_cycles = ~0u);
+  Status HeapFree(const Capability& alloc_cap, const Capability& ptr);
+  Status HeapClaim(const Capability& alloc_cap, const Capability& ptr);
+  bool HeapCanFree(const Capability& alloc_cap, const Capability& ptr);
+  Word HeapQuotaRemaining(const Capability& alloc_cap);
+  Word HeapFreeAll(const Capability& alloc_cap);
+  // Ephemeral claim: a switcher primitive, not a compartment call (§3.2.5).
+  Status EphemeralClaim(const Capability& obj);
+
+  // --- Token API (§3.2.1) ---
+  Capability TokenKeyNew();
+  Capability TokenObjNew(const Capability& alloc_cap, const Capability& key,
+                         Word size);
+  // Library fast path.
+  Capability TokenUnseal(const Capability& key, const Capability& sealed_obj);
+  Status TokenObjDestroy(const Capability& alloc_cap, const Capability& key,
+                         const Capability& sealed_obj);
+
+  // --- Scheduler conveniences (compartment calls to "sched.*") ---
+  Status FutexWait(const Capability& word_cap, Word expected,
+                   Word timeout_cycles = ~0u);
+  int FutexWake(const Capability& word_cap, int count);
+  void Yield();
+  void SleepCycles(Cycles cycles);
+  Cycles Now() const;
+  int ThreadId() const;
+  Capability InterruptFutex(IrqLine line);
+  int MultiwaiterCreate(int max_events);
+  // events: capability to an array of {futex_addr, expected} word pairs.
+  Status MultiwaiterWait(int mw_id, const Capability& events, int count,
+                         Word timeout_cycles);
+  Status MultiwaiterDestroy(int mw_id);
+
+  // --- Error handling (§3.2.6) ---
+  // Scoped handler (DURING/HANDLER): runs body; a trap inside transfers to
+  // the returned TrapInfo instead of the global handler. Near-zero overhead
+  // on the non-error path (setjmp-style, six instructions in the original).
+  std::optional<TrapInfo> Try(const std::function<void()>& body);
+
+  // --- Micro-reboot orchestration (§3.2.6, five steps) ---
+  // Requires this compartment to be rebooting *itself* (typically from its
+  // error handler) or holding an import on the target's reset entry point.
+  void MicroRebootSelf();
+
+  // --- Debug ---
+  void DebugLog(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  // Compartment native state object (analog of compartment globals).
+  template <typename T>
+  T& State() {
+    return *static_cast<T*>(StateRaw());
+  }
+
+  // Internal: nesting depth of scoped handlers (consulted by trap delivery).
+  int scope_depth() const { return scope_depth_; }
+
+ private:
+  friend class StackBuffer;
+  void* StateRaw();
+  // Shared trap-dispatch wrapper: runs op; on TrapException applies the
+  // scoped/global/unwind policy, retrying once on kInstallContext with
+  // info.regs.a[0] as the replacement authority.
+  template <typename Fn>
+  auto Checked(const Capability& authority, Fn&& op) -> decltype(op(authority));
+
+  Capability CallSched(const char* name, const std::vector<Capability>& args);
+  Capability CallAlloc(const char* name, const std::vector<Capability>& args);
+
+  System* system_;
+  GuestThread* thread_;
+  int compartment_;
+  int scope_depth_ = 0;
+  bool in_error_handler_ = false;
+
+  friend class Switcher;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_RUNTIME_COMPARTMENT_CTX_H_

@@ -1,0 +1,45 @@
+#include "src/runtime/hardening.h"
+
+#include "src/hw/machine.h"
+
+namespace cheriot::hardening {
+
+Capability ReadOnly(const Capability& cap, Address len) {
+  return cap.WithBoundsAtCursor(len)
+      .WithoutPermission(Permission::kStore)
+      .WithoutPermission(Permission::kLoadMutable)
+      .WithoutPermission(Permission::kStoreLocal);
+}
+
+Capability WriteView(const Capability& cap, Address len) {
+  return cap.WithBoundsAtCursor(len);
+}
+
+Capability DeepImmutable(const Capability& cap) {
+  return cap.WithoutPermission(Permission::kStore)
+      .WithoutPermission(Permission::kLoadMutable)
+      .WithoutPermission(Permission::kStoreLocal);
+}
+
+Capability NoCapture(const Capability& cap) {
+  return cap.WithoutPermission(Permission::kGlobal)
+      .WithoutPermission(Permission::kLoadGlobal);
+}
+
+Capability ImmutableNoCapture(const Capability& cap) {
+  return NoCapture(DeepImmutable(cap));
+}
+
+bool CheckPointer(const Capability& cap, Address min_size,
+                  PermissionSet required) {
+  return cap.tag() && !cap.IsSealed() && cap.permissions().HasAll(required) &&
+         cap.InBounds(cap.cursor(), min_size);
+}
+
+bool CheckPointerCosted(Machine& machine, const Capability& cap,
+                        Address min_size, PermissionSet required) {
+  machine.Tick(44);  // Table 3: "Check a pointer" 44 cycles
+  return CheckPointer(cap, min_size, required);
+}
+
+}  // namespace cheriot::hardening

@@ -1,0 +1,47 @@
+// Interface-hardening helpers (§3.2.5): capability de-privileging before
+// sharing across a trust boundary, and input checking for pointers that
+// cross one. These are pure capability manipulations (sub-10-cycle register
+// operations on the real core, Table 3).
+#ifndef SRC_RUNTIME_HARDENING_H_
+#define SRC_RUNTIME_HARDENING_H_
+
+#include "src/base/costs.h"
+#include "src/cap/capability.h"
+
+namespace cheriot {
+class Machine;
+}
+
+namespace cheriot::hardening {
+
+// Tightens bounds around [cap.cursor(), cursor+len) and drops write rights.
+// Use before passing a read buffer to another compartment.
+Capability ReadOnly(const Capability& cap, Address len);
+
+// Tightens bounds and keeps write rights (e.g. a receive buffer).
+Capability WriteView(const Capability& cap, Address len);
+
+// Deep immutability: nothing reachable through the result can be modified
+// (strips kStore + kLoadMutable transitively via the load mechanism, §2.1).
+Capability DeepImmutable(const Capability& cap);
+
+// Deep no-capture: nothing reachable through the result can be captured by
+// the callee (strips kGlobal + kLoadGlobal, §2.1). Store requires
+// permit-store-local, which only stacks have.
+Capability NoCapture(const Capability& cap);
+
+// Both of the above: the strongest argument attenuation.
+Capability ImmutableNoCapture(const Capability& cap);
+
+// Input check (§3.2.5 "Checking inputs"): valid tag, unsealed, at least
+// min_size bytes from the cursor, all `required` permissions present.
+bool CheckPointer(const Capability& cap, Address min_size,
+                  PermissionSet required);
+
+// Charged variant used by guests (ticks the Table 3 "Check a pointer" cost).
+bool CheckPointerCosted(Machine& machine, const Capability& cap,
+                        Address min_size, PermissionSet required);
+
+}  // namespace cheriot::hardening
+
+#endif  // SRC_RUNTIME_HARDENING_H_

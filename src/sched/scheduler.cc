@@ -1,0 +1,246 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+namespace cheriot {
+
+void Scheduler::MakeReady(int thread_id) {
+  GuestThread& t = T(thread_id);
+  if (t.state == GuestThread::State::kExited) {
+    return;
+  }
+  if (t.state == GuestThread::State::kReady ||
+      t.state == GuestThread::State::kRunning) {
+    // Already schedulable; ensure presence in a queue happens elsewhere.
+  }
+  // Remove from futex wait set if present.
+  if (t.futex_addr != 0) {
+    auto it = futex_waiters_.find(t.futex_addr);
+    if (it != futex_waiters_.end()) {
+      auto& q = it->second;
+      q.erase(std::remove(q.begin(), q.end(), thread_id), q.end());
+      if (q.empty()) {
+        futex_waiters_.erase(it);
+      }
+    }
+    t.futex_addr = 0;
+  }
+  if (t.multiwaiter_id >= 0) {
+    multiwaiters_[t.multiwaiter_id].waiting_thread = -1;
+    t.multiwaiter_id = -1;
+  }
+  t.wake_at = GuestThread::kNoDeadline;
+  if (t.state != GuestThread::State::kReady &&
+      t.state != GuestThread::State::kRunning) {
+    t.state = GuestThread::State::kReady;
+    ready_[t.priority % kPriorities].push_back(thread_id);
+  }
+}
+
+void Scheduler::MakeBlocked(int thread_id, Address futex_addr, Cycles wake_at) {
+  GuestThread& t = T(thread_id);
+  RemoveFromReady(thread_id);
+  t.state = GuestThread::State::kBlocked;
+  t.futex_addr = futex_addr;
+  t.wake_at = wake_at;
+  t.timed_out = false;
+  if (futex_addr != 0) {
+    futex_waiters_[futex_addr].push_back(thread_id);
+  }
+}
+
+void Scheduler::MakeSleeping(int thread_id, Cycles wake_at) {
+  GuestThread& t = T(thread_id);
+  RemoveFromReady(thread_id);
+  t.state = GuestThread::State::kSleeping;
+  t.futex_addr = 0;
+  t.wake_at = wake_at;
+}
+
+int Scheduler::PickNext() const {
+  for (int p = kPriorities - 1; p >= 0; --p) {
+    for (int id : ready_[p]) {
+      if (T(id).state == GuestThread::State::kReady) {
+        return id;
+      }
+    }
+  }
+  return -1;
+}
+
+void Scheduler::RoundRobin(int thread_id) {
+  auto& q = ready_[T(thread_id).priority % kPriorities];
+  auto it = std::find(q.begin(), q.end(), thread_id);
+  if (it != q.end()) {
+    q.erase(it);
+    q.push_back(thread_id);
+  }
+}
+
+void Scheduler::RemoveFromReady(int thread_id) {
+  auto& q = ready_[T(thread_id).priority % kPriorities];
+  q.erase(std::remove(q.begin(), q.end(), thread_id), q.end());
+}
+
+int Scheduler::FutexWake(Address addr, int count) {
+  auto it = futex_waiters_.find(addr);
+  int woken = 0;
+  // Wake direct waiters first.
+  if (it != futex_waiters_.end()) {
+    while (woken < count && !it->second.empty()) {
+      const int id = it->second.front();
+      it->second.pop_front();
+      GuestThread& t = T(id);
+      t.futex_addr = 0;
+      t.timed_out = false;
+      t.wake_at = GuestThread::kNoDeadline;
+      if (t.state == GuestThread::State::kBlocked) {
+        t.state = GuestThread::State::kReady;
+        ready_[t.priority % kPriorities].push_back(id);
+      }
+      ++woken;
+    }
+    if (it->second.empty()) {
+      futex_waiters_.erase(it);
+    }
+  }
+  // Then multiwaiter waiters armed on this address.
+  for (size_t m = 0; m < multiwaiters_.size() && woken < count; ++m) {
+    auto& mw = multiwaiters_[m];
+    if (!mw.live || mw.waiting_thread < 0) {
+      continue;
+    }
+    if (std::find(mw.addrs.begin(), mw.addrs.end(), addr) == mw.addrs.end()) {
+      continue;
+    }
+    const int id = mw.waiting_thread;
+    mw.waiting_thread = -1;
+    GuestThread& t = T(id);
+    t.multiwaiter_id = -1;
+    t.timed_out = false;
+    t.wake_at = GuestThread::kNoDeadline;
+    if (t.state == GuestThread::State::kBlocked) {
+      t.state = GuestThread::State::kReady;
+      ready_[t.priority % kPriorities].push_back(id);
+    }
+    ++woken;
+  }
+  return woken;
+}
+
+int Scheduler::MultiwaiterCreate(int max_events) {
+  for (size_t i = 0; i < multiwaiters_.size(); ++i) {
+    if (!multiwaiters_[i].live) {
+      multiwaiters_[i] = {true, max_events, {}, -1};
+      return static_cast<int>(i);
+    }
+  }
+  multiwaiters_.push_back({true, max_events, {}, -1});
+  return static_cast<int>(multiwaiters_.size() - 1);
+}
+
+Status Scheduler::MultiwaiterDestroy(int mw_id) {
+  if (mw_id < 0 || mw_id >= static_cast<int>(multiwaiters_.size()) ||
+      !multiwaiters_[mw_id].live) {
+    return Status::kInvalidArgument;
+  }
+  if (multiwaiters_[mw_id].waiting_thread >= 0) {
+    return Status::kBusy;
+  }
+  multiwaiters_[mw_id].live = false;
+  return Status::kOk;
+}
+
+Status Scheduler::MultiwaiterArm(int mw_id, const std::vector<Address>& addrs) {
+  if (mw_id < 0 || mw_id >= static_cast<int>(multiwaiters_.size()) ||
+      !multiwaiters_[mw_id].live) {
+    return Status::kInvalidArgument;
+  }
+  if (static_cast<int>(addrs.size()) > multiwaiters_[mw_id].max_events) {
+    return Status::kOverflow;
+  }
+  multiwaiters_[mw_id].addrs = addrs;
+  return Status::kOk;
+}
+
+void Scheduler::MultiwaiterDisarm(int mw_id) {
+  if (mw_id >= 0 && mw_id < static_cast<int>(multiwaiters_.size())) {
+    multiwaiters_[mw_id].addrs.clear();
+    multiwaiters_[mw_id].waiting_thread = -1;
+  }
+}
+
+const std::vector<Address>* Scheduler::MultiwaiterAddresses(int mw_id) const {
+  if (mw_id < 0 || mw_id >= static_cast<int>(multiwaiters_.size()) ||
+      !multiwaiters_[mw_id].live) {
+    return nullptr;
+  }
+  return &multiwaiters_[mw_id].addrs;
+}
+
+void Scheduler::BlockOnMultiwaiter(int thread_id, int mw_id, Cycles wake_at) {
+  GuestThread& t = T(thread_id);
+  RemoveFromReady(thread_id);
+  t.state = GuestThread::State::kBlocked;
+  t.futex_addr = 0;
+  t.multiwaiter_id = mw_id;
+  t.wake_at = wake_at;
+  t.timed_out = false;
+  multiwaiters_[mw_id].waiting_thread = thread_id;
+}
+
+int Scheduler::WakeExpired(Cycles now) {
+  int woken = 0;
+  for (auto& t : *threads_) {
+    if ((t.state == GuestThread::State::kBlocked ||
+         t.state == GuestThread::State::kSleeping) &&
+        t.wake_at != GuestThread::kNoDeadline && t.wake_at <= now) {
+      t.timed_out = (t.state == GuestThread::State::kBlocked);
+      if (t.futex_addr != 0) {
+        auto it = futex_waiters_.find(t.futex_addr);
+        if (it != futex_waiters_.end()) {
+          auto& q = it->second;
+          q.erase(std::remove(q.begin(), q.end(), t.id), q.end());
+          if (q.empty()) {
+            futex_waiters_.erase(it);
+          }
+        }
+        t.futex_addr = 0;
+      }
+      if (t.multiwaiter_id >= 0) {
+        multiwaiters_[t.multiwaiter_id].waiting_thread = -1;
+        t.multiwaiter_id = -1;
+      }
+      t.wake_at = GuestThread::kNoDeadline;
+      t.state = GuestThread::State::kReady;
+      ready_[t.priority % kPriorities].push_back(t.id);
+      ++woken;
+    }
+  }
+  return woken;
+}
+
+std::optional<Cycles> Scheduler::NextDeadline() const {
+  std::optional<Cycles> next;
+  for (const auto& t : *threads_) {
+    if ((t.state == GuestThread::State::kBlocked ||
+         t.state == GuestThread::State::kSleeping) &&
+        t.wake_at != GuestThread::kNoDeadline) {
+      if (!next || t.wake_at < *next) {
+        next = t.wake_at;
+      }
+    }
+  }
+  return next;
+}
+
+bool Scheduler::AllExited() const {
+  for (const auto& t : *threads_) {
+    if (t.state != GuestThread::State::kExited) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cheriot

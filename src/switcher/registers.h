@@ -1,0 +1,37 @@
+// The architectural register file visible to the switcher and to error
+// handlers (§3.2.6: global handlers receive "a copy of the register file,
+// which [they] may modify"). CHERIoT is RV32E-derived: a small merged
+// integer/capability register file.
+#ifndef SRC_SWITCHER_REGISTERS_H_
+#define SRC_SWITCHER_REGISTERS_H_
+
+#include <array>
+
+#include "src/cap/capability.h"
+
+namespace cheriot {
+
+struct RegisterFile {
+  Capability pcc;                  // program counter capability
+  Capability ra;                   // return address (sealed as return sentry)
+  Capability csp;                  // stack capability
+  Capability cgp;                  // globals capability
+  std::array<Capability, 6> a{};   // argument/return registers a0..a5
+  std::array<Capability, 2> t{};   // temporaries
+  bool interrupts_enabled = true;  // current interrupt posture
+
+  void ClearTemporaries() {
+    for (auto& r : t) {
+      r = Capability();
+    }
+  }
+  void ClearArgumentsFrom(size_t first) {
+    for (size_t i = first; i < a.size(); ++i) {
+      a[i] = Capability();
+    }
+  }
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_SWITCHER_REGISTERS_H_

@@ -1,0 +1,73 @@
+#include "src/switcher/trusted_stack.h"
+
+#include "src/base/costs.h"
+#include "src/mem/trap.h"
+
+namespace cheriot {
+
+uint16_t TrustedStackView::Depth() const {
+  return static_cast<uint16_t>(mem_->LoadWord(authority_, base_) & 0xFFFF);
+}
+
+void TrustedStackView::SetDepth(uint16_t depth) {
+  const Word flags = mem_->LoadWord(authority_, base_) & 0xFFFF0000u;
+  mem_->StoreWord(authority_, base_, flags | depth);
+}
+
+void TrustedStackView::Push(const TrustedFrame& frame) {
+  const uint16_t depth = Depth();
+  if (depth >= max_frames_) {
+    throw TrapException(TrapCode::kTrustedStackOverflow, base_,
+                        "compartment-call depth exhausted");
+  }
+  const Address at = FrameAddress(depth);
+  mem_->StoreWord(authority_, at,
+                  (static_cast<Word>(frame.caller_compartment) << 16) |
+                      frame.callee_compartment);
+  mem_->StoreWord(authority_, at + 4,
+                  (static_cast<Word>(frame.export_index) << 16) |
+                      frame.posture_and_flags);
+  mem_->StoreWord(authority_, at + 8, frame.sp_at_call);
+  mem_->StoreWord(authority_, at + 12, frame.high_water_at_call);
+  SetDepth(depth + 1);
+}
+
+TrustedFrame TrustedStackView::Pop() {
+  const TrustedFrame f = Peek(0);
+  SetDepth(Depth() - 1);
+  return f;
+}
+
+TrustedFrame TrustedStackView::Peek(int from_top) const {
+  const uint16_t depth = Depth();
+  if (depth == 0 || from_top >= depth) {
+    throw TrapException(TrapCode::kTrustedStackOverflow, base_,
+                        "trusted stack underflow");
+  }
+  const Address at = FrameAddress(depth - 1 - from_top);
+  TrustedFrame f;
+  const Word w0 = mem_->LoadWord(authority_, at);
+  const Word w1 = mem_->LoadWord(authority_, at + 4);
+  f.caller_compartment = static_cast<uint16_t>(w0 >> 16);
+  f.callee_compartment = static_cast<uint16_t>(w0 & 0xFFFF);
+  f.export_index = static_cast<uint16_t>(w1 >> 16);
+  f.posture_and_flags = static_cast<uint16_t>(w1 & 0xFFFF);
+  f.sp_at_call = mem_->LoadWord(authority_, at + 8);
+  f.high_water_at_call = mem_->LoadWord(authority_, at + 12);
+  return f;
+}
+
+Address TrustedStackView::HazardSlot(int i) const {
+  return mem_->LoadWord(authority_, base_ + 4 + static_cast<Address>(i) * 4);
+}
+
+void TrustedStackView::SetHazardSlot(int i, Address value) {
+  mem_->StoreWord(authority_, base_ + 4 + static_cast<Address>(i) * 4, value);
+}
+
+void TrustedStackView::ChargeRegisterSave() {
+  // 16 capability stores into the register-save area.
+  mem_->clock().Tick(16 * cost::kStoreCap);
+}
+
+}  // namespace cheriot

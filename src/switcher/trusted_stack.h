@@ -1,0 +1,73 @@
+// The per-thread trusted stack (§3.1.2): a region of simulated memory
+// exclusively accessible to the switcher. Holds the register-save area for
+// context switches, the ephemeral-claim hazard slots, and one frame per
+// in-flight compartment call so the switcher can return safely even if the
+// compartment corrupted everything it can reach.
+//
+// Layout (all offsets from trusted_stack_base):
+//   0   u16 depth
+//   2   u16 flags
+//   4   u32 hazard slot 0   (ephemeral claims, §3.2.5)
+//   8   u32 hazard slot 1
+//   12  u32 reserved
+//   16  register save area (16 capability slots, 128 bytes)
+//   144 frames[max_frames], 16 bytes each:
+//       +0  u32 (caller_compartment << 16) | callee_compartment
+//       +4  u32 (export_index << 16) | posture_and_flags
+//       +8  u32 sp at call
+//       +12 u32 stack high-water at call
+#ifndef SRC_SWITCHER_TRUSTED_STACK_H_
+#define SRC_SWITCHER_TRUSTED_STACK_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+#include "src/cap/capability.h"
+#include "src/mem/memory.h"
+
+namespace cheriot {
+
+struct TrustedFrame {
+  uint16_t caller_compartment = 0xFFFF;
+  uint16_t callee_compartment = 0;
+  uint16_t export_index = 0;
+  uint16_t posture_and_flags = 0;
+  Address sp_at_call = 0;
+  Address high_water_at_call = 0;
+};
+
+class TrustedStackView {
+ public:
+  TrustedStackView(Memory* mem, const Capability& authority, Address base,
+                   uint16_t max_frames)
+      : mem_(mem), authority_(authority), base_(base),
+        max_frames_(max_frames) {}
+
+  uint16_t Depth() const;
+  void SetDepth(uint16_t depth);
+  bool Full() const { return Depth() >= max_frames_; }
+
+  void Push(const TrustedFrame& frame);
+  TrustedFrame Pop();
+  TrustedFrame Peek(int from_top = 0) const;  // 0 = innermost
+
+  Address HazardSlot(int i) const;
+  void SetHazardSlot(int i, Address value);
+
+  // Charges the cost of spilling/restoring the register save area.
+  void ChargeRegisterSave();
+
+ private:
+  Address FrameAddress(uint16_t index) const {
+    return base_ + 144 + static_cast<Address>(index) * 16;
+  }
+
+  Memory* mem_;
+  Capability authority_;
+  Address base_;
+  uint16_t max_frames_;
+};
+
+}  // namespace cheriot
+
+#endif  // SRC_SWITCHER_TRUSTED_STACK_H_

@@ -1,0 +1,85 @@
+#include "src/sync/sync.h"
+
+namespace cheriot::sync {
+
+void RegisterEventGroupLibrary(ImageBuilder& image) {
+  if (image.FindLibrary("events") != nullptr) {
+    return;
+  }
+  auto lib = image.Library("events");
+  lib.CodeSize(384);
+  lib.Export(
+      "event_set",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word bits = args[1].word();
+        ctx.StoreWord(word, 0, ctx.LoadWord(word, 0) | bits);
+        ctx.FutexWake(word, 1 << 30);
+        return StatusCap(Status::kOk);
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "event_clear",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word bits = args[1].word();
+        ctx.StoreWord(word, 0, ctx.LoadWord(word, 0) & ~bits);
+        return StatusCap(Status::kOk);
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "event_wait",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word bits = args[1].word();
+        const bool all = args[2].word() != 0;
+        const Word timeout = args.size() > 3 ? args[3].word() : ~0u;
+        for (;;) {
+          const Word v = ctx.LoadWord(word, 0);
+          const bool satisfied = all ? ((v & bits) == bits) : ((v & bits) != 0);
+          if (satisfied) {
+            return WordCap(v);
+          }
+          const Status s = ctx.FutexWait(word, v, timeout);
+          if (s == Status::kTimedOut) {
+            return StatusCap(Status::kTimedOut);
+          }
+        }
+      },
+      64, InterruptPosture::kDisabled);
+}
+
+void UseEventGroups(ImageBuilder& image, const std::string& compartment) {
+  RegisterEventGroupLibrary(image);
+  image.Compartment(compartment)
+      .ImportLibrary("events.event_set")
+      .ImportLibrary("events.event_clear")
+      .ImportLibrary("events.event_wait");
+  UseScheduler(image, compartment);
+}
+
+void EventGroup::Set(CompartmentCtx& ctx, Word bits) {
+  ctx.LibCall("events.event_set", {word_, WordCap(bits)});
+}
+
+void EventGroup::Clear(CompartmentCtx& ctx, Word bits) {
+  ctx.LibCall("events.event_clear", {word_, WordCap(bits)});
+}
+
+Status EventGroup::WaitAny(CompartmentCtx& ctx, Word bits,
+                           Word timeout_cycles) {
+  const Capability r = ctx.LibCall(
+      "events.event_wait", {word_, WordCap(bits), WordCap(0), WordCap(timeout_cycles)});
+  const auto v = static_cast<int32_t>(r.word());
+  return v < 0 ? static_cast<Status>(v) : Status::kOk;
+}
+
+Status EventGroup::WaitAll(CompartmentCtx& ctx, Word bits,
+                           Word timeout_cycles) {
+  const Capability r = ctx.LibCall(
+      "events.event_wait", {word_, WordCap(bits), WordCap(1), WordCap(timeout_cycles)});
+  const auto v = static_cast<int32_t>(r.word());
+  return v < 0 ? static_cast<Status>(v) : Status::kOk;
+}
+
+}  // namespace cheriot::sync

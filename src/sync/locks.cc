@@ -1,0 +1,106 @@
+#include "src/sync/sync.h"
+
+namespace cheriot::sync {
+
+namespace {
+// Futex-word mutex protocol: 0 = free, 1 = locked, 2 = locked+contended.
+// The library entry points run with interrupts disabled (the sentry in the
+// import table carries the posture, §2.1), which makes load-modify-store
+// atomic on the single-core target.
+constexpr Word kFree = 0;
+constexpr Word kLocked = 1;
+constexpr Word kContended = 2;
+}  // namespace
+
+void RegisterLocksLibrary(ImageBuilder& image) {
+  if (image.FindLibrary("locks") != nullptr) {
+    return;
+  }
+  auto lib = image.Library("locks");
+  lib.CodeSize(512);  // Fig. 5: locks are a small shared library
+  lib.Export(
+      "mutex_lock",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word timeout = args.size() > 1 ? args[1].word() : ~0u;
+        for (;;) {
+          const Word v = ctx.LoadWord(word, 0);
+          if (v == kFree) {
+            ctx.StoreWord(word, 0, kLocked);
+            return StatusCap(Status::kOk);
+          }
+          // Mark contended so unlock knows to wake us, then sleep. The
+          // scheduler compares the word again under our (load-only)
+          // capability; it cannot fabricate ownership (§3.2.4).
+          if (v == kLocked) {
+            ctx.StoreWord(word, 0, kContended);
+          }
+          const Status s = ctx.FutexWait(word, kContended, timeout);
+          if (s == Status::kTimedOut) {
+            return StatusCap(Status::kTimedOut);
+          }
+        }
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "mutex_unlock",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word v = ctx.LoadWord(word, 0);
+        ctx.StoreWord(word, 0, kFree);
+        if (v == kContended) {
+          ctx.FutexWake(word, 1);
+        }
+        return StatusCap(Status::kOk);
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "mutex_trylock",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        if (ctx.LoadWord(word, 0) == kFree) {
+          ctx.StoreWord(word, 0, kLocked);
+          return StatusCap(Status::kOk);
+        }
+        return StatusCap(Status::kWouldBlock);
+      },
+      64, InterruptPosture::kDisabled);
+}
+
+void UseScheduler(ImageBuilder& image, const std::string& compartment) {
+  image.Compartment(compartment)
+      .ImportCompartment("sched.futex_timed_wait")
+      .ImportCompartment("sched.futex_wake")
+      .ImportCompartment("sched.yield")
+      .ImportCompartment("sched.sleep");
+}
+
+void UseAllocator(ImageBuilder& image, const std::string& compartment) {
+  image.Compartment(compartment)
+      .ImportCompartment("alloc.heap_allocate")
+      .ImportCompartment("alloc.heap_free")
+      .ImportCompartment("alloc.heap_claim")
+      .ImportCompartment("alloc.quota_remaining")
+      .ImportLibrary("token.token_unseal");
+}
+
+void UseLocks(ImageBuilder& image, const std::string& compartment) {
+  RegisterLocksLibrary(image);
+  image.Compartment(compartment)
+      .ImportLibrary("locks.mutex_lock")
+      .ImportLibrary("locks.mutex_unlock")
+      .ImportLibrary("locks.mutex_trylock");
+  UseScheduler(image, compartment);
+}
+
+Status Mutex::Lock(CompartmentCtx& ctx, Word timeout_cycles) {
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.LibCall("locks.mutex_lock", {word_, WordCap(timeout_cycles)})
+          .word()));
+}
+
+void Mutex::Unlock(CompartmentCtx& ctx) {
+  ctx.LibCall("locks.mutex_unlock", {word_});
+}
+
+}  // namespace cheriot::sync

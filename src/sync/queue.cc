@@ -1,0 +1,255 @@
+#include "src/sync/sync.h"
+
+#include <vector>
+
+#include "src/runtime/hardening.h"
+
+namespace cheriot::sync {
+
+namespace {
+// Buffer layout offsets (see sync.h).
+constexpr int kElemSize = 0;
+constexpr int kCapacity = 4;
+constexpr int kHead = 8;
+constexpr int kTail = 12;
+constexpr int kCount = 16;
+constexpr int kSpaceSeq = 20;  // futex word: bumped when space appears
+constexpr int kItemSeq = 24;   // futex word: bumped when an item appears
+
+Capability QueueSendImpl(CompartmentCtx& ctx, const Capability& buf,
+                         const Capability& msg, Word timeout) {
+  const Word elem_size = ctx.LoadWord(buf, kElemSize);
+  const Word capacity = ctx.LoadWord(buf, kCapacity);
+  if (elem_size == 0 || capacity == 0 ||
+      !hardening::CheckPointer(msg, elem_size,
+                               PermissionSet({Permission::kLoad}))) {
+    return StatusCap(Status::kInvalidArgument);
+  }
+  for (;;) {
+    const Word count = ctx.LoadWord(buf, kCount);
+    if (count < capacity) {
+      const Word tail = ctx.LoadWord(buf, kTail);
+      std::vector<uint8_t> tmp(elem_size);
+      ctx.ReadBytes(msg, 0, tmp.data(), elem_size);
+      ctx.WriteBytes(buf, kQueueHeaderBytes + tail * elem_size, tmp.data(),
+                     elem_size);
+      ctx.StoreWord(buf, kTail, (tail + 1) % capacity);
+      ctx.StoreWord(buf, kCount, count + 1);
+      ctx.StoreWord(buf, kItemSeq, ctx.LoadWord(buf, kItemSeq) + 1);
+      ctx.FutexWake(buf.AddOffset(kItemSeq), 1);
+      return StatusCap(Status::kOk);
+    }
+    const Word seq = ctx.LoadWord(buf, kSpaceSeq);
+    const Status s = ctx.FutexWait(buf.AddOffset(kSpaceSeq), seq, timeout);
+    if (s == Status::kTimedOut) {
+      return StatusCap(Status::kTimedOut);
+    }
+  }
+}
+
+Capability QueueReceiveImpl(CompartmentCtx& ctx, const Capability& buf,
+                            const Capability& out, Word timeout) {
+  const Word elem_size = ctx.LoadWord(buf, kElemSize);
+  const Word capacity = ctx.LoadWord(buf, kCapacity);
+  if (elem_size == 0 || capacity == 0 ||
+      !hardening::CheckPointer(
+          out, elem_size,
+          PermissionSet({Permission::kLoad, Permission::kStore}))) {
+    return StatusCap(Status::kInvalidArgument);
+  }
+  for (;;) {
+    const Word count = ctx.LoadWord(buf, kCount);
+    if (count > 0) {
+      const Word head = ctx.LoadWord(buf, kHead);
+      std::vector<uint8_t> tmp(elem_size);
+      ctx.ReadBytes(buf, kQueueHeaderBytes + head * elem_size, tmp.data(),
+                    elem_size);
+      ctx.WriteBytes(out, 0, tmp.data(), elem_size);
+      ctx.StoreWord(buf, kHead, (head + 1) % capacity);
+      ctx.StoreWord(buf, kCount, count - 1);
+      ctx.StoreWord(buf, kSpaceSeq, ctx.LoadWord(buf, kSpaceSeq) + 1);
+      ctx.FutexWake(buf.AddOffset(kSpaceSeq), 1);
+      return StatusCap(Status::kOk);
+    }
+    const Word seq = ctx.LoadWord(buf, kItemSeq);
+    const Status s = ctx.FutexWait(buf.AddOffset(kItemSeq), seq, timeout);
+    if (s == Status::kTimedOut) {
+      return StatusCap(Status::kTimedOut);
+    }
+  }
+}
+}  // namespace
+
+void RegisterQueueLibrary(ImageBuilder& image) {
+  if (image.FindLibrary("queue") != nullptr) {
+    return;
+  }
+  auto lib = image.Library("queue");
+  lib.CodeSize(768);
+  lib.Export(
+      "queue_init",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability buf = args[0];
+        const Word elem_size = args[1].word();
+        const Word capacity = args[2].word();
+        if (!hardening::CheckPointer(
+                buf, QueueBufferBytes(elem_size, capacity),
+                PermissionSet({Permission::kLoad, Permission::kStore}))) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        ctx.Zero(buf, 0, kQueueHeaderBytes);
+        ctx.StoreWord(buf, kElemSize, elem_size);
+        ctx.StoreWord(buf, kCapacity, capacity);
+        return StatusCap(Status::kOk);
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "queue_send",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        return QueueSendImpl(ctx, args[0], args[1],
+                             args.size() > 2 ? args[2].word() : ~0u);
+      },
+      128, InterruptPosture::kDisabled);
+  lib.Export(
+      "queue_receive",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        return QueueReceiveImpl(ctx, args[0], args[1],
+                                args.size() > 2 ? args[2].word() : ~0u);
+      },
+      128, InterruptPosture::kDisabled);
+  lib.Export(
+      "queue_count",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        return WordCap(ctx.LoadWord(args[0], kCount));
+      },
+      64, InterruptPosture::kDisabled);
+}
+
+void RegisterQueueCompartment(ImageBuilder& image) {
+  RegisterQueueLibrary(image);
+  if (image.FindCompartment("message_queue") != nullptr) {
+    return;
+  }
+  // The hardened flavour (§3.2.4): queues become opaque objects; memory is
+  // allocated with the *caller's* quota (quota delegation, §3.2.3) via the
+  // sealed-allocation API so the caller cannot free it out from under us.
+  auto comp = image.Compartment("message_queue");
+  comp.CodeSize(2 * 1024, /*wrapper_bytes=*/700)
+      .Globals(16)
+      .OwnSealingType("message_queue.handle")
+      .ImportCompartment("alloc.token_obj_new")
+      .ImportCompartment("alloc.token_obj_destroy")
+      .ImportLibrary("token.token_unseal")
+      .ImportLibrary("queue.queue_init")
+      .ImportLibrary("queue.queue_send")
+      .ImportLibrary("queue.queue_receive")
+      .ImportLibrary("queue.queue_count");
+  UseScheduler(image, "message_queue");
+
+  auto unseal_handle = [](CompartmentCtx& ctx, const Capability& handle) {
+    return ctx.TokenUnseal(ctx.SealingKey("message_queue.handle"), handle);
+  };
+
+  comp.Export(
+      "create",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability caller_quota = args[0];
+        const Word elem_size = args[1].word();
+        const Word capacity = args[2].word();
+        if (elem_size == 0 || elem_size > 4096 || capacity == 0 ||
+            capacity > 4096) {
+          return StatusCap(Status::kInvalidArgument);
+        }
+        const Capability key = ctx.SealingKey("message_queue.handle");
+        const Capability handle = ctx.TokenObjNew(
+            caller_quota, key, QueueBufferBytes(elem_size, capacity));
+        if (!handle.tag()) {
+          return handle;  // propagate allocator status
+        }
+        const Capability buf = ctx.TokenUnseal(key, handle);
+        ctx.LibCall("queue.queue_init",
+                    {buf, WordCap(elem_size), WordCap(capacity)});
+        return handle;
+      });
+  comp.Export("send", [unseal_handle](CompartmentCtx& ctx,
+                                      const std::vector<Capability>& args) {
+    const Capability buf = unseal_handle(ctx, args[0]);
+    if (!buf.tag()) {
+      return StatusCap(Status::kInvalidArgument);
+    }
+    return QueueSendImpl(ctx, buf, args[1],
+                         args.size() > 2 ? args[2].word() : ~0u);
+  });
+  comp.Export("receive", [unseal_handle](CompartmentCtx& ctx,
+                                         const std::vector<Capability>& args) {
+    const Capability buf = unseal_handle(ctx, args[0]);
+    if (!buf.tag()) {
+      return StatusCap(Status::kInvalidArgument);
+    }
+    return QueueReceiveImpl(ctx, buf, args[1],
+                            args.size() > 2 ? args[2].word() : ~0u);
+  });
+  comp.Export("count", [unseal_handle](CompartmentCtx& ctx,
+                                       const std::vector<Capability>& args) {
+    const Capability buf = unseal_handle(ctx, args[0]);
+    if (!buf.tag()) {
+      return StatusCap(Status::kInvalidArgument);
+    }
+    return WordCap(ctx.LoadWord(buf, kCount));
+  });
+  comp.Export("destroy", [](CompartmentCtx& ctx,
+                            const std::vector<Capability>& args) {
+    // Destroying requires both the caller's allocation capability and our
+    // sealing key (§3.2.3).
+    return StatusCap(ctx.TokenObjDestroy(
+        args[0], ctx.SealingKey("message_queue.handle"), args[1]));
+  });
+}
+
+void UseQueueLibrary(ImageBuilder& image, const std::string& compartment) {
+  RegisterQueueLibrary(image);
+  image.Compartment(compartment)
+      .ImportLibrary("queue.queue_init")
+      .ImportLibrary("queue.queue_send")
+      .ImportLibrary("queue.queue_receive")
+      .ImportLibrary("queue.queue_count");
+  UseScheduler(image, compartment);
+}
+
+void UseQueueCompartment(ImageBuilder& image, const std::string& compartment) {
+  RegisterQueueCompartment(image);
+  image.Compartment(compartment)
+      .ImportCompartment("message_queue.create")
+      .ImportCompartment("message_queue.send")
+      .ImportCompartment("message_queue.receive")
+      .ImportCompartment("message_queue.count")
+      .ImportCompartment("message_queue.destroy");
+}
+
+Queue Queue::Init(CompartmentCtx& ctx, Capability buffer, Word elem_size,
+                  Word capacity) {
+  ctx.LibCall("queue.queue_init",
+              {buffer, WordCap(elem_size), WordCap(capacity)});
+  return Queue(buffer);
+}
+
+Status Queue::Send(CompartmentCtx& ctx, const Capability& msg,
+                   Word timeout_cycles) {
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.LibCall("queue.queue_send", {buffer_, msg, WordCap(timeout_cycles)})
+          .word()));
+}
+
+Status Queue::Receive(CompartmentCtx& ctx, const Capability& out,
+                      Word timeout_cycles) {
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.LibCall("queue.queue_receive",
+                  {buffer_, out, WordCap(timeout_cycles)})
+          .word()));
+}
+
+Word Queue::Count(CompartmentCtx& ctx) const {
+  return ctx.LibCall("queue.queue_count", {buffer_}).word();
+}
+
+}  // namespace cheriot::sync

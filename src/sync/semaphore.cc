@@ -1,0 +1,63 @@
+#include "src/sync/sync.h"
+
+namespace cheriot::sync {
+
+void RegisterSemaphoreLibrary(ImageBuilder& image) {
+  if (image.FindLibrary("semaphore") != nullptr) {
+    return;
+  }
+  auto lib = image.Library("semaphore");
+  lib.CodeSize(256);
+  // The futex word *is* the counter.
+  lib.Export(
+      "sem_get",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word timeout = args.size() > 1 ? args[1].word() : ~0u;
+        for (;;) {
+          const Word count = ctx.LoadWord(word, 0);
+          if (count > 0) {
+            ctx.StoreWord(word, 0, count - 1);
+            return StatusCap(Status::kOk);
+          }
+          const Status s = ctx.FutexWait(word, 0, timeout);
+          if (s == Status::kTimedOut) {
+            return StatusCap(Status::kTimedOut);
+          }
+        }
+      },
+      64, InterruptPosture::kDisabled);
+  lib.Export(
+      "sem_put",
+      [](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        const Capability word = args[0];
+        const Word count = ctx.LoadWord(word, 0);
+        ctx.StoreWord(word, 0, count + 1);
+        if (count == 0) {
+          ctx.FutexWake(word, 1);
+        }
+        return StatusCap(Status::kOk);
+      },
+      64, InterruptPosture::kDisabled);
+}
+
+void UseSemaphore(ImageBuilder& image, const std::string& compartment) {
+  RegisterSemaphoreLibrary(image);
+  image.Compartment(compartment)
+      .ImportLibrary("semaphore.sem_get")
+      .ImportLibrary("semaphore.sem_put");
+  UseScheduler(image, compartment);
+}
+
+Status Semaphore::Get(CompartmentCtx& ctx, Word timeout_cycles) {
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.LibCall("semaphore.sem_get", {word_, WordCap(timeout_cycles)})
+          .word()));
+}
+
+Status Semaphore::Put(CompartmentCtx& ctx) {
+  return static_cast<Status>(static_cast<int32_t>(
+      ctx.LibCall("semaphore.sem_put", {word_}).word()));
+}
+
+}  // namespace cheriot::sync

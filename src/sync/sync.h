@@ -1,0 +1,123 @@
+// Thread synchronization and communication (§3.2.4), built from the
+// scheduler's least-privilege futex primitive.
+//
+// Locks, semaphores and event groups are *shared libraries*: no security
+// context of their own, state lives in a caller-provided futex word, and the
+// scheduler is trusted only for availability — it can fail to wake a thread
+// but cannot forge lock ownership. Message queues come in two flavours: the
+// library (for threads that trust each other) and a compartment that wraps
+// the library behind opaque handles for mutual distrust.
+#ifndef SRC_SYNC_SYNC_H_
+#define SRC_SYNC_SYNC_H_
+
+#include <string>
+
+#include "src/firmware/image.h"
+#include "src/runtime/compartment_ctx.h"
+
+namespace cheriot::sync {
+
+// --- Library registration (adds "locks", "semaphore", "events", "queue"
+// shared libraries to the image) ---
+void RegisterLocksLibrary(ImageBuilder& image);
+void RegisterSemaphoreLibrary(ImageBuilder& image);
+void RegisterEventGroupLibrary(ImageBuilder& image);
+void RegisterQueueLibrary(ImageBuilder& image);
+// The compartment-hardened message queue (opaque handles, quota-delegated
+// allocation, interface hardening).
+void RegisterQueueCompartment(ImageBuilder& image);
+
+// --- Import helpers: wire a compartment up to the usual dependencies ---
+void UseScheduler(ImageBuilder& image, const std::string& compartment);
+void UseAllocator(ImageBuilder& image, const std::string& compartment);
+void UseLocks(ImageBuilder& image, const std::string& compartment);
+void UseSemaphore(ImageBuilder& image, const std::string& compartment);
+void UseEventGroups(ImageBuilder& image, const std::string& compartment);
+void UseQueueLibrary(ImageBuilder& image, const std::string& compartment);
+void UseQueueCompartment(ImageBuilder& image, const std::string& compartment);
+
+// --- Guest-side wrappers (thin sugar over the library calls) ---
+
+// A futex-backed mutex whose state word the caller owns (typically a private
+// compartment global, §3.2.4).
+class Mutex {
+ public:
+  explicit Mutex(Capability word) : word_(word) {}
+  Status Lock(CompartmentCtx& ctx, Word timeout_cycles = ~0u);
+  void Unlock(CompartmentCtx& ctx);
+  const Capability& word() const { return word_; }
+
+ private:
+  Capability word_;
+};
+
+// RAII guard.
+class LockGuard {
+ public:
+  LockGuard(CompartmentCtx& ctx, Mutex& mutex) : ctx_(ctx), mutex_(mutex) {
+    status_ = mutex_.Lock(ctx_);
+  }
+  ~LockGuard() {
+    if (status_ == Status::kOk) {
+      mutex_.Unlock(ctx_);
+    }
+  }
+  Status status() const { return status_; }
+
+ private:
+  CompartmentCtx& ctx_;
+  Mutex& mutex_;
+  Status status_;
+};
+
+class Semaphore {
+ public:
+  explicit Semaphore(Capability word) : word_(word) {}
+  Status Get(CompartmentCtx& ctx, Word timeout_cycles = ~0u);
+  Status Put(CompartmentCtx& ctx);
+
+ private:
+  Capability word_;
+};
+
+class EventGroup {
+ public:
+  explicit EventGroup(Capability word) : word_(word) {}
+  // Sets bits and wakes waiters.
+  void Set(CompartmentCtx& ctx, Word bits);
+  void Clear(CompartmentCtx& ctx, Word bits);
+  // Waits until (value & bits) is nonzero (any) or covers bits (all).
+  Status WaitAny(CompartmentCtx& ctx, Word bits, Word timeout_cycles = ~0u);
+  Status WaitAll(CompartmentCtx& ctx, Word bits, Word timeout_cycles = ~0u);
+
+ private:
+  Capability word_;
+};
+
+// Library message queue over a caller-provided heap buffer.
+// Buffer layout: {elem_size, capacity, head, tail, count, send_futex,
+// recv_futex, pad} then data.
+inline constexpr Word kQueueHeaderBytes = 32;
+inline Word QueueBufferBytes(Word elem_size, Word capacity) {
+  return kQueueHeaderBytes + elem_size * capacity;
+}
+
+class Queue {
+ public:
+  explicit Queue(Capability buffer) : buffer_(buffer) {}
+  static Queue Init(CompartmentCtx& ctx, Capability buffer, Word elem_size,
+                    Word capacity);
+  Status Send(CompartmentCtx& ctx, const Capability& msg,
+              Word timeout_cycles = ~0u);
+  Status Receive(CompartmentCtx& ctx, const Capability& out,
+                 Word timeout_cycles = ~0u);
+  Word Count(CompartmentCtx& ctx) const;
+  const Capability& buffer() const { return buffer_; }
+
+ private:
+  Capability buffer_;
+};
+
+}  // namespace cheriot::sync
+
+#endif  // SRC_SYNC_SYNC_H_

@@ -1,0 +1,362 @@
+// Deep allocator tests (§3.1.3, §3.2.2-3, §3.2.5): temporal safety through
+// quarantine + revocation, zero-on-reuse, claims and the TOCTOU defence,
+// ephemeral claims, quota delegation, heap_free_all, and blocking
+// allocation while the revoker drains quarantine.
+#include <gtest/gtest.h>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<int> codes;
+  std::vector<Word> words;
+  Capability cap;
+};
+
+// Runs `body` in an "app" compartment with a quota and full allocator access.
+class AllocatorTest : public ::testing::Test {
+ protected:
+  void RunGuest(Word quota,
+                std::function<void(CompartmentCtx&, std::shared_ptr<Shared>)> body) {
+    machine_ = std::make_unique<Machine>();
+    ImageBuilder b("alloc-test");
+    auto shared = shared_;
+    b.Compartment("app")
+        .Globals(32)
+        .AllocCap("q", quota)
+        .AllocCap("q2", quota)
+        .Export("main", [body, shared](CompartmentCtx& ctx,
+                                       const std::vector<Capability>&) {
+          body(ctx, shared);
+          return StatusCap(Status::kOk);
+        });
+    sync::UseAllocator(b, "app");
+    sync::UseScheduler(b, "app");
+    b.Compartment("app")
+        .ImportCompartment("alloc.heap_free_all")
+        .ImportCompartment("alloc.heap_can_free")
+        .ImportCompartment("alloc.token_key_new")
+        .ImportCompartment("alloc.token_obj_new")
+        .ImportCompartment("alloc.token_obj_destroy");
+    b.Thread("t", 1, 8192, 8, "app.main");
+    system_ = std::make_unique<System>(*machine_, b.Build());
+    system_->Boot();
+    ASSERT_EQ(system_->Run(20'000'000'000ull), System::RunResult::kAllExited);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<System> system_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(AllocatorTest, UseAfterFreeTrapsImmediately) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability p = ctx.HeapAllocate(q, 64);
+    ctx.StoreWord(p, 0, 42);
+    ctx.HeapFree(q, p);
+    // "Accesses to freed objects trap as soon as free returns" (§3.1.3).
+    auto info = ctx.Try([&] { ctx.LoadWord(p, 0); });
+    shared->codes.push_back(info.has_value() ? 1 : 0);
+    auto winfo = ctx.Try([&] { ctx.StoreWord(p, 0, 1); });
+    shared->codes.push_back(winfo.has_value() ? 1 : 0);
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 1}));
+}
+
+TEST_F(AllocatorTest, StaleCapabilityInMemoryIsLoadFiltered) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability p = ctx.HeapAllocate(q, 64);
+    // Stash the pointer in a global, free the object, reload: the load
+    // filter must hand back an untagged value (§2.1).
+    ctx.StoreCap(ctx.globals(), 0, p);
+    ctx.HeapFree(q, p);
+    const Capability stale = ctx.LoadCap(ctx.globals(), 0);
+    shared->codes.push_back(stale.tag() ? 0 : 1);
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1}));
+}
+
+TEST_F(AllocatorTest, ReusedMemoryIsZeroedAndRequiresSweep) {
+  // Allocate more than half the heap, free it, then allocate a still-larger
+  // block: satisfying the second allocation *requires* reusing the freed
+  // region, which in turn requires a completed revocation pass (§3.1.3).
+  RunGuest(512 * 1024, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability first = ctx.HeapAllocate(q, 120 * 1024, ~0u);
+    if (!first.tag()) {
+      shared->codes.push_back(-1);
+      return;
+    }
+    for (int i = 0; i < 64; ++i) {
+      ctx.StoreWord(first, 4 * i, 0xFEEDF00D);
+    }
+    ctx.HeapFree(q, first);
+    const Capability again = ctx.HeapAllocate(q, 150 * 1024, /*timeout=*/~0u);
+    shared->codes.push_back(again.tag() ? 1 : 0);
+    if (again.tag()) {
+      Word acc = 0;
+      for (int i = 0; i < 512; ++i) {
+        acc |= ctx.LoadWord(again, 4 * i);
+      }
+      shared->words.push_back(acc);
+    }
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1}));
+  EXPECT_EQ(shared_->words, (std::vector<Word>{0}));
+  // Reuse implies at least one completed revocation pass.
+  EXPECT_GE(machine_->revoker().epoch(), 1u);
+}
+
+TEST_F(AllocatorTest, ClaimKeepsObjectAliveAcrossOwnersFree) {
+  // The TOCTOU defence (§3.2.5): a callee claims an object so the caller
+  // cannot free it out from under the callee mid-operation.
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability q2 = ctx.SealedImport("q2");
+    const Capability p = ctx.HeapAllocate(q, 64);
+    ctx.StoreWord(p, 0, 7777);
+    // Second quota claims the object.
+    shared->codes.push_back(static_cast<int>(ctx.HeapClaim(q2, p)));
+    // Owner frees: memory must stay usable (a claim holds it).
+    ctx.HeapFree(q, p);
+    auto info = ctx.Try([&] { shared->words.push_back(ctx.LoadWord(p, 0)); });
+    shared->codes.push_back(info.has_value() ? 0 : 1);
+    // Release the claim: now it really goes away.
+    ctx.HeapFree(q2, p);
+    auto gone = ctx.Try([&] { ctx.LoadWord(p, 0); });
+    shared->codes.push_back(gone.has_value() ? 1 : 0);
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(shared_->words, (std::vector<Word>{7777}));
+}
+
+TEST_F(AllocatorTest, ClaimAccountsAgainstClaimersQuota) {
+  RunGuest(2048, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability q2 = ctx.SealedImport("q2");
+    const Capability p = ctx.HeapAllocate(q, 1024);
+    const Word before = ctx.HeapQuotaRemaining(q2);
+    ctx.HeapClaim(q2, p);
+    const Word after = ctx.HeapQuotaRemaining(q2);
+    shared->words = {before, after};
+    // A claim too large for the quota is rejected.
+    const Capability big = ctx.HeapAllocate(q, 512);
+    ctx.HeapClaim(q2, big);  // shrinks q2 further
+    const Capability p3 = ctx.HeapAllocate(q2, 1024);
+    shared->codes.push_back(p3.tag() ? 0 : 1);  // q2 exhausted by claims
+  });
+  EXPECT_GT(shared_->words[0], shared_->words[1]);
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1}));
+}
+
+TEST_F(AllocatorTest, EphemeralClaimDefersFreeByOtherThread) {
+  // The TOCTOU scenario ephemeral claims exist for (§3.2.5): thread A is
+  // working on an object; thread B (the owner) frees it mid-operation. The
+  // hazard slot defers the release until A's next compartment call.
+  machine_ = std::make_unique<Machine>();
+  ImageBuilder b("hazard");
+  auto shared = shared_;
+  b.Compartment("app")
+      .Globals(32)
+      .AllocCap("q", 8192)
+      .Export("claimer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                // Busy-wait (no compartment calls!) for the object.
+                while (ctx.LoadWord(ctx.globals(), 0) == 0) {
+                }
+                const Capability p = ctx.LoadCap(ctx.globals(), 8);
+                shared->codes.push_back(
+                    static_cast<int>(ctx.EphemeralClaim(p)));
+                ctx.StoreWord(ctx.globals(), 4, 1);  // tell B to free
+                // Busy-wait until B confirms the free happened.
+                while (ctx.LoadWord(ctx.globals(), 16) == 0) {
+                }
+                // Deferred: still readable despite the free (1 = no trap).
+                auto info = ctx.Try(
+                    [&] { shared->words.push_back(ctx.LoadWord(p, 0)); });
+                shared->codes.push_back(info.has_value() ? 0 : 1);
+                // codes so far: claim status, owner free status, 1.
+                // Our next compartment call clears the hazard slots...
+                ctx.FutexWake(ctx.globals(), 1);
+                auto gone = ctx.Try([&] { ctx.LoadWord(p, 0); });
+                shared->codes.push_back(gone.has_value() ? 1 : 0);
+                return StatusCap(Status::kOk);
+              })
+      .Export("owner",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                const Capability q = ctx.SealedImport("q");
+                const Capability p = ctx.HeapAllocate(q, 64);
+                ctx.StoreWord(p, 0, 31337);
+                ctx.StoreCap(ctx.globals(), 8, p);
+                ctx.StoreWord(ctx.globals(), 0, 1);
+                while (ctx.LoadWord(ctx.globals(), 4) == 0) {
+                }
+                shared->codes.push_back(static_cast<int>(ctx.HeapFree(q, p)));
+                ctx.StoreWord(ctx.globals(), 16, 1);
+                return StatusCap(Status::kOk);
+              });
+  sync::UseAllocator(b, "app");
+  sync::UseScheduler(b, "app");
+  b.Thread("towner", 2, 8192, 8, "app.owner");
+  b.Thread("tclaimer", 2, 8192, 8, "app.claimer");
+  system_ = std::make_unique<System>(*machine_, b.Build());
+  system_->Boot();
+  ASSERT_EQ(system_->Run(20'000'000'000ull), System::RunResult::kAllExited);
+  // claim ok (0); owner free ok (0); read-after-free survives (1);
+  // read-after-next-call traps (1).
+  EXPECT_EQ(shared->codes, (std::vector<int>{0, 0, 1, 1}));
+  EXPECT_EQ(shared->words, (std::vector<Word>{31337}));
+}
+
+TEST_F(AllocatorTest, HeapFreeAllReleasesEverything) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    for (int i = 0; i < 5; ++i) {
+      ctx.HeapAllocate(q, 256);
+    }
+    const Word before = ctx.HeapQuotaRemaining(q);
+    const Word released = ctx.HeapFreeAll(q);
+    const Word after = ctx.HeapQuotaRemaining(q);
+    shared->words = {before, released, after};
+  });
+  EXPECT_LT(shared_->words[0], 8192u - 5 * 256);
+  EXPECT_GE(shared_->words[1], 5 * 256u);
+  EXPECT_EQ(shared_->words[2], 8192u);
+}
+
+TEST_F(AllocatorTest, CanFreeChecksOwnership) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability q2 = ctx.SealedImport("q2");
+    const Capability p = ctx.HeapAllocate(q, 64);
+    shared->codes.push_back(ctx.HeapCanFree(q, p) ? 1 : 0);
+    shared->codes.push_back(ctx.HeapCanFree(q2, p) ? 1 : 0);
+    // A sealed pointer is not freeable.
+    const Capability key = ctx.TokenKeyNew();
+    const Capability obj = ctx.TokenObjNew(q, key, 32);
+    shared->codes.push_back(ctx.HeapCanFree(q, obj) ? 1 : 0);
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 0, 0}));
+}
+
+TEST_F(AllocatorTest, SealedObjectDestroyNeedsBothAuthorities) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability key = ctx.TokenKeyNew();
+    const Capability wrong_key = ctx.TokenKeyNew();
+    const Capability obj = ctx.TokenObjNew(q, key, 32);
+    shared->codes.push_back(
+        static_cast<int>(ctx.TokenObjDestroy(q, wrong_key, obj)));
+    shared->codes.push_back(static_cast<int>(ctx.TokenObjDestroy(q, key, obj)));
+  });
+  EXPECT_EQ(static_cast<Status>(shared_->codes[0]), Status::kPermissionDenied);
+  EXPECT_EQ(static_cast<Status>(shared_->codes[1]), Status::kOk);
+}
+
+TEST_F(AllocatorTest, AllocationBlocksUntilRevocationWhenFragmented) {
+  // Nearly fill the quota/heap, free, and immediately re-allocate: the
+  // allocator must wait for the revocation pass instead of failing.
+  RunGuest(64 * 1024, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability big = ctx.HeapAllocate(q, 48 * 1024);
+    if (!big.tag()) {
+      shared->codes.push_back(-1);
+      return;
+    }
+    ctx.HeapFree(q, big);
+    const Cycles t0 = ctx.Now();
+    // Heap region is ~200+ KiB but our quota is 64 KiB; the freed 48 KiB
+    // must come back from quarantine for this to succeed.
+    const Capability again = ctx.HeapAllocate(q, 48 * 1024, ~0u);
+    shared->codes.push_back(again.tag() ? 1 : 0);
+    shared->words.push_back(static_cast<Word>(ctx.Now() - t0));
+  });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1}));
+}
+
+TEST_F(AllocatorTest, ZeroTimeoutAllocationFailsFastWhenBlocked) {
+  RunGuest(16 * 1024, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    const Capability a = ctx.HeapAllocate(q, 12 * 1024);
+    ctx.HeapFree(q, a);
+    // All quota memory is in quarantine; with timeout 0 the allocator
+    // reports kTimedOut instead of blocking. (The shared heap may still
+    // satisfy it from elsewhere, so we only check it returns quickly.)
+    const Cycles t0 = ctx.Now();
+    ctx.HeapAllocate(q, 12 * 1024, 0);
+    shared->words.push_back(static_cast<Word>(ctx.Now() - t0));
+  });
+  // "Fast" = well under a full revocation sweep (~100k granules * 3).
+  EXPECT_LT(shared_->words[0], 200'000u);
+}
+
+TEST_F(AllocatorTest, InvalidFreeArgumentsRejected) {
+  RunGuest(8192, [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+    const Capability q = ctx.SealedImport("q");
+    // Freeing a forged integer "pointer".
+    shared->codes.push_back(
+        static_cast<int>(ctx.HeapFree(q, Capability::FromWord(0x20030000))));
+    // Freeing a mid-object pointer.
+    const Capability p = ctx.HeapAllocate(q, 64);
+    const Capability mid = p.WithBounds(p.base() + 8, 8);
+    shared->codes.push_back(static_cast<int>(ctx.HeapFree(q, mid)));
+    // Freeing with garbage instead of an allocation capability.
+    shared->codes.push_back(static_cast<int>(
+        ctx.HeapFree(Capability::FromWord(1234), p)));
+  });
+  EXPECT_EQ(static_cast<Status>(shared_->codes[0]), Status::kInvalidArgument);
+  EXPECT_EQ(static_cast<Status>(shared_->codes[1]), Status::kInvalidArgument);
+  EXPECT_EQ(static_cast<Status>(shared_->codes[2]), Status::kPermissionDenied);
+}
+
+// Parameterized sweep over allocation sizes: allocate/free cycles always
+// return zeroed, correctly-sized, granule-aligned capabilities.
+class AllocSizeSweep : public ::testing::TestWithParam<Word> {};
+
+TEST_P(AllocSizeSweep, SizedAllocationsBehave) {
+  const Word size = GetParam();
+  Machine machine;
+  ImageBuilder b("sweep");
+  auto shared = std::make_shared<Shared>();
+  b.Compartment("app")
+      .AllocCap("q", 128 * 1024)
+      .Export("main", [shared, size](CompartmentCtx& ctx,
+                                     const std::vector<Capability>&) {
+        const Capability q = ctx.SealedImport("q");
+        const Capability p = ctx.HeapAllocate(q, size, ~0u);
+        if (!p.tag()) {
+          shared->codes.push_back(-1);
+          return StatusCap(Status::kNoMemory);
+        }
+        shared->words.push_back(p.length());
+        shared->codes.push_back(p.base() % kGranuleBytes == 0 ? 1 : 0);
+        // Boundary write works; one past the (granule-rounded) bounds traps.
+        ctx.StoreByte(p, p.length() - 1, 0xFF);
+        auto info = ctx.Try([&] { ctx.StoreByte(p, p.length(), 0xFF); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        ctx.HeapFree(q, p);
+        return StatusCap(Status::kOk);
+      });
+  sync::UseAllocator(b, "app");
+  sync::UseScheduler(b, "app");
+  b.Thread("t", 1, 8192, 8, "app.main");
+  System sys(machine, b.Build());
+  sys.Boot();
+  ASSERT_EQ(sys.Run(20'000'000'000ull), System::RunResult::kAllExited);
+  ASSERT_EQ(shared->codes.size(), 2u);
+  EXPECT_EQ(shared->codes[0], 1);
+  EXPECT_EQ(shared->codes[1], 1);
+  EXPECT_GE(shared->words[0], size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllocSizeSweep,
+                         ::testing::Values(8, 16, 24, 100, 256, 1000, 4096,
+                                           16384, 65536));
+
+}  // namespace
+}  // namespace cheriot

@@ -1,0 +1,223 @@
+// Tests for the auditing pipeline (§4): JSON report content, the policy
+// language, the Fig. 4 example, and the §5.1.3 liblzma-style supply-chain
+// case study.
+#include <gtest/gtest.h>
+
+#include "src/audit/policy.h"
+#include "src/audit/report.h"
+#include "src/json/json.h"
+#include "src/rtos.h"
+
+namespace cheriot {
+namespace {
+
+EntryFn Nop() {
+  return [](CompartmentCtx&, const std::vector<Capability>&) {
+    return Capability();
+  };
+}
+
+// An HTTP-client-flavoured image echoing Fig. 4: one NetAPI compartment and
+// one legitimate client.
+FirmwareImage HttpClientImage(bool backdoored_compressor) {
+  ImageBuilder b("http-firmware");
+  b.Compartment("NetAPI")
+      .CodeSize(4096)
+      .Export("network_socket_connect_tcp", Nop(), 512)
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true);
+  b.Compartment("http_client")
+      .CodeSize(8192)
+      .AllocCap("http_quota", 16 * 1024)
+      .ImportCompartment("NetAPI.network_socket_connect_tcp")
+      .Export("fetch", Nop(), 1024);
+  // A compression library dependency (the liblzma analog). A benign build
+  // has no network dependency; the backdoored build quietly adds one.
+  auto compressor = b.Compartment("compressor");
+  compressor.CodeSize(20 * 1024).Export("decompress", Nop(), 512);
+  if (backdoored_compressor) {
+    compressor.ImportCompartment("NetAPI.network_socket_connect_tcp");
+  }
+  b.Thread("main", 1, 2048, 4, "http_client.fetch");
+  return b.Build();
+}
+
+class AuditTest : public ::testing::Test {
+ protected:
+  json::Value ReportFor(bool backdoored) {
+    machine_ = std::make_unique<Machine>();
+    boot_ = Loader::Load(*machine_, HttpClientImage(backdoored));
+    return audit::BuildReport(*boot_);
+  }
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<BootInfo> boot_;
+};
+
+TEST_F(AuditTest, ReportContainsCompartmentStructure) {
+  const json::Value report = ReportFor(false);
+  EXPECT_EQ(report["firmware"].AsString(), "http-firmware");
+  ASSERT_TRUE(report["compartments"].Has("http_client"));
+  const auto& client = report["compartments"]["http_client"];
+  ASSERT_EQ(client["imports"].size(), 2u);  // NetAPI call + allocation cap
+  bool found_call = false;
+  for (const auto& imp : client["imports"].AsArray()) {
+    if (imp["kind"].AsString() == "call") {
+      EXPECT_EQ(imp["compartment_name"].AsString(), "NetAPI");
+      EXPECT_EQ(imp["function"].AsString(), "network_socket_connect_tcp");
+      found_call = true;
+    }
+  }
+  EXPECT_TRUE(found_call);
+}
+
+TEST_F(AuditTest, ReportRoundTripsThroughJson) {
+  const std::string text = ReportFor(false).Dump(2);
+  const json::Value parsed = json::Parse(text);
+  EXPECT_EQ(parsed["firmware"].AsString(), "http-firmware");
+  EXPECT_EQ(parsed["compartments"].size(), 3u);
+  EXPECT_EQ(parsed["threads"].size(), 1u);
+}
+
+TEST_F(AuditTest, Fig4PolicySingleNetworkCaller) {
+  // Fig. 4: "there must be only one caller to the network API".
+  audit::PolicyEngine engine(ReportFor(false));
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(compartments_calling(\"NetAPI.network_socket_connect_tcp\")) == 1"));
+}
+
+TEST_F(AuditTest, SupplyChainBackdoorDetected) {
+  // §5.1.3: the backdoored compressor declares a new dependency on the
+  // network API; the same policy that passed before now fails.
+  audit::PolicyEngine engine(ReportFor(true));
+  EXPECT_FALSE(engine.CheckExpression(
+      "count(compartments_calling(\"NetAPI.network_socket_connect_tcp\")) == 1"));
+  // The report names the culprit.
+  const auto callers =
+      engine.CompartmentsCalling("NetAPI.network_socket_connect_tcp");
+  EXPECT_EQ(callers.size(), 2u);
+  EXPECT_NE(std::find(callers.begin(), callers.end(), "compressor"),
+            callers.end());
+  // A pinpoint policy for the compressor compartment.
+  EXPECT_FALSE(engine.CheckExpression("!calls(\"compressor\", \"NetAPI\")"));
+}
+
+TEST_F(AuditTest, MmioAccessIsAuditable) {
+  audit::PolicyEngine engine(ReportFor(false));
+  const auto importers = engine.ImportersOfMmio("ethernet");
+  ASSERT_EQ(importers.size(), 1u);
+  EXPECT_EQ(importers[0], "NetAPI");
+  EXPECT_TRUE(engine.CheckExpression(
+      "importers_of_mmio(\"ethernet\") == compartments_calling(\"NetAPI\") "
+      "|| count(importers_of_mmio(\"ethernet\")) == 1"));
+}
+
+TEST_F(AuditTest, QuotaSumAgainstHeap) {
+  audit::PolicyEngine engine(ReportFor(false));
+  // System-wide property (§4): sum of all allocation-capability quotas must
+  // not exceed the heap.
+  EXPECT_TRUE(engine.CheckExpression("allocation_quota_sum() <= heap_size()"));
+  EXPECT_EQ(std::get<int64_t>(engine.Eval("allocation_quota_sum()")),
+            16 * 1024);
+}
+
+TEST_F(AuditTest, PolicyDocumentReportsViolationsWithLines) {
+  audit::PolicyEngine engine(ReportFor(true));
+  const std::string policy = R"(
+# Network access policy
+count(compartments_calling("NetAPI.network_socket_connect_tcp")) == 1
+allocation_quota_sum() <= heap_size()
+compartment_exists("http_client")
+)";
+  const auto violations = engine.CheckDocument(policy);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 3);
+  EXPECT_EQ(violations[0].reason, "evaluated to false");
+}
+
+TEST_F(AuditTest, PolicyLanguageOperators) {
+  audit::PolicyEngine engine(ReportFor(false));
+  EXPECT_TRUE(engine.CheckExpression("1 + 2 == 3"));
+  EXPECT_TRUE(engine.CheckExpression("(2 > 1) && (3 <= 3)"));
+  EXPECT_TRUE(engine.CheckExpression("!false || false"));
+  EXPECT_TRUE(engine.CheckExpression("\"a\" != \"b\""));
+  EXPECT_TRUE(engine.CheckExpression(
+      "contains(compartments(), \"NetAPI\")"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(threads_entering(\"http_client\")) == 1"));
+  EXPECT_TRUE(engine.CheckExpression("code_size(\"compressor\") == 20_480"));
+  EXPECT_THROW(engine.Eval("undefined_fn()"), std::runtime_error);
+  EXPECT_THROW(engine.Eval("1 +"), std::runtime_error);
+  EXPECT_THROW(engine.Eval("count(1)"), std::runtime_error);
+}
+
+TEST_F(AuditTest, SealingTypeOwnershipQuery) {
+  ImageBuilder b("sealing");
+  b.Compartment("svc").Export("go", Nop()).OwnSealingType("svc.conn");
+  b.Thread("t", 1, 512, 4, "svc.go");
+  Machine machine;
+  auto boot = Loader::Load(machine, b.Build());
+  audit::PolicyEngine engine(audit::BuildReport(*boot));
+  EXPECT_TRUE(engine.CheckExpression(
+      "owners_of_sealing_type(\"svc.conn\") == exports_of(\"svc\") "
+      "|| count(owners_of_sealing_type(\"svc.conn\")) == 1"));
+}
+
+TEST_F(AuditTest, TcbCompartmentsAppearInBootedSystemReport) {
+  // A booted System adds the TCB service compartments; they are audited
+  // like everything else.
+  Machine machine;
+  ImageBuilder b("tcb");
+  b.Compartment("app")
+      .AllocCap("q", 1024)
+      .ImportCompartment("alloc.heap_allocate")
+      .Export("main", Nop());
+  b.Thread("t", 1, 1024, 4, "app.main");
+  System sys(machine, b.Build());
+  sys.Boot();
+  audit::PolicyEngine engine(audit::BuildReport(sys.boot()));
+  EXPECT_TRUE(engine.CheckExpression("compartment_exists(\"alloc\")"));
+  EXPECT_TRUE(engine.CheckExpression("compartment_exists(\"sched\")"));
+  // Only the allocator may touch the revoker device.
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(importers_of_mmio(\"revoker\")) == 1 && "
+      "contains(importers_of_mmio(\"revoker\"), \"alloc\")"));
+}
+
+// --- JSON library unit tests ---
+
+TEST(Json, ParseBasics) {
+  const auto v = json::Parse(R"({"a": [1, 2.5, "x", true, null], "b": {"c": -3}})");
+  EXPECT_EQ(v["a"].size(), 5u);
+  EXPECT_EQ(v["a"][0].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(v["a"][1].AsDouble(), 2.5);
+  EXPECT_EQ(v["a"][2].AsString(), "x");
+  EXPECT_TRUE(v["a"][3].AsBool());
+  EXPECT_TRUE(v["a"][4].is_null());
+  EXPECT_EQ(v["b"]["c"].AsInt(), -3);
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(Json, EscapesRoundTrip) {
+  json::Object o;
+  o["k"] = "line\nbreak \"quoted\" \\slash";
+  const std::string text = json::Value(std::move(o)).Dump(-1);
+  const auto parsed = json::Parse(text);
+  EXPECT_EQ(parsed["k"].AsString(), "line\nbreak \"quoted\" \\slash");
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(json::Parse("{"), std::runtime_error);
+  EXPECT_THROW(json::Parse("[1,]2"), std::runtime_error);
+  EXPECT_THROW(json::Parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::Parse("{\"a\" 1}"), std::runtime_error);
+}
+
+TEST(Json, DeterministicKeyOrder) {
+  json::Object o;
+  o["zebra"] = 1;
+  o["alpha"] = 2;
+  const std::string text = json::Value(std::move(o)).Dump(-1);
+  EXPECT_LT(text.find("alpha"), text.find("zebra"));
+}
+
+}  // namespace
+}  // namespace cheriot

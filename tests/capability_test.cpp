@@ -1,0 +1,183 @@
+// Unit tests for the CHERIoT capability model (§2.1): monotonic derivation,
+// sealing, and the deep-attenuation permissions.
+#include "src/cap/capability.h"
+
+#include <gtest/gtest.h>
+
+namespace cheriot {
+namespace {
+
+TEST(Capability, DefaultIsNullInteger) {
+  Capability c;
+  EXPECT_FALSE(c.tag());
+  EXPECT_TRUE(c.IsNull());
+  EXPECT_EQ(c.word(), 0u);
+}
+
+TEST(Capability, FromWordCarriesValueWithoutAuthority) {
+  const Capability c = Capability::FromWord(0xDEADBEEF);
+  EXPECT_FALSE(c.tag());
+  EXPECT_EQ(c.word(), 0xDEADBEEFu);
+}
+
+TEST(Capability, RootReadWriteHasNoExecuteOrSealing) {
+  const Capability root = Capability::RootReadWrite(0x1000, 0x2000);
+  EXPECT_TRUE(root.tag());
+  EXPECT_FALSE(root.permissions().Has(Permission::kExecute));
+  EXPECT_FALSE(root.permissions().Has(Permission::kSeal));
+  EXPECT_TRUE(root.permissions().Has(Permission::kLoad));
+  EXPECT_TRUE(root.permissions().Has(Permission::kStore));
+}
+
+TEST(Capability, BoundsNarrowingIsMonotonic) {
+  const Capability root = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability sub = root.WithBounds(0x1100, 0x100);
+  EXPECT_TRUE(sub.tag());
+  EXPECT_EQ(sub.base(), 0x1100u);
+  EXPECT_EQ(sub.top(), 0x1200u);
+
+  // Attempting to widen clears the tag instead of granting rights.
+  EXPECT_FALSE(sub.WithBounds(0x1000, 0x1000).tag());
+  EXPECT_FALSE(sub.WithBounds(0x11F0, 0x100).tag());
+}
+
+TEST(Capability, BoundsOverflowUntags) {
+  const Capability root = Capability::RootReadWrite(0x1000, 0xFFFFFFFF);
+  EXPECT_FALSE(root.WithBounds(0xFFFFFF00, 0x200).tag());
+}
+
+TEST(Capability, PermissionsOnlyShrink) {
+  const Capability root = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability ro = root.WithoutPermission(Permission::kStore);
+  EXPECT_FALSE(ro.permissions().Has(Permission::kStore));
+  // Re-adding via intersection is impossible.
+  const Capability attempt =
+      ro.WithPermissions(PermissionSet({Permission::kStore}));
+  EXPECT_FALSE(attempt.permissions().Has(Permission::kStore));
+}
+
+TEST(Capability, InBoundsChecksRange) {
+  const Capability c = Capability::RootReadWrite(0x1000, 0x1010);
+  EXPECT_TRUE(c.InBounds(0x1000, 16));
+  EXPECT_TRUE(c.InBounds(0x100C, 4));
+  EXPECT_FALSE(c.InBounds(0x100C, 8));
+  EXPECT_FALSE(c.InBounds(0xFFC, 4));
+}
+
+TEST(Capability, SealUnsealRoundTrip) {
+  const Capability data = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability key = Capability::RootSealing().WithAddress(
+      static_cast<Address>(OType::kTokenApi));
+  const Capability sealed = data.SealedWith(key);
+  ASSERT_TRUE(sealed.tag());
+  EXPECT_TRUE(sealed.IsSealed());
+  EXPECT_EQ(sealed.otype(), OType::kTokenApi);
+
+  const Capability unsealed = sealed.UnsealedWith(key);
+  ASSERT_TRUE(unsealed.tag());
+  EXPECT_FALSE(unsealed.IsSealed());
+  EXPECT_EQ(unsealed.base(), data.base());
+}
+
+TEST(Capability, UnsealWithWrongTypeFails) {
+  const Capability data = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability key9 = Capability::RootSealing().WithAddress(9);
+  const Capability key10 = Capability::RootSealing().WithAddress(10);
+  const Capability sealed = data.SealedWith(key9);
+  EXPECT_FALSE(sealed.UnsealedWith(key10).tag());
+}
+
+TEST(Capability, SealedCapabilityIsImmutable) {
+  const Capability data = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability key = Capability::RootSealing().WithAddress(9);
+  const Capability sealed = data.SealedWith(key);
+  EXPECT_FALSE(sealed.WithAddress(0x1500).tag());
+  EXPECT_FALSE(sealed.WithBounds(0x1000, 8).tag());
+  EXPECT_FALSE(sealed.WithoutPermission(Permission::kStore).tag());
+}
+
+TEST(Capability, DoubleSealFails) {
+  const Capability data = Capability::RootReadWrite(0x1000, 0x2000);
+  const Capability key = Capability::RootSealing().WithAddress(9);
+  const Capability sealed = data.SealedWith(key);
+  EXPECT_FALSE(sealed.SealedWith(key).tag());
+}
+
+TEST(Capability, SealingRequiresAuthorityInBounds) {
+  const Capability data = Capability::RootReadWrite(0x1000, 0x2000);
+  // An authority for type 9 only cannot seal as type 10.
+  const Capability key9 = Capability::MakeSealingAuthority(9, 1);
+  const Capability key9_at_10 = key9.WithAddress(10);
+  EXPECT_FALSE(data.SealedWith(key9_at_10).tag());
+}
+
+TEST(Capability, AttenuationDeepImmutable) {
+  const Capability inner = Capability::RootReadWrite(0x3000, 0x3100);
+  Capability authority = Capability::RootReadWrite(0x1000, 0x2000)
+                             .WithoutPermission(Permission::kLoadMutable);
+  const Capability loaded = inner.AttenuatedForLoadVia(authority);
+  EXPECT_TRUE(loaded.tag());
+  EXPECT_FALSE(loaded.permissions().Has(Permission::kStore));
+  EXPECT_FALSE(loaded.permissions().Has(Permission::kLoadMutable));
+  // Transitivity: the next hop also strips store rights.
+  const Capability deeper = inner.AttenuatedForLoadVia(loaded);
+  EXPECT_FALSE(deeper.permissions().Has(Permission::kStore));
+}
+
+TEST(Capability, AttenuationDeepNoCapture) {
+  const Capability inner = Capability::RootReadWrite(0x3000, 0x3100);
+  Capability authority = Capability::RootReadWrite(0x1000, 0x2000)
+                             .WithoutPermission(Permission::kLoadGlobal);
+  const Capability loaded = inner.AttenuatedForLoadVia(authority);
+  EXPECT_TRUE(loaded.tag());
+  EXPECT_FALSE(loaded.permissions().Has(Permission::kGlobal));
+  EXPECT_FALSE(loaded.permissions().Has(Permission::kLoadGlobal));
+}
+
+TEST(Capability, AttenuationWithoutLoadStoreCapUntags) {
+  const Capability inner = Capability::RootReadWrite(0x3000, 0x3100);
+  Capability authority = Capability::RootReadWrite(0x1000, 0x2000)
+                             .WithoutPermission(Permission::kLoadStoreCap);
+  EXPECT_FALSE(inner.AttenuatedForLoadVia(authority).tag());
+}
+
+TEST(Capability, SentryTypesAreDistinct) {
+  EXPECT_TRUE(IsSentryOType(OType::kSentryEnabling));
+  EXPECT_TRUE(IsSentryOType(OType::kReturnSentryDisabling));
+  EXPECT_FALSE(IsSentryOType(OType::kUnsealed));
+  EXPECT_FALSE(IsSentryOType(OType::kTokenApi));
+  EXPECT_TRUE(IsDataOType(OType::kAllocatorQuota));
+  EXPECT_FALSE(IsDataOType(OType::kSentryEnabling));
+}
+
+TEST(Capability, ToStringIsInformative) {
+  const Capability c = Capability::RootReadWrite(0x1000, 0x2000);
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("cap"), std::string::npos);
+  EXPECT_NE(s.find("1000"), std::string::npos);
+}
+
+// Property-style sweep: WithBounds never yields a tagged capability whose
+// range escapes the parent.
+class BoundsSweep : public ::testing::TestWithParam<std::tuple<Address, Address>> {};
+
+TEST_P(BoundsSweep, NeverWidens) {
+  const auto [offset, len] = GetParam();
+  const Capability parent = Capability::RootReadWrite(0x1000, 0x1100);
+  const Capability child = parent.WithBounds(0x1000 + offset, len);
+  if (child.tag()) {
+    EXPECT_GE(child.base(), parent.base());
+    EXPECT_LE(child.top(), parent.top());
+  } else {
+    // Untagged children are harmless by construction.
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundsSweep,
+    ::testing::Combine(::testing::Values(0u, 8u, 0x80u, 0xF8u, 0x100u, 0x200u),
+                       ::testing::Values(0u, 8u, 0x80u, 0x100u, 0x1000u)));
+
+}  // namespace
+}  // namespace cheriot

@@ -1,0 +1,245 @@
+// Tests for the source-compatibility layer (P5): FreeRTOS-style queues,
+// semaphores, mutexes and task utilities; POSIX-style malloc/free over the
+// default allocation capability; console + stack-watermark tooling.
+#include <gtest/gtest.h>
+
+#include "src/compat/freertos_shim.h"
+#include "src/compat/posix_shim.h"
+#include "src/debug/debug.h"
+#include "src/rtos.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<Word> values;
+  int errors = 0;
+};
+
+class CompatTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(CompatTest, MallocFreeDefaultCapability) {
+  auto shared = shared_;
+  ImageBuilder b("posix");
+  b.Compartment("app").Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        const Capability p = compat::Malloc(ctx, 100);
+        if (!p.tag()) {
+          shared->errors = 1;
+          return StatusCap(Status::kNoMemory);
+        }
+        compat::Memset(ctx, p, 0x5A, 100);
+        const Capability q = compat::Calloc(ctx, 25, 4);
+        // calloc memory is zeroed.
+        for (int i = 0; i < 25; ++i) {
+          if (ctx.LoadWord(q, 4 * i) != 0) {
+            shared->errors = 2;
+          }
+        }
+        if (compat::Memcmp(ctx, p, q, 100) <= 0) {
+          shared->errors = 3;  // 0x5A > 0x00
+        }
+        compat::Memcpy(ctx, q, p, 100);
+        if (compat::Memcmp(ctx, p, q, 100) != 0) {
+          shared->errors = 4;
+        }
+        if (compat::Free(ctx, p) != Status::kOk ||
+            compat::Free(ctx, q) != Status::kOk) {
+          shared->errors = 5;
+        }
+        // Double free is rejected, not corrupting.
+        if (compat::Free(ctx, p) == Status::kOk) {
+          shared->errors = 6;
+        }
+        return StatusCap(Status::kOk);
+      });
+  compat::UseMalloc(b, "app", 8 * 1024);
+  b.Thread("t", 1, 4096, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(2'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+}
+
+TEST_F(CompatTest, StrlenThroughCapability) {
+  auto shared = shared_;
+  ImageBuilder b("strlen");
+  b.Compartment("app").Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        const Capability s = compat::Malloc(ctx, 32);
+        ctx.WriteBytes(s, 0, "hello", 6);
+        shared->values.push_back(compat::Strlen(ctx, s));
+        return StatusCap(Status::kOk);
+      });
+  compat::UseMalloc(b, "app", 4096);
+  b.Thread("t", 1, 4096, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  EXPECT_EQ(shared->values, (std::vector<Word>{5}));
+}
+
+TEST_F(CompatTest, FreeRtosQueueBetweenTasks) {
+  auto shared = shared_;
+  ImageBuilder b("freertos");
+  b.Compartment("tasks")
+      .Globals(32)
+      .Export("producer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                const ImportBinding* def =
+                    ctx.FindImport(compat::kDefaultAllocCapName);
+                auto q = compat::xQueueCreate(ctx, def->cap, 4, 4);
+                if (!q.valid()) {
+                  shared->errors = 1;
+                  return StatusCap(Status::kNoMemory);
+                }
+                ctx.StoreCap(ctx.globals(), 8, q.buffer);
+                ctx.StoreWord(ctx.globals(), 0, 1);
+                ctx.FutexWake(ctx.globals(), 1);
+                for (Word i = 100; i < 104; ++i) {
+                  auto item = ctx.AllocStack(8);
+                  ctx.StoreWord(item.cap(), 0, i);
+                  if (compat::xQueueSend(ctx, q, item.cap(),
+                                         compat::portMAX_DELAY) !=
+                      compat::pdTRUE) {
+                    shared->errors = 2;
+                  }
+                }
+                return StatusCap(Status::kOk);
+              })
+      .Export("consumer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                while (ctx.LoadWord(ctx.globals(), 0) == 0) {
+                  ctx.FutexWait(ctx.globals(), 0, ~0u);
+                }
+                compat::QueueHandle_t q{ctx.LoadCap(ctx.globals(), 8)};
+                for (int i = 0; i < 4; ++i) {
+                  auto out = ctx.AllocStack(8);
+                  if (compat::xQueueReceive(ctx, q, out.cap(), 1000) ==
+                      compat::pdTRUE) {
+                    shared->values.push_back(ctx.LoadWord(out.cap(), 0));
+                  }
+                }
+                return StatusCap(Status::kOk);
+              });
+  compat::UseFreeRtosCompat(b, "tasks");
+  compat::UseMalloc(b, "tasks", 8 * 1024);
+  b.Thread("tc", 3, 4096, 8, "tasks.consumer");
+  b.Thread("tp", 2, 4096, 8, "tasks.producer");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+  EXPECT_EQ(shared->values, (std::vector<Word>{100, 101, 102, 103}));
+}
+
+TEST_F(CompatTest, FreeRtosSemaphoreAndDelay) {
+  auto shared = shared_;
+  ImageBuilder b("sem");
+  b.Compartment("tasks").Globals(32).Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        const ImportBinding* def =
+            ctx.FindImport(compat::kDefaultAllocCapName);
+        auto sem = compat::xSemaphoreCreateCounting(ctx, def->cap, 10, 2);
+        // Two takes succeed, third times out.
+        shared->values.push_back(
+            compat::xSemaphoreTake(ctx, sem, 10));
+        shared->values.push_back(
+            compat::xSemaphoreTake(ctx, sem, 10));
+        shared->values.push_back(
+            compat::xSemaphoreTake(ctx, sem, 2));
+        compat::xSemaphoreGive(ctx, sem);
+        shared->values.push_back(
+            compat::xSemaphoreTake(ctx, sem, 10));
+        // Tick counting.
+        const auto t0 = compat::xTaskGetTickCount(ctx);
+        compat::vTaskDelay(ctx, 5);
+        shared->values.push_back(compat::xTaskGetTickCount(ctx) - t0);
+        return StatusCap(Status::kOk);
+      });
+  compat::UseFreeRtosCompat(b, "tasks");
+  compat::UseMalloc(b, "tasks", 4096);
+  b.Thread("t", 1, 4096, 8, "tasks.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(4'000'000'000ull);
+  ASSERT_EQ(shared->values.size(), 5u);
+  EXPECT_EQ(shared->values[0], 1u);
+  EXPECT_EQ(shared->values[1], 1u);
+  EXPECT_EQ(shared->values[2], 0u);  // timed out
+  EXPECT_EQ(shared->values[3], 1u);
+  EXPECT_GE(shared->values[4], 5u);  // at least 5 ticks elapsed
+}
+
+TEST_F(CompatTest, CriticalSectionReplacesInterruptToggles) {
+  auto shared = shared_;
+  ImageBuilder b("crit");
+  b.Compartment("tasks").Globals(32).Export(
+      "racer", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        // The mutex word lives in a compartment global.
+        compat::SemaphoreHandle_t mutex{ctx.globals().AddOffset(0)};
+        const Capability counter = ctx.globals().AddOffset(8);
+        for (int i = 0; i < 8; ++i) {
+          compat::CriticalSection guard(ctx, mutex);
+          const Word v = ctx.LoadWord(counter, 0);
+          compat::taskYIELD(ctx);
+          ctx.StoreWord(counter, 0, v + 1);
+        }
+        shared->values.push_back(ctx.LoadWord(counter, 0));
+        return StatusCap(Status::kOk);
+      });
+  compat::UseFreeRtosCompat(b, "tasks");
+  b.Thread("t1", 2, 4096, 8, "tasks.racer");
+  b.Thread("t2", 2, 4096, 8, "tasks.racer");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  ASSERT_EQ(shared->values.size(), 2u);
+  EXPECT_EQ(std::max(shared->values[0], shared->values[1]), 16u);
+}
+
+TEST_F(CompatTest, ConsoleWritesReachUart) {
+  ImageBuilder b("console");
+  b.Compartment("app").Export(
+      "main", [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        debug::ConsoleWrite(ctx, "hello, uart");
+        return StatusCap(Status::kOk);
+      });
+  debug::UseConsole(b, "app");
+  b.Thread("t", 1, 4096, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(1'000'000'000ull);
+  EXPECT_EQ(machine_.uart().output(), "hello, uart");
+}
+
+TEST_F(CompatTest, StackWatermarkTracksPeakUse) {
+  auto shared = shared_;
+  ImageBuilder b("watermark");
+  b.Compartment("app").Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        const Address before = debug::StackPeakBytes(ctx);
+        {
+          auto big = ctx.AllocStack(1024);
+          ctx.StoreWord(big.cap(), 0, 1);
+          shared->values.push_back(debug::StackPeakBytes(ctx));
+        }
+        shared->values.push_back(before);
+        shared->values.push_back(debug::StackHeadroom(ctx) > 0 ? 1 : 0);
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 4096, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(1'000'000'000ull);
+  ASSERT_EQ(shared->values.size(), 3u);
+  EXPECT_GE(shared->values[0], shared->values[1] + 1024);
+  EXPECT_EQ(shared->values[2], 1u);
+}
+
+}  // namespace
+}  // namespace cheriot

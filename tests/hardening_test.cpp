@@ -1,0 +1,233 @@
+// Interface-hardening tests (§3.2.5): capability de-privileging across real
+// compartment boundaries — deep immutability, deep no-capture, read-only
+// views, pointer checking — each verified by an *attacking callee*.
+#include <gtest/gtest.h>
+
+#include "src/rtos.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<int> codes;
+  Capability captured;
+  Word value = 0;
+};
+
+class HardeningTest : public ::testing::Test {
+ protected:
+  // Runs caller.main against an "evil" compartment with the given export.
+  void RunPair(EntryFn evil_fn,
+               std::function<void(CompartmentCtx&, std::shared_ptr<Shared>)>
+                   caller_fn) {
+    machine_ = std::make_unique<Machine>();
+    auto shared = shared_;
+    ImageBuilder b("hardening");
+    b.Compartment("evil").Globals(64).Export("take", std::move(evil_fn));
+    b.Compartment("caller")
+        .Globals(64)
+        .ImportCompartment("evil.take")
+        .Export("main", [caller_fn, shared](CompartmentCtx& ctx,
+                                            const std::vector<Capability>&) {
+          caller_fn(ctx, shared);
+          return StatusCap(Status::kOk);
+        });
+    b.Thread("t", 1, 8192, 8, "caller.main");
+    system_ = std::make_unique<System>(*machine_, b.Build());
+    system_->Boot();
+    ASSERT_EQ(system_->Run(4'000'000'000ull), System::RunResult::kAllExited);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<System> system_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(HardeningTest, ReadOnlyViewStopsCalleeWrites) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // The callee tries to scribble on the buffer it was given.
+        auto info = ctx.Try([&] { ctx.StoreWord(args[0], 0, 0xEEEE); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        // Reading is fine.
+        shared->value = ctx.LoadWord(args[0], 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        ctx.StoreWord(ctx.globals(), 0, 4242);
+        const Capability view = hardening::ReadOnly(ctx.globals(), 16);
+        ctx.Call("evil.take", {view});
+        shared->codes.push_back(ctx.LoadWord(ctx.globals(), 0) == 4242 ? 1 : 0);
+      });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 1}));  // write trapped; intact
+  EXPECT_EQ(shared_->value, 4242u);
+}
+
+TEST_F(HardeningTest, BoundsTighteningHidesTheRestOfTheObject) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // Payload is 8 bytes; the secret lives just past it.
+        auto info = ctx.Try([&] { ctx.LoadWord(args[0], 8); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        ctx.StoreWord(ctx.globals(), 8, 0x5EC2E7);  // the secret
+        const Capability payload = hardening::ReadOnly(ctx.globals(), 8);
+        ctx.Call("evil.take", {payload});
+      });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1}));
+}
+
+TEST_F(HardeningTest, DeepImmutabilityIsTransitive) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // The argument is a pointer to a structure containing a pointer.
+        // Deep immutability: the inner pointer loaded through it must also
+        // be write-stripped (§2.1 permit-load-mutable).
+        const Capability inner = ctx.LoadCap(args[0], 0);
+        shared->codes.push_back(inner.tag() ? 1 : 0);
+        shared->codes.push_back(
+            inner.permissions().Has(Permission::kStore) ? 1 : 0);
+        auto info = ctx.Try([&] { ctx.StoreWord(inner, 0, 666); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        // globals[0..8) = pointer to globals[16..32).
+        const Capability inner =
+            ctx.globals().AddOffset(16).WithBoundsAtCursor(16);
+        ctx.StoreCap(ctx.globals(), 0, inner);
+        const Capability deep = hardening::DeepImmutable(
+            ctx.globals().WithBoundsAtCursor(8));
+        ctx.Call("evil.take", {deep});
+        shared->value = ctx.LoadWord(ctx.globals(), 16);  // untouched?
+      });
+  // inner loaded fine, had no store permission, store trapped.
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 0, 1}));
+  EXPECT_EQ(shared_->value, 0u);
+}
+
+TEST_F(HardeningTest, NoCaptureStopsStoresToGlobals) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // The callee tries to capture the argument in its own globals for
+        // use after returning (the confused-deputy setup of §3.2.3).
+        auto info = ctx.Try([&] { ctx.StoreCap(ctx.globals(), 0, args[0]); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        if (info) {
+          shared->codes.push_back(
+              info->cause == TrapCode::kStoreLocalViolation ? 1 : 0);
+        }
+        // Spilling to its own *stack* is allowed (shallow no-capture).
+        auto spill = ctx.AllocStack(8);
+        auto stack_info =
+            ctx.Try([&] { ctx.StoreCap(spill.cap(), 0, args[0]); });
+        shared->codes.push_back(stack_info.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        const Capability arg =
+            hardening::NoCapture(ctx.globals().WithBoundsAtCursor(16));
+        ctx.Call("evil.take", {arg});
+      });
+  // Captured-to-globals trapped with store-local violation; stack spill OK.
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 1, 0}));
+}
+
+TEST_F(HardeningTest, DeepNoCaptureAppliesToLoadedPointers) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // Even a pointer *loaded through* the argument must be uncapturable
+        // (§2.1 permit-load-global).
+        const Capability inner = ctx.LoadCap(args[0], 0);
+        shared->codes.push_back(
+            inner.permissions().Has(Permission::kGlobal) ? 1 : 0);
+        auto info = ctx.Try([&] { ctx.StoreCap(ctx.globals(), 0, inner); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        const Capability inner =
+            ctx.globals().AddOffset(16).WithBoundsAtCursor(16);
+        ctx.StoreCap(ctx.globals(), 0, inner);
+        const Capability arg =
+            hardening::NoCapture(ctx.globals().WithBoundsAtCursor(8));
+        ctx.Call("evil.take", {arg});
+      });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{0, 1}));
+}
+
+TEST_F(HardeningTest, CheckPointerValidatesInputs) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        // A well-written callee validates before use (§3.2.5 "Checking
+        // inputs"): each malformed argument is rejected without faulting.
+        const PermissionSet need({Permission::kLoad, Permission::kStore});
+        shared->codes.push_back(
+            hardening::CheckPointer(args[0], 16, need) ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        // 1: valid pointer.
+        ctx.Call("evil.take", {ctx.globals().WithBoundsAtCursor(16)});
+        // 2: forged integer.
+        ctx.Call("evil.take", {Capability::FromWord(0x20001000)});
+        // 3: too small.
+        ctx.Call("evil.take", {ctx.globals().WithBoundsAtCursor(8)});
+        // 4: read-only where read-write is required.
+        ctx.Call("evil.take",
+                 {hardening::ReadOnly(ctx.globals(), 16)});
+        // 5: sealed.
+        const Capability key = Capability::MakeSealingAuthority(20, 1);
+        ctx.Call("evil.take",
+                 {ctx.globals().WithBoundsAtCursor(16).SealedWith(key)});
+      });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 0, 0, 0, 0}));
+}
+
+TEST_F(HardeningTest, ImmutableNoCaptureCombinesBoth) {
+  auto shared = shared_;
+  RunPair(
+      [shared](CompartmentCtx& ctx, const std::vector<Capability>& args) {
+        auto w = ctx.Try([&] { ctx.StoreWord(args[0], 0, 1); });
+        auto c = ctx.Try([&] { ctx.StoreCap(ctx.globals(), 0, args[0]); });
+        shared->codes.push_back(w.has_value() ? 1 : 0);
+        shared->codes.push_back(c.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        ctx.Call("evil.take", {hardening::ImmutableNoCapture(
+                                  ctx.globals().WithBoundsAtCursor(16))});
+      });
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 1}));
+}
+
+TEST_F(HardeningTest, ReturnedCapabilityFromCalleeIsUsable) {
+  // The reverse direction: a callee hands back a de-privileged view of its
+  // own state; the caller can read it but not write or widen it.
+  auto shared = shared_;
+  RunPair(
+      [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        ctx.StoreWord(ctx.globals(), 0, 90210);
+        return hardening::ReadOnly(ctx.globals(), 4);
+      },
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        const Capability view = ctx.Call("evil.take", {});
+        shared->value = ctx.LoadWord(view, 0);
+        auto w = ctx.Try([&] { ctx.StoreWord(view, 0, 1); });
+        shared->codes.push_back(w.has_value() ? 1 : 0);
+        shared->codes.push_back(view.WithBounds(view.base(), 64).tag() ? 1 : 0);
+      });
+  EXPECT_EQ(shared_->value, 90210u);
+  EXPECT_EQ(shared_->codes, (std::vector<int>{1, 0}));
+}
+
+}  // namespace
+}  // namespace cheriot

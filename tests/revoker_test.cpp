@@ -1,0 +1,115 @@
+// Tests for the background revoker: asynchronous sweeping, the epoch
+// contract the allocator's quarantine depends on, and completion interrupts.
+#include "src/hw/revoker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace cheriot {
+namespace {
+
+class RevokerTest : public ::testing::Test {
+ protected:
+  Machine machine_{};
+  Capability root_ = Capability::RootReadWrite(
+      machine_.memory().sram_base(),
+      machine_.memory().sram_base() + machine_.memory().sram_size());
+};
+
+TEST_F(RevokerTest, SweepInvalidatesStaleCapabilities) {
+  Memory& mem = machine_.memory();
+  const Address obj = mem.sram_base() + 0x1000;
+  const Address slot = mem.sram_base() + 0x2000;
+  const Capability obj_cap = root_.WithBounds(obj, 0x40);
+  mem.StoreCap(root_, slot, obj_cap);
+  ASSERT_TRUE(mem.TagAt(slot));
+
+  mem.revocation().SetRange(obj, 0x40, true);
+  machine_.revoker().StartSweep();
+  EXPECT_TRUE(machine_.revoker().sweeping());
+  // Advance until the sweep completes.
+  while (machine_.revoker().sweeping()) {
+    machine_.Tick(10'000);
+  }
+  EXPECT_FALSE(mem.TagAt(slot));  // stale pointer swept
+  EXPECT_EQ(machine_.revoker().epoch(), 1u);
+}
+
+TEST_F(RevokerTest, SweepPreservesLiveCapabilities) {
+  Memory& mem = machine_.memory();
+  const Address obj = mem.sram_base() + 0x1000;
+  const Address slot = mem.sram_base() + 0x2000;
+  mem.StoreCap(root_, slot, root_.WithBounds(obj, 0x40));
+  machine_.revoker().StartSweep();
+  while (machine_.revoker().sweeping()) {
+    machine_.Tick(10'000);
+  }
+  EXPECT_TRUE(mem.TagAt(slot));
+}
+
+TEST_F(RevokerTest, SweepTakesTimeProportionalToMemory) {
+  machine_.revoker().StartSweep();
+  const Cycles expected =
+      static_cast<Cycles>(machine_.memory().GranuleCount()) *
+      cost::kRevokerCyclesPerGranule;
+  EXPECT_EQ(machine_.revoker().CyclesUntilDone(), expected);
+  machine_.Tick(expected / 2);
+  EXPECT_TRUE(machine_.revoker().sweeping());
+  machine_.Tick(expected / 2 + cost::kRevokerCyclesPerGranule);
+  EXPECT_FALSE(machine_.revoker().sweeping());
+}
+
+TEST_F(RevokerTest, SafeEpochAccountsForInFlightSweep) {
+  EXPECT_EQ(machine_.revoker().SafeEpochForFreeNow(), 1u);
+  machine_.revoker().StartSweep();
+  // Mid-sweep, a newly freed object needs the *next* full sweep.
+  EXPECT_EQ(machine_.revoker().SafeEpochForFreeNow(), 2u);
+}
+
+TEST_F(RevokerTest, RestartRequestQueuesSecondSweep) {
+  machine_.revoker().StartSweep();
+  machine_.revoker().StartSweep();  // queued
+  while (machine_.revoker().epoch() < 2) {
+    machine_.Tick(100'000);
+  }
+  EXPECT_EQ(machine_.revoker().epoch(), 2u);
+}
+
+TEST_F(RevokerTest, CompletionInterrupt) {
+  EXPECT_FALSE(machine_.irqs().Pending(IrqLine::kRevoker));
+  machine_.revoker().Mmio(12, /*is_store=*/true, 1);  // request IRQ
+  while (machine_.revoker().sweeping()) {
+    machine_.Tick(100'000);
+  }
+  EXPECT_TRUE(machine_.irqs().Pending(IrqLine::kRevoker));
+}
+
+TEST_F(RevokerTest, MmioRegisterBank) {
+  EXPECT_EQ(machine_.revoker().Mmio(0, false, 0), 0u);  // epoch
+  machine_.revoker().Mmio(4, true, 1);                  // start
+  EXPECT_EQ(machine_.revoker().Mmio(8, false, 0), 1u);  // status: sweeping
+  while (machine_.revoker().sweeping()) {
+    machine_.Tick(100'000);
+  }
+  EXPECT_EQ(machine_.revoker().Mmio(0, false, 0), 1u);
+  EXPECT_EQ(machine_.revoker().Mmio(8, false, 0), 0u);
+}
+
+TEST_F(RevokerTest, TimerRaisesIrqAtDeadline) {
+  machine_.timer().SetDeadline(machine_.clock().now() + 500);
+  machine_.Tick(499);
+  EXPECT_FALSE(machine_.irqs().Pending(IrqLine::kTimer));
+  machine_.Tick(2);
+  EXPECT_TRUE(machine_.irqs().Pending(IrqLine::kTimer));
+}
+
+TEST_F(RevokerTest, AdvanceIdleSkipsToTimer) {
+  machine_.timer().SetDeadline(machine_.clock().now() + 12'345);
+  const Cycles skipped = machine_.AdvanceIdle(1'000'000);
+  EXPECT_EQ(skipped, 12'345u);
+  EXPECT_TRUE(machine_.irqs().Pending(IrqLine::kTimer));
+}
+
+}  // namespace
+}  // namespace cheriot

@@ -1,0 +1,190 @@
+// Scheduler behaviour tests (§3.1.4): strict priority, round-robin within a
+// priority level, sleep timing, wake ordering, interrupt futexes and the
+// scheduler's limited trust (availability only).
+#include <gtest/gtest.h>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<int> order;
+  std::vector<Cycles> times;
+  Word value = 0;
+};
+
+class SchedTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(SchedTest, StrictPriorityOrdering) {
+  auto shared = shared_;
+  ImageBuilder b("prio");
+  b.Compartment("c").Export(
+      "note", [shared](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+        shared->order.push_back(static_cast<int>(a[0].word()));
+        return StatusCap(Status::kOk);
+      });
+  // Threads started together run strictly by priority.
+  b.Compartment("c")
+      .ImportCompartment("c.note")
+      .Export("run", [shared](CompartmentCtx& ctx,
+                              const std::vector<Capability>& a) {
+        ctx.Call("c.note", {a.empty() ? WordCap(0) : a[0]});
+        shared->order.push_back(100 + static_cast<int>(ctx.ThreadId()));
+        return StatusCap(Status::kOk);
+      });
+  sync::UseScheduler(b, "c");
+  b.Thread("low", 1, 2048, 6, "c.run");
+  b.Thread("high", 9, 2048, 6, "c.run");
+  b.Thread("mid", 5, 2048, 6, "c.run");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(2'000'000'000ull), System::RunResult::kAllExited);
+  // Thread ids: low=0, high=1, mid=2. Completion order: high, mid, low.
+  std::vector<int> completions;
+  for (int v : shared->order) {
+    if (v >= 100) {
+      completions.push_back(v - 100);
+    }
+  }
+  EXPECT_EQ(completions, (std::vector<int>{1, 2, 0}));
+}
+
+TEST_F(SchedTest, SleepWakesAtRequestedTime) {
+  auto shared = shared_;
+  ImageBuilder b("sleep");
+  b.Compartment("c").Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        for (Cycles delay : {10'000ull, 100'000ull, 1'000'000ull}) {
+          const Cycles t0 = ctx.Now();
+          ctx.SleepCycles(delay);
+          shared->times.push_back(ctx.Now() - t0 - delay);  // overshoot
+        }
+        return StatusCap(Status::kOk);
+      });
+  sync::UseScheduler(b, "c");
+  b.Thread("t", 1, 2048, 6, "c.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  ASSERT_EQ(shared->times.size(), 3u);
+  for (Cycles overshoot : shared->times) {
+    // Wakes at or shortly after the deadline (bounded by delivery costs).
+    EXPECT_LT(overshoot, 3'000u);
+  }
+}
+
+TEST_F(SchedTest, FutexWakeCountIsRespected) {
+  auto shared = shared_;
+  ImageBuilder b("wakecount");
+  b.Compartment("c")
+      .Globals(16)
+      .Export("waiter",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.FutexWait(ctx.globals(), 0, ~0u);
+                shared->order.push_back(ctx.ThreadId());
+                return StatusCap(Status::kOk);
+              })
+      .Export("waker",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.SleepCycles(200'000);  // let both waiters block
+                shared->value = static_cast<Word>(
+                    ctx.FutexWake(ctx.globals(), 1));  // exactly one
+                ctx.SleepCycles(200'000);
+                shared->order.push_back(99);  // separator
+                ctx.FutexWake(ctx.globals(), 8);  // the rest
+                return StatusCap(Status::kOk);
+              });
+  sync::UseScheduler(b, "c");
+  b.Thread("w1", 5, 2048, 6, "c.waiter");
+  b.Thread("w2", 5, 2048, 6, "c.waiter");
+  b.Thread("waker", 2, 2048, 6, "c.waker");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->value, 1u);  // first wake released exactly one waiter
+  ASSERT_EQ(shared->order.size(), 3u);
+  EXPECT_EQ(shared->order[1], 99);  // one before, one after the separator
+}
+
+TEST_F(SchedTest, InterruptFutexDeliversDeviceEvents) {
+  auto shared = shared_;
+  ImageBuilder b("irqfutex");
+  b.Compartment("c")
+      .ImportCompartment("sched.interrupt_futex_get")
+      .ImportMmio("revoker", kRevokerMmioBase, kMmioRegionSize, true)
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        const Capability futex = ctx.InterruptFutex(IrqLine::kRevoker);
+        // Least privilege: the returned capability is read-only.
+        auto winfo = ctx.Try([&] { ctx.StoreWord(futex, 0, 1); });
+        shared->order.push_back(winfo.has_value() ? 1 : 0);
+        const Word before = ctx.LoadWord(futex, 0);
+        ctx.StoreWord(ctx.Mmio("revoker"), 12, 1);  // request completion IRQ
+        const Status s = ctx.FutexWait(futex, before, 200'000'000);
+        shared->order.push_back(static_cast<int>(s));
+        shared->value = ctx.LoadWord(futex, 0) - before;
+        return StatusCap(Status::kOk);
+      });
+  sync::UseScheduler(b, "c");
+  b.Thread("t", 1, 4096, 6, "c.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->order, (std::vector<int>{1, 0}));  // RO cap; wait OK
+  EXPECT_EQ(shared->value, 1u);  // the IRQ bumped the futex word once
+}
+
+TEST_F(SchedTest, SchedulerCannotForgeLockOwnership) {
+  // Trust model (§3.2.4): the scheduler can fail to wake (availability) but
+  // the mutex word lives in compartment memory the scheduler never writes;
+  // a spurious wake cannot grant the lock.
+  auto shared = shared_;
+  ImageBuilder b("trust");
+  b.Compartment("c")
+      .Globals(16)
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        sync::Mutex m(ctx.globals());
+        m.Lock(ctx);
+        // A spurious wake on the futex word does not release the lock: a
+        // second lock attempt still times out.
+        ctx.FutexWake(ctx.globals(), 1);
+        shared->value = static_cast<Word>(m.Lock(ctx, 50'000));
+        m.Unlock(ctx);
+        shared->order.push_back(static_cast<int>(m.Lock(ctx, 50'000)));
+        return StatusCap(Status::kOk);
+      });
+  sync::UseLocks(b, "c");
+  b.Thread("t", 1, 4096, 6, "c.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(4'000'000'000ull);
+  EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(shared->value)),
+            Status::kTimedOut);
+  EXPECT_EQ(shared->order, (std::vector<int>{0}));  // after unlock: acquired
+}
+
+TEST_F(SchedTest, IdleAccountingTracksSleep) {
+  ImageBuilder b("idle");
+  b.Compartment("c").Export(
+      "main", [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        ctx.SleepCycles(10'000'000);
+        return StatusCap(Status::kOk);
+      });
+  sync::UseScheduler(b, "c");
+  b.Thread("t", 1, 2048, 6, "c.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  // Nearly the whole run was idle (one thread sleeping 10 M cycles).
+  EXPECT_GT(sys.sched().idle_cycles(), 9'500'000u);
+}
+
+}  // namespace
+}  // namespace cheriot

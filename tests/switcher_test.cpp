@@ -1,0 +1,329 @@
+// Switcher edge cases (§3.1.2, §3.2.6): trusted-stack exhaustion, nested
+// call chains, forced unwind across a chain, call guards, interrupt
+// postures, and error-handler re-entrancy.
+#include <gtest/gtest.h>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<int> codes;
+  Word value = 0;
+  int depth_reached = 0;
+};
+
+class SwitcherTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(SwitcherTest, TrustedStackDepthIsBounded) {
+  auto shared = shared_;
+  ImageBuilder b("depth");
+  b.Compartment("rec")
+      .ImportCompartment("rec.spin")  // self-recursion through the switcher
+      .Export("spin",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+                const int depth = static_cast<int>(a[0].word());
+                shared->depth_reached = std::max(shared->depth_reached, depth);
+                const Capability r =
+                    ctx.Call("rec.spin", {WordCap(depth + 1)});
+                return r;
+              })
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        const Capability r = ctx.Call("rec.spin", {WordCap(1)});
+        shared->value = r.word();
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, /*frames=*/6, "rec.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  // Six frames: main entry + 5 nested spins; the overflow unwinds cleanly.
+  EXPECT_EQ(shared->depth_reached, 5);
+  EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(shared->value)),
+            Status::kCompartmentFail);
+}
+
+TEST_F(SwitcherTest, NestedCallChainPreservesReturnValues) {
+  auto shared = shared_;
+  ImageBuilder b("chain");
+  // a -> b -> c, each adds a digit.
+  b.Compartment("c").Export(
+      "f", [](CompartmentCtx&, const std::vector<Capability>& a) {
+        return WordCap(a[0].word() * 10 + 3);
+      });
+  b.Compartment("b").ImportCompartment("c.f").Export(
+      "f", [](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+        return ctx.Call("c.f", {WordCap(a[0].word() * 10 + 2)});
+      });
+  b.Compartment("a")
+      .ImportCompartment("b.f")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        shared->value = ctx.Call("b.f", {WordCap(1)}).word();
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "a.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  EXPECT_EQ(shared->value, 123u);
+}
+
+TEST_F(SwitcherTest, FaultDeepInChainUnwindsOneLevel) {
+  auto shared = shared_;
+  ImageBuilder b("deepfault");
+  b.Compartment("c").Export(
+      "boom", [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        ctx.LoadWord(Capability::FromWord(0xBAD), 0);
+        return StatusCap(Status::kOk);
+      });
+  b.Compartment("b").ImportCompartment("c.boom").Export(
+      "mid", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        const Capability r = ctx.Call("c.boom", {});
+        // b survives c's fault and can report it upward.
+        shared->codes.push_back(static_cast<int32_t>(r.word()));
+        return WordCap(0x600D);
+      });
+  b.Compartment("a")
+      .ImportCompartment("b.mid")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        shared->value = ctx.Call("b.mid", {}).word();
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "a.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  EXPECT_EQ(shared->codes,
+            (std::vector<int>{static_cast<int>(Status::kCompartmentFail)}));
+  EXPECT_EQ(shared->value, 0x600Du);  // the chain above kept working
+}
+
+TEST_F(SwitcherTest, MicroRebootForcesBlockedThreadOut) {
+  // A thread blocked inside a compartment is woken and force-unwound when
+  // that compartment micro-reboots (§3.2.6 step 2).
+  auto shared = shared_;
+  ImageBuilder b("force");
+  b.Compartment("svc")
+      .Globals(32)
+      .Export("block",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                shared->codes.push_back(1);  // inside
+                ctx.FutexWait(ctx.globals(), 0, ~0u);
+                shared->codes.push_back(2);  // must never run
+                return StatusCap(Status::kOk);
+              })
+      .ErrorHandler([](CompartmentCtx& ctx, TrapInfo&) {
+        ctx.MicroRebootSelf();
+        return ErrorRecovery::kForceUnwind;
+      })
+      .Export("boom",
+              [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.LoadWord(Capability::FromWord(0xBAD), 0);
+                return StatusCap(Status::kOk);
+              });
+  sync::UseScheduler(b, "svc");
+  b.Compartment("victim")
+      .ImportCompartment("svc.block")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        const Capability r = ctx.Call("svc.block", {});
+        shared->codes.push_back(static_cast<int32_t>(r.word()));
+        return StatusCap(Status::kOk);
+      });
+  b.Compartment("attacker")
+      .ImportCompartment("svc.boom")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        ctx.SleepCycles(100'000);  // let the victim get stuck first
+        ctx.Call("svc.boom", {});
+        return StatusCap(Status::kOk);
+      });
+  sync::UseScheduler(b, "attacker");
+  b.Thread("victim", 2, 8192, 8, "victim.main");
+  b.Thread("attacker", 2, 8192, 8, "attacker.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  ASSERT_EQ(shared->codes.size(), 2u);
+  EXPECT_EQ(shared->codes[0], 1);
+  EXPECT_EQ(static_cast<Status>(shared->codes[1]), Status::kCompartmentFail);
+  EXPECT_EQ(sys.boot().FindCompartment("svc")->reboot_count, 1u);
+}
+
+TEST_F(SwitcherTest, CallGuardBouncesDuringReboot) {
+  // Micro-reboot step 1: while the guard is closed, new entries get kBusy.
+  auto shared = shared_;
+  ImageBuilder b("guard");
+  b.Compartment("svc").Export(
+      "ping", [](CompartmentCtx&, const std::vector<Capability>&) {
+        return StatusCap(Status::kOk);
+      });
+  b.Compartment("app")
+      .ImportCompartment("svc.ping")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        // Close the guard by hand (white-box: the switcher checks it).
+        auto& rt = *ctx.system().boot().FindCompartment("svc");
+        rt.call_guard_closed = true;
+        shared->codes.push_back(
+            static_cast<int32_t>(ctx.Call("svc.ping", {}).word()));
+        rt.call_guard_closed = false;
+        shared->codes.push_back(
+            static_cast<int32_t>(ctx.Call("svc.ping", {}).word()));
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  EXPECT_EQ(static_cast<Status>(shared->codes[0]), Status::kBusy);
+  EXPECT_EQ(static_cast<Status>(shared->codes[1]), Status::kOk);
+}
+
+TEST_F(SwitcherTest, InterruptDisabledExportIsNotPreempted) {
+  // A kDisabled export must run to completion even with a higher-priority
+  // thread ready (§2.1's structured interrupt posture).
+  auto shared = shared_;
+  ImageBuilder b("posture");
+  b.Compartment("c")
+      .Globals(32)
+      .Export("critical",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                // Make the high-priority thread ready mid-section.
+                ctx.StoreWord(ctx.globals(), 0, 1);
+                ctx.FutexWake(ctx.globals(), 1);
+                for (int i = 0; i < 2000; ++i) {
+                  ctx.LoadWord(ctx.globals(), 4);
+                }
+                shared->codes.push_back(1);  // critical section finished...
+                return StatusCap(Status::kOk);
+              },
+              256, InterruptPosture::kDisabled)
+      .Export("low",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.Call("c.critical", {});
+                shared->codes.push_back(2);
+                return StatusCap(Status::kOk);
+              })
+      .ImportCompartment("c.critical")
+      .Export("high",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                while (ctx.LoadWord(ctx.globals(), 0) == 0) {
+                  ctx.FutexWait(ctx.globals(), 0, ~0u);
+                }
+                shared->codes.push_back(3);  // ...before we run
+                return StatusCap(Status::kOk);
+              });
+  sync::UseScheduler(b, "c");
+  b.Thread("hi", 8, 8192, 8, "c.high");
+  b.Thread("lo", 1, 8192, 8, "c.low");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  ASSERT_EQ(shared->codes.size(), 3u);
+  // The essential property: the critical section (1) completes before the
+  // higher-priority thread (3) gets the CPU, despite the mid-section wake.
+  EXPECT_EQ(shared->codes[0], 1);
+}
+
+TEST_F(SwitcherTest, FaultingErrorHandlerFallsBackToUnwind) {
+  auto shared = shared_;
+  ImageBuilder b("badhandler");
+  b.Compartment("svc")
+      .ErrorHandler([](CompartmentCtx& ctx, TrapInfo&) -> ErrorRecovery {
+        // The handler itself faults (§5.1.2 "Attacks on the error handler"):
+        // the switcher's fallback is the default unwind.
+        ctx.LoadWord(Capability::FromWord(0xDEAD), 0);
+        return ErrorRecovery::kInstallContext;  // unreachable
+      })
+      .Export("boom",
+              [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.LoadWord(Capability::FromWord(0xBAD), 0);
+                return StatusCap(Status::kOk);
+              });
+  b.Compartment("app")
+      .ImportCompartment("svc.boom")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        shared->value = ctx.Call("svc.boom", {}).word();
+        shared->codes.push_back(1);  // we survived both faults
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(2'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->codes, (std::vector<int>{1}));
+  EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(shared->value)),
+            Status::kCompartmentFail);
+}
+
+TEST_F(SwitcherTest, SealedExportCapabilityCannotBeForged) {
+  // Even holding the *address* of another compartment's export table, a
+  // compartment without the sealed import cannot fabricate a call.
+  auto shared = shared_;
+  ImageBuilder b("forge");
+  b.Compartment("target").Export(
+      "secret", [shared](CompartmentCtx&, const std::vector<Capability>&) {
+        shared->codes.push_back(99);  // must not run
+        return Capability();
+      });
+  b.Compartment("attacker").Export(
+      "main", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        // White-box: learn the export table address...
+        const Address table =
+            ctx.system().boot().FindCompartment("target")->export_table;
+        // ...but a raw integer is not a sealed capability, and an unsealed
+        // self-made capability fails the unseal check in the switcher.
+        shared->value = table;
+        auto info = ctx.Try([&] { ctx.LoadWord(Capability::FromWord(table), 0); });
+        shared->codes.push_back(info.has_value() ? 1 : 0);
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "attacker.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  EXPECT_EQ(shared->codes, (std::vector<int>{1}));
+}
+
+TEST_F(SwitcherTest, LibraryPostureRestoredOnReturn) {
+  // Backward sentries restore the interrupt posture (§2.1).
+  auto shared = shared_;
+  ImageBuilder b("sentry");
+  auto lib = b.Library("postures");
+  lib.Export("disabled_fn",
+             [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+               shared->codes.push_back(
+                   ctx.thread().interrupts_enabled ? 1 : 0);
+               return StatusCap(Status::kOk);
+             },
+             64, InterruptPosture::kDisabled);
+  b.Compartment("app")
+      .ImportLibrary("postures.disabled_fn")
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        shared->codes.push_back(ctx.thread().interrupts_enabled ? 1 : 0);
+        ctx.LibCall("postures.disabled_fn", {});
+        shared->codes.push_back(ctx.thread().interrupts_enabled ? 1 : 0);
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("t", 1, 8192, 8, "app.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(2'000'000'000ull);
+  // enabled before; disabled inside the sentry; enabled after return.
+  EXPECT_EQ(shared->codes, (std::vector<int>{1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace cheriot

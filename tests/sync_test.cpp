@@ -1,0 +1,303 @@
+// Tests for the futex-based synchronization libraries (§3.2.4): mutexes,
+// semaphores, event groups, message queues (library and hardened-compartment
+// flavours) and the multiwaiter.
+#include <gtest/gtest.h>
+
+#include "src/rtos.h"
+#include "src/sync/sync.h"
+
+namespace cheriot {
+namespace {
+
+struct Shared {
+  std::vector<int> order;
+  Word value = 0;
+  int errors = 0;
+  Capability cap;
+};
+
+class SyncTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+  std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
+};
+
+TEST_F(SyncTest, MutexProvidesMutualExclusion) {
+  auto shared = shared_;
+  ImageBuilder b("mutex");
+  // Two threads increment a shared counter under a lock; without the lock
+  // the read-modify-write (with deliberate yields inside) would interleave.
+  b.Compartment("counter").Globals(64).Export(
+      "work", [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        sync::Mutex mutex(ctx.globals().AddOffset(0));
+        const Capability counter = ctx.globals().AddOffset(8);
+        for (int i = 0; i < 10; ++i) {
+          sync::LockGuard guard(ctx, mutex);
+          const Word v = ctx.LoadWord(counter, 0);
+          ctx.Yield();  // try to provoke interleaving inside the section
+          ctx.StoreWord(counter, 0, v + 1);
+        }
+        return StatusCap(Status::kOk);
+      });
+  sync::UseLocks(b, "counter");
+  b.Thread("t1", 2, 2048, 4, "counter.work");
+  b.Thread("t2", 2, 2048, 4, "counter.work");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  // Read the counter back out of the compartment's globals.
+  const auto& rt = *sys.boot().FindCompartment("counter");
+  EXPECT_EQ(sys.machine().memory().RawLoadWord(rt.globals_base + 8), 20u);
+}
+
+TEST_F(SyncTest, MutexTimeoutWhenHeld) {
+  auto shared = shared_;
+  ImageBuilder b("mutex-timeout");
+  b.Compartment("c")
+      .Globals(16)
+      .Export("holder",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                sync::Mutex m(ctx.globals());
+                m.Lock(ctx);
+                ctx.SleepCycles(400'000);
+                m.Unlock(ctx);
+                return StatusCap(Status::kOk);
+              })
+      .Export("contender",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.SleepCycles(10'000);  // let the holder win
+                sync::Mutex m(ctx.globals());
+                shared->value =
+                    static_cast<Word>(m.Lock(ctx, /*timeout=*/50'000));
+                return StatusCap(Status::kOk);
+              });
+  sync::UseLocks(b, "c");
+  b.Thread("t1", 2, 2048, 4, "c.holder");
+  b.Thread("t2", 2, 2048, 4, "c.contender");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  sys.Run(4'000'000'000ull);
+  EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(shared->value)),
+            Status::kTimedOut);
+}
+
+TEST_F(SyncTest, SemaphoreCountsAndBlocks) {
+  auto shared = shared_;
+  ImageBuilder b("sem");
+  b.Compartment("c")
+      .Globals(16)
+      .Export("producer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                sync::Semaphore sem(ctx.globals());
+                for (int i = 0; i < 3; ++i) {
+                  ctx.SleepCycles(20'000);
+                  sem.Put(ctx);
+                }
+                return StatusCap(Status::kOk);
+              })
+      .Export("consumer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                sync::Semaphore sem(ctx.globals());
+                for (int i = 0; i < 3; ++i) {
+                  if (sem.Get(ctx, 10'000'000) != Status::kOk) {
+                    shared->errors++;
+                  }
+                  shared->order.push_back(i);
+                }
+                return StatusCap(Status::kOk);
+              });
+  sync::UseSemaphore(b, "c");
+  b.Thread("tc", 3, 2048, 4, "c.consumer");
+  b.Thread("tp", 2, 2048, 4, "c.producer");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+  EXPECT_EQ(shared->order.size(), 3u);
+}
+
+TEST_F(SyncTest, EventGroupWaitAllAndAny) {
+  auto shared = shared_;
+  ImageBuilder b("events");
+  b.Compartment("c")
+      .Globals(16)
+      .Export("setter",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                sync::EventGroup eg(ctx.globals());
+                ctx.SleepCycles(20'000);
+                eg.Set(ctx, 0x1);
+                ctx.SleepCycles(20'000);
+                eg.Set(ctx, 0x2);
+                return StatusCap(Status::kOk);
+              })
+      .Export("waiter",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                sync::EventGroup eg(ctx.globals());
+                if (eg.WaitAny(ctx, 0x3, 50'000'000) != Status::kOk) {
+                  shared->errors++;
+                }
+                shared->order.push_back(1);
+                if (eg.WaitAll(ctx, 0x3, 50'000'000) != Status::kOk) {
+                  shared->errors++;
+                }
+                shared->order.push_back(2);
+                return StatusCap(Status::kOk);
+              });
+  sync::UseEventGroups(b, "c");
+  b.Thread("tw", 3, 2048, 4, "c.waiter");
+  b.Thread("ts", 2, 2048, 4, "c.setter");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+  EXPECT_EQ(shared->order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SyncTest, QueueLibraryMovesMessages) {
+  auto shared = shared_;
+  ImageBuilder b("queue");
+  b.Compartment("c")
+      .Globals(16)
+      .AllocCap("q", 4096)
+      .Export("producer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                const Capability buf = ctx.HeapAllocate(
+                    ctx.SealedImport("q"), sync::QueueBufferBytes(4, 4));
+                auto queue = sync::Queue::Init(ctx, buf, 4, 4);
+                // Publish the buffer through a global so the consumer thread
+                // (same compartment) can reach it.
+                ctx.StoreCap(ctx.globals(), 8, buf);
+                ctx.StoreWord(ctx.globals(), 0, 1);  // ready flag
+                ctx.FutexWake(ctx.globals(), 1);
+                for (Word i = 10; i < 15; ++i) {
+                  auto msg = ctx.AllocStack(8);
+                  ctx.StoreWord(msg.cap(), 0, i);
+                  queue.Send(ctx, msg.cap(), ~0u);
+                }
+                return StatusCap(Status::kOk);
+              })
+      .Export("consumer",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                while (ctx.LoadWord(ctx.globals(), 0) == 0) {
+                  ctx.FutexWait(ctx.globals(), 0, ~0u);
+                }
+                sync::Queue queue(ctx.LoadCap(ctx.globals(), 8));
+                for (int i = 0; i < 5; ++i) {
+                  auto out = ctx.AllocStack(8);
+                  if (queue.Receive(ctx, out.cap(), 100'000'000) !=
+                      Status::kOk) {
+                    shared->errors++;
+                    break;
+                  }
+                  shared->order.push_back(
+                      static_cast<int>(ctx.LoadWord(out.cap(), 0)));
+                }
+                return StatusCap(Status::kOk);
+              });
+  sync::UseQueueLibrary(b, "c");
+  sync::UseAllocator(b, "c");
+  b.Thread("tc", 3, 2048, 6, "c.consumer");
+  b.Thread("tp", 2, 2048, 6, "c.producer");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+  EXPECT_EQ(shared->order, (std::vector<int>{10, 11, 12, 13, 14}));
+}
+
+TEST_F(SyncTest, HardenedQueueIsOpaqueAndUnfreeableByCaller) {
+  auto shared = shared_;
+  ImageBuilder b("hqueue");
+  b.Compartment("client")
+      .AllocCap("cq", 8192)
+      .Export("main", [shared](CompartmentCtx& ctx,
+                               const std::vector<Capability>&) {
+        const Capability quota = ctx.SealedImport("cq");
+        const Capability handle =
+            ctx.Call("message_queue.create", {quota, WordCap(8), WordCap(4)});
+        if (!handle.tag() || !handle.IsSealed()) {
+          shared->errors = 100;
+          return StatusCap(Status::kInvalidArgument);
+        }
+        // The handle is opaque: direct access traps.
+        auto info = ctx.Try([&] { ctx.LoadWord(handle, 0); });
+        if (!info.has_value()) {
+          shared->errors = 101;
+        }
+        // The caller cannot free the backing memory with its own quota
+        // (sealed allocation, §3.2.3).
+        const Status s = ctx.HeapFree(quota, handle);
+        if (s == Status::kOk) {
+          shared->errors = 102;
+        }
+        // Round-trip a message.
+        auto msg = ctx.AllocStack(8);
+        ctx.StoreWord(msg.cap(), 0, 4242);
+        ctx.Call("message_queue.send", {handle, msg.cap(), WordCap(~0u)});
+        auto out = ctx.AllocStack(8);
+        ctx.Call("message_queue.receive", {handle, out.cap(), WordCap(~0u)});
+        shared->value = ctx.LoadWord(out.cap(), 0);
+        // Destroy through the compartment: requires our quota + its key.
+        const Status d = static_cast<Status>(static_cast<int32_t>(
+            ctx.Call("message_queue.destroy", {quota, handle}).word()));
+        if (d != Status::kOk) {
+          shared->errors = 103;
+        }
+        return StatusCap(Status::kOk);
+      });
+  sync::UseQueueCompartment(b, "client");
+  sync::UseAllocator(b, "client");
+  b.Thread("t", 2, 4096, 6, "client.main");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(shared->errors, 0);
+  EXPECT_EQ(shared->value, 4242u);
+}
+
+TEST_F(SyncTest, MultiwaiterWakesOnAnyEvent) {
+  auto shared = shared_;
+  ImageBuilder b("multi");
+  b.Compartment("c")
+      .Globals(32)
+      .ImportCompartment("sched.multiwaiter_create")
+      .ImportCompartment("sched.multiwaiter_wait")
+      .ImportCompartment("sched.multiwaiter_destroy")
+      .Export("waiter",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                const int mw = ctx.MultiwaiterCreate(4);
+                // Wait on two futexes (globals+0 and globals+4).
+                auto events = ctx.AllocStack(16);
+                const Address g = ctx.globals().base();
+                ctx.StoreWord(events.cap(), 0, g);
+                ctx.StoreWord(events.cap(), 4, 0);  // expected value
+                ctx.StoreWord(events.cap(), 8, g + 4);
+                ctx.StoreWord(events.cap(), 12, 0);
+                const Status s =
+                    ctx.MultiwaiterWait(mw, events.cap(), 2, 100'000'000);
+                shared->value = static_cast<Word>(s);
+                shared->order.push_back(
+                    static_cast<int>(ctx.LoadWord(ctx.globals(), 4)));
+                ctx.MultiwaiterDestroy(mw);
+                return StatusCap(Status::kOk);
+              })
+      .Export("poker",
+              [shared](CompartmentCtx& ctx, const std::vector<Capability>&) {
+                ctx.SleepCycles(30'000);
+                ctx.StoreWord(ctx.globals(), 4, 9);  // second futex fires
+                ctx.FutexWake(ctx.globals().AddOffset(4), 1);
+                return StatusCap(Status::kOk);
+              });
+  sync::UseScheduler(b, "c");
+  b.Thread("tw", 3, 2048, 4, "c.waiter");
+  b.Thread("tp", 2, 2048, 4, "c.poker");
+  System sys(machine_, b.Build());
+  sys.Boot();
+  EXPECT_EQ(sys.Run(4'000'000'000ull), System::RunResult::kAllExited);
+  EXPECT_EQ(static_cast<Status>(static_cast<int32_t>(shared->value)),
+            Status::kOk);
+  EXPECT_EQ(shared->order, (std::vector<int>{9}));
+}
+
+}  // namespace
+}  // namespace cheriot
