@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_throughput.dir/bench_alloc_throughput.cpp.o"
+  "CMakeFiles/bench_alloc_throughput.dir/bench_alloc_throughput.cpp.o.d"
+  "bench_alloc_throughput"
+  "bench_alloc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

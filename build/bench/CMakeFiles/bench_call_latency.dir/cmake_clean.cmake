@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_call_latency.dir/bench_call_latency.cpp.o"
+  "CMakeFiles/bench_call_latency.dir/bench_call_latency.cpp.o.d"
+  "bench_call_latency"
+  "bench_call_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_call_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cap_overhead.dir/bench_cap_overhead.cpp.o"
+  "CMakeFiles/bench_cap_overhead.dir/bench_cap_overhead.cpp.o.d"
+  "bench_cap_overhead"
+  "bench_cap_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cap_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

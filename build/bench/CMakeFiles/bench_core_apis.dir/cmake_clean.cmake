@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_apis.dir/bench_core_apis.cpp.o"
+  "CMakeFiles/bench_core_apis.dir/bench_core_apis.cpp.o.d"
+  "bench_core_apis"
+  "bench_core_apis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_apis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_firmware.dir/audit_firmware.cpp.o"
+  "CMakeFiles/audit_firmware.dir/audit_firmware.cpp.o.d"
+  "audit_firmware"
+  "audit_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_mqtt_app.dir/iot_mqtt_app.cpp.o"
+  "CMakeFiles/iot_mqtt_app.dir/iot_mqtt_app.cpp.o.d"
+  "iot_mqtt_app"
+  "iot_mqtt_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_mqtt_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cc" "src/CMakeFiles/cheriot.dir/alloc/allocator.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/alloc/allocator.cc.o.d"
+  "/root/repo/src/audit/policy.cc" "src/CMakeFiles/cheriot.dir/audit/policy.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/audit/policy.cc.o.d"
+  "/root/repo/src/audit/report.cc" "src/CMakeFiles/cheriot.dir/audit/report.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/audit/report.cc.o.d"
+  "/root/repo/src/base/clock.cc" "src/CMakeFiles/cheriot.dir/base/clock.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/base/clock.cc.o.d"
+  "/root/repo/src/base/log.cc" "src/CMakeFiles/cheriot.dir/base/log.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/base/log.cc.o.d"
+  "/root/repo/src/cap/capability.cc" "src/CMakeFiles/cheriot.dir/cap/capability.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/cap/capability.cc.o.d"
+  "/root/repo/src/compat/freertos_shim.cc" "src/CMakeFiles/cheriot.dir/compat/freertos_shim.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/compat/freertos_shim.cc.o.d"
+  "/root/repo/src/compat/posix_shim.cc" "src/CMakeFiles/cheriot.dir/compat/posix_shim.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/compat/posix_shim.cc.o.d"
+  "/root/repo/src/debug/debug.cc" "src/CMakeFiles/cheriot.dir/debug/debug.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/debug/debug.cc.o.d"
+  "/root/repo/src/firmware/image.cc" "src/CMakeFiles/cheriot.dir/firmware/image.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/firmware/image.cc.o.d"
+  "/root/repo/src/hw/devices.cc" "src/CMakeFiles/cheriot.dir/hw/devices.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/hw/devices.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/CMakeFiles/cheriot.dir/hw/machine.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/hw/machine.cc.o.d"
+  "/root/repo/src/hw/revoker.cc" "src/CMakeFiles/cheriot.dir/hw/revoker.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/hw/revoker.cc.o.d"
+  "/root/repo/src/js/assembler.cc" "src/CMakeFiles/cheriot.dir/js/assembler.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/js/assembler.cc.o.d"
+  "/root/repo/src/js/minivm.cc" "src/CMakeFiles/cheriot.dir/js/minivm.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/js/minivm.cc.o.d"
+  "/root/repo/src/json/json.cc" "src/CMakeFiles/cheriot.dir/json/json.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/json/json.cc.o.d"
+  "/root/repo/src/kernel/system.cc" "src/CMakeFiles/cheriot.dir/kernel/system.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/kernel/system.cc.o.d"
+  "/root/repo/src/loader/loader.cc" "src/CMakeFiles/cheriot.dir/loader/loader.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/loader/loader.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/CMakeFiles/cheriot.dir/mem/memory.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/mem/memory.cc.o.d"
+  "/root/repo/src/net/crypto.cc" "src/CMakeFiles/cheriot.dir/net/crypto.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/crypto.cc.o.d"
+  "/root/repo/src/net/dns.cc" "src/CMakeFiles/cheriot.dir/net/dns.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/dns.cc.o.d"
+  "/root/repo/src/net/firewall.cc" "src/CMakeFiles/cheriot.dir/net/firewall.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/firewall.cc.o.d"
+  "/root/repo/src/net/mqtt.cc" "src/CMakeFiles/cheriot.dir/net/mqtt.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/mqtt.cc.o.d"
+  "/root/repo/src/net/netstack_image.cc" "src/CMakeFiles/cheriot.dir/net/netstack_image.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/netstack_image.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/cheriot.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/sntp.cc" "src/CMakeFiles/cheriot.dir/net/sntp.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/sntp.cc.o.d"
+  "/root/repo/src/net/tcpip.cc" "src/CMakeFiles/cheriot.dir/net/tcpip.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/tcpip.cc.o.d"
+  "/root/repo/src/net/tls.cc" "src/CMakeFiles/cheriot.dir/net/tls.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/tls.cc.o.d"
+  "/root/repo/src/net/world.cc" "src/CMakeFiles/cheriot.dir/net/world.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/net/world.cc.o.d"
+  "/root/repo/src/runtime/compartment_ctx.cc" "src/CMakeFiles/cheriot.dir/runtime/compartment_ctx.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/runtime/compartment_ctx.cc.o.d"
+  "/root/repo/src/runtime/hardening.cc" "src/CMakeFiles/cheriot.dir/runtime/hardening.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/runtime/hardening.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/cheriot.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/switcher/switcher.cc" "src/CMakeFiles/cheriot.dir/switcher/switcher.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/switcher/switcher.cc.o.d"
+  "/root/repo/src/switcher/trusted_stack.cc" "src/CMakeFiles/cheriot.dir/switcher/trusted_stack.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/switcher/trusted_stack.cc.o.d"
+  "/root/repo/src/sync/event_group.cc" "src/CMakeFiles/cheriot.dir/sync/event_group.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/sync/event_group.cc.o.d"
+  "/root/repo/src/sync/locks.cc" "src/CMakeFiles/cheriot.dir/sync/locks.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/sync/locks.cc.o.d"
+  "/root/repo/src/sync/queue.cc" "src/CMakeFiles/cheriot.dir/sync/queue.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/sync/queue.cc.o.d"
+  "/root/repo/src/sync/semaphore.cc" "src/CMakeFiles/cheriot.dir/sync/semaphore.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/sync/semaphore.cc.o.d"
+  "/root/repo/src/token/token.cc" "src/CMakeFiles/cheriot.dir/token/token.cc.o" "gcc" "src/CMakeFiles/cheriot.dir/token/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

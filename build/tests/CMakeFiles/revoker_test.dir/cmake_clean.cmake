@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revoker_test.dir/revoker_test.cpp.o"
+  "CMakeFiles/revoker_test.dir/revoker_test.cpp.o.d"
+  "revoker_test"
+  "revoker_test.pdb"
+  "revoker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revoker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

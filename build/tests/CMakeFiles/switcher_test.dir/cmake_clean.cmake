@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switcher_test.dir/switcher_test.cpp.o"
+  "CMakeFiles/switcher_test.dir/switcher_test.cpp.o.d"
+  "switcher_test"
+  "switcher_test.pdb"
+  "switcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

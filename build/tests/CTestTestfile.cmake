@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/capability_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/revoker_test[1]_include.cmake")
+include("/root/repo/build/tests/loader_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/compat_test[1]_include.cmake")
+include("/root/repo/build/tests/allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/hardening_test[1]_include.cmake")
+include("/root/repo/build/tests/switcher_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
