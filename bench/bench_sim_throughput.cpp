@@ -1,0 +1,401 @@
+// Host-side simulator throughput: simulated accesses per wall-clock second.
+//
+// Every protection property in this reproduction is enforced on every
+// simulated access (DESIGN.md §1), so `Memory::Load*/Store*` dominates the
+// wall-clock time of every bench and test. This bench records the perf
+// trajectory of that hot path in BENCH_sim_throughput.json. Simulated cycle
+// accounting is exercised but never asserted here — the cycle-model
+// invariance rule (DESIGN.md "Simulator fast path") is enforced by
+// tests/invariance_test.cpp; this file only measures host speed.
+//
+// Alongside the real memory system it times a frozen "naive dispatch"
+// reference that reproduces the seed implementation's hot path (std::function
+// access hook, linear MMIO scan over std::function handlers, vector<bool>
+// tag/revocation bitmaps, per-granule tag-clear loop) on the same workload
+// mix, so the JSON carries a measured fast-vs-naive speedup in every run.
+#include <benchmark/benchmark.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/rtos.h"
+
+namespace cheriot {
+namespace {
+
+constexpr int kWindowBytes = 16 * 1024;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- Workloads over the real memory system --------------------------------
+// Each returns the number of simulated accesses performed.
+
+struct Harness {
+  Machine machine;
+  Capability root;
+  uint64_t hook_hits = 0;
+
+  Harness()
+      : root(Capability::RootReadWrite(
+            machine.memory().sram_base(),
+            machine.memory().sram_base() + machine.memory().sram_size())) {
+    // Stand-in for the kernel's preemption check so hook dispatch cost is
+    // included, exactly as System::Boot installs it.
+    machine.memory().SetAccessHook(
+        [](void* self) { ++static_cast<Harness*>(self)->hook_hits; }, this);
+  }
+};
+
+uint64_t WordTraffic(Harness& h, int iters) {
+  Memory& mem = h.machine.memory();
+  const Address base = mem.sram_base();
+  for (int it = 0; it < iters; ++it) {
+    for (Address off = 0; off < kWindowBytes; off += 4) {
+      mem.StoreWord(h.root, base + off, off ^ it);
+    }
+    Word acc = 0;
+    for (Address off = 0; off < kWindowBytes; off += 4) {
+      acc += mem.LoadWord(h.root, base + off);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  return static_cast<uint64_t>(iters) * 2 * (kWindowBytes / 4);
+}
+
+uint64_t ByteHalfTraffic(Harness& h, int iters) {
+  Memory& mem = h.machine.memory();
+  const Address base = mem.sram_base();
+  for (int it = 0; it < iters; ++it) {
+    Word acc = 0;
+    for (Address off = 0; off < kWindowBytes / 4; ++off) {
+      mem.StoreByte(h.root, base + off, static_cast<uint8_t>(off));
+      acc += mem.LoadByte(h.root, base + off);
+    }
+    for (Address off = 0; off < kWindowBytes / 4; off += 2) {
+      mem.StoreHalf(h.root, base + 0x1000 + off, static_cast<uint16_t>(off));
+      acc += mem.LoadHalf(h.root, base + 0x1000 + off);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  return static_cast<uint64_t>(iters) *
+         (2 * (kWindowBytes / 4) + (kWindowBytes / 4));
+}
+
+uint64_t CapTraffic(Harness& h, int iters) {
+  Memory& mem = h.machine.memory();
+  const Address base = mem.sram_base();
+  const int slots = 256;
+  for (int it = 0; it < iters; ++it) {
+    for (int i = 0; i < slots; ++i) {
+      mem.StoreCap(h.root, base + 8 * i,
+                   h.root.WithBounds(base + 0x100 * (i % 64), 0x40));
+    }
+    bool any = false;
+    for (int i = 0; i < slots; ++i) {
+      any ^= mem.LoadCap(h.root, base + 8 * i).tag();
+    }
+    benchmark::DoNotOptimize(any);
+  }
+  return static_cast<uint64_t>(iters) * 2 * slots;
+}
+
+uint64_t MmioTraffic(Harness& h, int iters) {
+  Memory& mem = h.machine.memory();
+  const Capability uart =
+      Capability::RootReadWrite(kUartMmioBase, kUartMmioBase + kMmioRegionSize);
+  const Capability led =
+      Capability::RootReadWrite(kLedMmioBase, kLedMmioBase + kMmioRegionSize);
+  for (int it = 0; it < iters; ++it) {
+    Word acc = 0;
+    for (int i = 0; i < 512; ++i) {
+      acc += mem.LoadWord(uart, kUartMmioBase + 4);  // status poll
+      mem.StoreWord(led, kLedMmioBase, i & 0xFF);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  return static_cast<uint64_t>(iters) * 2 * 512;
+}
+
+// --- Frozen naive-dispatch reference (the seed hot path) ------------------
+
+class NaiveMemory {
+ public:
+  using Handler = std::function<Word(Address, bool, Word)>;
+  using Hook = std::function<void()>;
+
+  NaiveMemory(Address base, Address size, CycleClock* clock)
+      : base_(base),
+        size_(size),
+        clock_(clock),
+        bytes_(size, 0),
+        tags_(size / kGranuleBytes, false),
+        revocation_(size / kGranuleBytes, false) {}
+
+  void AddRegion(Address base, Address size, Handler h) {
+    regions_.push_back({base, size, std::move(h)});
+  }
+  void SetHook(Hook h) { hook_ = std::move(h); }
+
+  // noinline: the seed's Memory::LoadWord/StoreWord lived in memory.cc and
+  // could never inline into callers; without this the optimizer sees through
+  // the same-TU reference class and the baseline is unfairly fast.
+  [[gnu::noinline]] Word LoadWord(const Capability& authority, Address addr) {
+    Tick(cost::kLoadWord);
+    Check(authority, addr, 4, Permission::kLoad);
+    if (auto* r = Find(addr, 4)) {
+      return r->handler(addr - r->base, false, 0);
+    }
+    Word v;
+    std::memcpy(&v, &bytes_[addr - base_], 4);
+    return v;
+  }
+
+  [[gnu::noinline]] void StoreWord(const Capability& authority, Address addr,
+                                   Word value) {
+    Tick(cost::kStoreWord);
+    Check(authority, addr, 4, Permission::kStore);
+    if (auto* r = Find(addr, 4)) {
+      r->handler(addr - r->base, true, value);
+      return;
+    }
+    ClearTags(addr, 4);
+    std::memcpy(&bytes_[addr - base_], &value, 4);
+  }
+
+  uint64_t access_count() const { return accesses_; }
+
+ private:
+  struct Region {
+    Address base;
+    Address size;
+    Handler handler;
+  };
+
+  void Tick(Cycles c) {
+    ++accesses_;
+    if (hook_) {
+      hook_();
+    }
+    clock_->Tick(c);
+  }
+
+  void Check(const Capability& a, Address addr, Address size,
+             Permission perm) const {
+    if (!a.tag() || a.IsSealed() || !a.permissions().Has(perm) ||
+        !a.InBounds(addr, size)) {
+      throw TrapException(TrapCode::kBoundsViolation, addr, "naive check");
+    }
+    if (!a.permissions().Has(Permission::kRevocationExempt) &&
+        a.base() >= base_ && (a.base() - base_) / kGranuleBytes < revocation_.size() &&
+        revocation_[(a.base() - base_) / kGranuleBytes]) {
+      throw TrapException(TrapCode::kTagViolation, addr, "revoked");
+    }
+    if (size == 4 && (addr & 3)) {
+      throw TrapException(TrapCode::kAlignmentFault, addr, "misaligned");
+    }
+  }
+
+  Region* Find(Address addr, Address size) {
+    for (auto& r : regions_) {
+      if (addr >= r.base && addr + size <= r.base + r.size) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+
+  void ClearTags(Address addr, Address len) {
+    const size_t first = (AlignDown(addr, kGranuleBytes) - base_) / kGranuleBytes;
+    const size_t last =
+        (AlignDown(addr + len - 1, kGranuleBytes) - base_) / kGranuleBytes;
+    for (size_t g = first; g <= last && g < tags_.size(); ++g) {
+      tags_[g] = false;
+    }
+  }
+
+  Address base_;
+  Address size_;
+  CycleClock* clock_;
+  std::vector<uint8_t> bytes_;
+  std::vector<bool> tags_;
+  std::vector<bool> revocation_;
+  std::vector<Region> regions_;
+  Hook hook_;
+  uint64_t accesses_ = 0;
+};
+
+// The seed Machine's background hardware, reached through the clock's
+// std::function hook on every simulated access. Both members were
+// out-of-line early-out functions in their own translation units.
+struct NaiveBackground {
+  bool sweeping = false;
+  bool armed = false;
+  uint64_t work = 0;
+  [[gnu::noinline]] void Advance(Cycles) {
+    if (sweeping) {
+      ++work;
+    }
+  }
+  [[gnu::noinline]] void Poll() {
+    if (armed) {
+      ++work;
+    }
+  }
+};
+
+uint64_t NaiveWordTraffic(NaiveMemory& mem, const Capability& root,
+                          Address base, int iters) {
+  for (int it = 0; it < iters; ++it) {
+    for (Address off = 0; off < kWindowBytes; off += 4) {
+      mem.StoreWord(root, base + off, off ^ it);
+    }
+    Word acc = 0;
+    for (Address off = 0; off < kWindowBytes; off += 4) {
+      acc += mem.LoadWord(root, base + off);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  return static_cast<uint64_t>(iters) * 2 * (kWindowBytes / 4);
+}
+
+// --- Driver ----------------------------------------------------------------
+
+struct Result {
+  std::string name;
+  uint64_t accesses;
+  double seconds;
+  double per_sec() const { return accesses / seconds; }
+};
+
+template <typename Fn>
+Result Measure(const std::string& name, Fn&& body) {
+  body(2);  // warm-up
+  // Scale iterations so each timed run takes ~0.3 s.
+  const auto probe0 = std::chrono::steady_clock::now();
+  body(8);
+  const double probe = SecondsSince(probe0) / 8;
+  const int iters = std::max(8, static_cast<int>(0.3 / std::max(probe, 1e-9)));
+  // Best of five timed runs: the minimum wall-clock is the least disturbed
+  // by scheduling noise (and, on virtualized hosts, hypervisor steal time).
+  uint64_t accesses = 0;
+  double secs = 0;
+  for (int run = 0; run < 5; ++run) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t n = body(iters);
+    const double s = SecondsSince(t0);
+    if (run == 0 || s < secs) {
+      accesses = n;
+      secs = s;
+    }
+  }
+  std::printf("  %-18s %9.3f M accesses/s  (%llu accesses in %.3f s)\n",
+              name.c_str(), accesses / secs / 1e6,
+              static_cast<unsigned long long>(accesses), secs);
+  return {name, accesses, secs};
+}
+
+}  // namespace
+}  // namespace cheriot
+
+int main(int argc, char** argv) {
+  using namespace cheriot;
+  const char* json_path = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  // Spin for a moment before timing anything so the host core reaches its
+  // steady-state frequency; otherwise the first workload measured pays the
+  // ramp-up and the comparison between early and late workloads skews.
+  {
+    volatile uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (SecondsSince(t0) < 0.5) {
+      for (int i = 0; i < 4096; ++i) {
+        sink += i;
+      }
+    }
+  }
+
+  std::printf("=== simulator memory-system throughput (host wall-clock) ===\n");
+  std::vector<Result> results;
+  {
+    Harness h;
+    results.push_back(
+        Measure("word_rw", [&](int it) { return WordTraffic(h, it); }));
+  }
+  {
+    Harness h;
+    results.push_back(
+        Measure("byte_half_rw", [&](int it) { return ByteHalfTraffic(h, it); }));
+  }
+  {
+    Harness h;
+    results.push_back(
+        Measure("cap_spill_reload", [&](int it) { return CapTraffic(h, it); }));
+  }
+  {
+    Harness h;
+    results.push_back(
+        Measure("mmio_poll", [&](int it) { return MmioTraffic(h, it); }));
+  }
+
+  // Naive-dispatch reference on the word workload, same SoC MMIO map shape.
+  // The clock hook stands in for the seed Machine's per-tick std::function
+  // dispatch into the revoker/timer background work: Revoker::Advance and
+  // Timer::Poll were out-of-line functions called on every access.
+  CycleClock naive_clock;
+  NaiveBackground naive_bg;
+  naive_clock.AddHook([&naive_bg](Cycles d) {
+    naive_bg.Advance(d);
+    naive_bg.Poll();
+  });
+  constexpr Address kBase = 0x20000000;
+  NaiveMemory naive(kBase, 256 * 1024, &naive_clock);
+  for (Address dev = kUartMmioBase; dev <= kEntropyMmioBase; dev += 0x1000) {
+    naive.AddRegion(dev, kMmioRegionSize,
+                    [](Address, bool, Word) { return 0u; });
+  }
+  uint64_t naive_hook_hits = 0;
+  naive.SetHook([&naive_hook_hits] { ++naive_hook_hits; });
+  const Capability naive_root =
+      Capability::RootReadWrite(kBase, kBase + 256 * 1024);
+  const Result naive_result = Measure("naive_word_rw", [&](int it) {
+    return NaiveWordTraffic(naive, naive_root, kBase, it);
+  });
+  benchmark::DoNotOptimize(naive_hook_hits);
+  benchmark::DoNotOptimize(naive_bg.work);
+
+  const Result& fast_word = results[0];
+  const double speedup = fast_word.per_sec() / naive_result.per_sec();
+  std::printf("  fast-path speedup vs naive dispatch (word_rw): %.2fx\n",
+              speedup);
+
+  FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write '%s': %s\n", json_path,
+                 std::strerror(errno));
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f, "  \"unit\": \"simulated accesses per host second\",\n");
+  for (const Result& r : results) {
+    std::fprintf(f, "  \"%s_per_sec\": %.0f,\n", r.name.c_str(), r.per_sec());
+  }
+  std::fprintf(f, "  \"naive_word_rw_per_sec\": %.0f,\n",
+               naive_result.per_sec());
+  std::fprintf(f, "  \"speedup_vs_naive_word_rw\": %.3f\n}\n", speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -22,6 +22,10 @@ inline constexpr Cycles kLoadWord = 2;
 inline constexpr Cycles kStoreWord = 2;
 inline constexpr Cycles kLoadByte = 2;
 inline constexpr Cycles kStoreByte = 2;
+// Half-word accesses are one bus transaction, same as bytes; named
+// separately so the model is explicit and independently tunable.
+inline constexpr Cycles kLoadHalf = kLoadByte;
+inline constexpr Cycles kStoreHalf = kStoreByte;
 inline constexpr Cycles kLoadCap = 4;   // two bus reads (§5.3)
 inline constexpr Cycles kStoreCap = 4;
 // Load-filter revocation-bit lookup overhead (~8% of CoreMark, §5.3).

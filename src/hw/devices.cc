@@ -59,13 +59,6 @@ Word Timer::Mmio(Address offset, bool is_store, Word value) {
   }
 }
 
-void Timer::Poll() {
-  if (armed_ && clock_->now() >= mtimecmp_) {
-    irqs_->Raise(IrqLine::kTimer);
-    armed_ = false;
-  }
-}
-
 Word EthernetDevice::Mmio(Address offset, bool is_store, Word value) {
   switch (offset) {
     case 0x00:  // RX status: pending frame count

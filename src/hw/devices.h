@@ -88,8 +88,14 @@ class Timer {
   Timer(CycleClock* clock, InterruptController* irqs)
       : clock_(clock), irqs_(irqs) {}
   Word Mmio(Address offset, bool is_store, Word value);
-  // Tick hook: checks the compare register.
-  void Poll();
+  // Tick hook: checks the compare register. Inline — it runs on every
+  // simulated access via the clock's background hook.
+  void Poll() {
+    if (armed_ && clock_->now() >= mtimecmp_) {
+      irqs_->Raise(IrqLine::kTimer);
+      armed_ = false;
+    }
+  }
   void SetDeadline(Cycles absolute) {
     mtimecmp_ = absolute;
     armed_ = true;

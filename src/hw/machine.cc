@@ -26,11 +26,16 @@ Machine::Machine(const MachineConfig& config)
   memory_.AddMmioRegion(kEntropyMmioBase, kMmioRegionSize,
                         [this](Address o, bool s, Word v) { return entropy_.Mmio(o, s, v); });
 
-  // Background hardware advances with the clock.
-  clock_.AddHook([this](Cycles delta) {
-    revoker_.Advance(delta);
-    timer_.Poll();
-  });
+  // Background hardware advances with the clock. Registered as the raw hook:
+  // this dispatch happens on every simulated access, so it must not pay a
+  // std::function indirection.
+  clock_.SetRawHook(
+      [](void* self, Cycles delta) {
+        auto* machine = static_cast<Machine*>(self);
+        machine->revoker_.Advance(delta);
+        machine->timer_.Poll();
+      },
+      this);
 }
 
 bool Machine::HasFutureEvent() const {

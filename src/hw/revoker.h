@@ -24,7 +24,13 @@ class Revoker {
   Word Mmio(Address offset, bool is_store, Word value);
 
   // Clock tick hook: advances the sweep by delta cycles of background work.
-  void Advance(Cycles delta);
+  // Inline early-out — this runs on every simulated access.
+  void Advance(Cycles delta) {
+    if (!sweeping_) {
+      return;
+    }
+    AdvanceSweep(delta);
+  }
 
   void StartSweep();
   bool sweeping() const { return sweeping_; }
@@ -40,6 +46,8 @@ class Revoker {
   Cycles CyclesUntilDone() const;
 
  private:
+  void AdvanceSweep(Cycles delta);
+
   Memory* memory_;
   InterruptController* irqs_;
   bool sweeping_ = false;

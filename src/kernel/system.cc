@@ -6,6 +6,21 @@
 #include "src/base/log.h"
 #include "src/runtime/compartment_ctx.h"
 
+// AddressSanitizer needs to be told about ucontext fiber switches or it
+// reports false stack-use-after-scope errors on every context switch (see
+// google/sanitizers#189).
+#if defined(__SANITIZE_ADDRESS__)
+#define CHERIOT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CHERIOT_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef CHERIOT_ASAN_FIBERS
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace cheriot {
 
 namespace {
@@ -14,6 +29,10 @@ namespace {
 System* g_active_system = nullptr;
 
 extern "C" void ThreadTrampoline() {
+#ifdef CHERIOT_ASAN_FIBERS
+  // Complete the switch that started this fiber.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
   System* sys = g_active_system;
   sys->RunThreadBody(sys->StartingThreadId());
 }
@@ -50,7 +69,19 @@ void System::Boot() {
   }
 
   CreateThreads();
-  machine_.memory().SetAccessHook([this] { PreemptCheck(); });
+  machine_.memory().SetAccessHook(
+      [](void* self) { static_cast<System*>(self)->PreemptCheck(); }, this);
+#ifdef CHERIOT_ASAN_FIBERS
+  pthread_attr_t attr;
+  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+    void* addr = nullptr;
+    size_t size = 0;
+    pthread_attr_getstack(&attr, &addr, &size);
+    pthread_attr_destroy(&attr);
+    main_stack_bottom_ = addr;
+    main_stack_size_ = size;
+  }
+#endif
   booted_ = true;
 }
 
@@ -117,6 +148,8 @@ void System::SwitchTo(int next_id) {
     next.state = GuestThread::State::kRunning;
     return;
   }
+  const bool prev_dying =
+      prev >= 0 && threads_[prev].state == GuestThread::State::kExited;
   if (prev >= 0 && threads_[prev].state == GuestThread::State::kRunning) {
     threads_[prev].state = GuestThread::State::kReady;
   }
@@ -133,15 +166,39 @@ void System::SwitchTo(int next_id) {
     g_active_system = this;
   }
   in_kernel_ = false;  // the target resumes in guest context
-  swapcontext(prev_ctx, &next.context);
+  FiberSwap(prev_ctx, &next.context, &next, prev_dying);
   // Resumed as `prev`; in_kernel_ was cleared by whoever resumed us.
 }
 
 void System::SwitchToIdle() {
   const int prev = current_thread_id_;
+  const bool prev_dying =
+      threads_[prev].state == GuestThread::State::kExited;
   current_thread_id_ = -1;
   in_kernel_ = false;
-  swapcontext(&threads_[prev].context, &main_context_);
+  FiberSwap(&threads_[prev].context, &main_context_, nullptr, prev_dying);
+}
+
+void System::FiberSwap(ucontext_t* from, ucontext_t* to,
+                       const GuestThread* target, bool from_dying) {
+#ifdef CHERIOT_ASAN_FIBERS
+  void* fake_stack = nullptr;
+  const void* bottom = main_stack_bottom_;
+  size_t size = main_stack_size_;
+  if (target) {
+    bottom = target->host_stack.data();
+    size = target->host_stack.size();
+  }
+  // A dying fiber passes null so ASan frees its fake stack; it never resumes.
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &fake_stack, bottom,
+                                 size);
+  swapcontext(from, to);
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#else
+  (void)target;
+  (void)from_dying;
+  swapcontext(from, to);
+#endif
 }
 
 void System::ArmTimer() {

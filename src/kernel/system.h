@@ -96,6 +96,11 @@ class System {
   void CreateThreads();
   void SwitchTo(int thread_id);
   void SwitchToIdle();
+  // All fiber switches go through here so AddressSanitizer can be told about
+  // the stack change (fiber annotations); `target` is null when switching
+  // back to the main context, `from_dying` when the departing fiber exits.
+  void FiberSwap(ucontext_t* from, ucontext_t* to, const GuestThread* target,
+                 bool from_dying);
   void ArmTimer();
   // Bumps interrupt futex words for pending non-timer IRQs, wakes waiters;
   // handles timer expiry (wake sleepers, rotate quantum). Returns true if a
@@ -113,6 +118,8 @@ class System {
   std::vector<GuestThread> threads_;
 
   ucontext_t main_context_{};
+  const void* main_stack_bottom_ = nullptr;  // host stack of the main context
+  size_t main_stack_size_ = 0;               // (captured under ASan only)
   int current_thread_id_ = -1;
   int starting_thread_id_ = -1;
   bool in_kernel_ = false;

@@ -1,5 +1,6 @@
 #include "src/mem/memory.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/base/costs.h"
@@ -36,155 +37,88 @@ Memory::Memory(Address sram_base, Address sram_size, CycleClock* clock)
       sram_size_(sram_size),
       clock_(clock),
       bytes_(sram_size, 0),
-      tags_(sram_size / kGranuleBytes, false),
+      tags_(sram_size / kGranuleBytes),
       shadow_(sram_size / kGranuleBytes),
       revocation_(sram_base, sram_size) {}
 
 void Memory::HookAndTick(Cycles cycles) {
   ++access_count_;
   if (access_hook_) {
-    access_hook_();
+    access_hook_(access_hook_ctx_);
   }
   clock_->Tick(cycles);
 }
 
-void Memory::CheckDataAccess(const Capability& authority, Address addr,
-                             Address size, Permission perm) const {
-  if (!checks_enabled_) {
-    return;
-  }
-  if (!authority.tag()) {
-    throw TrapException(TrapCode::kTagViolation, addr,
-                        "access via untagged capability");
-  }
-  if (authority.IsSealed()) {
-    throw TrapException(TrapCode::kSealViolation, addr,
-                        "access via sealed capability");
-  }
-  if (!authority.permissions().Has(perm)) {
-    throw TrapException(perm == Permission::kLoad
-                            ? TrapCode::kPermitLoadViolation
-                            : TrapCode::kPermitStoreViolation,
-                        addr, "missing permission");
-  }
-  if (!authority.InBounds(addr, size)) {
-    throw TrapException(TrapCode::kBoundsViolation, addr,
-                        "outside capability bounds");
-  }
-  // Temporal check: the real core's load filter untagged any stale cap at
-  // load time and the revoker sweeps the register file, so by the time a
-  // freed object is touched the authority is untagged. We model the combined
-  // effect by checking the revocation bit of the authority's *base* at use
-  // ("accesses to freed objects trap as soon as free returns", §3.1.3). The
-  // allocator's whole-heap capability is exempt (kRevocationExempt).
-  if (!authority.permissions().Has(Permission::kRevocationExempt) &&
-      revocation_.Test(authority.base())) {
-    throw TrapException(TrapCode::kTagViolation, addr,
-                        "use of revoked (freed) capability");
-  }
-  if ((size == 4 && (addr & 3)) || (size == 2 && (addr & 1)) ||
-      (size == 8 && (addr & 7))) {
-    throw TrapException(TrapCode::kAlignmentFault, addr, "misaligned access");
-  }
-}
-
 Memory::MmioRegion* Memory::FindMmio(Address addr, Address size) {
-  for (auto& r : mmio_) {
-    if (addr >= r.base && addr + size <= r.base + r.size) {
-      return &r;
+  // Device polling hammers one register bank, so try the last region hit
+  // before the binary search.
+  if (mmio_last_ < mmio_.size()) {
+    MmioRegion& cached = mmio_[mmio_last_];
+    if (addr >= cached.base && static_cast<uint64_t>(addr) + size <=
+                                   static_cast<uint64_t>(cached.base) +
+                                       cached.size) {
+      return &cached;
     }
+  }
+  // Regions are sorted by base and non-overlapping, so only the last region
+  // starting at or below addr can contain the access.
+  auto it = std::upper_bound(
+      mmio_.begin(), mmio_.end(), addr,
+      [](Address a, const MmioRegion& r) { return a < r.base; });
+  if (it == mmio_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (static_cast<uint64_t>(addr) + size <=
+      static_cast<uint64_t>(it->base) + it->size) {
+    mmio_last_ = static_cast<size_t>(it - mmio_.begin());
+    return &*it;
   }
   return nullptr;
 }
 
 bool Memory::IsMmio(Address addr) const {
-  for (const auto& r : mmio_) {
-    if (addr >= r.base && addr < r.base + r.size) {
-      return true;
-    }
+  auto it = std::upper_bound(
+      mmio_.begin(), mmio_.end(), addr,
+      [](Address a, const MmioRegion& r) { return a < r.base; });
+  if (it == mmio_.begin()) {
+    return false;
   }
-  return false;
+  --it;
+  return addr - it->base < it->size;
 }
 
 void Memory::AddMmioRegion(Address base, Address size, MmioHandler handler) {
-  mmio_.push_back({base, size, std::move(handler)});
+  auto it = std::upper_bound(
+      mmio_.begin(), mmio_.end(), base,
+      [](Address b, const MmioRegion& r) { return b < r.base; });
+  mmio_.insert(it, {base, size, std::move(handler)});
+  mmio_min_ = std::min(mmio_min_, base);
+  mmio_max_ = std::max(mmio_max_, base + size);
 }
 
-Word Memory::LoadWord(const Capability& authority, Address addr) {
-  HookAndTick(cost::kLoadWord);
-  CheckDataAccess(authority, addr, 4, Permission::kLoad);
-  if (auto* r = FindMmio(addr, 4)) {
+Word Memory::SlowLoad(Address addr, Address size) {
+  if (MmioRegion* r = FindMmio(addr, size)) {
     return r->handler(addr - r->base, /*is_store=*/false, 0);
   }
-  if (addr < sram_base_ || addr + 4 > sram_top()) {
+  if (addr < sram_base_ || static_cast<uint64_t>(addr) + size > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
   }
-  Word v;
-  std::memcpy(&v, &bytes_[addr - sram_base_], 4);
+  Word v = 0;
+  std::memcpy(&v, &bytes_[addr - sram_base_], size);
   return v;
 }
 
-void Memory::StoreWord(const Capability& authority, Address addr, Word value) {
-  HookAndTick(cost::kStoreWord);
-  CheckDataAccess(authority, addr, 4, Permission::kStore);
-  if (auto* r = FindMmio(addr, 4)) {
+void Memory::SlowStore(Address addr, Address size, Word value) {
+  if (MmioRegion* r = FindMmio(addr, size)) {
     r->handler(addr - r->base, /*is_store=*/true, value);
     return;
   }
-  if (addr < sram_base_ || addr + 4 > sram_top()) {
+  if (addr < sram_base_ || static_cast<uint64_t>(addr) + size > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
   }
-  ClearTagsCovering(addr, 4);
-  std::memcpy(&bytes_[addr - sram_base_], &value, 4);
-}
-
-uint8_t Memory::LoadByte(const Capability& authority, Address addr) {
-  HookAndTick(cost::kLoadByte);
-  CheckDataAccess(authority, addr, 1, Permission::kLoad);
-  if (auto* r = FindMmio(addr, 1)) {
-    return static_cast<uint8_t>(r->handler(addr - r->base, false, 0));
-  }
-  if (addr < sram_base_ || addr >= sram_top()) {
-    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
-  }
-  return bytes_[addr - sram_base_];
-}
-
-void Memory::StoreByte(const Capability& authority, Address addr,
-                       uint8_t value) {
-  HookAndTick(cost::kStoreByte);
-  CheckDataAccess(authority, addr, 1, Permission::kStore);
-  if (auto* r = FindMmio(addr, 1)) {
-    r->handler(addr - r->base, true, value);
-    return;
-  }
-  if (addr < sram_base_ || addr >= sram_top()) {
-    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
-  }
-  ClearTagsCovering(addr, 1);
-  bytes_[addr - sram_base_] = value;
-}
-
-uint16_t Memory::LoadHalf(const Capability& authority, Address addr) {
-  HookAndTick(cost::kLoadByte);
-  CheckDataAccess(authority, addr, 2, Permission::kLoad);
-  if (addr < sram_base_ || addr + 2 > sram_top()) {
-    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
-  }
-  uint16_t v;
-  std::memcpy(&v, &bytes_[addr - sram_base_], 2);
-  return v;
-}
-
-void Memory::StoreHalf(const Capability& authority, Address addr,
-                       uint16_t value) {
-  HookAndTick(cost::kStoreByte);
-  CheckDataAccess(authority, addr, 2, Permission::kStore);
-  if (addr < sram_base_ || addr + 2 > sram_top()) {
-    throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped address");
-  }
-  ClearTagsCovering(addr, 2);
-  std::memcpy(&bytes_[addr - sram_base_], &value, 2);
+  ClearTagsCovering(addr, size);
+  std::memcpy(&bytes_[addr - sram_base_], &value, size);
 }
 
 Capability Memory::LoadCap(const Capability& authority, Address addr) {
@@ -197,7 +131,7 @@ Capability Memory::LoadCap(const Capability& authority, Address addr) {
   }
   const size_t g = GranuleIndex(addr);
   Capability result;
-  if (tags_[g]) {
+  if (tags_.Test(g)) {
     result = shadow_[g];
   } else {
     Word v;
@@ -244,7 +178,7 @@ void Memory::StoreCap(const Capability& authority, Address addr,
   std::memcpy(&bytes_[addr - sram_base_ + 4], &meta, 4);
   const size_t g = GranuleIndex(addr);
   if (value.tag()) {
-    tags_[g] = true;
+    tags_.Set(g);
     shadow_[g] = value;
   }
 }
@@ -293,14 +227,6 @@ void Memory::ZeroRange(const Capability& authority, Address addr,
   std::memset(&bytes_[addr - sram_base_], 0, len);
 }
 
-void Memory::ClearTagsCovering(Address addr, Address len) {
-  const size_t first = GranuleIndex(AlignDown(addr, kGranuleBytes));
-  const size_t last = GranuleIndex(AlignDown(addr + len - 1, kGranuleBytes));
-  for (size_t g = first; g <= last && g < tags_.size(); ++g) {
-    tags_[g] = false;
-  }
-}
-
 uint8_t* Memory::raw(Address addr) { return &bytes_[addr - sram_base_]; }
 
 Word Memory::RawLoadWord(Address addr) const {
@@ -317,7 +243,7 @@ bool Memory::TagAt(Address addr) const {
   if (addr < sram_base_ || addr >= sram_top()) {
     return false;
   }
-  return tags_[(addr - sram_base_) / kGranuleBytes];
+  return tags_.Test((addr - sram_base_) / kGranuleBytes);
 }
 
 }  // namespace cheriot

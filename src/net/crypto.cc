@@ -62,7 +62,9 @@ Digest Sha256(const uint8_t* data, size_t len) {
   }
   uint8_t tail[128] = {};
   const size_t rem = len - full * 64;
-  std::memcpy(tail, data + full * 64, rem);
+  if (rem > 0) {
+    std::memcpy(tail, data + full * 64, rem);
+  }
   tail[rem] = 0x80;
   const size_t tail_len = (rem + 9 <= 64) ? 64 : 128;
   const uint64_t bits = static_cast<uint64_t>(len) * 8;

@@ -1,0 +1,133 @@
+// Tests for the word-packed bitmap backing the tag and revocation SRAMs:
+// single-bit ops, masked range fills across word boundaries, and the
+// word-skipping FindNextSet the revoker sweep relies on.
+#include "src/base/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace cheriot {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap bm(200);
+  EXPECT_EQ(bm.size(), 200u);
+  for (size_t i = 0; i < bm.size(); ++i) {
+    EXPECT_FALSE(bm.Test(i));
+  }
+  EXPECT_EQ(bm.PopCount(), 0u);
+  EXPECT_EQ(bm.FindNextSet(0), Bitmap::npos);
+}
+
+TEST(BitmapTest, SetClearSingleBits) {
+  Bitmap bm(130);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_FALSE(bm.Test(65));
+  EXPECT_EQ(bm.PopCount(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.PopCount(), 3u);
+}
+
+TEST(BitmapTest, RangeWithinOneWord) {
+  Bitmap bm(64);
+  bm.SetRange(3, 5, true);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(bm.Test(i), i >= 3 && i < 8) << i;
+  }
+  bm.SetRange(4, 2, false);
+  EXPECT_TRUE(bm.Test(3));
+  EXPECT_FALSE(bm.Test(4));
+  EXPECT_FALSE(bm.Test(5));
+  EXPECT_TRUE(bm.Test(6));
+}
+
+TEST(BitmapTest, RangeAcrossWordBoundaries) {
+  Bitmap bm(256);
+  bm.SetRange(60, 140, true);  // spans words 0..3
+  for (size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(bm.Test(i), i >= 60 && i < 200) << i;
+  }
+  EXPECT_EQ(bm.PopCount(), 140u);
+  bm.ClearRange(63, 66);  // clears exactly across the first boundary pair
+  for (size_t i = 60; i < 200; ++i) {
+    EXPECT_EQ(bm.Test(i), i < 63 || i >= 129) << i;
+  }
+}
+
+TEST(BitmapTest, RangeClampsToSize) {
+  Bitmap bm(100);
+  bm.SetRange(90, 1000, true);  // runs past the end
+  EXPECT_EQ(bm.PopCount(), 10u);
+  bm.SetRange(100, 5, true);  // entirely past the end: no-op
+  bm.SetRange(500, 5, true);
+  EXPECT_EQ(bm.PopCount(), 10u);
+  bm.SetRange(0, 0, true);  // empty range: no-op
+  EXPECT_EQ(bm.PopCount(), 10u);
+}
+
+TEST(BitmapTest, FindNextSetSkipsZeroWords) {
+  Bitmap bm(1024);
+  bm.Set(5);
+  bm.Set(700);
+  bm.Set(1023);
+  EXPECT_EQ(bm.FindNextSet(0), 5u);
+  EXPECT_EQ(bm.FindNextSet(5), 5u);
+  EXPECT_EQ(bm.FindNextSet(6), 700u);
+  EXPECT_EQ(bm.FindNextSet(700), 700u);
+  EXPECT_EQ(bm.FindNextSet(701), 1023u);
+  EXPECT_EQ(bm.FindNextSet(1023), 1023u);
+  EXPECT_EQ(bm.FindNextSet(1024), Bitmap::npos);
+  bm.Clear(1023);
+  EXPECT_EQ(bm.FindNextSet(701), Bitmap::npos);
+}
+
+TEST(BitmapTest, AnyInRange) {
+  Bitmap bm(256);
+  bm.Set(128);
+  EXPECT_TRUE(bm.AnyInRange(0, 256));
+  EXPECT_TRUE(bm.AnyInRange(128, 1));
+  EXPECT_FALSE(bm.AnyInRange(0, 128));
+  EXPECT_FALSE(bm.AnyInRange(129, 127));
+  EXPECT_FALSE(bm.AnyInRange(128, 0));
+}
+
+// Randomized differential check against a std::vector<bool> reference.
+TEST(BitmapTest, MatchesReferenceUnderRandomOps) {
+  constexpr size_t kBits = 777;
+  Bitmap bm(kBits);
+  std::vector<bool> ref(kBits, false);
+  std::mt19937 rng(1234);
+  for (int op = 0; op < 2000; ++op) {
+    const size_t first = rng() % kBits;
+    const size_t count = rng() % 130;
+    const bool value = rng() & 1;
+    bm.SetRange(first, count, value);
+    for (size_t i = first; i < std::min(kBits, first + count); ++i) {
+      ref[i] = value;
+    }
+    const size_t probe = rng() % kBits;
+    ASSERT_EQ(bm.Test(probe), ref[probe]) << "op " << op;
+    // FindNextSet agrees with a linear scan.
+    size_t expect = Bitmap::npos;
+    for (size_t i = probe; i < kBits; ++i) {
+      if (ref[i]) {
+        expect = i;
+        break;
+      }
+    }
+    ASSERT_EQ(bm.FindNextSet(probe), expect) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace cheriot

@@ -1,0 +1,191 @@
+// Tests for the memory-system fast path: half-word MMIO dispatch (a seed
+// regression — LoadHalf/StoreHalf used to trap "unmapped address" on device
+// addresses instead of dispatching), the MMIO envelope's behaviour at the
+// SRAM boundary, tag-clearing across bitmap-word boundaries, and the
+// RevocationMap's range hardening.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/mem/memory.h"
+
+namespace cheriot {
+namespace {
+
+// --- Half-word MMIO dispatch (regression) ---------------------------------
+// In the seed implementation, LoadHalf/StoreHalf skipped the MMIO lookup and
+// fell straight into the SRAM decode, so any half-word access to a device
+// register trapped with kBoundsViolation "unmapped address". These tests
+// fail on that implementation and pin the fixed dispatch.
+
+TEST(MmioHalfWordTest, StoreHalfReachesDevice) {
+  Machine machine;
+  const Capability uart = Capability::RootReadWrite(
+      kUartMmioBase, kUartMmioBase + kMmioRegionSize);
+  machine.memory().StoreHalf(uart, kUartMmioBase + 0, 'H');
+  machine.memory().StoreHalf(uart, kUartMmioBase + 0, 'i');
+  EXPECT_EQ(machine.uart().output(), "Hi");
+}
+
+TEST(MmioHalfWordTest, LoadHalfReachesDevice) {
+  Machine machine;
+  const Capability uart = Capability::RootReadWrite(
+      kUartMmioBase, kUartMmioBase + kMmioRegionSize);
+  // UART status register reads 1 (TX always ready).
+  EXPECT_EQ(machine.memory().LoadHalf(uart, kUartMmioBase + 4), 1u);
+}
+
+TEST(MmioHalfWordTest, HalfWordCostsMatchByteCosts) {
+  Machine machine;
+  const Capability uart = Capability::RootReadWrite(
+      kUartMmioBase, kUartMmioBase + kMmioRegionSize);
+  const Cycles t0 = machine.clock().now();
+  machine.memory().StoreHalf(uart, kUartMmioBase + 0, 'x');
+  EXPECT_EQ(machine.clock().now() - t0, cost::kStoreHalf);
+  const Cycles t1 = machine.clock().now();
+  machine.memory().LoadHalf(uart, kUartMmioBase + 4);
+  EXPECT_EQ(machine.clock().now() - t1, cost::kLoadHalf);
+  EXPECT_EQ(cost::kLoadHalf, cost::kLoadByte);
+  EXPECT_EQ(cost::kStoreHalf, cost::kStoreByte);
+}
+
+// --- MMIO envelope at the SRAM boundary -----------------------------------
+
+struct MmioLog {
+  struct Entry {
+    Address offset;
+    bool is_store;
+    Word value;
+  };
+  std::vector<Entry> entries;
+};
+
+TEST(MmioDispatchTest, RegionAdjacentToSramDispatchesCorrectly) {
+  CycleClock clock;
+  constexpr Address kSramBase = 0x20000000;
+  Memory mem(kSramBase, 0x1000, &clock);
+  MmioLog log;
+  // Device register bank ending exactly where SRAM begins.
+  mem.AddMmioRegion(kSramBase - 0x100, 0x100,
+                    [&log](Address offset, bool is_store, Word value) -> Word {
+                      log.entries.push_back({offset, is_store, value});
+                      return 0x5A5A0000u | offset;
+                    });
+  const Capability span = Capability::RootReadWrite(kSramBase - 0x100,
+                                                    kSramBase + 0x1000);
+  // Last device word: dispatched to the handler, not SRAM.
+  mem.StoreWord(span, kSramBase - 4, 0xAB);
+  ASSERT_EQ(log.entries.size(), 1u);
+  EXPECT_EQ(log.entries[0].offset, 0xFCu);
+  EXPECT_TRUE(log.entries[0].is_store);
+  EXPECT_EQ(log.entries[0].value, 0xABu);
+  EXPECT_EQ(mem.LoadWord(span, kSramBase - 4), 0x5A5A00FCu);
+  // First SRAM word: plain memory, device handler not consulted.
+  mem.StoreWord(span, kSramBase, 0x12345678);
+  EXPECT_EQ(mem.LoadWord(span, kSramBase), 0x12345678u);
+  EXPECT_EQ(mem.RawLoadWord(kSramBase), 0x12345678u);
+  EXPECT_EQ(log.entries.size(), 2u);  // only the device store + load above
+}
+
+TEST(MmioDispatchTest, AccessStraddlingDeviceEndTraps) {
+  CycleClock clock;
+  constexpr Address kSramBase = 0x20000000;
+  Memory mem(kSramBase, 0x1000, &clock);
+  // A register bank that stops 8 bytes short of SRAM, leaving a hole: a word
+  // access whose first bytes are in the device and whose end is past it must
+  // trap rather than partially dispatch.
+  mem.AddMmioRegion(kSramBase - 0x100, 0xF8,
+                    [](Address, bool, Word) -> Word { return 0; });
+  const Capability span = Capability::RootReadWrite(kSramBase - 0x100,
+                                                    kSramBase + 0x1000);
+  try {
+    mem.LoadWord(span, kSramBase - 8);  // device ends at kSramBase - 8
+    FAIL() << "straddling access did not trap";
+  } catch (const TrapException& e) {
+    EXPECT_EQ(e.code(), TrapCode::kBoundsViolation);
+    EXPECT_EQ(e.fault_address(), kSramBase - 8);
+  }
+}
+
+// --- Tag clearing across bitmap-word boundaries ---------------------------
+
+TEST(TagBitmapTest, PartialOverwriteAtBitmapWordBoundaryClearsBothTags) {
+  Machine machine;
+  Memory& mem = machine.memory();
+  const Address base = mem.sram_base();
+  const Capability root = Capability::RootReadWrite(base, base + mem.sram_size());
+  // Granules 63 and 64 sit in different words of the packed tag bitmap.
+  const Address slot_lo = base + 63 * kGranuleBytes;
+  const Address slot_hi = base + 64 * kGranuleBytes;
+  const Address slot_next = base + 65 * kGranuleBytes;
+  mem.StoreCap(root, slot_lo, root.WithBounds(base + 0x800, 0x40));
+  mem.StoreCap(root, slot_hi, root.WithBounds(base + 0x900, 0x40));
+  mem.StoreCap(root, slot_next, root.WithBounds(base + 0xA00, 0x40));
+  ASSERT_TRUE(mem.TagAt(slot_lo));
+  ASSERT_TRUE(mem.TagAt(slot_hi));
+  ASSERT_TRUE(mem.TagAt(slot_next));
+  // One write overlapping the tail of granule 63 and the head of granule 64
+  // must clear both tags with a head/tail mask in each bitmap word — and
+  // leave granule 65's tag alone.
+  const uint8_t junk[5] = {1, 2, 3, 4, 5};
+  mem.WriteBytes(root, slot_lo + 4, junk, sizeof(junk));
+  EXPECT_FALSE(mem.TagAt(slot_lo));
+  EXPECT_FALSE(mem.TagAt(slot_hi));
+  EXPECT_TRUE(mem.TagAt(slot_next));
+}
+
+TEST(TagBitmapTest, BulkClearSpansWholeBitmapWords) {
+  Machine machine;
+  Memory& mem = machine.memory();
+  const Address base = mem.sram_base();
+  const Capability root = Capability::RootReadWrite(base, base + mem.sram_size());
+  // Tag granules 60..200: covers a word tail, a full interior word and a
+  // word head.
+  for (size_t g = 60; g <= 200; ++g) {
+    mem.StoreCap(root, base + g * kGranuleBytes,
+                 root.WithBounds(base + 0x800, 0x40));
+  }
+  mem.ZeroRange(root, base + 60 * kGranuleBytes, (200 - 60 + 1) * kGranuleBytes);
+  for (size_t g = 60; g <= 200; ++g) {
+    EXPECT_FALSE(mem.TagAt(base + g * kGranuleBytes)) << "granule " << g;
+  }
+}
+
+// --- RevocationMap hardening ----------------------------------------------
+
+TEST(RevocationMapTest, LastGranuleBoundary) {
+  RevocationMap map(0x20000000, 0x1000);  // granules 0..511
+  map.SetRange(0x20000FF8, kGranuleBytes, true);  // the very last granule
+  EXPECT_TRUE(map.Test(0x20000FF8));
+  EXPECT_TRUE(map.Test(0x20000FFF));
+  EXPECT_FALSE(map.Test(0x20000FF0));  // neighbour untouched
+  EXPECT_FALSE(map.Test(0x20001000));  // past the top: not covered
+}
+
+TEST(RevocationMapTest, LengthPastTopClampsInsteadOfWrapping) {
+  // Map covering the top of the 32-bit address space: addr + len overflows
+  // Address arithmetic. The unhardened loop condition (a < addr + len)
+  // wrapped to a small value and exited immediately, silently marking
+  // nothing — freed granules stayed unrevoked. The end is now computed once
+  // in 64 bits and clamped to the top of the map.
+  RevocationMap map(0xFFFF0000, 0x10000);
+  map.SetRange(0xFFFFFFF8, 0x100, true);  // end wraps in 32 bits
+  EXPECT_TRUE(map.Test(0xFFFFFFF8));
+  EXPECT_TRUE(map.Test(0xFFFFFFFF));
+  EXPECT_FALSE(map.Test(0xFFFF0000));  // no wrap-around to the map base
+  EXPECT_FALSE(map.Test(0xFFFFFFF0));
+}
+
+TEST(RevocationMapTest, HugeLengthClampsToTop) {
+  RevocationMap map(0x20000000, 0x1000);
+  map.SetRange(0x20000800, 0xFFFFFFFFu, true);  // end overflows 32 bits
+  // Everything from 0x800 to the top is marked; nothing below it.
+  EXPECT_TRUE(map.Test(0x20000800));
+  EXPECT_TRUE(map.Test(0x20000FF8));
+  EXPECT_FALSE(map.Test(0x200007F8));
+  EXPECT_FALSE(map.Test(0x20000000));
+}
+
+}  // namespace
+}  // namespace cheriot
