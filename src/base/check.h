@@ -1,0 +1,20 @@
+// Always-on invariant checks for the simulator's own host-side code. Unlike
+// <cassert> these survive NDEBUG builds (the default RelWithDebInfo config
+// defines it), so TCB-internal contract violations abort loudly instead of
+// indexing out of bounds.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHERIOT_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, msg, #cond);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,8 +1,11 @@
 #include "src/base/log.h"
 
+#include <atomic>
+
 namespace cheriot {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: parallel Fleet boards log concurrently from pool threads.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -16,8 +19,10 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());

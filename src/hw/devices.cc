@@ -105,6 +105,12 @@ Word EthernetDevice::Mmio(Address offset, bool is_store, Word value) {
         tx_building_.clear();
       }
       return 0;
+    case 0x1C:  // MAC address, bytes 0-3 (read-only)
+      return static_cast<Word>(mac_[0]) | (static_cast<Word>(mac_[1]) << 8) |
+             (static_cast<Word>(mac_[2]) << 16) |
+             (static_cast<Word>(mac_[3]) << 24);
+    case 0x20:  // MAC address, bytes 4-5 (read-only)
+      return static_cast<Word>(mac_[4]) | (static_cast<Word>(mac_[5]) << 8);
     default:
       return 0;
   }

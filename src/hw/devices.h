@@ -5,6 +5,7 @@
 #ifndef SRC_HW_DEVICES_H_
 #define SRC_HW_DEVICES_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -111,10 +112,15 @@ class Timer {
 };
 
 // Simple no-offload network adaptor (§5.3.3 uses "a simple network adaptor
-// with no offload features"). Frames move word-at-a-time through MMIO.
+// with no offload features"). Frames move word-at-a-time through MMIO. The
+// adaptor carries a factory-programmed MAC address, readable through two
+// MMIO registers so the guest stack learns its own identity (fleet boards
+// each get a distinct one; the default matches the historical single-board
+// address 02:00:00:00:00:02).
 class EthernetDevice {
  public:
   using Frame = std::vector<uint8_t>;
+  using Mac = std::array<uint8_t, 6>;
 
   explicit EthernetDevice(InterruptController* irqs) : irqs_(irqs) {}
 
@@ -127,6 +133,10 @@ class EthernetDevice {
 
   size_t rx_pending() const { return rx_.size(); }
 
+  // Board-bringup side: program the adaptor's MAC before boot.
+  void set_mac(const Mac& mac) { mac_ = mac; }
+  const Mac& mac() const { return mac_; }
+
  private:
   InterruptController* irqs_;
   std::deque<Frame> rx_;
@@ -134,6 +144,7 @@ class EthernetDevice {
   size_t rx_read_pos_ = 0;
   Frame tx_building_;
   size_t tx_expected_ = 0;
+  Mac mac_ = {2, 0, 0, 0, 0, 2};
 };
 
 // Deterministic xorshift entropy source.

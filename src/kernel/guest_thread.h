@@ -67,6 +67,7 @@ class GuestThread {
   ucontext_t context{};
   std::vector<uint8_t> host_stack;
   bool started = false;
+  void* tsan_fiber = nullptr;  // ThreadSanitizer fiber handle (TSan builds)
 
   // --- Accounting ---
   Cycles run_cycles = 0;

@@ -21,12 +21,28 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer has its own fiber API; without the annotations it attributes
+// one fiber's stack accesses to another and reports false races when a Fleet
+// runs boards on a thread pool.
+#if defined(__SANITIZE_THREAD__)
+#define CHERIOT_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CHERIOT_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef CHERIOT_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace cheriot {
 
 namespace {
 // ucontext trampolines take no arguments portably; the starting thread id is
-// staged in the (single, deterministic) active System.
-System* g_active_system = nullptr;
+// staged in the active System. One System per host thread at any instant
+// (Fleet epochs never step the same board concurrently), so thread_local is
+// exactly the right scope: parallel boards don't clobber each other's slot.
+thread_local System* g_active_system = nullptr;
 
 extern "C" void ThreadTrampoline() {
 #ifdef CHERIOT_ASAN_FIBERS
@@ -36,6 +52,33 @@ extern "C" void ThreadTrampoline() {
   System* sys = g_active_system;
   sys->RunThreadBody(sys->StartingThreadId());
 }
+
+#ifdef CHERIOT_ASAN_FIBERS
+// Stack bounds of the calling host thread, for ASan's fiber bookkeeping when
+// swapping back to the main context. Cached per host thread: a Fleet may
+// enter Run() from any pool thread, so the bounds captured at Boot() time
+// (on the booting thread) would be wrong.
+struct HostStackBounds {
+  const void* bottom = nullptr;
+  size_t size = 0;
+};
+const HostStackBounds& CurrentHostStackBounds() {
+  thread_local HostStackBounds bounds = [] {
+    HostStackBounds b;
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* addr = nullptr;
+      size_t size = 0;
+      pthread_attr_getstack(&attr, &addr, &size);
+      pthread_attr_destroy(&attr);
+      b.bottom = addr;
+      b.size = size;
+    }
+    return b;
+  }();
+  return bounds;
+}
+#endif
 }  // namespace
 
 System::System(Machine& machine, FirmwareImage image, SystemOptions options)
@@ -47,6 +90,14 @@ System::~System() {
   if (g_active_system == this) {
     g_active_system = nullptr;
   }
+#ifdef CHERIOT_TSAN_FIBERS
+  for (auto& t : threads_) {
+    if (t.tsan_fiber != nullptr) {
+      __tsan_destroy_fiber(t.tsan_fiber);
+      t.tsan_fiber = nullptr;
+    }
+  }
+#endif
 }
 
 int System::StartingThreadId() const { return starting_thread_id_; }
@@ -71,17 +122,6 @@ void System::Boot() {
   CreateThreads();
   machine_.memory().SetAccessHook(
       [](void* self) { static_cast<System*>(self)->PreemptCheck(); }, this);
-#ifdef CHERIOT_ASAN_FIBERS
-  pthread_attr_t attr;
-  if (pthread_getattr_np(pthread_self(), &attr) == 0) {
-    void* addr = nullptr;
-    size_t size = 0;
-    pthread_attr_getstack(&attr, &addr, &size);
-    pthread_attr_destroy(&attr);
-    main_stack_bottom_ = addr;
-    main_stack_size_ = size;
-  }
-#endif
   booted_ = true;
 }
 
@@ -114,6 +154,9 @@ void System::CreateThreads() {
     t.context.uc_stack.ss_size = t.host_stack.size();
     t.context.uc_link = &main_context_;
     makecontext(&t.context, ThreadTrampoline, 0);
+#ifdef CHERIOT_TSAN_FIBERS
+    t.tsan_fiber = __tsan_create_fiber(0);
+#endif
     t.state = GuestThread::State::kSleeping;  // transitions to ready below
     sched_->MakeReady(t.id);
   }
@@ -181,13 +224,22 @@ void System::SwitchToIdle() {
 
 void System::FiberSwap(ucontext_t* from, ucontext_t* to,
                        const GuestThread* target, bool from_dying) {
+#ifdef CHERIOT_TSAN_FIBERS
+  // Null target means "back to the main context" — the fiber of whichever
+  // host thread entered Run() this epoch.
+  __tsan_switch_to_fiber(target ? target->tsan_fiber : main_tsan_fiber_, 0);
+#endif
 #ifdef CHERIOT_ASAN_FIBERS
   void* fake_stack = nullptr;
-  const void* bottom = main_stack_bottom_;
-  size_t size = main_stack_size_;
+  const void* bottom;
+  size_t size;
   if (target) {
     bottom = target->host_stack.data();
     size = target->host_stack.size();
+  } else {
+    const auto& host = CurrentHostStackBounds();
+    bottom = host.bottom;
+    size = host.size;
   }
   // A dying fiber passes null so ASan frees its fake stack; it never resumes.
   __sanitizer_start_switch_fiber(from_dying ? nullptr : &fake_stack, bottom,
@@ -402,6 +454,9 @@ Cycles System::MicroRebootCompartment(int compartment_id) {
 
 System::RunResult System::Run(Cycles max_cycles) {
   g_active_system = this;
+#ifdef CHERIOT_TSAN_FIBERS
+  main_tsan_fiber_ = __tsan_get_current_fiber();
+#endif
   run_deadline_ =
       max_cycles == ~0ull ? ~0ull : Now() + max_cycles;
   stop_requested_ = false;

@@ -1,7 +1,9 @@
 // System: composes the machine, the loader output and the four TCB
 // components (switcher, allocator, scheduler — the loader has already erased
 // itself by the time Run() starts) and hosts guest threads on deterministic
-// single-host-thread fibers.
+// fibers. A System is single-threaded at any instant but carries no process-
+// global mutable state, so a Fleet may run many Systems on parallel host
+// threads (and migrate a System between pool threads across epochs).
 #ifndef SRC_KERNEL_SYSTEM_H_
 #define SRC_KERNEL_SYSTEM_H_
 
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "src/alloc/allocator.h"
+#include "src/base/check.h"
 #include "src/firmware/image.h"
 #include "src/hw/machine.h"
 #include "src/kernel/guest_thread.h"
@@ -54,7 +57,15 @@ class System {
   const SystemOptions& options() const { return options_; }
 
   std::vector<GuestThread>& threads() { return threads_; }
-  GuestThread& current_thread() { return threads_[current_thread_id_]; }
+  GuestThread& current_thread() {
+    // Switcher/ctx call sites must never reach here from the idle loop, where
+    // no guest thread is current; indexing threads_[-1] would be silent
+    // memory corruption in release builds.
+    CHERIOT_CHECK(current_thread_id_ >= 0 &&
+                      static_cast<size_t>(current_thread_id_) < threads_.size(),
+                  "current_thread() called with no current guest thread");
+    return threads_[static_cast<size_t>(current_thread_id_)];
+  }
   int current_thread_id() const { return current_thread_id_; }
   Cycles Now() const { return machine_.clock().now(); }
 
@@ -118,8 +129,10 @@ class System {
   std::vector<GuestThread> threads_;
 
   ucontext_t main_context_{};
-  const void* main_stack_bottom_ = nullptr;  // host stack of the main context
-  size_t main_stack_size_ = 0;               // (captured under ASan only)
+  // ThreadSanitizer fiber handle of the host thread currently inside Run();
+  // re-captured at every Run() entry because a Fleet may step the same System
+  // from different pool threads across epochs (never concurrently).
+  void* main_tsan_fiber_ = nullptr;
   int current_thread_id_ = -1;
   int starting_thread_id_ = -1;
   bool in_kernel_ = false;

@@ -160,6 +160,23 @@ void AddFirewallCompartment(ImageBuilder& image) {
       },
       128, InterruptPosture::kDisabled);
 
+  // The adaptor's factory MAC, so the TCP/IP compartment can learn the
+  // board's identity without baking an address into the stack (fleet boards
+  // each carry a distinct one).
+  comp.Export(
+      "get_mac_lo",
+      [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        return WordCap(ctx.LoadWord(ctx.Mmio("ethernet"), 0x1C));
+      },
+      128, InterruptPosture::kDisabled);
+
+  comp.Export(
+      "get_mac_hi",
+      [](CompartmentCtx& ctx, const std::vector<Capability>&) {
+        return WordCap(ctx.LoadWord(ctx.Mmio("ethernet"), 0x20));
+      },
+      128, InterruptPosture::kDisabled);
+
   comp.Export(
       "stats",
       [](CompartmentCtx& ctx, const std::vector<Capability>&) {

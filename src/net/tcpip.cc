@@ -56,6 +56,8 @@ struct Socket {
 struct TcpIpState {
   bool started = false;
   bool ready = false;
+  // Our MAC, read from the adaptor at bring-up (fleet boards differ).
+  MacAddress mac = kDeviceMac;
   Ipv4 ip = 0;
   Ipv4 gateway = 0;
   Ipv4 dns = 0;
@@ -123,7 +125,7 @@ void SendFrame(CompartmentCtx& ctx, TcpIpState& state, const Bytes& frame) {
 void SendIp(CompartmentCtx& ctx, TcpIpState& state, Ipv4 dst, uint8_t proto,
             const Bytes& l4) {
   SendFrame(ctx, state,
-            BuildIpv4(kDeviceMac, state.gw_mac, state.ip, dst, proto, l4));
+            BuildIpv4(state.mac, state.gw_mac, state.ip, dst, proto, l4));
 }
 
 Socket* SocketFromHandle(CompartmentCtx& ctx, TcpIpState& state,
@@ -373,6 +375,14 @@ Status StartNetwork(CompartmentCtx& ctx, TcpIpState& state) {
     return Status::kNoMemory;
   }
   state.started = true;
+  // Learn our own identity from the adaptor before talking to anyone.
+  const Word mac_lo = ctx.Call("firewall.get_mac_lo", {}).word();
+  const Word mac_hi = ctx.Call("firewall.get_mac_hi", {}).word();
+  for (int i = 0; i < 4; ++i) {
+    state.mac[i] = static_cast<uint8_t>(mac_lo >> (8 * i));
+  }
+  state.mac[4] = static_cast<uint8_t>(mac_hi);
+  state.mac[5] = static_cast<uint8_t>(mac_hi >> 8);
   // Broadcast DHCP discover/request (gateway MAC unknown: broadcast).
   state.gw_mac = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
   const Cycles deadline = ctx.Now() + 5 * cost::kCoreHz;
@@ -381,7 +391,7 @@ Status StartNetwork(CompartmentCtx& ctx, TcpIpState& state) {
   while (ctx.Now() < deadline && phase < 3) {
     if (phase == 0) {
       SendFrame(ctx, state,
-                BuildIpv4(kDeviceMac, state.gw_mac, 0, 0xFFFFFFFF, kIpProtoUdp,
+                BuildIpv4(state.mac, state.gw_mac, 0, 0xFFFFFFFF, kIpProtoUdp,
                           BuildUdp(68, kDhcpPort, {1})));
     } else if (phase == 1) {
       Bytes req = {3};
@@ -389,11 +399,11 @@ Status StartNetwork(CompartmentCtx& ctx, TcpIpState& state) {
         req.push_back(static_cast<uint8_t>(offered >> (8 * i)));
       }
       SendFrame(ctx, state,
-                BuildIpv4(kDeviceMac, state.gw_mac, 0, 0xFFFFFFFF, kIpProtoUdp,
+                BuildIpv4(state.mac, state.gw_mac, 0, 0xFFFFFFFF, kIpProtoUdp,
                           BuildUdp(68, kDhcpPort, req)));
     } else {
       SendFrame(ctx, state,
-                BuildArpRequest(kDeviceMac, state.ip, state.gateway));
+                BuildArpRequest(state.mac, state.ip, state.gateway));
     }
     // Poll for the reply (the DHCP-lite exchange has no sockets yet).
     const Cycles wait_until = ctx.Now() + 330'000;  // 10 ms
@@ -462,6 +472,8 @@ void AddTcpIpCompartment(ImageBuilder& image, const NetStackOptions& options) {
       .OwnSealingType("tcpip.socket")
       .ImportCompartment("firewall.send_frame")
       .ImportCompartment("firewall.recv_frame")
+      .ImportCompartment("firewall.get_mac_lo")
+      .ImportCompartment("firewall.get_mac_hi")
       .ImportCompartment("sched.interrupt_futex_get")
       .State([options] {
         auto state = std::make_shared<TcpIpState>();

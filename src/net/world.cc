@@ -3,43 +3,52 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/base/costs.h"
 #include "src/base/log.h"
 
 namespace cheriot::net {
 
-namespace {
-Bytes ToBytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
-}  // namespace
+// --- AddressPool -----------------------------------------------------------
 
-NetWorld::NetWorld(Machine& machine, WorldOptions options)
-    : machine_(machine), options_(options) {
-  machine_.ethernet().on_transmit = [this](Bytes frame) {
-    OnGuestFrame(std::move(frame));
-  };
-  machine_.clock().AddHook([this](Cycles) { PumpDeliveries(); });
-  machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
-    if (pending_.empty()) {
-      return std::nullopt;
-    }
-    return pending_.front().first;
-  });
+Ipv4 AddressPool::Lease(const MacAddress& mac) {
+  auto it = by_mac_.find(mac);
+  if (it != by_mac_.end()) {
+    return it->second;
+  }
+  const Ipv4 ip = next_++;
+  by_mac_[mac] = ip;
+  by_ip_[ip] = mac;
+  return ip;
 }
 
-void NetWorld::Deliver(Bytes frame) {
-  const Cycles due = machine_.clock().now() + options_.link_latency;
-  // Keep sorted by due time (link is FIFO: latency is constant).
-  pending_.emplace_back(due, std::move(frame));
+std::optional<Ipv4> AddressPool::IpOf(const MacAddress& mac) const {
+  auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
 }
 
-void NetWorld::PumpDeliveries() {
-  const Cycles now = machine_.clock().now();
-  while (!pending_.empty() && pending_.front().first <= now) {
-    machine_.ethernet().HostInject(std::move(pending_.front().second));
-    pending_.pop_front();
+std::optional<MacAddress> AddressPool::MacOf(Ipv4 ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+// --- Gateway ---------------------------------------------------------------
+
+Gateway::Gateway(WorldOptions options) : options_(std::move(options)) {}
+
+void Gateway::Emit(Bytes frame) {
+  if (emit_) {
+    emit_(std::move(frame));
   }
 }
 
-void NetWorld::OnGuestFrame(Bytes frame) {
+void Gateway::OnFrame(Cycles now, const Bytes& frame) {
+  now_ = now;
   ++frames_rx_;
   const ParsedFrame p = ParseFrame(frame);
   if (!p.valid) {
@@ -47,7 +56,16 @@ void NetWorld::OnGuestFrame(Bytes frame) {
   }
   if (p.is_arp) {
     HandleArp(p);
-  } else if (p.is_icmp) {
+    return;
+  }
+  if (p.is_ipv4 && p.ip.dst != kWorldIp && p.ip.dst != 0xFFFFFFFF &&
+      pool_.MacOf(p.ip.dst).has_value()) {
+    // Routed traffic between two leased clients (e.g. board-to-board ping):
+    // the gateway rewrites the ethernet header and passes the packet on.
+    Forward(p, frame);
+    return;
+  }
+  if (p.is_icmp) {
     HandleIcmp(p);
   } else if (p.is_udp) {
     HandleUdp(p);
@@ -56,34 +74,57 @@ void NetWorld::OnGuestFrame(Bytes frame) {
   }
 }
 
-void NetWorld::HandleArp(const ParsedFrame& p) {
+void Gateway::Forward(const ParsedFrame& p, const Bytes& frame) {
+  const MacAddress dst_mac = *pool_.MacOf(p.ip.dst);
+  Bytes out = frame;
+  std::memcpy(out.data(), dst_mac.data(), 6);
+  std::memcpy(out.data() + 6, kWorldMac.data(), 6);
+  ++frames_forwarded_;
+  Emit(std::move(out));
+}
+
+void Gateway::HandleArp(const ParsedFrame& p) {
   if (p.arp_is_request && p.arp_target_ip == kWorldIp) {
-    Deliver(BuildArpReply(kWorldMac, kWorldIp, p.arp_sender_mac,
-                          p.arp_sender_ip));
+    Emit(BuildArpReply(kWorldMac, kWorldIp, p.arp_sender_mac,
+                       p.arp_sender_ip));
   }
 }
 
-void NetWorld::HandleIcmp(const ParsedFrame& p) {
+void Gateway::HandleIcmp(const ParsedFrame& p) {
   if (p.ip.dst != kWorldIp) {
     return;
   }
-  if (p.icmp_type == 8) {  // echo request from guest: reply
-    Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, p.ip.src, kIpProtoIcmp,
-                      BuildIcmpEcho(0, p.icmp_id, p.icmp_seq, p.icmp_payload)));
+  if (p.icmp_type == 8) {  // echo request from a client: reply
+    Emit(BuildIpv4(kWorldMac, p.eth.src, kWorldIp, p.ip.src, kIpProtoIcmp,
+                   BuildIcmpEcho(0, p.icmp_id, p.icmp_seq, p.icmp_payload)));
   } else if (p.icmp_type == 0) {  // echo reply (to our SendPing)
     ++ping_replies_;
+    ++pings_by_ip_[p.ip.src];
   }
 }
 
-Bytes NetWorld::SendUdpReply(const ParsedFrame& request, const Bytes& payload) {
-  Bytes udp = BuildUdp(request.udp.dst_port, request.udp.src_port, payload);
-  Bytes frame = BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp,
-                          kIpProtoUdp, udp);
-  Deliver(frame);
-  return frame;
+uint32_t Gateway::ping_replies_from(Ipv4 ip) const {
+  auto it = pings_by_ip_.find(ip);
+  return it == pings_by_ip_.end() ? 0 : it->second;
 }
 
-void NetWorld::HandleUdp(const ParsedFrame& p) {
+uint32_t Gateway::mqtt_publishes_from(Ipv4 ip) const {
+  auto it = publishes_by_ip_.find(ip);
+  return it == publishes_by_ip_.end() ? 0 : it->second;
+}
+
+void Gateway::SendUdpReply(const ParsedFrame& request, const Bytes& payload) {
+  Bytes udp = BuildUdp(request.udp.dst_port, request.udp.src_port, payload);
+  // DHCP requests arrive from 0.0.0.0; address those to the client's lease.
+  Ipv4 dst_ip = request.ip.src;
+  if (dst_ip == 0) {
+    dst_ip = pool_.IpOf(request.eth.src).value_or(kDeviceIp);
+  }
+  Emit(BuildIpv4(kWorldMac, request.eth.src, kWorldIp, dst_ip, kIpProtoUdp,
+                 udp));
+}
+
+void Gateway::HandleUdp(const ParsedFrame& p) {
   const Bytes& body = p.payload;
   switch (p.udp.dst_port) {
     case kDhcpPort: {
@@ -91,14 +132,16 @@ void NetWorld::HandleUdp(const ParsedFrame& p) {
         return;
       }
       if (body[0] == 1) {  // DISCOVER -> OFFER
+        const Ipv4 lease = pool_.Lease(p.eth.src);
         Bytes reply = {2};
         for (int i = 3; i >= 0; --i) {
-          reply.push_back(static_cast<uint8_t>(kDeviceIp >> (8 * i)));
+          reply.push_back(static_cast<uint8_t>(lease >> (8 * i)));
         }
         SendUdpReply(p, reply);
       } else if (body[0] == 3) {  // REQUEST -> ACK
+        const Ipv4 lease = pool_.Lease(p.eth.src);
         Bytes reply = {5};
-        for (Ipv4 ip : {kDeviceIp, kWorldIp, kWorldIp}) {  // ip, gw, dns
+        for (Ipv4 ip : {lease, kWorldIp, kWorldIp}) {  // ip, gw, dns
           for (int i = 3; i >= 0; --i) {
             reply.push_back(static_cast<uint8_t>(ip >> (8 * i)));
           }
@@ -128,7 +171,7 @@ void NetWorld::HandleUdp(const ParsedFrame& p) {
     case kNtpPort: {
       const uint32_t seconds =
           options_.ntp_unix_base +
-          static_cast<uint32_t>(machine_.clock().now() / cost::kCoreHz);
+          static_cast<uint32_t>(now_ / cost::kCoreHz);
       Bytes reply;
       for (int i = 3; i >= 0; --i) {
         reply.push_back(static_cast<uint8_t>(seconds >> (8 * i)));
@@ -141,46 +184,50 @@ void NetWorld::HandleUdp(const ParsedFrame& p) {
   }
 }
 
-void NetWorld::TcpSend(TcpConn& conn, uint8_t flags, const Bytes& payload) {
+void Gateway::TcpSend(TcpConn& conn, uint8_t flags, const Bytes& payload) {
   TcpHeader h;
   h.src_port = conn.local_port;
   h.dst_port = conn.peer_port;
   h.seq = conn.snd_nxt;
   h.ack = conn.rcv_nxt;
   h.flags = flags;
-  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoTcp,
-                    BuildTcp(h, payload)));
+  Emit(BuildIpv4(kWorldMac, conn.peer_mac, kWorldIp, conn.peer_ip, kIpProtoTcp,
+                 BuildTcp(h, payload)));
   conn.snd_nxt += payload.size();
   if (flags & (kTcpSyn | kTcpFin)) {
     conn.snd_nxt += 1;
   }
 }
 
-void NetWorld::HandleTcp(const ParsedFrame& p) {
+void Gateway::HandleTcp(const ParsedFrame& p) {
   if (p.ip.dst != kWorldIp) {
     return;
   }
-  const uint16_t guest_port = p.tcp.src_port;
-  auto it = conns_.find(guest_port);
+  const ConnKey key{p.ip.src, p.tcp.src_port};
+  auto it = conns_.find(key);
 
   if (p.tcp.flags & kTcpSyn) {
     if (p.tcp.dst_port != kMqttTlsPort && p.tcp.dst_port != kEchoPort) {
       // Port closed: RST.
       TcpConn rst;
+      rst.peer_ip = p.ip.src;
+      rst.peer_mac = p.eth.src;
       rst.local_port = p.tcp.dst_port;
-      rst.peer_port = guest_port;
+      rst.peer_port = p.tcp.src_port;
       rst.rcv_nxt = p.tcp.seq + 1;
       TcpSend(rst, kTcpRst | kTcpAck, {});
       return;
     }
     TcpConn conn;
+    conn.peer_ip = p.ip.src;
+    conn.peer_mac = p.eth.src;
     conn.local_port = p.tcp.dst_port;
-    conn.peer_port = guest_port;
+    conn.peer_port = p.tcp.src_port;
     conn.rcv_nxt = p.tcp.seq + 1;
-    conn.snd_nxt = 0x10000 + guest_port;  // deterministic ISN
+    conn.snd_nxt = 0x10000 + p.tcp.src_port;  // deterministic ISN
     TcpSend(conn, kTcpSyn | kTcpAck, {});
     conn.state = TcpConn::State::kSynReceived;
-    conns_[guest_port] = conn;
+    conns_[key] = conn;
     ++tcp_accepts_;
     return;
   }
@@ -196,9 +243,15 @@ void NetWorld::HandleTcp(const ParsedFrame& p) {
     conn.state = TcpConn::State::kEstablished;
   }
   if (!p.payload.empty()) {
-    ++tcp_data_segments_;
+    // Loss injection is per connection so one lossy flow cannot perturb the
+    // drop pattern of another, and it drops exactly the Nth, 2Nth, ... data
+    // segment of each flow.
+    ++conn.data_segments;
     if (options_.drop_every_nth_tcp > 0 &&
-        tcp_data_segments_ % options_.drop_every_nth_tcp == 0) {
+        conn.data_segments %
+                static_cast<uint32_t>(options_.drop_every_nth_tcp) ==
+            0) {
+      ++tcp_segments_dropped_;
       return;  // simulated loss; guest must retransmit
     }
     if (p.tcp.seq == conn.rcv_nxt) {
@@ -217,7 +270,7 @@ void NetWorld::HandleTcp(const ParsedFrame& p) {
   }
 }
 
-void NetWorld::AppBytes(TcpConn& conn, const Bytes& data) {
+void Gateway::AppBytes(TcpConn& conn, const Bytes& data) {
   if (conn.local_port == kEchoPort) {
     TcpSend(conn, kTcpAck | kTcpPsh, data);
     return;
@@ -226,7 +279,7 @@ void NetWorld::AppBytes(TcpConn& conn, const Bytes& data) {
   TlsServerInput(conn);
 }
 
-void NetWorld::SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body) {
+void Gateway::SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body) {
   if (type == kTlsRecordData && conn.tls_established) {
     // Encrypt + MAC (server-to-client key).
     Bytes wire;
@@ -250,7 +303,7 @@ void NetWorld::SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body) {
   TcpSend(conn, kTcpAck | kTcpPsh, record);
 }
 
-void NetWorld::TlsServerInput(TcpConn& conn) {
+void Gateway::TlsServerInput(TcpConn& conn) {
   for (;;) {
     if (conn.inbound.size() < 3) {
       return;
@@ -337,7 +390,7 @@ void NetWorld::TlsServerInput(TcpConn& conn) {
   }
 }
 
-void NetWorld::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
+void Gateway::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
   auto reply = [&](uint8_t rop, const Bytes& rbody) {
     Bytes msg;
     msg.push_back(rop);
@@ -357,6 +410,7 @@ void NetWorld::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
       break;
     case kMqttPublish:
       ++mqtt_rx_publishes_;
+      ++publishes_by_ip_[conn.peer_ip];
       break;
     case kMqttPingReq:
       reply(kMqttPingResp, {});
@@ -366,17 +420,20 @@ void NetWorld::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
   }
 }
 
-bool NetWorld::mqtt_client_connected() const {
-  for (const auto& [port, conn] : conns_) {
+size_t Gateway::mqtt_clients_connected() const {
+  size_t n = 0;
+  for (const auto& [key, conn] : conns_) {
     if (conn.mqtt_connected && conn.state == TcpConn::State::kEstablished) {
-      return true;
+      ++n;
     }
   }
-  return false;
+  return n;
 }
 
-void NetWorld::PublishMqtt(const std::string& topic, const Bytes& payload) {
-  for (auto& [port, conn] : conns_) {
+void Gateway::PublishMqtt(Cycles now, const std::string& topic,
+                          const Bytes& payload) {
+  now_ = now;
+  for (auto& [key, conn] : conns_) {
     if (!conn.mqtt_connected || conn.state != TcpConn::State::kEstablished) {
       continue;
     }
@@ -393,19 +450,71 @@ void NetWorld::PublishMqtt(const std::string& topic, const Bytes& payload) {
   }
 }
 
-void NetWorld::SendPing(uint16_t id, uint16_t seq, size_t payload_len) {
+void Gateway::SendPing(Cycles now, Ipv4 dst, uint16_t id, uint16_t seq,
+                       size_t payload_len) {
+  now_ = now;
   Bytes payload(payload_len, 0xA5);
-  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoIcmp,
-                    BuildIcmpEcho(8, id, seq, payload)));
+  const MacAddress dst_mac = pool_.MacOf(dst).value_or(kDeviceMac);
+  Emit(BuildIpv4(kWorldMac, dst_mac, kWorldIp, dst, kIpProtoIcmp,
+                 BuildIcmpEcho(8, id, seq, payload)));
 }
 
-void NetWorld::SendPingOfDeath() {
+void Gateway::SendPingOfDeath(Cycles now, Ipv4 dst) {
+  now_ = now;
   // Claims 1400 bytes of echo payload while carrying only 8: the buggy
   // parser copies the claimed length and runs off the end of its buffer.
   Bytes payload(8, 0xEE);
-  Deliver(BuildIpv4(kWorldMac, kDeviceMac, kWorldIp, kDeviceIp, kIpProtoIcmp,
-                    BuildIcmpEcho(8, 0xDEAD, 1, payload,
-                                  /*claimed_len_override=*/1400)));
+  const MacAddress dst_mac = pool_.MacOf(dst).value_or(kDeviceMac);
+  Emit(BuildIpv4(kWorldMac, dst_mac, kWorldIp, dst, kIpProtoIcmp,
+                 BuildIcmpEcho(8, 0xDEAD, 1, payload,
+                               /*claimed_len_override=*/1400)));
+}
+
+// --- NetWorld --------------------------------------------------------------
+
+NetWorld::NetWorld(Machine& machine, WorldOptions options)
+    : machine_(machine), options_(options), gateway_(options) {
+  // The gateway processes guest frames synchronously inside the TX-commit
+  // MMIO store, so "emit time" equals the frame's transmit time and every
+  // reply lands exactly one link latency after the guest's transmit — the
+  // same round-trip the pre-fleet NetWorld modelled.
+  gateway_.set_emit([this](Bytes frame) { Deliver(std::move(frame)); });
+  machine_.ethernet().on_transmit = [this](Bytes frame) {
+    gateway_.OnFrame(machine_.clock().now(), frame);
+  };
+  machine_.clock().AddHook([this](Cycles) { PumpDeliveries(); });
+  machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
+    if (pending_.empty()) {
+      return std::nullopt;
+    }
+    return pending_.front().first;
+  });
+}
+
+void NetWorld::Deliver(Bytes frame) {
+  const Cycles due = machine_.clock().now() + options_.link_latency;
+  // Keep sorted by due time (link is FIFO: latency is constant).
+  pending_.emplace_back(due, std::move(frame));
+}
+
+void NetWorld::PumpDeliveries() {
+  const Cycles now = machine_.clock().now();
+  while (!pending_.empty() && pending_.front().first <= now) {
+    machine_.ethernet().HostInject(std::move(pending_.front().second));
+    pending_.pop_front();
+  }
+}
+
+void NetWorld::PublishMqtt(const std::string& topic, const Bytes& payload) {
+  gateway_.PublishMqtt(machine_.clock().now(), topic, payload);
+}
+
+void NetWorld::SendPing(uint16_t id, uint16_t seq, size_t payload_len) {
+  gateway_.SendPing(machine_.clock().now(), kDeviceIp, id, seq, payload_len);
+}
+
+void NetWorld::SendPingOfDeath() {
+  gateway_.SendPingOfDeath(machine_.clock().now(), kDeviceIp);
 }
 
 }  // namespace cheriot::net

@@ -1,16 +1,28 @@
 // The simulated "outside world" behind the Ethernet device: a gateway host
 // providing ARP, DHCP, DNS, NTP and an MQTT broker behind TLS-lite. This is
 // the substitution for the paper's real network testbed (DESIGN.md §1): it
-// runs natively (it is the environment, not the system under test) and
-// exchanges frames with the guest through the device model with configurable
-// link latency.
+// runs natively (it is the environment, not the system under test).
+//
+// Two layers:
+//   - Gateway: the transport-agnostic service engine. It consumes frames
+//     stamped with their transmit time and emits reply frames through a
+//     caller-supplied hook; the *transport* (NetWorld link or sim::Fabric)
+//     owns latency. It serves any number of clients: DHCP leases come from
+//     an address pool keyed by client MAC, TCP connections are keyed by
+//     (client IP, client port), and IPv4 packets between two leased clients
+//     are forwarded (so fleet boards can ping each other through it).
+//   - NetWorld: the single-board adapter that wires a Gateway directly to
+//     one Machine's Ethernet device with a fixed link latency — the shape
+//     every pre-fleet test and bench uses, API-compatible.
 #ifndef SRC_NET_WORLD_H_
 #define SRC_NET_WORLD_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/hw/machine.h"
@@ -21,7 +33,7 @@ namespace cheriot::net {
 
 // Well-known addresses of the simulated network.
 inline constexpr Ipv4 kWorldIp = 0x0A000001;        // 10.0.0.1 (gateway/host)
-inline constexpr Ipv4 kDeviceIp = 0x0A000002;       // 10.0.0.2 (DHCP offer)
+inline constexpr Ipv4 kDeviceIp = 0x0A000002;       // 10.0.0.2 (first lease)
 inline constexpr uint16_t kDnsPort = 53;
 inline constexpr uint16_t kDhcpPort = 67;
 inline constexpr uint16_t kNtpPort = 123;
@@ -57,43 +69,77 @@ struct WorldOptions {
       {"ntp.example.com", kWorldIp},
   };
   uint32_t ntp_unix_base = 1'751'500'800;  // 2025-07-03
-  // Drop every Nth guest TCP data segment (0 = lossless) to exercise the
-  // guest's retransmission path.
+  // Drop every Nth guest TCP data segment per connection (0 = lossless) to
+  // exercise the guest's retransmission path.
   int drop_every_nth_tcp = 0;
 };
 
-class NetWorld {
+// The gateway's DHCP pool: MAC -> IP leases handed out in arrival order
+// starting at kDeviceIp (so the historical single-board address still holds).
+class AddressPool {
  public:
-  NetWorld(Machine& machine, WorldOptions options = {});
+  // Returns the client's lease, creating one on first contact.
+  Ipv4 Lease(const MacAddress& mac);
+  std::optional<Ipv4> IpOf(const MacAddress& mac) const;
+  std::optional<MacAddress> MacOf(Ipv4 ip) const;
+  size_t lease_count() const { return by_mac_.size(); }
+
+ private:
+  std::map<MacAddress, Ipv4> by_mac_;
+  std::map<Ipv4, MacAddress> by_ip_;
+  Ipv4 next_ = kDeviceIp;
+};
+
+class Gateway {
+ public:
+  explicit Gateway(WorldOptions options = {});
+
+  // Reply/forward transport: the gateway hands every outbound frame (already
+  // ethernet-addressed) to this hook; the transport adds its own latency.
+  using EmitFn = std::function<void(Bytes frame)>;
+  void set_emit(EmitFn emit) { emit_ = std::move(emit); }
+
+  // Processes one client frame transmitted at simulated time `now`.
+  void OnFrame(Cycles now, const Bytes& frame);
 
   // --- Test/bench control surface ---
   // Queues an MQTT publish from the broker to every subscribed client.
-  void PublishMqtt(const std::string& topic, const Bytes& payload);
-  // Sends an ICMP echo request to the device (it should reply).
-  void SendPing(uint16_t id, uint16_t seq, size_t payload_len = 32);
+  void PublishMqtt(Cycles now, const std::string& topic, const Bytes& payload);
+  // Sends an ICMP echo request to a client (it should reply).
+  void SendPing(Cycles now, Ipv4 dst, uint16_t id, uint16_t seq,
+                size_t payload_len = 32);
   // Sends the malformed "ping of death" (claimed length > actual) that the
   // feature-flagged parser bug mishandles (§5.3.3).
-  void SendPingOfDeath();
+  void SendPingOfDeath(Cycles now, Ipv4 dst = kDeviceIp);
 
-  // --- Observability ---
+  // --- Observability (aggregate + per-client) ---
   uint32_t ping_replies_seen() const { return ping_replies_; }
+  uint32_t ping_replies_from(Ipv4 ip) const;
   uint32_t mqtt_publishes_received() const { return mqtt_rx_publishes_; }
+  uint32_t mqtt_publishes_from(Ipv4 ip) const;
   uint32_t tcp_connections_accepted() const { return tcp_accepts_; }
   uint32_t dhcp_acks_sent() const { return dhcp_acks_; }
-  bool mqtt_client_connected() const;
+  uint32_t tcp_segments_dropped() const { return tcp_segments_dropped_; }
+  uint32_t frames_forwarded() const { return frames_forwarded_; }
+  bool mqtt_client_connected() const { return mqtt_clients_connected() > 0; }
+  size_t mqtt_clients_connected() const;
   const std::vector<std::string>& mqtt_subscriptions() const {
     return subscriptions_;
   }
   uint32_t frames_from_guest() const { return frames_rx_; }
+  const AddressPool& pool() const { return pool_; }
 
  private:
   struct TcpConn {
     enum class State { kSynReceived, kEstablished, kClosed };
     State state = State::kSynReceived;
+    Ipv4 peer_ip = 0;
+    MacAddress peer_mac{};
     uint16_t peer_port = 0;
     uint16_t local_port = 0;
     uint32_t snd_nxt = 0;   // next sequence we send
     uint32_t rcv_nxt = 0;   // next sequence we expect
+    uint32_t data_segments = 0;  // per-connection loss-injection counter
     Bytes inbound;          // reassembled application bytes
     // TLS-lite server state (MQTT port only).
     bool tls_established = false;
@@ -104,10 +150,10 @@ class NetWorld {
     uint32_t tls_tx_counter = 0;
     bool mqtt_connected = false;
   };
+  using ConnKey = std::pair<Ipv4, uint16_t>;  // (client IP, client port)
 
-  void OnGuestFrame(Bytes frame);
-  void Deliver(Bytes frame);
-  void PumpDeliveries();
+  void Emit(Bytes frame);
+  void Forward(const ParsedFrame& p, const Bytes& frame);
   void HandleArp(const ParsedFrame& p);
   void HandleIcmp(const ParsedFrame& p);
   void HandleUdp(const ParsedFrame& p);
@@ -117,20 +163,65 @@ class NetWorld {
   void TlsServerInput(TcpConn& conn);
   void SendTlsRecord(TcpConn& conn, uint8_t type, Bytes body);
   void MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body);
-  Bytes SendUdpReply(const ParsedFrame& request, const Bytes& payload);
+  void SendUdpReply(const ParsedFrame& request, const Bytes& payload);
 
-  Machine& machine_;
   WorldOptions options_;
-  std::deque<std::pair<Cycles, Bytes>> pending_;  // scheduled deliveries
-  std::map<uint16_t, TcpConn> conns_;             // keyed by guest port
+  EmitFn emit_;
+  AddressPool pool_;
+  Cycles now_ = 0;  // time of the frame being processed (for NTP)
+  std::map<ConnKey, TcpConn> conns_;
   std::vector<std::string> subscriptions_;
   uint32_t ping_replies_ = 0;
   uint32_t mqtt_rx_publishes_ = 0;
   uint32_t tcp_accepts_ = 0;
   uint32_t dhcp_acks_ = 0;
   uint32_t frames_rx_ = 0;
-  uint32_t tcp_data_segments_ = 0;
+  uint32_t frames_forwarded_ = 0;
+  uint32_t tcp_segments_dropped_ = 0;
+  std::map<Ipv4, uint32_t> pings_by_ip_;
+  std::map<Ipv4, uint32_t> publishes_by_ip_;
   uint64_t entropy_ = 0xC0FFEE12345678ull;
+};
+
+// Single-board adapter: one Gateway wired straight to one Machine's Ethernet
+// device over a fixed-latency link. Public surface unchanged from the
+// pre-fleet NetWorld.
+class NetWorld {
+ public:
+  NetWorld(Machine& machine, WorldOptions options = {});
+
+  void PublishMqtt(const std::string& topic, const Bytes& payload);
+  void SendPing(uint16_t id, uint16_t seq, size_t payload_len = 32);
+  void SendPingOfDeath();
+
+  uint32_t ping_replies_seen() const { return gateway_.ping_replies_seen(); }
+  uint32_t mqtt_publishes_received() const {
+    return gateway_.mqtt_publishes_received();
+  }
+  uint32_t tcp_connections_accepted() const {
+    return gateway_.tcp_connections_accepted();
+  }
+  uint32_t dhcp_acks_sent() const { return gateway_.dhcp_acks_sent(); }
+  uint32_t tcp_segments_dropped() const {
+    return gateway_.tcp_segments_dropped();
+  }
+  bool mqtt_client_connected() const {
+    return gateway_.mqtt_client_connected();
+  }
+  const std::vector<std::string>& mqtt_subscriptions() const {
+    return gateway_.mqtt_subscriptions();
+  }
+  uint32_t frames_from_guest() const { return gateway_.frames_from_guest(); }
+  Gateway& gateway() { return gateway_; }
+
+ private:
+  void Deliver(Bytes frame);
+  void PumpDeliveries();
+
+  Machine& machine_;
+  WorldOptions options_;
+  Gateway gateway_;
+  std::deque<std::pair<Cycles, Bytes>> pending_;  // scheduled deliveries
 };
 
 }  // namespace cheriot::net

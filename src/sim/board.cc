@@ -1,0 +1,95 @@
+#include "src/sim/board.h"
+
+namespace cheriot::sim {
+
+EthernetDevice::Mac MacForIndex(int index) {
+  const uint32_t id = static_cast<uint32_t>(index) + 2;
+  return {2, 0, 0, 0, static_cast<uint8_t>(id >> 8),
+          static_cast<uint8_t>(id)};
+}
+
+Board::Board(FirmwareImage image, const BoardOptions& options)
+    : options_(options),
+      machine_(options.machine),
+      system_(machine_, std::move(image), options.system) {
+  machine_.ethernet().set_mac(options_.mac);
+  machine_.ethernet().on_transmit = [this](Frame frame) {
+    tx_staged_.emplace_back(machine_.clock().now(), std::move(frame));
+  };
+  machine_.clock().AddHook([this](Cycles) { PumpRx(); });
+  machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
+    if (rx_pending_.empty()) {
+      return std::nullopt;
+    }
+    return rx_pending_.begin()->first;
+  });
+}
+
+void Board::Boot() {
+  system_.Boot();
+  booted_ = true;
+}
+
+void Board::PumpRx() {
+  const Cycles now = machine_.clock().now();
+  while (!rx_pending_.empty() && rx_pending_.begin()->first <= now) {
+    machine_.ethernet().HostInject(std::move(rx_pending_.begin()->second));
+    rx_pending_.erase(rx_pending_.begin());
+  }
+}
+
+System::RunResult Board::StepTo(Cycles target) {
+  injected_since_deadlock_ = false;
+  if (target > Now()) {
+    last_result_ = system_.Run(target - Now());
+  }
+  return last_result_;
+}
+
+bool Board::runnable() const {
+  switch (last_result_) {
+    case System::RunResult::kAllExited:
+      return false;
+    case System::RunResult::kDeadlock:
+      // A frame injected after the deadlock re-arms the ethernet IRQ path.
+      return injected_since_deadlock_;
+    default:
+      return true;
+  }
+}
+
+std::vector<std::pair<Cycles, Board::Frame>> Board::DrainTx() {
+  std::vector<std::pair<Cycles, Frame>> out;
+  out.swap(tx_staged_);
+  return out;
+}
+
+void Board::InjectAt(Cycles due, Frame frame) {
+  rx_pending_.emplace(due, std::move(frame));
+  injected_since_deadlock_ = true;
+}
+
+Board::Fingerprint Board::fingerprint() {
+  Fingerprint fp;
+  fp.now = machine_.clock().now();
+  fp.accesses = machine_.memory().access_count();
+  fp.cap_loads = machine_.memory().cap_load_count();
+  fp.cap_stores = machine_.memory().cap_store_count();
+  const std::string& uart = machine_.uart().output();
+  fp.uart_bytes = uart.size();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : uart) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  fp.uart_hash = h;
+  if (booted_) {  // the TCB exists only after Boot()
+    fp.traps = system_.switcher().trap_count();
+    fp.idle_cycles = system_.sched().idle_cycles();
+    for (const auto& comp : system_.boot().compartments) {
+      fp.reboots += comp.reboot_count;
+    }
+  }
+  return fp;
+}
+
+}  // namespace cheriot::sim

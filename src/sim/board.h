@@ -1,0 +1,96 @@
+// One simulated device: a Machine, its firmware and the System hosting it,
+// plus the board's network identity and the frame staging queues the Fleet
+// uses to exchange traffic at epoch barriers. A Board is fully self-contained
+// (no shared mutable state), so different boards may be stepped on different
+// host threads concurrently; a single board is only ever stepped by one
+// thread at a time.
+#ifndef SRC_SIM_BOARD_H_
+#define SRC_SIM_BOARD_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/kernel/system.h"
+
+namespace cheriot::sim {
+
+struct BoardOptions {
+  int index = 0;
+  // NIC MAC; defaults (via MacForIndex) to 02:00:00:00:xx:yy with the board
+  // index + 2 in the low bytes, so board 0 matches the historical
+  // single-board address 02:00:00:00:00:02.
+  EthernetDevice::Mac mac = {2, 0, 0, 0, 0, 2};
+  MachineConfig machine;
+  SystemOptions system;
+};
+
+EthernetDevice::Mac MacForIndex(int index);
+
+class Board {
+ public:
+  using Frame = std::vector<uint8_t>;
+
+  // Everything a determinism test needs to compare two runs of "the same"
+  // board: timing, memory traffic, trap/idle accounting and console output.
+  struct Fingerprint {
+    Cycles now = 0;
+    uint64_t accesses = 0;
+    uint64_t cap_loads = 0;
+    uint64_t cap_stores = 0;
+    uint64_t traps = 0;
+    Cycles idle_cycles = 0;
+    uint64_t uart_bytes = 0;
+    uint64_t uart_hash = 0;
+    uint32_t reboots = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+
+  Board(FirmwareImage image, const BoardOptions& options);
+
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  void Boot();
+
+  // Runs the guest forward to (at least) absolute cycle `target`. The clock
+  // may overshoot by the tail of the last guest operation; the overshoot is
+  // bounded and a deterministic function of this board's own history.
+  System::RunResult StepTo(Cycles target);
+
+  // True if StepTo can still make progress (not all-exited, and not
+  // deadlocked without any newly injected frame to wake it).
+  bool runnable() const;
+
+  // Takes this epoch's transmitted frames, stamped with their TX cycle.
+  std::vector<std::pair<Cycles, Frame>> DrainTx();
+  // Schedules a frame to arrive at absolute cycle `due` (FIFO-stable for
+  // equal timestamps).
+  void InjectAt(Cycles due, Frame frame);
+
+  Fingerprint fingerprint();
+
+  Cycles Now() { return machine_.clock().now(); }
+  int index() const { return options_.index; }
+  const EthernetDevice::Mac& mac() const { return options_.mac; }
+  Machine& machine() { return machine_; }
+  System& system() { return system_; }
+  System::RunResult last_result() const { return last_result_; }
+
+ private:
+  void PumpRx();
+
+  BoardOptions options_;
+  Machine machine_;
+  System system_;
+  std::vector<std::pair<Cycles, Frame>> tx_staged_;
+  std::multimap<Cycles, Frame> rx_pending_;
+  System::RunResult last_result_ = System::RunResult::kBudgetExhausted;
+  bool injected_since_deadlock_ = false;
+  bool booted_ = false;
+};
+
+}  // namespace cheriot::sim
+
+#endif  // SRC_SIM_BOARD_H_

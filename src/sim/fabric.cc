@@ -1,0 +1,63 @@
+#include "src/sim/fabric.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cheriot::sim {
+
+namespace {
+constexpr Fabric::Mac kBroadcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+}  // namespace
+
+int Fabric::AttachPort(Cycles latency, DeliverFn deliver) {
+  ports_.push_back({latency, std::move(deliver)});
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+Cycles Fabric::MinLinkLatency() const {
+  Cycles best = 0;
+  for (const auto& port : ports_) {
+    if (port.latency > 0 && (best == 0 || port.latency < best)) {
+      best = port.latency;
+    }
+  }
+  return best;
+}
+
+void Fabric::DeliverTo(int port, Cycles at, const Frame& frame) {
+  const Port& p = ports_[static_cast<size_t>(port)];
+  if (p.deliver) {
+    p.deliver(at + p.latency, frame);
+  }
+}
+
+void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
+  if (frame.size() < 12) {
+    return;
+  }
+  Mac dst;
+  Mac src;
+  std::memcpy(dst.data(), frame.data(), 6);
+  std::memcpy(src.data(), frame.data() + 6, 6);
+  mac_table_[src] = src_port;
+  ++frames_switched_;
+
+  if (dst != kBroadcast) {
+    auto it = mac_table_.find(dst);
+    if (it != mac_table_.end()) {
+      if (it->second != src_port) {
+        DeliverTo(it->second, at, frame);
+      }
+      return;
+    }
+  }
+  // Broadcast or unlearned unicast: flood.
+  ++frames_flooded_;
+  for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
+    if (port != src_port) {
+      DeliverTo(port, at, frame);
+    }
+  }
+}
+
+}  // namespace cheriot::sim

@@ -1,0 +1,59 @@
+// A learning Ethernet switch connecting simulated boards and the gateway.
+// Pure frame plumbing with per-port latency: no protocol knowledge beyond
+// the 802.3 header. Single-threaded — the Fleet only calls it at epoch
+// barriers, never from board worker threads.
+#ifndef SRC_SIM_FABRIC_H_
+#define SRC_SIM_FABRIC_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace cheriot::sim {
+
+class Fabric {
+ public:
+  using Frame = std::vector<uint8_t>;
+  using Mac = std::array<uint8_t, 6>;
+  // Called once per delivered frame with its arrival time (transmit time
+  // plus the destination port's latency).
+  using DeliverFn = std::function<void(Cycles due, Frame frame)>;
+
+  // Attaches a port; returns its id. `latency` is the one-way delay of the
+  // link behind this port (0 for the gateway, which sits "in" the switch).
+  int AttachPort(Cycles latency, DeliverFn deliver);
+
+  // Switches one frame transmitted on `src_port` at time `at`: learns the
+  // source MAC, then delivers to the learned destination port, or floods to
+  // every other port for broadcast/unknown destinations.
+  void Transmit(int src_port, Cycles at, const Frame& frame);
+
+  // Smallest nonzero port latency (the conservative-lookahead bound for the
+  // Fleet's epoch length); 0 if no such port exists yet.
+  Cycles MinLinkLatency() const;
+
+  uint64_t frames_switched() const { return frames_switched_; }
+  uint64_t frames_flooded() const { return frames_flooded_; }
+  size_t macs_learned() const { return mac_table_.size(); }
+
+ private:
+  struct Port {
+    Cycles latency = 0;
+    DeliverFn deliver;
+  };
+
+  void DeliverTo(int port, Cycles at, const Frame& frame);
+
+  std::vector<Port> ports_;
+  std::map<Mac, int> mac_table_;
+  uint64_t frames_switched_ = 0;
+  uint64_t frames_flooded_ = 0;
+};
+
+}  // namespace cheriot::sim
+
+#endif  // SRC_SIM_FABRIC_H_

@@ -1,0 +1,224 @@
+#include "src/sim/fleet.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/log.h"
+
+namespace cheriot::sim {
+
+Fleet::Fleet(FleetOptions options)
+    : options_(options), gateway_(options.world) {
+  // The gateway sits inside the switch: port latency 0, so a frame
+  // transmitted by a board at t is processed by the gateway "at t" and the
+  // reply crosses only the destination board's link — reproducing the
+  // single-board NetWorld round-trip of exactly one link latency.
+  gateway_port_ = fabric_.AttachPort(0, [this](Cycles due, Fabric::Frame f) {
+    gateway_inbox_.emplace_back(due, std::move(f));
+  });
+  gateway_.set_emit([this](net::Bytes frame) { GatewayEmit(std::move(frame)); });
+}
+
+Fleet::~Fleet() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) {
+      w.join();
+    }
+  }
+}
+
+int Fleet::AddBoard(FirmwareImage image) {
+  CHERIOT_CHECK(!booted_, "AddBoard() after Boot()");
+  const int index = static_cast<int>(boards_.size());
+  BoardOptions opts;
+  opts.index = index;
+  opts.mac = MacForIndex(index);
+  opts.machine = options_.machine;
+  opts.system = options_.system;
+  boards_.push_back(std::make_unique<Board>(std::move(image), opts));
+  Board* board = boards_.back().get();
+  board_ports_.push_back(fabric_.AttachPort(
+      options_.board_link_latency,
+      [board](Cycles due, Fabric::Frame f) {
+        board->InjectAt(due, std::move(f));
+      }));
+  return index;
+}
+
+void Fleet::Boot() {
+  CHERIOT_CHECK(!boards_.empty(), "Fleet::Boot() with no boards");
+  epoch_ = options_.epoch != 0 ? options_.epoch : fabric_.MinLinkLatency();
+  CHERIOT_CHECK(epoch_ > 0 && epoch_ <= fabric_.MinLinkLatency(),
+                "epoch length must be in (0, min link latency]");
+  for (auto& board : boards_) {
+    board->Boot();
+  }
+  booted_ = true;
+}
+
+void Fleet::GatewayEmit(net::Bytes frame) {
+  fabric_.Transmit(gateway_port_, gateway_emit_at_, frame);
+}
+
+void Fleet::ExchangeFrames() {
+  // Deterministic order: boards drained by index, then the gateway's inbox
+  // by transmit time (stable for ties, preserving drain order).
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    for (auto& [at, frame] : boards_[i]->DrainTx()) {
+      ++frames_exchanged_;
+      fabric_.Transmit(board_ports_[i], at, frame);
+    }
+  }
+  std::stable_sort(gateway_inbox_.begin(), gateway_inbox_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  // The gateway may emit new board-bound frames while processing (replies,
+  // forwards); those go straight to board ports. It never sends to itself.
+  std::vector<std::pair<Cycles, net::Bytes>> inbox;
+  inbox.swap(gateway_inbox_);
+  for (auto& [at, frame] : inbox) {
+    gateway_emit_at_ = at;
+    gateway_.OnFrame(at, frame);
+  }
+}
+
+void Fleet::StartWorkers() {
+  const int n = std::min<int>(options_.host_threads,
+                              static_cast<int>(boards_.size()));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Fleet::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    Cycles target;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      target = step_target_;
+    }
+    try {
+      for (;;) {
+        const size_t i = next_board_.fetch_add(1);
+        if (i >= boards_.size()) {
+          break;
+        }
+        if (boards_[i]->runnable()) {
+          boards_[i]->StepTo(target);
+        }
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!worker_error_) {
+        worker_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Fleet::StepBoardsParallel(Cycles target) {
+  if (options_.host_threads <= 1 || boards_.size() <= 1) {
+    for (auto& board : boards_) {
+      if (board->runnable()) {
+        board->StepTo(target);
+      }
+    }
+    return;
+  }
+  if (workers_.empty()) {
+    StartWorkers();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_board_.store(0);
+    step_target_ = target;
+    workers_running_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+    if (worker_error_) {
+      std::exception_ptr e = worker_error_;
+      worker_error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void Fleet::RunEpoch(Cycles target) {
+  StepBoardsParallel(target);
+  now_ = target;
+  ExchangeFrames();
+}
+
+void Fleet::Run(Cycles cycles) {
+  CHERIOT_CHECK(booted_, "Fleet::Run() before Boot()");
+  const Cycles end = now_ + cycles;
+  while (now_ < end) {
+    RunEpoch(std::min<Cycles>(now_ + epoch_, end));
+  }
+}
+
+bool Fleet::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
+  CHERIOT_CHECK(booted_, "Fleet::RunUntil() before Boot()");
+  const Cycles end = now_ + max_cycles;
+  while (!pred()) {
+    if (now_ >= end) {
+      return false;
+    }
+    bool any_runnable = false;
+    for (auto& board : boards_) {
+      if (board->runnable()) {
+        any_runnable = true;
+        break;
+      }
+    }
+    if (!any_runnable) {
+      LOG_WARN("fleet: no runnable boards before predicate held");
+      return pred();
+    }
+    RunEpoch(std::min<Cycles>(now_ + epoch_, end));
+  }
+  return true;
+}
+
+void Fleet::PublishMqtt(const std::string& topic, const net::Bytes& payload) {
+  gateway_emit_at_ = now_;
+  gateway_.PublishMqtt(now_, topic, payload);
+}
+
+void Fleet::SendPing(net::Ipv4 dst, uint16_t id, uint16_t seq) {
+  gateway_emit_at_ = now_;
+  gateway_.SendPing(now_, dst, id, seq);
+}
+
+std::vector<Board::Fingerprint> Fleet::Fingerprints() {
+  std::vector<Board::Fingerprint> out;
+  out.reserve(boards_.size());
+  for (auto& board : boards_) {
+    out.push_back(board->fingerprint());
+  }
+  return out;
+}
+
+}  // namespace cheriot::sim

@@ -1,0 +1,122 @@
+// Fleet: N Boards, one Gateway (ARP/DHCP/DNS/NTP/MQTT-broker services) and
+// the Fabric connecting them, advanced in conservative-lookahead lockstep
+// epochs on a host thread pool.
+//
+// Determinism contract: within an epoch, boards only execute — frames move
+// exclusively at the barrier between epochs, in board-index order, with the
+// gateway's inbox sorted by transmit time. Because the epoch length never
+// exceeds the minimum link latency, a frame transmitted during epoch k is
+// never due before epoch k ends, so exchanging at the barrier loses no
+// timing precision: results are bit-identical for any host thread count.
+// (A board's clock may overshoot an epoch boundary by the tail of its last
+// guest operation; a frame due inside that overshoot is delivered when the
+// board next advances — at worst one preemption granule late — and the
+// overshoot itself is a deterministic function of the board's own history,
+// so the ε does not vary across runs or thread counts.)
+#ifndef SRC_SIM_FLEET_H_
+#define SRC_SIM_FLEET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/world.h"
+#include "src/sim/board.h"
+#include "src/sim/fabric.h"
+
+namespace cheriot::sim {
+
+struct FleetOptions {
+  // Host worker threads stepping boards within an epoch. 1 = run inline on
+  // the calling thread. The result is identical for any value.
+  int host_threads = 1;
+  // Epoch length in simulated cycles; 0 = the minimum board link latency
+  // (the largest sound value). Must not exceed the minimum link latency.
+  Cycles epoch = 0;
+  // One-way latency of each board's link to the switch.
+  Cycles board_link_latency = 3'300;
+  // Gateway service configuration (DNS table, loss injection, ...).
+  net::WorldOptions world;
+  MachineConfig machine;
+  SystemOptions system;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options = {});
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Adds a board running `image`; returns its index. The board's MAC is
+  // MacForIndex(index). Call before Boot().
+  int AddBoard(FirmwareImage image);
+
+  // Boots every board (deterministic, single-threaded).
+  void Boot();
+
+  // Advances all boards by `cycles` in lockstep epochs.
+  void Run(Cycles cycles);
+  // Epoch-stepping until pred() holds (checked at each barrier) or
+  // `max_cycles` elapse. Returns pred()'s final value.
+  bool RunUntil(const std::function<bool()>& pred, Cycles max_cycles);
+
+  // Gateway control surface, applied at the fleet's current time.
+  void PublishMqtt(const std::string& topic, const net::Bytes& payload);
+  void SendPing(net::Ipv4 dst, uint16_t id, uint16_t seq);
+
+  Cycles Now() const { return now_; }
+  size_t size() const { return boards_.size(); }
+  Board& board(size_t i) { return *boards_[i]; }
+  net::Gateway& gateway() { return gateway_; }
+  Fabric& fabric() { return fabric_; }
+  Cycles epoch_length() const { return epoch_; }
+  uint64_t frames_exchanged() const { return frames_exchanged_; }
+
+  std::vector<Board::Fingerprint> Fingerprints();
+
+ private:
+  void RunEpoch(Cycles target);
+  void StepBoardsParallel(Cycles target);
+  void ExchangeFrames();
+  void GatewayEmit(net::Bytes frame);
+  void StartWorkers();
+  void WorkerLoop();
+
+  FleetOptions options_;
+  Cycles epoch_ = 0;
+  Cycles now_ = 0;
+  std::vector<std::unique_ptr<Board>> boards_;
+  std::vector<int> board_ports_;
+  Fabric fabric_;
+  net::Gateway gateway_;
+  int gateway_port_ = -1;
+  // Frames addressed to the gateway, collected during the barrier exchange
+  // and processed in transmit-time order.
+  std::vector<std::pair<Cycles, net::Bytes>> gateway_inbox_;
+  Cycles gateway_emit_at_ = 0;  // TX timestamp for gateway replies
+  uint64_t frames_exchanged_ = 0;
+  bool booted_ = false;
+
+  // Persistent worker pool (started lazily when host_threads > 1).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  Cycles step_target_ = 0;
+  std::atomic<size_t> next_board_{0};
+  bool shutdown_ = false;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace cheriot::sim
+
+#endif  // SRC_SIM_FLEET_H_

@@ -1,0 +1,151 @@
+#include "src/sim/fleet_app.h"
+
+#include <vector>
+
+#include "src/net/world.h"
+#include "src/runtime/compartment_ctx.h"
+#include "src/sync/sync.h"
+
+namespace cheriot::sim {
+
+namespace {
+
+constexpr Cycles kSecond = cost::kCoreHz;
+
+EntryFn AppMain(std::shared_ptr<FleetAppState> state, FleetAppOptions opts) {
+  return [state, opts](CompartmentCtx& ctx, const std::vector<Capability>&) {
+    const Capability quota = ctx.SealedImport("app_quota");
+
+    if (static_cast<int32_t>(
+            ctx.Call("tcpip.wait_ready", {WordCap(~0u)}).word()) != 0) {
+      state->failed = true;
+      return StatusCap(Status::kCompartmentFail);
+    }
+    state->ready = true;
+    state->ip = ctx.Call("tcpip.ifconfig", {}).word();
+
+    auto connect = [&]() -> Capability {
+      auto name_buf = ctx.AllocStack(32);
+      const char kBroker[] = "mqtt.example.com";
+      ctx.WriteBytes(name_buf.cap(), 0, kBroker, sizeof(kBroker) - 1);
+      const Word ip =
+          ctx.Call("dns.resolve",
+                   {name_buf.cap(), WordCap(sizeof(kBroker) - 1)})
+              .word();
+      if (ip == 0) {
+        return Capability();
+      }
+      // Fixed-width client id ("fl-NN") so every board's bring-up costs the
+      // same number of cycles regardless of its index.
+      auto id = ctx.AllocStack(8);
+      char id_bytes[5] = {'f', 'l', '-',
+                          static_cast<char>('0' + opts.board_index / 10),
+                          static_cast<char>('0' + opts.board_index % 10)};
+      ctx.WriteBytes(id.cap(), 0, id_bytes, 5);
+      const Capability session = ctx.Call(
+          "mqtt.connect", {quota, WordCap(ip), WordCap(net::kMqttTlsPort),
+                           id.cap(), WordCap(5)});
+      if (!session.tag()) {
+        return session;
+      }
+      auto topic = ctx.AllocStack(8);
+      ctx.WriteBytes(topic.cap(), 0, "leds", 4);
+      if (static_cast<int32_t>(
+              ctx.Call("mqtt.subscribe", {session, topic.cap(), WordCap(4)})
+                  .word()) != 0) {
+        return Capability();
+      }
+      return session;
+    };
+
+    Capability session = connect();
+    if (!session.tag()) {
+      state->failed = true;
+      return StatusCap(Status::kCompartmentFail);
+    }
+    state->connected = true;
+
+    // Announce ourselves to the broker.
+    {
+      auto topic = ctx.AllocStack(8);
+      ctx.WriteBytes(topic.cap(), 0, "status", 6);
+      auto payload = ctx.AllocStack(8);
+      char body[2] = {static_cast<char>('0' + opts.board_index / 10),
+                      static_cast<char>('0' + opts.board_index % 10)};
+      ctx.WriteBytes(payload.cap(), 0, body, 2);
+      if (static_cast<int32_t>(
+              ctx.Call("mqtt.publish", {session, topic.cap(), WordCap(6),
+                                        payload.cap(), WordCap(2)})
+                  .word()) == 0) {
+        ++state->publishes;
+      }
+    }
+
+    for (int i = 0; i < opts.busy_publishes; ++i) {
+      auto topic = ctx.AllocStack(8);
+      ctx.WriteBytes(topic.cap(), 0, "status", 6);
+      auto payload = ctx.AllocStack(8);
+      char body[2] = {static_cast<char>('0' + (i / 10) % 10),
+                      static_cast<char>('0' + i % 10)};
+      ctx.WriteBytes(payload.cap(), 0, body, 2);
+      if (static_cast<int32_t>(
+              ctx.Call("mqtt.publish", {session, topic.cap(), WordCap(6),
+                                        payload.cap(), WordCap(2)})
+                  .word()) == 0) {
+        ++state->publishes;
+      }
+    }
+
+    if (opts.ping_ip != 0) {
+      if (static_cast<int32_t>(
+              ctx.Call("tcpip.ping",
+                       {WordCap(opts.ping_ip), WordCap(5 * kSecond)})
+                  .word()) == 0) {
+        ++state->peer_ping_oks;
+      }
+    }
+
+    // Steady state: count broker notifications; reconnect if the stack
+    // micro-reboots under us.
+    for (;;) {
+      auto out = ctx.AllocStack(128);
+      const Capability r = ctx.Call(
+          "mqtt.poll",
+          {session, out.cap(), WordCap(128), WordCap(kSecond / 2)});
+      const auto n = static_cast<int32_t>(r.word());
+      if (n > 0) {
+        ++state->notifications;
+        continue;
+      }
+      if (static_cast<Status>(n) == Status::kTimedOut) {
+        continue;
+      }
+      state->connected = false;
+      do {
+        ctx.SleepCycles(kSecond / 4);
+        session = connect();
+      } while (!session.tag());
+      state->connected = true;
+    }
+    return StatusCap(Status::kOk);
+  };
+}
+
+}  // namespace
+
+FirmwareImage BuildFleetAppImage(std::shared_ptr<FleetAppState> state,
+                                 const FleetAppOptions& options) {
+  ImageBuilder b("fleet-node");
+  b.Compartment("app")
+      .CodeSize(2 * 1024)
+      .Globals(64)
+      .AllocCap("app_quota", 24 * 1024)
+      .Export("main", AppMain(std::move(state), options));
+  net::UseNetwork(b, "app", options.net);
+  sync::UseAllocator(b, "app");
+  sync::UseScheduler(b, "app");
+  b.Thread("app", 3, 16 * 1024, 12, "app.main");
+  return b.Build();
+}
+
+}  // namespace cheriot::sim

@@ -1,0 +1,46 @@
+// The shared fleet firmware: the §5.3.3 MQTT case-study application reduced
+// to its network skeleton (no JS VM) so tests and benches can boot many
+// copies cheaply. Each board brings the stack up over DHCP, connects to the
+// broker through TLS-lite, subscribes to "leds", publishes a status message
+// and then polls for notifications; optionally it pings a peer board first.
+#ifndef SRC_SIM_FLEET_APP_H_
+#define SRC_SIM_FLEET_APP_H_
+
+#include <memory>
+
+#include "src/firmware/image.h"
+#include "src/net/netstack.h"
+
+namespace cheriot::sim {
+
+// Host-visible progress of one board's app (shared_ptr captured by the
+// firmware's entry function, read by the test/bench harness).
+struct FleetAppState {
+  bool ready = false;          // DHCP/ARP bring-up finished
+  uint32_t ip = 0;             // the board's DHCP lease
+  bool connected = false;      // MQTT session established + subscribed
+  int publishes = 0;           // status messages sent to the broker
+  int notifications = 0;       // broker publishes received
+  int peer_ping_oks = 0;       // successful pings of the peer board
+  bool failed = false;
+};
+
+struct FleetAppOptions {
+  int board_index = 0;
+  // If nonzero, ping this address once after connecting (e.g. the expected
+  // lease of a peer board) and record the result in peer_ping_oks.
+  uint32_t ping_ip = 0;
+  // Extra back-to-back status publishes after the announce, before entering
+  // the (mostly idle) poll loop. Benches use this to create a sustained busy
+  // phase; each one counts in FleetAppState::publishes.
+  int busy_publishes = 0;
+  net::NetStackOptions net;
+};
+
+// Builds the firmware image; `state` outlives the Fleet run.
+FirmwareImage BuildFleetAppImage(std::shared_ptr<FleetAppState> state,
+                                 const FleetAppOptions& options = {});
+
+}  // namespace cheriot::sim
+
+#endif  // SRC_SIM_FLEET_APP_H_

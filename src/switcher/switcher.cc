@@ -240,6 +240,7 @@ Capability Switcher::LibraryCall(GuestThread& t, const ImportBinding& b,
 
 ErrorRecovery Switcher::DeliverTrap(GuestThread& t, CompartmentCtx& ctx,
                                     TrapInfo* info) {
+  ++trap_count_;
   BootInfo& boot = system_->boot();
   Machine& m = system_->machine();
   const CompartmentRuntime& rt = boot.compartments[ctx.compartment()];

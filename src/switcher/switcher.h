@@ -70,6 +70,9 @@ class Switcher {
 
   TrustedStackView TrustedStackFor(GuestThread& thread);
 
+  // Guest traps delivered since boot (fingerprinted by determinism tests).
+  uint64_t trap_count() const { return trap_count_; }
+
  private:
   Capability DoCall(GuestThread& thread, int callee_id, int export_index,
                     const std::vector<Capability>& args, bool saved_irq,
@@ -77,6 +80,7 @@ class Switcher {
   void ZeroStackRange(GuestThread& thread, Address from, Address to);
 
   System* system_;
+  uint64_t trap_count_ = 0;
 };
 
 }  // namespace cheriot

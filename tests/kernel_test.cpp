@@ -23,6 +23,22 @@ class KernelTest : public ::testing::Test {
   std::shared_ptr<Shared> shared_ = std::make_shared<Shared>();
 };
 
+// current_thread() outside guest context (current_thread_id_ == -1) must
+// fail loudly instead of silently indexing threads_[-1]. The check is
+// CHERIOT_CHECK, so it holds in release builds too.
+TEST(SystemGuardDeathTest, CurrentThreadOutsideGuestContextAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Machine machine;
+  ImageBuilder b("guard");
+  b.Compartment("app").Export(
+      "main", [](CompartmentCtx&, const std::vector<Capability>&) {
+        return StatusCap(Status::kOk);
+      });
+  b.Thread("app", 1, 4 * 1024, 4, "app.main");
+  System sys(machine, b.Build());
+  EXPECT_DEATH(sys.current_thread(), "no current guest thread");
+}
+
 TEST_F(KernelTest, CompartmentCallPassesArgsAndReturns) {
   ImageBuilder b("call");
   auto shared = shared_;

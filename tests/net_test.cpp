@@ -163,6 +163,84 @@ TEST_F(NetTest, TcpSurvivesSegmentLoss) {
   EXPECT_EQ(shared_->value, 6u);  // all segments delivered despite drops
 }
 
+TEST_F(NetTest, TcpLossInjectionIsPerConnection) {
+  // Two interleaved connections, two data segments each. A global drop
+  // counter (the old bug) would hit N=3 on the second connection's traffic;
+  // the per-connection counters never reach 3, so nothing may be dropped.
+  net::WorldOptions world_options;
+  world_options.drop_every_nth_tcp = 3;
+  RunApp(
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        ctx.Call("tcpip.wait_ready", {WordCap(~0u)});
+        const Capability q = ctx.SealedImport("app_quota");
+        const Capability a = ctx.Call(
+            "tcpip.socket_connect_tcp",
+            {q, WordCap(kWorldIp), WordCap(kEchoPort), WordCap(330'000'000)});
+        const Capability b = ctx.Call(
+            "tcpip.socket_connect_tcp",
+            {q, WordCap(kWorldIp), WordCap(kEchoPort), WordCap(330'000'000)});
+        if (!a.tag() || !b.tag()) {
+          shared->status = -99;
+          return;
+        }
+        int ok = 0;
+        for (int round = 0; round < 2; ++round) {
+          for (const Capability& sock : {a, b}) {
+            auto buf = ctx.AllocStack(16);
+            ctx.StoreWord(buf.cap(), 0, 0xCD000000u + round);
+            if (static_cast<int32_t>(
+                    ctx.Call("tcpip.socket_send",
+                             {sock, buf.cap(), WordCap(4)})
+                        .word()) == 0) {
+              ++ok;
+            }
+          }
+        }
+        shared->value = ok;
+        shared->status = 0;
+      },
+      {}, world_options, 20'000'000'000ull);
+  EXPECT_EQ(shared_->status, 0);
+  EXPECT_EQ(shared_->value, 4u);
+  EXPECT_EQ(world_->tcp_segments_dropped(), 0u);
+}
+
+TEST_F(NetTest, TcpLossInjectionDropsExactlyTheNth) {
+  // One connection, three data segments, N=3: exactly the third segment is
+  // dropped (and recovered by retransmission, which re-counts — the retry is
+  // segment 4, so it passes).
+  net::WorldOptions world_options;
+  world_options.drop_every_nth_tcp = 3;
+  RunApp(
+      [](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
+        ctx.Call("tcpip.wait_ready", {WordCap(~0u)});
+        const Capability q = ctx.SealedImport("app_quota");
+        const Capability sock = ctx.Call(
+            "tcpip.socket_connect_tcp",
+            {q, WordCap(kWorldIp), WordCap(kEchoPort), WordCap(330'000'000)});
+        if (!sock.tag()) {
+          shared->status = -99;
+          return;
+        }
+        int ok = 0;
+        for (int i = 0; i < 3; ++i) {
+          auto buf = ctx.AllocStack(16);
+          ctx.StoreWord(buf.cap(), 0, 0xEF000000u + i);
+          if (static_cast<int32_t>(
+                  ctx.Call("tcpip.socket_send", {sock, buf.cap(), WordCap(4)})
+                      .word()) == 0) {
+            ++ok;
+          }
+        }
+        shared->value = ok;
+        shared->status = 0;
+      },
+      {}, world_options, 20'000'000'000ull);
+  EXPECT_EQ(shared_->status, 0);
+  EXPECT_EQ(shared_->value, 3u);
+  EXPECT_EQ(world_->tcp_segments_dropped(), 1u);
+}
+
 TEST_F(NetTest, DnsResolvesKnownName) {
   RunApp([](CompartmentCtx& ctx, std::shared_ptr<Shared> shared) {
     ctx.Call("tcpip.wait_ready", {WordCap(~0u)});
