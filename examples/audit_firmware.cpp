@@ -50,6 +50,10 @@ count(importers_of_mmio("ethernet")) == 1 && contains(importers_of_mmio("etherne
 !calls("compressor", "NetAPI")
 # 4. Heap quotas must fit in the heap.
 allocation_quota_sum() <= heap_size()
+# 5. Transitive: the compressor must not be able to reach the NIC through
+#    ANY chain of compartment calls — stronger than rule 3, which only sees
+#    the direct edge (DESIGN.md §7).
+!reachable("compressor", "mmio:ethernet")
 )";
 
 int CheckImage(bool backdoored) {

@@ -1,0 +1,180 @@
+#include "src/analysis/authority_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace cheriot::analysis {
+
+namespace {
+
+const std::vector<Edge> kNoEdges;
+
+// Reports loaded from disk may be missing whole sections; treat them as
+// empty rather than dereferencing a null value.
+const json::Object& ObjOrEmpty(const json::Value& v) {
+  static const json::Object kEmpty;
+  return v.type() == json::Value::Type::kObject ? v.AsObject() : kEmpty;
+}
+const json::Array& ArrOrEmpty(const json::Value& v) {
+  static const json::Array kEmpty;
+  return v.type() == json::Value::Type::kArray ? v.AsArray() : kEmpty;
+}
+
+// The resource prefixes a node id may carry. A bare name (no known prefix)
+// is a compartment.
+const char* kPrefixes[] = {"compartment:", "library:",       "mmio:",
+                           "sealing_key:", "alloc_cap:",     "sealed_object:"};
+
+}  // namespace
+
+std::string AuthorityGraph::CanonicalId(const std::string& name_or_id) {
+  for (const char* p : kPrefixes) {
+    if (name_or_id.rfind(p, 0) == 0) {
+      return name_or_id;
+    }
+  }
+  return "compartment:" + name_or_id;
+}
+
+std::string AuthorityGraph::DisplayName(const std::string& id) {
+  if (id.rfind("compartment:", 0) == 0) {
+    return id.substr(sizeof("compartment:") - 1);
+  }
+  return id;
+}
+
+std::string AuthorityGraph::RenderPath(const std::vector<std::string>& path) {
+  std::string out;
+  for (const auto& node : path) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += DisplayName(node);
+  }
+  return out;
+}
+
+AuthorityGraph AuthorityGraph::FromReport(const json::Value& report) {
+  AuthorityGraph g;
+  auto node = [&g](const std::string& id) {
+    g.edges_.emplace(id, std::vector<Edge>{});
+  };
+
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    const std::string from = "compartment:" + name;
+    node(from);
+    for (const auto& imp : ArrOrEmpty(comp["imports"])) {
+      const std::string& kind = imp["kind"].AsString();
+      Edge e;
+      e.from = from;
+      if (kind == "call") {
+        e.to = "compartment:" + imp["compartment_name"].AsString();
+        e.kind = "call";
+        e.detail = imp["function"].AsString();
+      } else if (kind == "library") {
+        e.to = "library:" + imp["library"].AsString();
+        e.kind = "library";
+        e.detail = imp["function"].AsString();
+      } else if (kind == "mmio") {
+        e.to = "mmio:" + imp["device"].AsString();
+        e.kind = "mmio";
+        e.writeable = imp["writeable"].AsBool();
+      } else if (kind == "allocation_capability") {
+        e.to = "alloc_cap:" + imp["name"].AsString();
+        e.kind = "alloc_cap";
+      } else if (kind == "sealed_object") {
+        e.to = "sealed_object:" + imp["name"].AsString();
+        e.kind = "sealed_object";
+        e.detail = imp["sealing_type"].AsString();
+      } else if (kind == "sealing_key") {
+        e.to = "sealing_key:" + imp["sealing_type"].AsString();
+        e.kind = "sealing_key";
+      } else {
+        continue;  // unknown import kinds are ignored, not fatal
+      }
+      node(e.to);
+      g.edges_[from].push_back(std::move(e));
+    }
+  }
+  for (const auto& [name, _] : ObjOrEmpty(report["libraries"])) {
+    node("library:" + name);
+  }
+
+  for (auto& [id, out] : g.edges_) {
+    std::sort(out.begin(), out.end());
+    g.nodes_.push_back(id);
+  }
+  return g;  // std::map iteration already yields nodes_ sorted
+}
+
+const std::vector<Edge>& AuthorityGraph::EdgesFrom(const std::string& id) const {
+  const auto it = edges_.find(id);
+  return it == edges_.end() ? kNoEdges : it->second;
+}
+
+std::vector<std::string> AuthorityGraph::Reachable(
+    const std::string& from) const {
+  std::set<std::string> seen;
+  std::deque<std::string> work{from};
+  while (!work.empty()) {
+    const std::string cur = std::move(work.front());
+    work.pop_front();
+    for (const auto& e : EdgesFrom(cur)) {
+      if (seen.insert(e.to).second) {
+        work.push_back(e.to);
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+bool AuthorityGraph::Reaches(const std::string& from,
+                             const std::string& to) const {
+  const auto r = Reachable(from);
+  return std::binary_search(r.begin(), r.end(), to);
+}
+
+std::vector<std::string> AuthorityGraph::ShortestPath(
+    const std::string& from, const std::string& to) const {
+  std::map<std::string, std::string> parent;  // node -> predecessor
+  std::deque<std::string> work{from};
+  parent[from] = "";
+  while (!work.empty()) {
+    const std::string cur = std::move(work.front());
+    work.pop_front();
+    for (const auto& e : EdgesFrom(cur)) {
+      if (parent.count(e.to)) {
+        continue;
+      }
+      parent[e.to] = cur;
+      if (e.to == to) {
+        std::vector<std::string> path{to};
+        for (std::string at = cur; !at.empty(); at = parent.at(at)) {
+          path.push_back(at);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      work.push_back(e.to);
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> AuthorityGraph::PathsTo(const std::string& to) const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.rfind("compartment:", 0) != 0 || n == to) {
+      continue;
+    }
+    const auto path = ShortestPath(n, to);
+    if (!path.empty()) {
+      out.push_back(RenderPath(path));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cheriot::analysis

@@ -1,0 +1,92 @@
+// Whole-image authority graph (§4, extended): the static analyzer's core
+// data structure, built purely from the audit report JSON — the same
+// artefact an external integrator receives — so every query here is
+// answerable *before the firmware boots*, from linker metadata alone.
+//
+// Nodes are authority holders and authority targets:
+//   compartment:<name>   library:<name>        mmio:<device>
+//   sealing_key:<type>   alloc_cap:<name>      sealed_object:<name>
+// Edges are the static grants recorded in the import tables: compartment
+// calls, library sentries, MMIO grants, allocation capabilities, static
+// sealed objects, sealing keys.
+//
+// Authority flows transitively along compartment-call edges: if A can call
+// an export of B, A can exercise (a subset of) B's authority through that
+// interface — the confused-deputy over-approximation that flat per-row
+// queries (importers_of_mmio, calls) cannot express. Libraries and resources
+// are sinks: a library executes with its caller's authority and holds none
+// of its own, and MMIO regions / keys / sealed objects grant nothing
+// further.
+#ifndef SRC_ANALYSIS_AUTHORITY_GRAPH_H_
+#define SRC_ANALYSIS_AUTHORITY_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/json/json.h"
+
+namespace cheriot::analysis {
+
+struct Edge {
+  std::string from;    // node id, always a compartment
+  std::string to;      // node id
+  std::string kind;    // "call" | "library" | "mmio" | "alloc_cap" |
+                       // "sealed_object" | "sealing_key"
+  std::string detail;  // function name for call/library edges; sealing type
+                       // for sealed objects; empty otherwise
+  bool writeable = false;  // mmio edges only
+
+  bool operator<(const Edge& o) const {
+    return std::tie(from, to, kind, detail) <
+           std::tie(o.from, o.to, o.kind, o.detail);
+  }
+  bool operator==(const Edge& o) const {
+    return from == o.from && to == o.to && kind == o.kind && detail == o.detail;
+  }
+};
+
+class AuthorityGraph {
+ public:
+  // Builds the graph from a BuildReport() document (or any JSON with the
+  // same schema, e.g. a report loaded from disk).
+  static AuthorityGraph FromReport(const json::Value& report);
+
+  // All node ids, sorted.
+  const std::vector<std::string>& Nodes() const { return nodes_; }
+  bool HasNode(const std::string& id) const { return edges_.count(id) > 0; }
+  // Outgoing edges of a node, sorted; empty for sinks and unknown nodes.
+  const std::vector<Edge>& EdgesFrom(const std::string& id) const;
+
+  // Transitive closure from `from` (excluding `from` itself unless it sits
+  // on a cycle that returns to it). Sorted; cycle-safe.
+  std::vector<std::string> Reachable(const std::string& from) const;
+  bool Reaches(const std::string& from, const std::string& to) const;
+
+  // Shortest authority path from -> to as a node-id sequence including both
+  // endpoints; empty if unreachable. Deterministic: BFS visits neighbours in
+  // sorted order, so ties break lexicographically.
+  std::vector<std::string> ShortestPath(const std::string& from,
+                                        const std::string& to) const;
+
+  // For every compartment that reaches `to`, its rendered shortest path
+  // ("js_app -> NetAPI -> mmio:ethernet"); sorted.
+  std::vector<std::string> PathsTo(const std::string& to) const;
+
+  // "a -> b -> mmio:x": compartments print bare, resources keep their
+  // "kind:" prefix.
+  static std::string RenderPath(const std::vector<std::string>& path);
+  // Maps a bare name to "compartment:<name>"; ids that already carry a
+  // known "kind:" prefix pass through unchanged.
+  static std::string CanonicalId(const std::string& name_or_id);
+  // Strips a "compartment:" prefix for display.
+  static std::string DisplayName(const std::string& id);
+
+ private:
+  std::vector<std::string> nodes_;
+  std::map<std::string, std::vector<Edge>> edges_;  // includes sinks (empty)
+};
+
+}  // namespace cheriot::analysis
+
+#endif  // SRC_ANALYSIS_AUTHORITY_GRAPH_H_

@@ -1,0 +1,498 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cheriot::analysis {
+
+namespace {
+
+int SeverityRank(const std::string& s) {
+  if (s == "error") return 0;
+  if (s == "warning") return 1;
+  return 2;
+}
+
+// Reports loaded from disk may be missing whole sections; treat them as
+// empty rather than crashing the linter.
+const json::Object& ObjOrEmpty(const json::Value& v) {
+  static const json::Object kEmpty;
+  return v.type() == json::Value::Type::kObject ? v.AsObject() : kEmpty;
+}
+const json::Array& ArrOrEmpty(const json::Value& v) {
+  static const json::Array kEmpty;
+  return v.type() == json::Value::Type::kArray ? v.AsArray() : kEmpty;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+// --- CL001 / CL003: transitive MMIO reachability --------------------------
+
+void MmioReachability(const AuthorityGraph& graph, const LintOptions& options,
+                      std::vector<Finding>* findings) {
+  for (const auto& node : graph.Nodes()) {
+    if (node.rfind("mmio:", 0) != 0) {
+      continue;
+    }
+    const std::string device = node.substr(sizeof("mmio:") - 1);
+    const bool restricted = Contains(options.restricted_mmio, device);
+    for (const auto& comp : graph.Nodes()) {
+      if (comp.rfind("compartment:", 0) != 0) {
+        continue;
+      }
+      bool direct = false;
+      for (const auto& e : graph.EdgesFrom(comp)) {
+        if (e.to == node) {
+          direct = true;
+        }
+      }
+      if (direct || !graph.Reaches(comp, node)) {
+        continue;
+      }
+      const auto path = graph.ShortestPath(comp, node);
+      Finding f;
+      f.subject = AuthorityGraph::DisplayName(comp);
+      f.path = path;
+      if (restricted) {
+        f.rule = "CL003";
+        f.name = "confused-deputy-path";
+        f.severity = "error";
+        f.message = f.subject + " reaches restricted " + node +
+                    " without importing it: " +
+                    AuthorityGraph::RenderPath(path);
+      } else {
+        f.rule = "CL001";
+        f.name = "transitive-mmio-reachability";
+        f.severity = "info";
+        f.message = f.subject + " reaches " + node +
+                    " transitively: " + AuthorityGraph::RenderPath(path);
+      }
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+// --- CL002: sealing-key confinement ----------------------------------------
+
+void SealingKeyConfinement(const AuthorityGraph& graph,
+                           std::vector<Finding>* findings) {
+  std::map<std::string, std::vector<std::string>> holders;  // type -> comps
+  for (const auto& node : graph.Nodes()) {
+    for (const auto& e : graph.EdgesFrom(node)) {
+      if (e.kind == "sealing_key") {
+        holders[e.to].push_back(AuthorityGraph::DisplayName(e.from));
+      }
+    }
+  }
+  for (const auto& [key, comps] : holders) {
+    if (comps.size() <= 1) {
+      continue;
+    }
+    Finding f;
+    f.rule = "CL002";
+    f.name = "sealing-key-confinement";
+    f.severity = "error";
+    f.subject = key;
+    f.message = key + " is held by " + std::to_string(comps.size()) +
+                " compartments:";
+    for (const auto& c : comps) {
+      f.message += " " + c;
+    }
+    findings->push_back(std::move(f));
+  }
+}
+
+// --- CL004: quota feasibility -----------------------------------------------
+
+void QuotaFeasibility(const json::Value& report,
+                      std::vector<Finding>* findings) {
+  const int64_t heap = report["heap"]["size"].AsInt();
+  int64_t sum = 0;
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    for (const auto& imp : ArrOrEmpty(comp["imports"])) {
+      if (imp["kind"].AsString() != "allocation_capability") {
+        continue;
+      }
+      const int64_t quota = imp["quota"].AsInt();
+      sum += quota;
+      if (quota > heap) {
+        Finding f;
+        f.rule = "CL004";
+        f.name = "quota-feasibility";
+        f.severity = "error";
+        f.subject = name + "." + imp["name"].AsString();
+        f.message = "allocation capability " + imp["name"].AsString() +
+                    " of " + name + " has quota " + std::to_string(quota) +
+                    " B, larger than the whole heap (" + std::to_string(heap) +
+                    " B): it can never be satisfied";
+        findings->push_back(std::move(f));
+      }
+    }
+  }
+  if (sum > heap) {
+    Finding f;
+    f.rule = "CL004";
+    f.name = "quota-feasibility";
+    f.severity = "warning";
+    f.subject = "heap";
+    f.message = "allocation quotas sum to " + std::to_string(sum) +
+                " B against a " + std::to_string(heap) +
+                " B heap: quotas are overcommitted, so the no-DoS guarantee "
+                "(§3.2.2) does not hold for every compartment simultaneously";
+    findings->push_back(std::move(f));
+  }
+}
+
+// --- CL005: dead exports -----------------------------------------------------
+
+void DeadExports(const json::Value& report, const LintOptions& options,
+                 std::vector<Finding>* findings) {
+  std::set<std::string> used;  // "owner.function", owners of both kinds
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    for (const auto& imp : ArrOrEmpty(comp["imports"])) {
+      const std::string& kind = imp["kind"].AsString();
+      if (kind == "call") {
+        used.insert(imp["compartment_name"].AsString() + "." +
+                    imp["function"].AsString());
+      } else if (kind == "library") {
+        used.insert(imp["library"].AsString() + "." +
+                    imp["function"].AsString());
+      }
+    }
+  }
+  for (const auto& t : ArrOrEmpty(report["threads"])) {
+    if (t.Has("entry")) {
+      used.insert(t["entry"].AsString());
+    } else {
+      // Pre-v2 reports name only the entry compartment; treat every export
+      // of it as potentially entered.
+      const json::Value& exports =
+          report["compartments"][t["entry_compartment"].AsString()]["exports"];
+      if (exports.is_null()) {
+        continue;
+      }
+      for (const auto& e : exports.AsArray()) {
+        used.insert(t["entry_compartment"].AsString() + "." +
+                    e["function"].AsString());
+      }
+    }
+  }
+
+  auto scan = [&](const std::string& owner, const json::Value& def,
+                  bool is_library) {
+    if (Contains(options.dead_export_exempt, owner)) {
+      return;
+    }
+    for (const auto& e : ArrOrEmpty(def["exports"])) {
+      const std::string fn = e["function"].AsString();
+      if (used.count(owner + "." + fn)) {
+        continue;
+      }
+      Finding f;
+      f.rule = "CL005";
+      f.name = "dead-export";
+      f.severity = "warning";
+      f.subject = (is_library ? "library:" : "") + owner + "." + fn;
+      f.message = std::string(is_library ? "library " : "compartment ") +
+                  owner + " exports " + fn +
+                  " but no compartment imports it and no thread enters it";
+      f.fix = std::string("remove dead export: ImageBuilder.") +
+              (is_library ? "Library" : "Compartment") + "(\"" + owner +
+              "\").Export(\"" + fn + "\", ...)";
+      findings->push_back(std::move(f));
+    }
+  };
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    scan(name, comp, false);
+  }
+  for (const auto& [name, lib] : ObjOrEmpty(report["libraries"])) {
+    scan(name, lib, true);
+  }
+}
+
+// --- CL006: redundant imports ------------------------------------------------
+
+void RedundantImports(const json::Value& report,
+                      std::vector<Finding>* findings) {
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    // identity -> (count, builder call)
+    std::map<std::string, std::pair<int, std::string>> seen;
+    for (const auto& imp : ArrOrEmpty(comp["imports"])) {
+      const std::string& kind = imp["kind"].AsString();
+      std::string identity, call;
+      if (kind == "call") {
+        identity = "call " + imp["compartment_name"].AsString() + "." +
+                   imp["function"].AsString();
+        call = "ImportCompartment(\"" + imp["compartment_name"].AsString() +
+               "." + imp["function"].AsString() + "\")";
+      } else if (kind == "library") {
+        identity = "library " + imp["library"].AsString() + "." +
+                   imp["function"].AsString();
+        call = "ImportLibrary(\"" + imp["library"].AsString() + "." +
+               imp["function"].AsString() + "\")";
+      } else if (kind == "mmio") {
+        identity = "mmio " + imp["device"].AsString();
+        call = "ImportMmio(\"" + imp["device"].AsString() + "\", ...)";
+      } else if (kind == "allocation_capability") {
+        identity = "alloc_cap " + imp["name"].AsString();
+        call = "AllocCap(\"" + imp["name"].AsString() + "\", ...)";
+      } else if (kind == "sealed_object") {
+        identity = "sealed_object " + imp["name"].AsString();
+        call = "SealedObject(\"" + imp["name"].AsString() + "\", ...)";
+      } else if (kind == "sealing_key") {
+        identity = "sealing_key " + imp["sealing_type"].AsString();
+        call = "OwnSealingType(\"" + imp["sealing_type"].AsString() + "\")";
+      } else {
+        continue;
+      }
+      auto& entry = seen[identity];
+      ++entry.first;
+      entry.second = call;
+    }
+    for (const auto& [identity, entry] : seen) {
+      if (entry.first <= 1) {
+        continue;
+      }
+      Finding f;
+      f.rule = "CL006";
+      f.name = "redundant-import";
+      f.severity = "warning";
+      f.subject = name;
+      f.message = name + " declares the same import " +
+                  std::to_string(entry.first) + " times: " + identity;
+      f.fix = "remove duplicate: ImageBuilder.Compartment(\"" + name +
+              "\")." + entry.second;
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+// --- CL007: stack depth vs the static call graph ----------------------------
+
+struct DepthInfo {
+  int frames = 0;       // compartments on the deepest chain, inclusive
+  int64_t bytes = 0;    // worst-case sum of per-compartment stack demand
+  bool cycle = false;   // a call cycle is reachable (depth unbounded)
+};
+
+// Worst-case stack demand of entering a compartment: the largest
+// minimum_stack over its exports (the linter cannot know which export a
+// caller uses, so it over-approximates).
+int64_t CompartmentStackDemand(const json::Value& report,
+                               const std::string& name) {
+  int64_t demand = 0;
+  const json::Value& exports = report["compartments"][name]["exports"];
+  if (exports.is_null()) {
+    return 0;  // dangling call edge in a hand-crafted report
+  }
+  for (const auto& e : exports.AsArray()) {
+    demand = std::max(demand, e["minimum_stack"].AsInt());
+  }
+  return demand;
+}
+
+DepthInfo WalkDepth(const json::Value& report, const AuthorityGraph& graph,
+                    const std::string& node, std::set<std::string>* on_stack,
+                    std::map<std::string, DepthInfo>* memo) {
+  if (const auto it = memo->find(node); it != memo->end()) {
+    return it->second;
+  }
+  if (on_stack->count(node)) {
+    DepthInfo cyc;
+    cyc.cycle = true;
+    return cyc;  // do not memoize: the node's true depth is not known yet
+  }
+  on_stack->insert(node);
+  DepthInfo best;
+  for (const auto& e : graph.EdgesFrom(node)) {
+    if (e.kind != "call") {
+      continue;
+    }
+    const DepthInfo sub = WalkDepth(report, graph, e.to, on_stack, memo);
+    best.frames = std::max(best.frames, sub.frames);
+    best.bytes = std::max(best.bytes, sub.bytes);
+    best.cycle = best.cycle || sub.cycle;
+  }
+  on_stack->erase(node);
+  best.frames += 1;
+  best.bytes +=
+      CompartmentStackDemand(report, AuthorityGraph::DisplayName(node));
+  (*memo)[node] = best;
+  return best;
+}
+
+void StackDepth(const json::Value& report, const AuthorityGraph& graph,
+                std::vector<Finding>* findings) {
+  std::map<std::string, DepthInfo> memo;
+  for (const auto& t : ArrOrEmpty(report["threads"])) {
+    const std::string entry = t["entry_compartment"].AsString();
+    std::set<std::string> on_stack;
+    const DepthInfo d =
+        WalkDepth(report, graph, "compartment:" + entry, &on_stack, &memo);
+    const std::string thread = t["name"].AsString();
+    if (d.cycle) {
+      Finding f;
+      f.rule = "CL007";
+      f.name = "stack-depth";
+      f.severity = "warning";
+      f.subject = thread;
+      f.message = "thread " + thread + " enters " + entry +
+                  ", whose static call graph contains a cycle: trusted-stack "
+                  "depth cannot be bounded statically";
+      findings->push_back(std::move(f));
+      continue;  // depth numbers are meaningless under a cycle
+    }
+    const int64_t frames = t["trusted_stack_frames"].AsInt();
+    if (d.frames > frames) {
+      Finding f;
+      f.rule = "CL007";
+      f.name = "stack-depth";
+      f.severity = "warning";
+      f.subject = thread;
+      f.message = "thread " + thread + " has " + std::to_string(frames) +
+                  " trusted-stack frames but the static call graph from " +
+                  entry + " can be " + std::to_string(d.frames) +
+                  " compartments deep: deep call chains will fault";
+      findings->push_back(std::move(f));
+    }
+    const int64_t stack = t["stack_size"].AsInt();
+    if (d.bytes > stack) {
+      Finding f;
+      f.rule = "CL007";
+      f.name = "stack-depth";
+      f.severity = "warning";
+      f.subject = thread;
+      f.message = "thread " + thread + " has a " + std::to_string(stack) +
+                  " B stack but the worst static call chain from " + entry +
+                  " demands " + std::to_string(d.bytes) +
+                  " B of minimum stack";
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
+// --- CL008: duplicate exports ------------------------------------------------
+
+void DuplicateExports(const json::Value& report,
+                      std::vector<Finding>* findings) {
+  auto scan = [&](const std::string& owner, const json::Value& def,
+                  bool is_library) {
+    std::map<std::string, int> counts;
+    for (const auto& e : ArrOrEmpty(def["exports"])) {
+      ++counts[e["function"].AsString()];
+    }
+    for (const auto& [fn, n] : counts) {
+      if (n <= 1) {
+        continue;
+      }
+      Finding f;
+      f.rule = "CL008";
+      f.name = "duplicate-export";
+      f.severity = "error";
+      f.subject = (is_library ? "library:" : "") + owner + "." + fn;
+      f.message = std::string(is_library ? "library " : "compartment ") +
+                  owner + " exports " + fn + " " + std::to_string(n) +
+                  " times: import resolution is ambiguous";
+      findings->push_back(std::move(f));
+    }
+  };
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    scan(name, comp, false);
+  }
+  for (const auto& [name, lib] : ObjOrEmpty(report["libraries"])) {
+    scan(name, lib, true);
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLints(const json::Value& report,
+                              const LintOptions& options) {
+  const AuthorityGraph graph = AuthorityGraph::FromReport(report);
+  std::vector<Finding> findings;
+  MmioReachability(graph, options, &findings);
+  SealingKeyConfinement(graph, &findings);
+  QuotaFeasibility(report, &findings);
+  DeadExports(report, options, &findings);
+  RedundantImports(report, &findings);
+  StackDepth(report, graph, &findings);
+  DuplicateExports(report, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              const int ra = SeverityRank(a.severity);
+              const int rb = SeverityRank(b.severity);
+              return std::tie(ra, a.rule, a.subject, a.message) <
+                     std::tie(rb, b.rule, b.subject, b.message);
+            });
+  return findings;
+}
+
+bool HasErrors(const std::vector<Finding>& findings) {
+  for (const auto& f : findings) {
+    if (f.severity == "error") {
+      return true;
+    }
+  }
+  return false;
+}
+
+json::Value FindingsToJson(const json::Value& report,
+                           const std::vector<Finding>& findings) {
+  json::Object root;
+  root["schema_version"] = 1;
+  root["image"] = report["firmware"].AsString();
+  json::Object counts;
+  int64_t errors = 0, warnings = 0, infos = 0;
+  for (const auto& f : findings) {
+    if (f.severity == "error") ++errors;
+    else if (f.severity == "warning") ++warnings;
+    else ++infos;
+  }
+  counts["error"] = errors;
+  counts["warning"] = warnings;
+  counts["info"] = infos;
+  root["counts"] = json::Value(std::move(counts));
+  json::Array arr;
+  for (const auto& f : findings) {
+    json::Object o;
+    o["rule"] = f.rule;
+    o["name"] = f.name;
+    o["severity"] = f.severity;
+    o["subject"] = f.subject;
+    o["message"] = f.message;
+    if (!f.path.empty()) {
+      json::Array p;
+      for (const auto& n : f.path) {
+        p.push_back(n);
+      }
+      o["path"] = json::Value(std::move(p));
+    }
+    if (!f.fix.empty()) {
+      o["fix"] = f.fix;
+    }
+    arr.push_back(json::Value(std::move(o)));
+  }
+  root["findings"] = json::Value(std::move(arr));
+  return json::Value(std::move(root));
+}
+
+std::string FindingsToText(const json::Value& report,
+                           const std::vector<Finding>& findings) {
+  std::string out = "image " + report["firmware"].AsString() + ": " +
+                    std::to_string(findings.size()) + " finding(s)\n";
+  for (const auto& f : findings) {
+    out += "[" + f.severity + "] " + f.rule + " " + f.name + ": " + f.message +
+           "\n";
+    if (!f.path.empty()) {
+      out += "        path: " + AuthorityGraph::RenderPath(f.path) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string FixSuggestion(const Finding& finding) { return finding.fix; }
+
+}  // namespace cheriot::analysis

@@ -1,15 +1,37 @@
 #include "src/audit/policy.h"
 
+#include <algorithm>
 #include <cctype>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/analysis/authority_graph.h"
 
 namespace cheriot::audit {
 
 namespace {
 
+// A policy failure annotated with the offset (within the expression) of the
+// token nearest the failure, so CheckDocument can report line + column for
+// multi-line documents.
+class PolicyError : public std::runtime_error {
+ public:
+  PolicyError(const std::string& why, size_t offset)
+      : std::runtime_error("policy error: " + why), offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+// Offset of the most recently lexed token. Coercion helpers (ValueTruth,
+// ValueInt, ...) fail far from the lexer, so the current token position is
+// tracked here rather than threaded through every call.
+thread_local size_t t_last_token_begin = 0;
+
 [[noreturn]] void Fail(const std::string& why) {
-  throw std::runtime_error("policy error: " + why);
+  throw PolicyError(why, t_last_token_begin);
 }
 
 bool ValueTruth(const PolicyValue& v) {
@@ -59,6 +81,7 @@ class Lexer {
     Kind kind = Kind::kEnd;
     int64_t int_value = 0;
     std::string text;
+    size_t begin = 0;  // offset of the token's first character
   };
 
   const Token& Peek() {
@@ -93,6 +116,8 @@ class Lexer {
       ++pos_;
     }
     Token t;
+    t.begin = pos_;
+    t_last_token_begin = pos_;
     if (pos_ >= text_.size()) {
       return t;
     }
@@ -159,8 +184,10 @@ class Lexer {
 
 class Evaluator {
  public:
-  Evaluator(const PolicyEngine& engine, const std::string& text)
-      : engine_(engine), lex_(text) {}
+  using Env = std::map<std::string, std::string>;
+
+  Evaluator(const PolicyEngine& engine, const std::string& text, Env env = {})
+      : engine_(engine), text_(text), env_(std::move(env)), lex_(text_) {}
 
   PolicyValue Run() {
     PolicyValue v = Or();
@@ -287,7 +314,70 @@ class Evaluator {
     if (name == "false") {
       return PolicyValue(false);
     }
+    if (name == "forall" || name == "exists") {
+      return Quantifier(name);
+    }
+    // A bare identifier (no call parens) is a bound quantifier variable.
+    if (!(lex_.Peek().kind == Lexer::Token::Kind::kPunct &&
+          lex_.Peek().text == "(")) {
+      const auto it = env_.find(name);
+      if (it == env_.end()) {
+        Fail("unknown identifier: " + name);
+      }
+      return PolicyValue(it->second);
+    }
     return Call(name, Args());
+  }
+
+  // forall(var, <list expr>, <body>) / exists(var, <list expr>, <body>).
+  // The body is re-evaluated once per element with `var` bound to it; its
+  // source text is captured by scanning to the matching close paren, so any
+  // expression — including nested quantifiers — works as a body.
+  PolicyValue Quantifier(const std::string& name) {
+    lex_.ExpectPunct("(");
+    if (lex_.Peek().kind != Lexer::Token::Kind::kIdent) {
+      Fail(name + " expects a variable name, got '" + lex_.Peek().text + "'");
+    }
+    const std::string var = lex_.Take().text;
+    lex_.ExpectPunct(",");
+    const std::vector<std::string> domain = ValueList(Or());
+    lex_.ExpectPunct(",");
+    const size_t body_begin = lex_.Peek().begin;
+    int depth = 0;
+    size_t body_end = body_begin;
+    for (;;) {
+      const auto t = lex_.Take();
+      if (t.kind == Lexer::Token::Kind::kEnd) {
+        Fail("unterminated " + name + " body");
+      }
+      if (t.kind == Lexer::Token::Kind::kPunct && t.text == "(") {
+        ++depth;
+      } else if (t.kind == Lexer::Token::Kind::kPunct && t.text == ")") {
+        if (depth == 0) {
+          body_end = t.begin;
+          break;
+        }
+        --depth;
+      }
+    }
+    const std::string body = text_.substr(body_begin, body_end - body_begin);
+    if (body.find_first_not_of(" \t") == std::string::npos) {
+      Fail(name + " has an empty body");
+    }
+    const bool is_forall = name == "forall";
+    for (const auto& element : domain) {
+      Env env = env_;
+      env[var] = element;
+      const bool truth =
+          ValueTruth(Evaluator(engine_, body, std::move(env)).Run());
+      if (is_forall && !truth) {
+        return PolicyValue(false);
+      }
+      if (!is_forall && truth) {
+        return PolicyValue(true);
+      }
+    }
+    return PolicyValue(is_forall);  // vacuous truth / exhausted search
   }
 
   PolicyValue Call(const std::string& name, std::vector<PolicyValue> args) {
@@ -310,6 +400,37 @@ class Evaluator {
         }
       }
       return PolicyValue(false);
+    }
+    // Set algebra over string lists; results are sorted and deduplicated.
+    if (name == "union" || name == "intersect" || name == "difference") {
+      need(2);
+      auto a = ValueList(args[0]);
+      auto b = ValueList(args[1]);
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      std::sort(b.begin(), b.end());
+      b.erase(std::unique(b.begin(), b.end()), b.end());
+      std::vector<std::string> out;
+      if (name == "union") {
+        std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                       std::back_inserter(out));
+      } else if (name == "intersect") {
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(out));
+      } else {
+        std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                            std::back_inserter(out));
+      }
+      return PolicyValue(std::move(out));
+    }
+    if (name == "reachable") {
+      need(2);
+      return PolicyValue(
+          engine_.Reachable(ValueString(args[0]), ValueString(args[1])));
+    }
+    if (name == "paths_to") {
+      need(1);
+      return PolicyValue(engine_.PathsTo(ValueString(args[0])));
     }
     if (name == "compartments_calling") {
       need(1);
@@ -372,6 +493,8 @@ class Evaluator {
   }
 
   const PolicyEngine& engine_;
+  std::string text_;  // owned: quantifier bodies substring into it
+  Env env_;
   Lexer lex_;
 };
 
@@ -393,23 +516,40 @@ std::vector<PolicyViolation> PolicyEngine::CheckDocument(
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    const std::string original = line;
     // Strip comments and whitespace.
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line = line.substr(0, hash);
     }
-    const auto begin = line.find_first_not_of(" \t\r");
+    const auto begin = line.find_first_not_of(" \t");
     if (begin == std::string::npos) {
       continue;
     }
-    const auto end = line.find_last_not_of(" \t\r");
+    const auto end = line.find_last_not_of(" \t");
     const std::string expr = line.substr(begin, end - begin + 1);
+    auto report = [&](const std::string& reason, int column) {
+      PolicyViolation v;
+      v.line = line_no;
+      v.expression = expr;
+      v.reason = reason;
+      v.source_line = original;
+      v.column = column;
+      violations.push_back(std::move(v));
+    };
     try {
       if (!CheckExpression(expr)) {
-        violations.push_back({line_no, expr, "evaluated to false"});
+        report("evaluated to false", 0);
       }
+    } catch (const PolicyError& e) {
+      // Column in the original line: offset within the stripped expression
+      // plus the stripped leading whitespace, 1-based.
+      report(e.what(), static_cast<int>(begin + e.offset() + 1));
     } catch (const std::exception& e) {
-      violations.push_back({line_no, expr, e.what()});
+      report(e.what(), 0);
     }
   }
   return violations;
@@ -567,6 +707,25 @@ bool PolicyEngine::Calls(const std::string& caller,
 bool PolicyEngine::HasErrorHandler(const std::string& compartment) const {
   const auto& v = report_["compartments"][compartment]["error_handler"];
   return !v.is_null() && v.AsBool();
+}
+
+const analysis::AuthorityGraph& PolicyEngine::Graph() const {
+  if (!graph_) {
+    graph_ = std::make_shared<analysis::AuthorityGraph>(
+        analysis::AuthorityGraph::FromReport(report_));
+  }
+  return *graph_;
+}
+
+bool PolicyEngine::Reachable(const std::string& from,
+                             const std::string& resource) const {
+  return Graph().Reaches(analysis::AuthorityGraph::CanonicalId(from),
+                         analysis::AuthorityGraph::CanonicalId(resource));
+}
+
+std::vector<std::string> PolicyEngine::PathsTo(
+    const std::string& resource) const {
+  return Graph().PathsTo(analysis::AuthorityGraph::CanonicalId(resource));
 }
 
 }  // namespace cheriot::audit

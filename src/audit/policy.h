@@ -7,17 +7,30 @@
 //   allocation_quota_sum() <= heap_size()
 //   !contains(importers_of_mmio("ethernet"), "js_app")
 //
+// Transitive authority queries run over the whole-image authority graph
+// (src/analysis), so policies can express what flat per-row queries cannot:
+//
+//   !reachable("compressor", "mmio:ethernet")
+//   count(paths_to("mmio:ethernet")) <= 3
+//   forall(c, difference(compartments(), importers_of_mmio("uart")),
+//          !reachable(c, "mmio:uart"))
+//
 // A policy document is a sequence of lines; blank lines and '#' comments are
 // ignored; every remaining line must evaluate to true.
 #ifndef SRC_AUDIT_POLICY_H_
 #define SRC_AUDIT_POLICY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "src/json/json.h"
+
+namespace cheriot::analysis {
+class AuthorityGraph;
+}  // namespace cheriot::analysis
 
 namespace cheriot::audit {
 
@@ -27,8 +40,13 @@ using PolicyValue =
 
 struct PolicyViolation {
   int line = 0;
-  std::string expression;
-  std::string reason;  // "evaluated to false" or a parse/eval error
+  std::string expression;  // the line with comments/whitespace stripped
+  std::string reason;      // "evaluated to false" or a parse/eval error
+  // Source attribution for multi-line documents: the original line text and
+  // the 1-based column of the token nearest the failure (0 when the line
+  // simply evaluated to false).
+  std::string source_line;
+  int column = 0;
 };
 
 class PolicyEngine {
@@ -62,10 +80,22 @@ class PolicyEngine {
   bool Calls(const std::string& caller, const std::string& target) const;
   bool HasErrorHandler(const std::string& compartment) const;
 
+  // --- Transitive queries (authority graph, src/analysis) ---
+  // `from` is a compartment name; `resource` is a graph node id — a bare
+  // name means a compartment, otherwise use "mmio:<dev>", "library:<name>",
+  // "sealing_key:<type>", "alloc_cap:<name>", "sealed_object:<name>".
+  bool Reachable(const std::string& from, const std::string& resource) const;
+  // Rendered shortest authority paths from every compartment that reaches
+  // the resource, e.g. "js_app -> NetAPI -> mmio:ethernet".
+  std::vector<std::string> PathsTo(const std::string& resource) const;
+
   const json::Value& report() const { return report_; }
+  // The lazily-built authority graph (shared with the linter).
+  const analysis::AuthorityGraph& Graph() const;
 
  private:
   json::Value report_;
+  mutable std::shared_ptr<analysis::AuthorityGraph> graph_;
 };
 
 }  // namespace cheriot::audit

@@ -1,8 +1,21 @@
 #include "src/audit/report.h"
 
+#include <algorithm>
+
 namespace cheriot::audit {
 
 namespace {
+
+// Array fields are sorted by their compact serialization so the report is
+// byte-stable across runs and loader refactors: signed reports and lint
+// baselines diff cleanly. (Objects are std::maps and already ordered.)
+json::Value SortedArray(json::Array arr) {
+  std::sort(arr.begin(), arr.end(),
+            [](const json::Value& a, const json::Value& b) {
+              return a.Dump(-1) < b.Dump(-1);
+            });
+  return json::Value(std::move(arr));
+}
 
 const char* PostureName(InterruptPosture p) {
   switch (p) {
@@ -87,6 +100,7 @@ json::Value ImportEntry(const BootInfo& boot, const CompartmentRuntime& rt,
 
 json::Value BuildReport(const BootInfo& boot) {
   json::Object root;
+  root["schema_version"] = kReportSchemaVersion;
   root["firmware"] = boot.image.name;
 
   json::Object heap;
@@ -103,12 +117,12 @@ json::Value BuildReport(const BootInfo& boot) {
     for (const auto& e : rt.def->exports) {
       exports.push_back(ExportEntry(e));
     }
-    c["exports"] = json::Value(std::move(exports));
+    c["exports"] = SortedArray(std::move(exports));
     json::Array imports;
     for (const auto& b : rt.imports) {
       imports.push_back(ImportEntry(boot, rt, b));
     }
-    c["imports"] = json::Value(std::move(imports));
+    c["imports"] = SortedArray(std::move(imports));
     if (rt.def->error_handler) {
       c["error_handler"] = true;
     }
@@ -124,7 +138,7 @@ json::Value BuildReport(const BootInfo& boot) {
     for (const auto& e : lib.def->exports) {
       exports.push_back(ExportEntry(e));
     }
-    l["exports"] = json::Value(std::move(exports));
+    l["exports"] = SortedArray(std::move(exports));
     libraries[lib.name] = json::Value(std::move(l));
   }
   root["libraries"] = json::Value(std::move(libraries));
@@ -136,10 +150,15 @@ json::Value BuildReport(const BootInfo& boot) {
     to["priority"] = static_cast<int64_t>(t.priority);
     to["stack_size"] = static_cast<int64_t>(t.stack_size);
     to["trusted_stack_frames"] = static_cast<int64_t>(t.max_frames);
-    to["entry_compartment"] = boot.compartments[t.entry_compartment].name;
+    const auto& entry_comp = boot.compartments[t.entry_compartment];
+    to["entry_compartment"] = entry_comp.name;
+    // The exact export the thread enters (schema v2): the linter's
+    // dead-export pass needs it, flat queries keep using entry_compartment.
+    to["entry"] =
+        entry_comp.name + "." + entry_comp.def->exports[t.entry_export].name;
     threads.push_back(json::Value(std::move(to)));
   }
-  root["threads"] = json::Value(std::move(threads));
+  root["threads"] = SortedArray(std::move(threads));
 
   json::Object types;
   for (const auto& [name, id] : boot.virtual_type_ids) {

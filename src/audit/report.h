@@ -14,6 +14,12 @@
 
 namespace cheriot::audit {
 
+// Report schema version. v2: adds this field, the per-thread "entry" export,
+// and deterministic sorting of every array field (exports, imports, threads)
+// so reports are byte-stable across runs — a prerequisite for signing
+// workflows and for diffing lint baselines.
+inline constexpr int kReportSchemaVersion = 2;
+
 // Builds the machine-readable report from the booted (or just loaded) image.
 json::Value BuildReport(const BootInfo& boot);
 

@@ -1,0 +1,429 @@
+// Tests for the static analyzer (DESIGN.md §7): authority-graph
+// construction, transitive reachability, the CL001..CL008 lint passes, and
+// the seeded confused-deputy acceptance check that flat per-row policy
+// queries cannot express.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/authority_graph.h"
+#include "src/analysis/lint.h"
+#include "src/audit/policy.h"
+#include "src/audit/report.h"
+#include "src/json/json.h"
+#include "src/rtos.h"
+
+namespace cheriot {
+namespace {
+
+using analysis::AuthorityGraph;
+using analysis::Finding;
+using analysis::LintOptions;
+
+EntryFn Nop() {
+  return [](CompartmentCtx&, const std::vector<Capability>&) {
+    return Capability();
+  };
+}
+
+json::Value ReportOf(const FirmwareImage& image) {
+  Machine machine;
+  auto boot = Loader::Load(machine, image);
+  return audit::BuildReport(*boot);
+}
+
+// The Fig. 4 HTTP-client image: NetAPI holds the NIC, http_client calls
+// NetAPI, compressor is standalone (clean) or calls NetAPI (backdoored).
+FirmwareImage HttpImage(bool backdoored) {
+  ImageBuilder b("http-firmware");
+  b.Compartment("NetAPI")
+      .CodeSize(4096)
+      .Export("network_socket_connect_tcp", Nop(), 512)
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true);
+  b.Compartment("http_client")
+      .CodeSize(8192)
+      .AllocCap("http_quota", 16 * 1024)
+      .ImportCompartment("NetAPI.network_socket_connect_tcp")
+      .Export("fetch", Nop(), 1024);
+  auto compressor = b.Compartment("compressor");
+  compressor.CodeSize(20 * 1024).Export("decompress", Nop(), 512);
+  if (backdoored) {
+    compressor.ImportCompartment("NetAPI.network_socket_connect_tcp");
+  }
+  b.Thread("main", 1, 2048, 4, "http_client.fetch");
+  return b.Build();
+}
+
+std::vector<Finding> FindingsForRule(const std::vector<Finding>& all,
+                                     const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : all) {
+    if (f.rule == rule) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+// --- Graph construction -----------------------------------------------------
+
+TEST(AuthorityGraph, NodesAndEdgesFromReport) {
+  const auto graph = AuthorityGraph::FromReport(ReportOf(HttpImage(false)));
+  const auto& nodes = graph.Nodes();
+  ASSERT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+  for (const char* expected :
+       {"compartment:NetAPI", "compartment:http_client",
+        "compartment:compressor", "mmio:ethernet", "alloc_cap:http_quota"}) {
+    EXPECT_TRUE(std::find(nodes.begin(), nodes.end(), expected) != nodes.end())
+        << expected;
+  }
+
+  bool call_edge = false, alloc_edge = false;
+  for (const auto& e : graph.EdgesFrom("compartment:http_client")) {
+    if (e.kind == "call" && e.to == "compartment:NetAPI") {
+      EXPECT_EQ(e.detail, "network_socket_connect_tcp");
+      call_edge = true;
+    }
+    if (e.kind == "alloc_cap" && e.to == "alloc_cap:http_quota") {
+      alloc_edge = true;
+    }
+  }
+  EXPECT_TRUE(call_edge);
+  EXPECT_TRUE(alloc_edge);
+
+  bool mmio_edge = false;
+  for (const auto& e : graph.EdgesFrom("compartment:NetAPI")) {
+    if (e.kind == "mmio" && e.to == "mmio:ethernet") {
+      EXPECT_TRUE(e.writeable);
+      mmio_edge = true;
+    }
+  }
+  EXPECT_TRUE(mmio_edge);
+
+  // Resources are sinks.
+  EXPECT_TRUE(graph.EdgesFrom("mmio:ethernet").empty());
+}
+
+TEST(AuthorityGraph, TransitiveReachabilityAndPaths) {
+  const auto graph = AuthorityGraph::FromReport(ReportOf(HttpImage(false)));
+  // Authority flows along the call edge: http_client can drive the NIC
+  // through NetAPI even though it never imports the MMIO region itself.
+  EXPECT_TRUE(graph.Reaches("compartment:http_client", "mmio:ethernet"));
+  EXPECT_FALSE(graph.Reaches("compartment:compressor", "mmio:ethernet"));
+  EXPECT_FALSE(graph.Reaches("mmio:ethernet", "compartment:NetAPI"));
+
+  const auto path =
+      graph.ShortestPath("compartment:http_client", "mmio:ethernet");
+  const std::vector<std::string> want = {"compartment:http_client",
+                                         "compartment:NetAPI",
+                                         "mmio:ethernet"};
+  EXPECT_EQ(path, want);
+  EXPECT_EQ(AuthorityGraph::RenderPath(path),
+            "http_client -> NetAPI -> mmio:ethernet");
+
+  const auto paths = graph.PathsTo("mmio:ethernet");
+  const std::vector<std::string> want_paths = {
+      "NetAPI -> mmio:ethernet",
+      "http_client -> NetAPI -> mmio:ethernet"};
+  EXPECT_EQ(paths, want_paths);
+}
+
+TEST(AuthorityGraph, CanonicalAndDisplayNames) {
+  EXPECT_EQ(AuthorityGraph::CanonicalId("js_app"), "compartment:js_app");
+  EXPECT_EQ(AuthorityGraph::CanonicalId("mmio:ethernet"), "mmio:ethernet");
+  EXPECT_EQ(AuthorityGraph::DisplayName("compartment:js_app"), "js_app");
+  EXPECT_EQ(AuthorityGraph::DisplayName("mmio:ethernet"), "mmio:ethernet");
+}
+
+// --- The seeded confused deputy (acceptance check) --------------------------
+//
+// js_app never imports the NIC; it reaches mmio:ethernet only through
+// NetAPI's exported API. Flat queries see nothing wrong: js_app is not an
+// importer of the MMIO region, and `calls(js_app, NetAPI)` alone cannot know
+// NetAPI holds the NIC. The authority graph composes the two hops.
+
+FirmwareImage ConfusedDeputyImage() {
+  ImageBuilder b("deputy");
+  b.Compartment("NetAPI")
+      .Export("network_socket_connect_tcp", Nop(), 512)
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true);
+  b.Compartment("js_app")
+      .ImportCompartment("NetAPI.network_socket_connect_tcp")
+      .Export("main", Nop());
+  b.Thread("main", 1, 4096, 8, "js_app.main");
+  return b.Build();
+}
+
+TEST(Lint, SeededConfusedDeputyDetectedWithFullPath) {
+  const json::Value report = ReportOf(ConfusedDeputyImage());
+
+  // The flat query is blind: only NetAPI imports the region.
+  audit::PolicyEngine engine(report);
+  const auto importers = engine.ImportersOfMmio("ethernet");
+  ASSERT_EQ(importers.size(), 1u);
+  EXPECT_EQ(importers[0], "NetAPI");
+
+  LintOptions options;
+  options.restricted_mmio = {"ethernet"};
+  const auto findings = analysis::RunLints(report, options);
+  const auto cl003 = FindingsForRule(findings, "CL003");
+  ASSERT_EQ(cl003.size(), 1u);
+  EXPECT_EQ(cl003[0].severity, "error");
+  EXPECT_EQ(cl003[0].subject, "js_app");
+  const std::vector<std::string> want_path = {
+      "compartment:js_app", "compartment:NetAPI", "mmio:ethernet"};
+  EXPECT_EQ(cl003[0].path, want_path);
+  EXPECT_NE(cl003[0].message.find("js_app -> NetAPI -> mmio:ethernet"),
+            std::string::npos);
+  // Error findings make the CLI exit nonzero.
+  EXPECT_TRUE(analysis::HasErrors(findings));
+
+  // Without the restriction the same path is an informational CL001.
+  const auto relaxed = analysis::RunLints(report, {});
+  EXPECT_TRUE(FindingsForRule(relaxed, "CL003").empty());
+  const auto cl001 = FindingsForRule(relaxed, "CL001");
+  ASSERT_EQ(cl001.size(), 1u);
+  EXPECT_EQ(cl001[0].severity, "info");
+  EXPECT_FALSE(analysis::HasErrors(relaxed));
+}
+
+TEST(Lint, SeededConfusedDeputyExpressibleInPolicyLanguage) {
+  // The same invariant as a declarative policy line, via the reachable()
+  // builtin — impossible with the flat functions alone.
+  audit::PolicyEngine engine(ReportOf(ConfusedDeputyImage()));
+  EXPECT_TRUE(
+      engine.CheckExpression("reachable(\"js_app\", \"mmio:ethernet\")"));
+  EXPECT_FALSE(
+      engine.CheckExpression("!reachable(\"js_app\", \"mmio:ethernet\")"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "contains(paths_to(\"mmio:ethernet\"), "
+      "\"js_app -> NetAPI -> mmio:ethernet\")"));
+}
+
+// --- Adversarial images ------------------------------------------------------
+
+TEST(Lint, CallCycleTerminatesAndIsFlagged) {
+  ImageBuilder b("cycle");
+  b.Compartment("a")
+      .Export("main", Nop())
+      .Export("ping", Nop())
+      .ImportCompartment("b.pong");
+  b.Compartment("b").Export("pong", Nop()).ImportCompartment("a.ping");
+  b.Thread("t", 1, 4096, 8, "a.main");
+  const json::Value report = ReportOf(b.Build());
+
+  // Reachability over the cycle terminates and closes the loop.
+  const auto graph = AuthorityGraph::FromReport(report);
+  EXPECT_TRUE(graph.Reaches("compartment:a", "compartment:b"));
+  EXPECT_TRUE(graph.Reaches("compartment:b", "compartment:a"));
+  EXPECT_TRUE(graph.Reaches("compartment:a", "compartment:a"));
+
+  const auto findings = analysis::RunLints(report, {});
+  const auto cl007 = FindingsForRule(findings, "CL007");
+  ASSERT_EQ(cl007.size(), 1u);
+  EXPECT_EQ(cl007[0].subject, "t");
+  EXPECT_NE(cl007[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(Lint, DuplicateMmioImportIsOneRedundantImportFinding) {
+  ImageBuilder b("dup-mmio");
+  b.Compartment("driver")
+      .Export("main", Nop())
+      .ImportMmio("led", kLedMmioBase, kMmioRegionSize, true)
+      .ImportMmio("led", kLedMmioBase, kMmioRegionSize, true);
+  b.Thread("t", 1, 1024, 4, "driver.main");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  const auto cl006 = FindingsForRule(findings, "CL006");
+  ASSERT_EQ(cl006.size(), 1u);
+  EXPECT_EQ(cl006[0].severity, "warning");
+  EXPECT_EQ(cl006[0].subject, "driver");
+  EXPECT_EQ(cl006[0].message,
+            "driver declares the same import 2 times: mmio led");
+  EXPECT_EQ(analysis::FixSuggestion(cl006[0]),
+            "remove duplicate: ImageBuilder.Compartment(\"driver\")"
+            ".ImportMmio(\"led\", ...)");
+}
+
+TEST(Lint, DeadExportFlaggedButThreadEntryIsNot) {
+  ImageBuilder b("dead");
+  b.Compartment("x").Export("main", Nop()).Export("orphan", Nop());
+  b.Thread("t", 1, 1024, 4, "x.main");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  const auto cl005 = FindingsForRule(findings, "CL005");
+  ASSERT_EQ(cl005.size(), 1u);
+  EXPECT_EQ(cl005[0].subject, "x.orphan");
+  EXPECT_EQ(analysis::FixSuggestion(cl005[0]),
+            "remove dead export: ImageBuilder.Compartment(\"x\")"
+            ".Export(\"orphan\", ...)");
+}
+
+TEST(Lint, DuplicateExportIsAnError) {
+  // ImageBuilder itself refuses duplicate exports, but the linter audits
+  // report documents from any toolchain — including a compromised one.
+  const json::Value report = json::Parse(R"({
+    "firmware": "dup-export",
+    "heap": {"start": 0, "size": 4096},
+    "compartments": {
+      "x": {"imports": [],
+            "exports": [
+              {"function": "main", "minimum_stack": 256},
+              {"function": "go", "minimum_stack": 256},
+              {"function": "go", "minimum_stack": 512}]}
+    },
+    "threads": [{"name": "t", "entry_compartment": "x", "entry": "x.main",
+                 "stack_size": 1024, "trusted_stack_frames": 4}]
+  })");
+  const auto findings = analysis::RunLints(report, {});
+  const auto cl008 = FindingsForRule(findings, "CL008");
+  ASSERT_EQ(cl008.size(), 1u);
+  EXPECT_EQ(cl008[0].severity, "error");
+  EXPECT_EQ(cl008[0].subject, "x.go");
+  EXPECT_TRUE(analysis::HasErrors(findings));
+}
+
+TEST(Lint, StackDepthBoundsCheckedAgainstCallGraph) {
+  ImageBuilder b("deep");
+  b.Compartment("a")
+      .Export("main", Nop(), 256)
+      .ImportCompartment("b.f");
+  b.Compartment("b").Export("f", Nop(), 512).ImportCompartment("c.g");
+  b.Compartment("c").Export("g", Nop(), 512);
+  // 2 trusted-stack frames for a 3-deep chain; 1024 B stack for a chain
+  // demanding 256 + 512 + 512 = 1280 B.
+  b.Thread("t", 1, 1024, 2, "a.main");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  const auto cl007 = FindingsForRule(findings, "CL007");
+  ASSERT_EQ(cl007.size(), 2u);
+  EXPECT_NE(cl007[0].message.find("3 compartments deep"), std::string::npos);
+  EXPECT_NE(cl007[1].message.find("1280 B of minimum stack"),
+            std::string::npos);
+}
+
+// --- Rules driven by hand-crafted reports ------------------------------------
+// The linter accepts any report JSON (e.g. loaded from disk), including
+// minimal or truncated ones.
+
+TEST(Lint, QuotaOvercommitWarningAndInfeasibleQuotaError) {
+  const json::Value report = json::Parse(R"({
+    "firmware": "synthetic",
+    "heap": {"start": 0, "size": 1000},
+    "compartments": {
+      "a": {"imports": [
+        {"kind": "allocation_capability", "name": "qa", "quota": 600}],
+        "exports": []},
+      "b": {"imports": [
+        {"kind": "allocation_capability", "name": "qb", "quota": 600}],
+        "exports": []}
+    },
+    "threads": []
+  })");
+  const auto findings = analysis::RunLints(report, {});
+  const auto cl004 = FindingsForRule(findings, "CL004");
+  ASSERT_EQ(cl004.size(), 1u);  // overcommit warning; no single-quota error
+  EXPECT_EQ(cl004[0].severity, "warning");
+  EXPECT_NE(cl004[0].message.find("sum to 1200 B against a 1000 B heap"),
+            std::string::npos);
+
+  const json::Value infeasible = json::Parse(R"({
+    "firmware": "synthetic",
+    "heap": {"start": 0, "size": 1000},
+    "compartments": {
+      "a": {"imports": [
+        {"kind": "allocation_capability", "name": "qa", "quota": 2000}],
+        "exports": []}
+    },
+    "threads": []
+  })");
+  const auto bad = FindingsForRule(analysis::RunLints(infeasible, {}), "CL004");
+  ASSERT_EQ(bad.size(), 2u);  // the error plus the implied overcommit warning
+  EXPECT_EQ(bad[0].severity, "error");
+  EXPECT_EQ(bad[0].subject, "a.qa");
+  EXPECT_TRUE(analysis::HasErrors(bad));
+}
+
+TEST(Lint, SealingKeyHeldByTwoCompartmentsIsAnError) {
+  ImageBuilder b("keys");
+  b.Compartment("owner")
+      .Export("main", Nop())
+      .OwnSealingType("conn_key");
+  b.Compartment("thief").Export("x", Nop()).OwnSealingType("conn_key");
+  b.Compartment("user").ImportCompartment("thief.x").Export("y", Nop());
+  b.Thread("t", 1, 1024, 4, "owner.main");
+  b.Thread("u", 1, 1024, 4, "user.y");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  const auto cl002 = FindingsForRule(findings, "CL002");
+  ASSERT_EQ(cl002.size(), 1u);
+  EXPECT_EQ(cl002[0].severity, "error");
+  EXPECT_EQ(cl002[0].subject, "sealing_key:conn_key");
+  EXPECT_NE(cl002[0].message.find("owner"), std::string::npos);
+  EXPECT_NE(cl002[0].message.find("thief"), std::string::npos);
+}
+
+TEST(Lint, EmptyReportProducesNoFindings) {
+  EXPECT_TRUE(analysis::RunLints(json::Parse("{}"), {}).empty());
+}
+
+// --- Output formats ----------------------------------------------------------
+
+TEST(Lint, FindingsJsonIsByteStableAndVersioned) {
+  LintOptions options;
+  options.restricted_mmio = {"ethernet"};
+  const json::Value r1 = ReportOf(HttpImage(true));
+  const json::Value r2 = ReportOf(HttpImage(true));
+  const std::string d1 =
+      analysis::FindingsToJson(r1, analysis::RunLints(r1, options)).Dump(2);
+  const std::string d2 =
+      analysis::FindingsToJson(r2, analysis::RunLints(r2, options)).Dump(2);
+  EXPECT_EQ(d1, d2);
+
+  const json::Value doc = json::Parse(d1);
+  EXPECT_EQ(doc["schema_version"].AsInt(), 1);
+  EXPECT_EQ(doc["image"].AsString(), "http-firmware");
+  // Backdoored + restricted NIC: compressor and http_client both reach the
+  // region transitively -> two CL003 errors, sorted first.
+  EXPECT_EQ(doc["counts"]["error"].AsInt(), 2);
+  EXPECT_EQ(doc["findings"][0]["rule"].AsString(), "CL003");
+  EXPECT_EQ(doc["findings"][0]["subject"].AsString(), "compressor");
+  EXPECT_EQ(doc["findings"][0]["path"][0].AsString(),
+            "compartment:compressor");
+}
+
+TEST(Lint, TextOutputNamesRuleAndPath) {
+  LintOptions options;
+  options.restricted_mmio = {"ethernet"};
+  const json::Value report = ReportOf(ConfusedDeputyImage());
+  const std::string text =
+      analysis::FindingsToText(report, analysis::RunLints(report, options));
+  EXPECT_NE(text.find("[error] CL003 confused-deputy-path"),
+            std::string::npos);
+  EXPECT_NE(text.find("path: js_app -> NetAPI -> mmio:ethernet"),
+            std::string::npos);
+}
+
+TEST(Lint, FindingsAreSortedBySeverityThenRule) {
+  ImageBuilder b("sorted");
+  b.Compartment("NetAPI")
+      .Export("connect", Nop())
+      .ImportMmio("ethernet", kEthernetMmioBase, kMmioRegionSize, true);
+  b.Compartment("x")
+      .Export("main", Nop())
+      .Export("orphan", Nop())  // CL005 warning
+      .ImportCompartment("NetAPI.connect")  // CL003 error (restricted NIC)
+      .ImportMmio("led", kLedMmioBase, kMmioRegionSize, true)
+      .ImportMmio("led", kLedMmioBase, kMmioRegionSize, true);  // CL006
+  b.Thread("t", 1, 1024, 4, "x.main");
+  LintOptions options;
+  options.restricted_mmio = {"ethernet"};
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), options);
+  ASSERT_GE(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "CL003");  // errors first
+  for (size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].severity == "error" ? 0
+              : findings[i - 1].severity == "warning" ? 1 : 2,
+              findings[i].severity == "error" ? 0
+              : findings[i].severity == "warning" ? 1 : 2);
+  }
+}
+
+}  // namespace
+}  // namespace cheriot

@@ -3,6 +3,10 @@
 // case study.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "src/audit/policy.h"
 #include "src/audit/report.h"
 #include "src/json/json.h"
@@ -147,6 +151,126 @@ TEST_F(AuditTest, PolicyLanguageOperators) {
   EXPECT_THROW(engine.Eval("undefined_fn()"), std::runtime_error);
   EXPECT_THROW(engine.Eval("1 +"), std::runtime_error);
   EXPECT_THROW(engine.Eval("count(1)"), std::runtime_error);
+}
+
+TEST_F(AuditTest, TransitiveReachabilityBuiltins) {
+  // reachable()/paths_to() close over the authority graph: http_client holds
+  // no MMIO import, yet it reaches the NIC through NetAPI's export — the
+  // confused-deputy relation flat queries cannot express.
+  audit::PolicyEngine clean(ReportFor(false));
+  EXPECT_TRUE(clean.CheckExpression(
+      "reachable(\"http_client\", \"mmio:ethernet\")"));
+  EXPECT_TRUE(clean.CheckExpression(
+      "!reachable(\"compressor\", \"mmio:ethernet\")"));
+  EXPECT_TRUE(clean.CheckExpression(
+      "contains(paths_to(\"mmio:ethernet\"), "
+      "\"http_client -> NetAPI -> mmio:ethernet\")"));
+  EXPECT_TRUE(clean.CheckExpression("count(paths_to(\"mmio:ethernet\")) == 2"));
+
+  // The backdoored compressor reaches the NIC; the same one-line policy
+  // that passed above now fails.
+  audit::PolicyEngine bad(ReportFor(true));
+  EXPECT_FALSE(bad.CheckExpression(
+      "!reachable(\"compressor\", \"mmio:ethernet\")"));
+  EXPECT_TRUE(bad.Reachable("compressor", "mmio:ethernet"));
+}
+
+TEST_F(AuditTest, PolicySetOperations) {
+  audit::PolicyEngine engine(ReportFor(false));
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(union(compartments_calling(\"NetAPI.network_socket_connect_tcp\"),"
+      " importers_of_mmio(\"ethernet\"))) == 2"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(intersect(compartments(), importers_of_mmio(\"ethernet\"))) == 1"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(difference(compartments(), importers_of_mmio(\"ethernet\"))) == 2"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "contains(difference(compartments(), importers_of_mmio(\"ethernet\")), "
+      "\"compressor\")"));
+  // union deduplicates.
+  EXPECT_TRUE(engine.CheckExpression(
+      "count(union(compartments(), compartments())) == count(compartments())"));
+}
+
+TEST_F(AuditTest, PolicyQuantifiers) {
+  audit::PolicyEngine engine(ReportFor(false));
+  EXPECT_TRUE(engine.CheckExpression(
+      "forall(c, compartments(), code_size(c) > 0)"));
+  EXPECT_TRUE(engine.CheckExpression(
+      "exists(c, compartments(), calls(c, \"NetAPI\"))"));
+  EXPECT_FALSE(engine.CheckExpression(
+      "forall(c, compartments(), calls(c, \"NetAPI\"))"));
+  // The bound variable composes with the graph builtins.
+  EXPECT_TRUE(engine.CheckExpression(
+      "forall(c, importers_of_mmio(\"ethernet\"), "
+      "reachable(c, \"mmio:ethernet\"))"));
+  // Quantifiers over an empty domain: forall is vacuously true, exists false.
+  EXPECT_TRUE(engine.CheckExpression(
+      "forall(c, importers_of_mmio(\"nope\"), false)"));
+  EXPECT_FALSE(engine.CheckExpression(
+      "exists(c, importers_of_mmio(\"nope\"), true)"));
+  // Malformed quantifiers are parse errors, not crashes.
+  EXPECT_THROW(engine.Eval("forall(c, compartments())"), std::runtime_error);
+  EXPECT_THROW(engine.Eval("exists(, compartments(), true)"),
+               std::runtime_error);
+}
+
+TEST_F(AuditTest, ParseErrorsCarryLineColumnAndSourceText) {
+  audit::PolicyEngine engine(ReportFor(false));
+  // A 10-line policy document with one malformed line.
+  const std::string policy =
+      "# integration policy (10 lines)\n"
+      "count(compartments()) == 3\n"
+      "forall(c, compartments(), code_size(c) > 0)\n"
+      "  1 + + 2\n"
+      "!reachable(\"compressor\", \"mmio:ethernet\")\n"
+      "exists(c, compartments(), calls(c, \"NetAPI\"))\n"
+      "# heap accounting\n"
+      "allocation_quota_sum() <= heap_size()\n"
+      "contains(paths_to(\"mmio:ethernet\"), "
+      "\"http_client -> NetAPI -> mmio:ethernet\")\n"
+      "count(importers_of_mmio(\"ethernet\")) == 1\n";
+  const auto violations = engine.CheckDocument(policy);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].line, 4);
+  EXPECT_EQ(violations[0].source_line, "  1 + + 2");
+  // Column points at the stray '+' in the original line, 1-based.
+  EXPECT_EQ(violations[0].column, 7);
+  EXPECT_NE(violations[0].reason.find("policy error"), std::string::npos);
+  // Failing-but-well-formed lines report no column.
+  const auto false_line = engine.CheckDocument("1 == 2\n");
+  ASSERT_EQ(false_line.size(), 1u);
+  EXPECT_EQ(false_line[0].column, 0);
+  EXPECT_EQ(false_line[0].source_line, "1 == 2");
+}
+
+TEST_F(AuditTest, ReportIsVersionedAndByteStable) {
+  const json::Value report = ReportFor(false);
+  EXPECT_EQ(report["schema_version"].AsInt(), audit::kReportSchemaVersion);
+  // Two independent loads serialize identically, byte for byte.
+  EXPECT_EQ(report.Dump(2), ReportFor(false).Dump(2));
+  // The v2 thread entry names the exact export.
+  EXPECT_EQ(report["threads"][0]["entry"].AsString(), "http_client.fetch");
+}
+
+TEST_F(AuditTest, ReportMatchesGoldenFile) {
+  // Pins the v2 report schema. If this fails after an intentional schema
+  // change, bump audit::kReportSchemaVersion and regenerate with
+  //   UPDATE_GOLDEN=1 ./audit_test --gtest_filter='*GoldenFile*'
+  const std::string text = ReportFor(false).Dump(2) + "\n";
+  const std::string path =
+      std::string(CHERIOT_TEST_SRCDIR) + "/golden/audit_report_v2.json";
+  if (const char* update = std::getenv("UPDATE_GOLDEN");
+      update != nullptr && *update != '\0') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << path;
+    out << text;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), text);
 }
 
 TEST_F(AuditTest, SealingTypeOwnershipQuery) {

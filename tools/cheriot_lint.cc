@@ -1,0 +1,350 @@
+// cheriot_lint: pre-boot static analysis over firmware audit reports.
+//
+// Loads one or more firmware images (or a report JSON from disk), builds the
+// authority graph and runs the CL001..CL008 lint passes. Findings can be
+// diffed against checked-in baselines so CI fails only on regressions:
+// error-level findings always fail; warnings/info not present in the
+// baseline are printed as NEW but do not fail the build.
+//
+// Exit codes: 0 clean (or only baselined/new non-error findings),
+//             1 error-level findings present,
+//             2 usage or load failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/audit/report.h"
+#include "src/json/json.h"
+#include "src/kernel/system.h"
+#include "src/rtos.h"
+#include "tools/lint_targets.h"
+
+using namespace cheriot;
+using cheriot::tools::FindLintTarget;
+using cheriot::tools::LintTargets;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> targets;
+  std::vector<std::string> report_files;
+  bool all = false;
+  bool list = false;
+  bool json_format = false;
+  bool fix_suggestions = false;
+  bool update_baselines = false;
+  std::string baseline_file;  // single-image baseline
+  std::string baseline_dir;   // per-image baselines: DIR/<name>.json
+  analysis::LintOptions lint;
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cheriot_lint [--all | --target=NAME[,NAME...] |"
+               " --report=FILE]\n"
+               "                    [options]\n"
+               "\n"
+               "  --list-targets        list the built-in firmware images\n"
+               "  --all                 lint every built-in image\n"
+               "  --target=NAME         lint one built-in image (repeatable)\n"
+               "  --report=FILE         lint an audit-report JSON from disk\n"
+               "  --format=text|json    output format (default text)\n"
+               "  --restrict-mmio=A,B   devices only direct importers may\n"
+               "                        reach; transitive paths are CL003\n"
+               "  --baseline=FILE       known-findings baseline (one image)\n"
+               "  --baseline-dir=DIR    per-image baselines, DIR/<name>.json\n"
+               "  --update-baselines    rewrite DIR/<name>.json instead of\n"
+               "                        checking (requires --baseline-dir)\n"
+               "  --fix-suggestions     print the exact ImageBuilder call to\n"
+               "                        delete for fixable findings\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Identity of a finding for baseline matching. The path is deliberately not
+// part of the key: a refactor that reroutes an authority path but keeps the
+// same finding should not churn baselines.
+std::string FindingKey(const std::string& rule, const std::string& subject,
+                       const std::string& message) {
+  return rule + "\x1f" + subject + "\x1f" + message;
+}
+
+std::set<std::string> LoadBaseline(const std::string& path, bool* ok) {
+  std::set<std::string> keys;
+  std::string text;
+  *ok = ReadFile(path, &text);
+  if (!*ok) {
+    return keys;
+  }
+  try {
+    const json::Value doc = json::Parse(text);
+    const json::Value& findings = doc["findings"];
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const json::Value& f = findings[i];
+      keys.insert(FindingKey(f["rule"].AsString(), f["subject"].AsString(),
+                             f["message"].AsString()));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cheriot_lint: bad baseline %s: %s\n", path.c_str(),
+                 e.what());
+    *ok = false;
+  }
+  return keys;
+}
+
+struct ImageResult {
+  std::string name;
+  std::vector<analysis::Finding> findings;
+  json::Value json;        // FindingsToJson document
+  bool has_errors = false;
+  int new_findings = 0;    // non-baselined, when a baseline was loaded
+};
+
+// Boots the image far enough to produce the linker report. Boot() runs the
+// loader and TCB init only — no guest code executes.
+json::Value ReportForTarget(const tools::LintTarget& target) {
+  Machine machine;
+  System sys(machine, target.build());
+  sys.Boot();
+  return audit::BuildReport(sys.boot());
+}
+
+ImageResult LintOne(const std::string& name, const json::Value& report,
+                    const CliOptions& opts) {
+  ImageResult r;
+  r.name = name;
+  r.findings = analysis::RunLints(report, opts.lint);
+  r.json = analysis::FindingsToJson(report, r.findings);
+  r.has_errors = analysis::HasErrors(r.findings);
+  return r;
+}
+
+void PrintText(const ImageResult& r, const std::set<std::string>* baseline,
+               const CliOptions& opts) {
+  std::printf("== %s: %zu finding%s ==\n", r.name.c_str(), r.findings.size(),
+              r.findings.size() == 1 ? "" : "s");
+  for (const auto& f : r.findings) {
+    const bool is_new =
+        baseline != nullptr &&
+        baseline->count(FindingKey(f.rule, f.subject, f.message)) == 0;
+    std::printf("%s", is_new ? "NEW " : "");
+    std::printf("[%s] %s %s: %s\n", f.severity.c_str(), f.rule.c_str(),
+                f.name.c_str(), f.message.c_str());
+    if (!f.path.empty()) {
+      std::printf("        path: %s\n",
+                  analysis::AuthorityGraph::RenderPath(f.path).c_str());
+    }
+    if (opts.fix_suggestions && !f.fix.empty()) {
+      std::printf("        fix: %s\n", analysis::FixSuggestion(f).c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-targets") {
+      opts.list = true;
+    } else if (arg == "--all") {
+      opts.all = true;
+    } else if (arg == "--fix-suggestions") {
+      opts.fix_suggestions = true;
+    } else if (arg == "--update-baselines") {
+      opts.update_baselines = true;
+    } else if (const char* v = value("--target=")) {
+      for (auto& t : SplitCsv(v)) {
+        opts.targets.push_back(t);
+      }
+    } else if (const char* v = value("--report=")) {
+      opts.report_files.push_back(v);
+    } else if (const char* v = value("--format=")) {
+      if (std::string(v) == "json") {
+        opts.json_format = true;
+      } else if (std::string(v) != "text") {
+        std::fprintf(stderr, "cheriot_lint: unknown format %s\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--restrict-mmio=")) {
+      for (auto& d : SplitCsv(v)) {
+        opts.lint.restricted_mmio.push_back(d);
+      }
+    } else if (const char* v = value("--baseline=")) {
+      opts.baseline_file = v;
+    } else if (const char* v = value("--baseline-dir=")) {
+      opts.baseline_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "cheriot_lint: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  if (opts.list) {
+    for (const auto& t : LintTargets()) {
+      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+  }
+  if (opts.all) {
+    for (const auto& t : LintTargets()) {
+      opts.targets.push_back(t.name);
+    }
+  }
+  if (opts.targets.empty() && opts.report_files.empty()) {
+    Usage(stderr);
+    return 2;
+  }
+  if (opts.update_baselines && opts.baseline_dir.empty()) {
+    std::fprintf(stderr,
+                 "cheriot_lint: --update-baselines requires --baseline-dir\n");
+    return 2;
+  }
+  if (!opts.baseline_file.empty() &&
+      opts.targets.size() + opts.report_files.size() > 1) {
+    std::fprintf(stderr,
+                 "cheriot_lint: --baseline applies to a single image; use "
+                 "--baseline-dir\n");
+    return 2;
+  }
+
+  // Gather (name, report) pairs.
+  std::vector<std::pair<std::string, json::Value>> reports;
+  for (const auto& name : opts.targets) {
+    const tools::LintTarget* t = FindLintTarget(name);
+    if (t == nullptr) {
+      std::fprintf(stderr,
+                   "cheriot_lint: unknown target '%s' (--list-targets)\n",
+                   name.c_str());
+      return 2;
+    }
+    try {
+      reports.emplace_back(name, ReportForTarget(*t));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_lint: failed to load %s: %s\n",
+                   name.c_str(), e.what());
+      return 2;
+    }
+  }
+  for (const auto& file : opts.report_files) {
+    std::string text;
+    if (!ReadFile(file, &text)) {
+      std::fprintf(stderr, "cheriot_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    try {
+      json::Value report = json::Parse(text);
+      std::string name = report["firmware"].is_null()
+                             ? file
+                             : report["firmware"].AsString();
+      reports.emplace_back(std::move(name), std::move(report));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_lint: bad report %s: %s\n", file.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+
+  bool any_errors = false;
+  int total_new = 0;
+  json::Array all_json;
+  for (const auto& [name, report] : reports) {
+    ImageResult r = LintOne(name, report, opts);
+
+    if (opts.update_baselines) {
+      const std::string path = opts.baseline_dir + "/" + name + ".json";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "cheriot_lint: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out << r.json.Dump(2) << "\n";
+      std::fprintf(stderr, "wrote %s (%zu findings)\n", path.c_str(),
+                   r.findings.size());
+      any_errors = any_errors || r.has_errors;
+      continue;
+    }
+
+    std::set<std::string> baseline;
+    bool have_baseline = false;
+    std::string baseline_path = opts.baseline_file;
+    if (baseline_path.empty() && !opts.baseline_dir.empty()) {
+      baseline_path = opts.baseline_dir + "/" + name + ".json";
+    }
+    if (!baseline_path.empty()) {
+      baseline = LoadBaseline(baseline_path, &have_baseline);
+      if (!have_baseline) {
+        std::fprintf(stderr, "cheriot_lint: missing baseline %s\n",
+                     baseline_path.c_str());
+        return 2;
+      }
+    }
+    for (const auto& f : r.findings) {
+      if (have_baseline &&
+          baseline.count(FindingKey(f.rule, f.subject, f.message)) == 0) {
+        ++r.new_findings;
+      }
+    }
+
+    if (opts.json_format) {
+      all_json.push_back(r.json);
+    } else {
+      PrintText(r, have_baseline ? &baseline : nullptr, opts);
+    }
+    any_errors = any_errors || r.has_errors;
+    total_new += r.new_findings;
+  }
+
+  if (opts.update_baselines) {
+    return any_errors ? 1 : 0;
+  }
+  if (opts.json_format) {
+    // One document per image keeps single-image output stable; --all wraps
+    // the documents in an array.
+    if (all_json.size() == 1) {
+      std::printf("%s\n", all_json[0].Dump(2).c_str());
+    } else {
+      std::printf("%s\n", json::Value(std::move(all_json)).Dump(2).c_str());
+    }
+  }
+  if (total_new > 0) {
+    std::fprintf(stderr, "cheriot_lint: %d finding%s not in baseline\n",
+                 total_new, total_new == 1 ? "" : "s");
+  }
+  return any_errors ? 1 : 0;
+}

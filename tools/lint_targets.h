@@ -1,0 +1,31 @@
+// The registry of firmware images cheriot_lint can analyze: every example
+// and test image shipped in the repo, rebuilt structure-only (entry points
+// are no-ops; the linter never runs guest code). Keeping the registry next
+// to the CLI means "lint every image we ship" is one --all invocation, which
+// is exactly what the CI lint gate runs.
+#ifndef TOOLS_LINT_TARGETS_H_
+#define TOOLS_LINT_TARGETS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/firmware/image.h"
+
+namespace cheriot::tools {
+
+struct LintTarget {
+  std::string name;         // CLI name, e.g. "iot-mqtt-app"
+  std::string description;  // one line for --list-targets
+  std::function<FirmwareImage()> build;
+};
+
+// All shipped images, sorted by name.
+const std::vector<LintTarget>& LintTargets();
+
+// nullptr when unknown.
+const LintTarget* FindLintTarget(const std::string& name);
+
+}  // namespace cheriot::tools
+
+#endif  // TOOLS_LINT_TARGETS_H_
