@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/provenance.h"
 #include "src/base/costs.h"
 #include "src/sim/fleet.h"
 #include "src/sim/fleet_app.h"
@@ -147,7 +148,8 @@ int main(int argc, char** argv) {
                  std::strerror(errno));
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"fleet_scale\",\n");
+  std::fprintf(f, "{\n%s", bench::ProvenanceJson().c_str());
+  std::fprintf(f, "  \"bench\": \"fleet_scale\",\n");
   std::fprintf(f,
                "  \"unit\": \"aggregate simulated cycles per host second\",\n");
   std::fprintf(f, "  \"boards\": %d,\n", kBoards);

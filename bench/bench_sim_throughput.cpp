@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/provenance.h"
 #include "src/rtos.h"
 
 namespace cheriot {
@@ -387,7 +388,8 @@ int main(int argc, char** argv) {
                  std::strerror(errno));
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n");
+  std::fprintf(f, "{\n%s", bench::ProvenanceJson().c_str());
+  std::fprintf(f, "  \"bench\": \"sim_throughput\",\n");
   std::fprintf(f, "  \"unit\": \"simulated accesses per host second\",\n");
   for (const Result& r : results) {
     std::fprintf(f, "  \"%s_per_sec\": %.0f,\n", r.name.c_str(), r.per_sec());

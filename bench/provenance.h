@@ -1,0 +1,74 @@
+// Shared provenance stamp for every BENCH_*.json this repo checks in.
+//
+// A benchmark number without its commit, build type and capture time is
+// unreviewable — it cannot be regenerated or compared against a later run.
+// Every bench that writes a BENCH_*.json emits ProvenanceJson() right after
+// the opening brace so the stamp appears uniformly as:
+//
+//   "provenance": {
+//     "build_type": "Release",
+//     "generated_utc": "2026-08-06T12:34:56Z",
+//     "git_sha": "abc123..."
+//   },
+#ifndef BENCH_PROVENANCE_H_
+#define BENCH_PROVENANCE_H_
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+namespace cheriot::bench {
+
+inline std::string GitSha() {
+#ifdef CHERIOT_BENCH_SRCDIR
+  const std::string cmd =
+      "git -C \"" CHERIOT_BENCH_SRCDIR "\" rev-parse HEAD 2>/dev/null";
+  if (FILE* p = ::popen(cmd.c_str(), "r")) {
+    char buf[64] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, p);
+    ::pclose(p);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+    if (sha.size() == 40 &&
+        sha.find_first_not_of("0123456789abcdef") == std::string::npos) {
+      return sha;
+    }
+  }
+#endif
+  return "unknown";
+}
+
+inline std::string BuildType() {
+#ifdef CHERIOT_BUILD_TYPE
+  const std::string type = CHERIOT_BUILD_TYPE;
+  return type.empty() ? "unspecified" : type;
+#else
+  return "unspecified";
+#endif
+}
+
+inline std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+// The "provenance" member, ready to fprintf immediately after the document's
+// opening "{\n" (keys sorted, two-space indent, trailing comma).
+inline std::string ProvenanceJson() {
+  std::string out = "  \"provenance\": {\n";
+  out += "    \"build_type\": \"" + BuildType() + "\",\n";
+  out += "    \"generated_utc\": \"" + UtcTimestamp() + "\",\n";
+  out += "    \"git_sha\": \"" + GitSha() + "\"\n";
+  out += "  },\n";
+  return out;
+}
+
+}  // namespace cheriot::bench
+
+#endif  // BENCH_PROVENANCE_H_

@@ -6,6 +6,7 @@
 #include "src/base/log.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
+#include "src/trace/trace.h"
 
 namespace cheriot {
 
@@ -95,6 +96,13 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
   const Word limit = QuotaLimit(unsealed_q);
   const Word used = QuotaUsed(unsealed_q);
   if (used + need > limit) {
+    if (auto* tr = m.trace()) {
+      // RawLoadWord, not QuotaId(): the trace path must not add costed
+      // accesses or the cycle model would move when tracing is on.
+      tr->OnQuotaExhausted(system_->current_thread_id(), ctx.compartment(),
+                           m.memory().RawLoadWord(unsealed_q.base() + 12),
+                           need);
+    }
     return StatusCap(Status::kNoMemory);
   }
 
@@ -144,6 +152,10 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
       WriteHeader(chunk, h);
       used_.insert(chunk);
       SetQuotaUsed(unsealed_q, QuotaUsed(unsealed_q) + h.size);
+      if (auto* tr = m.trace()) {
+        tr->OnHeapAlloc(system_->current_thread_id(), ctx.compartment(),
+                        h.quota, h.size);
+      }
       // Freed memory was zeroed in free(); exclusive allocator access
       // guarantees the zeros persisted (§3.1.3 "Zeroing").
       return MakeHeapCap(PayloadOf(chunk), payload_size);
@@ -190,6 +202,15 @@ void Allocator::ReleaseChunk(Address chunk, const Header& header) {
   WriteHeader(chunk, h);
   used_.erase(chunk);
   quarantine_.push_back(chunk);
+  if (auto* tr = m.trace()) {
+    // ReleaseChunk is reached from heap_free, heap_free_all, micro-reboot
+    // and deferred ephemeral-claim releases; the compartment attributed is
+    // whichever one the current thread is executing (or -1 from the kernel).
+    const int thread = system_->current_thread_id();
+    const int comp =
+        thread >= 0 ? system_->threads()[thread].current_compartment : -1;
+    tr->OnHeapFree(thread, comp, header.quota, header.size);
+  }
   system_->machine().revoker().StartSweep();
 }
 

@@ -18,6 +18,10 @@
 
 namespace cheriot {
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 struct MachineConfig {
   Address sram_base = 0x20000000;
   Address sram_size = 256 * 1024;  // evaluation board SRAM (§5.3)
@@ -57,6 +61,16 @@ class Machine {
     next_event_sources_.push_back(std::move(fn));
   }
 
+  // Flight recorder (src/trace). Null when tracing is off — every emit site
+  // is a raw-pointer null check, so the off path costs one predictable
+  // branch. Set via trace::Attach(); also published to devices that emit
+  // events of their own (revoker).
+  trace::TraceRecorder* trace() const { return trace_; }
+  void set_trace(trace::TraceRecorder* recorder) {
+    trace_ = recorder;
+    revoker_.set_trace(recorder);
+  }
+
   // True if any hardware activity is scheduled for the future (armed timer,
   // in-flight revocation sweep, pending world events).
   bool HasFutureEvent() const;
@@ -74,6 +88,7 @@ class Machine {
   Revoker revoker_;
   EthernetDevice ethernet_;
   EntropySource entropy_;
+  trace::TraceRecorder* trace_ = nullptr;
   std::vector<NextEventFn> next_event_sources_;
 };
 

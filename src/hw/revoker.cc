@@ -1,6 +1,7 @@
 #include "src/hw/revoker.h"
 
 #include "src/base/costs.h"
+#include "src/trace/trace.h"
 
 namespace cheriot {
 
@@ -38,6 +39,9 @@ void Revoker::StartSweep() {
   sweeping_ = true;
   next_granule_ = 0;
   budget_ = 0;
+  if (trace_ != nullptr) {
+    trace_->OnSweepBegin(epoch_);
+  }
 }
 
 Cycles Revoker::CyclesUntilDone() const {
@@ -85,6 +89,9 @@ void Revoker::AdvanceSweep(Cycles delta) {
   if (next_granule_ >= total) {
     ++epoch_;
     sweeping_ = false;
+    if (trace_ != nullptr) {
+      trace_->OnSweepEnd(epoch_, total);
+    }
     if (irq_requested_) {
       irqs_->Raise(IrqLine::kRevoker);
       irq_requested_ = false;

@@ -13,6 +13,10 @@
 
 namespace cheriot {
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 class Revoker {
  public:
   Revoker(Memory* memory, InterruptController* irqs)
@@ -45,11 +49,16 @@ class Revoker {
   // loop's time-skip.
   Cycles CyclesUntilDone() const;
 
+  // Published by Machine::set_trace; sweep begin/end events are emitted from
+  // here because only the revoker knows when a sweep actually completes.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   void AdvanceSweep(Cycles delta);
 
   Memory* memory_;
   InterruptController* irqs_;
+  trace::TraceRecorder* trace_ = nullptr;
   bool sweeping_ = false;
   bool restart_requested_ = false;
   bool irq_requested_ = false;

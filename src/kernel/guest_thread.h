@@ -72,6 +72,10 @@ class GuestThread {
   // --- Accounting ---
   Cycles run_cycles = 0;
   uint32_t compartment_calls = 0;
+  // Deepest stack use ever reached, in bytes. Unlike high_water (which the
+  // switcher resets when it zeroes the dirty region), this is monotonic over
+  // the thread's whole life — it is what the metrics snapshot reports.
+  uint32_t peak_stack_bytes = 0;
 
   static constexpr Cycles kNoDeadline = ~0ull;
 

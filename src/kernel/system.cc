@@ -5,6 +5,7 @@
 #include "src/base/costs.h"
 #include "src/base/log.h"
 #include "src/runtime/compartment_ctx.h"
+#include "src/trace/trace.h"
 
 // AddressSanitizer needs to be told about ucontext fiber switches or it
 // reports false stack-use-after-scope errors on every context switch (see
@@ -123,6 +124,36 @@ void System::Boot() {
   machine_.memory().SetAccessHook(
       [](void* self) { static_cast<System*>(self)->PreemptCheck(); }, this);
   booted_ = true;
+
+  if (auto* tr = machine_.trace()) {
+    // Publish the image's name tables so events stay integer-only and the
+    // exporters resolve names at the end; then close the boot attribution
+    // bucket — everything from here on is charged to idle or a thread.
+    std::vector<std::string> compartments;
+    std::vector<std::vector<std::string>> exports;
+    for (const auto& c : boot_->compartments) {
+      compartments.push_back(c.name);
+      std::vector<std::string> names;
+      for (const auto& e : c.def->exports) {
+        names.push_back(e.name);
+      }
+      exports.push_back(std::move(names));
+    }
+    std::vector<std::string> libraries;
+    for (const auto& l : boot_->libraries) {
+      libraries.push_back(l.name);
+    }
+    std::vector<std::string> thread_names;
+    for (const auto& t : threads_) {
+      thread_names.push_back(t.name);
+    }
+    tr->SetCompartmentNames(std::move(compartments));
+    tr->SetExportNames(std::move(exports));
+    tr->SetLibraryNames(std::move(libraries));
+    tr->SetThreadNames(std::move(thread_names));
+    sched_->set_trace(tr);
+    tr->OnBootDone();
+  }
 }
 
 void System::CreateThreads() {
@@ -200,6 +231,11 @@ void System::SwitchTo(int next_id) {
   current_thread_id_ = next_id;
   quantum_end_ = Now() + options_.tick_quantum;
   ArmTimer();
+  if (auto* tr = machine_.trace()) {
+    // Before the tick below, so the switch cost is charged to the incoming
+    // thread's context.
+    tr->OnContextSwitch(prev, next_id);
+  }
   machine_.Tick(cost::kContextSwitch);
   ucontext_t* prev_ctx =
       prev >= 0 ? &threads_[prev].context : &main_context_;
@@ -218,6 +254,9 @@ void System::SwitchToIdle() {
   const bool prev_dying =
       threads_[prev].state == GuestThread::State::kExited;
   current_thread_id_ = -1;
+  if (auto* tr = machine_.trace()) {
+    tr->OnContextSwitch(prev, -1);
+  }
   in_kernel_ = false;
   FiberSwap(&threads_[prev].context, &main_context_, nullptr, prev_dying);
 }

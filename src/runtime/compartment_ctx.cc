@@ -142,6 +142,9 @@ CompartmentCtx::StackBuffer::StackBuffer(CompartmentCtx* ctx, Address bytes)
   }
   t.sp -= bytes_;
   t.high_water = std::min(t.high_water, t.sp);
+  t.peak_stack_bytes =
+      std::max<uint32_t>(t.peak_stack_bytes,
+                         static_cast<uint32_t>(t.stack_base + t.stack_size - t.sp));
   cap_ = t.stack_cap.WithBounds(t.sp, bytes_);
 }
 

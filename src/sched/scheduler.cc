@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/trace.h"
+
 namespace cheriot {
 
 void Scheduler::MakeReady(int thread_id) {
@@ -34,6 +36,9 @@ void Scheduler::MakeReady(int thread_id) {
       t.state != GuestThread::State::kRunning) {
     t.state = GuestThread::State::kReady;
     ready_[t.priority % kPriorities].push_back(thread_id);
+    if (trace_ != nullptr) {
+      trace_->OnThreadWake(thread_id);
+    }
   }
 }
 
@@ -47,6 +52,9 @@ void Scheduler::MakeBlocked(int thread_id, Address futex_addr, Cycles wake_at) {
   if (futex_addr != 0) {
     futex_waiters_[futex_addr].push_back(thread_id);
   }
+  if (trace_ != nullptr) {
+    trace_->OnThreadBlock(thread_id, futex_addr);
+  }
 }
 
 void Scheduler::MakeSleeping(int thread_id, Cycles wake_at) {
@@ -55,6 +63,9 @@ void Scheduler::MakeSleeping(int thread_id, Cycles wake_at) {
   t.state = GuestThread::State::kSleeping;
   t.futex_addr = 0;
   t.wake_at = wake_at;
+  if (trace_ != nullptr) {
+    trace_->OnThreadSleep(thread_id, wake_at);
+  }
 }
 
 int Scheduler::PickNext() const {
@@ -97,6 +108,9 @@ int Scheduler::FutexWake(Address addr, int count) {
       if (t.state == GuestThread::State::kBlocked) {
         t.state = GuestThread::State::kReady;
         ready_[t.priority % kPriorities].push_back(id);
+        if (trace_ != nullptr) {
+          trace_->OnThreadWake(id);
+        }
       }
       ++woken;
     }
@@ -122,6 +136,9 @@ int Scheduler::FutexWake(Address addr, int count) {
     if (t.state == GuestThread::State::kBlocked) {
       t.state = GuestThread::State::kReady;
       ready_[t.priority % kPriorities].push_back(id);
+      if (trace_ != nullptr) {
+        trace_->OnThreadWake(id);
+      }
     }
     ++woken;
   }
@@ -187,6 +204,9 @@ void Scheduler::BlockOnMultiwaiter(int thread_id, int mw_id, Cycles wake_at) {
   t.wake_at = wake_at;
   t.timed_out = false;
   multiwaiters_[mw_id].waiting_thread = thread_id;
+  if (trace_ != nullptr) {
+    trace_->OnThreadBlock(thread_id, 0);
+  }
 }
 
 int Scheduler::WakeExpired(Cycles now) {
@@ -214,6 +234,9 @@ int Scheduler::WakeExpired(Cycles now) {
       t.wake_at = GuestThread::kNoDeadline;
       t.state = GuestThread::State::kReady;
       ready_[t.priority % kPriorities].push_back(t.id);
+      if (trace_ != nullptr) {
+        trace_->OnThreadWake(t.id);
+      }
       ++woken;
     }
   }

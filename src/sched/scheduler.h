@@ -21,6 +21,10 @@
 
 namespace cheriot {
 
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+
 class Scheduler {
  public:
   static constexpr int kPriorities = 16;
@@ -77,6 +81,10 @@ class Scheduler {
 
   bool AllExited() const;
 
+  // Flight recorder for wake/sleep/block events; null when tracing is off.
+  // Set by System::Boot when a recorder is attached to the machine.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   GuestThread& T(int id) { return (*threads_)[id]; }
   const GuestThread& T(int id) const { return (*threads_)[id]; }
@@ -94,6 +102,7 @@ class Scheduler {
   std::vector<Multiwaiter> multiwaiters_;
   std::array<Address, static_cast<size_t>(IrqLine::kCount)> irq_futex_addr_{};
   Cycles idle_cycles_ = 0;
+  trace::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace cheriot

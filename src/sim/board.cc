@@ -1,5 +1,7 @@
 #include "src/sim/board.h"
 
+#include "src/base/check.h"
+
 namespace cheriot::sim {
 
 EthernetDevice::Mac MacForIndex(int index) {
@@ -14,6 +16,9 @@ Board::Board(FirmwareImage image, const BoardOptions& options)
       system_(machine_, std::move(image), options.system) {
   machine_.ethernet().set_mac(options_.mac);
   machine_.ethernet().on_transmit = [this](Frame frame) {
+    if (auto* tr = machine_.trace()) {
+      tr->OnNicTx(frame.size());
+    }
     tx_staged_.emplace_back(machine_.clock().now(), std::move(frame));
   };
   machine_.clock().AddHook([this](Cycles) { PumpRx(); });
@@ -25,6 +30,15 @@ Board::Board(FirmwareImage image, const BoardOptions& options)
   });
 }
 
+trace::TraceRecorder* Board::EnableTrace(trace::TraceOptions options) {
+  CHERIOT_CHECK(!booted_, "Board::EnableTrace() after Boot()");
+  trace_ = std::make_unique<trace::TraceRecorder>(options);
+  trace_->SetLabel("board" + std::to_string(options_.index));
+  trace_->SetBoardIndex(options_.index);
+  trace::Attach(machine_, trace_.get());
+  return trace_.get();
+}
+
 void Board::Boot() {
   system_.Boot();
   booted_ = true;
@@ -33,6 +47,9 @@ void Board::Boot() {
 void Board::PumpRx() {
   const Cycles now = machine_.clock().now();
   while (!rx_pending_.empty() && rx_pending_.begin()->first <= now) {
+    if (auto* tr = machine_.trace()) {
+      tr->OnNicRx(rx_pending_.begin()->second.size());
+    }
     machine_.ethernet().HostInject(std::move(rx_pending_.begin()->second));
     rx_pending_.erase(rx_pending_.begin());
   }

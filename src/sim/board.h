@@ -8,11 +8,13 @@
 #define SRC_SIM_BOARD_H_
 
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/hw/machine.h"
 #include "src/kernel/system.h"
+#include "src/trace/trace.h"
 
 namespace cheriot::sim {
 
@@ -52,6 +54,13 @@ class Board {
   Board(const Board&) = delete;
   Board& operator=(const Board&) = delete;
 
+  // Creates and attaches a flight recorder (src/trace) for this board,
+  // labeled "board<index>". Must be called before Boot() so boot cycles are
+  // attributed and the name tables are published. Returns the recorder; the
+  // board owns it.
+  trace::TraceRecorder* EnableTrace(trace::TraceOptions options = {});
+  trace::TraceRecorder* trace_recorder() { return trace_.get(); }
+
   void Boot();
 
   // Runs the guest forward to (at least) absolute cycle `target`. The clock
@@ -84,6 +93,7 @@ class Board {
   BoardOptions options_;
   Machine machine_;
   System system_;
+  std::unique_ptr<trace::TraceRecorder> trace_;
   std::vector<std::pair<Cycles, Frame>> tx_staged_;
   std::multimap<Cycles, Frame> rx_pending_;
   System::RunResult last_result_ = System::RunResult::kBudgetExhausted;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace cheriot::sim {
 
 namespace {
@@ -46,6 +48,9 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
     auto it = mac_table_.find(dst);
     if (it != mac_table_.end()) {
       if (it->second != src_port) {
+        if (trace_ != nullptr) {
+          trace_->OnFabricFrame(at, src_port, it->second, frame.size());
+        }
         DeliverTo(it->second, at, frame);
       }
       return;
@@ -53,6 +58,9 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
   }
   // Broadcast or unlearned unicast: flood.
   ++frames_flooded_;
+  if (trace_ != nullptr) {
+    trace_->OnFabricFrame(at, src_port, -1, frame.size());
+  }
   for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
     if (port != src_port) {
       DeliverTo(port, at, frame);

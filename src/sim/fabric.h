@@ -13,6 +13,12 @@
 
 #include "src/base/types.h"
 
+namespace cheriot {
+namespace trace {
+class TraceRecorder;
+}  // namespace trace
+}  // namespace cheriot
+
 namespace cheriot::sim {
 
 class Fabric {
@@ -40,6 +46,12 @@ class Fabric {
   uint64_t frames_flooded() const { return frames_flooded_; }
   size_t macs_learned() const { return mac_table_.size(); }
 
+  // Flight recorder for switched frames. The fabric has no clock of its own,
+  // so events are stamped with the frame's transmit time; the Fleet only
+  // calls Transmit at epoch barriers, so emission order is deterministic for
+  // any host thread count.
+  void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
  private:
   struct Port {
     Cycles latency = 0;
@@ -50,6 +62,7 @@ class Fabric {
 
   std::vector<Port> ports_;
   std::map<Mac, int> mac_table_;
+  trace::TraceRecorder* trace_ = nullptr;
   uint64_t frames_switched_ = 0;
   uint64_t frames_flooded_ = 0;
 };

@@ -17,6 +17,12 @@ Fleet::Fleet(FleetOptions options)
     gateway_inbox_.emplace_back(due, std::move(f));
   });
   gateway_.set_emit([this](net::Bytes frame) { GatewayEmit(std::move(frame)); });
+  if (options_.trace) {
+    fabric_trace_ = std::make_unique<trace::TraceRecorder>(options_.trace_options);
+    fabric_trace_->SetLabel("fabric");
+    fabric_trace_->SetBoardIndex(-1);
+    fabric_.set_trace(fabric_trace_.get());
+  }
 }
 
 Fleet::~Fleet() {
@@ -42,6 +48,9 @@ int Fleet::AddBoard(FirmwareImage image) {
   opts.system = options_.system;
   boards_.push_back(std::make_unique<Board>(std::move(image), opts));
   Board* board = boards_.back().get();
+  if (options_.trace) {
+    board->EnableTrace(options_.trace_options);
+  }
   board_ports_.push_back(fabric_.AttachPort(
       options_.board_link_latency,
       [board](Cycles due, Fabric::Frame f) {
@@ -210,6 +219,19 @@ void Fleet::PublishMqtt(const std::string& topic, const net::Bytes& payload) {
 void Fleet::SendPing(net::Ipv4 dst, uint16_t id, uint16_t seq) {
   gateway_emit_at_ = now_;
   gateway_.SendPing(now_, dst, id, seq);
+}
+
+std::vector<trace::TraceRecorder*> Fleet::TraceRecorders() {
+  std::vector<trace::TraceRecorder*> out;
+  for (auto& board : boards_) {
+    if (auto* tr = board->trace_recorder()) {
+      out.push_back(tr);
+    }
+  }
+  if (fabric_trace_) {
+    out.push_back(fabric_trace_.get());
+  }
+  return out;
 }
 
 std::vector<Board::Fingerprint> Fleet::Fingerprints() {

@@ -44,6 +44,11 @@ struct FleetOptions {
   net::WorldOptions world;
   MachineConfig machine;
   SystemOptions system;
+  // Attach a flight recorder to every board (and a clockless one to the
+  // fabric) before boot. Tracing never moves a guest cycle, so fingerprints
+  // are unchanged whether this is on or off.
+  bool trace = false;
+  trace::TraceOptions trace_options;
 };
 
 class Fleet {
@@ -79,6 +84,13 @@ class Fleet {
   Cycles epoch_length() const { return epoch_; }
   uint64_t frames_exchanged() const { return frames_exchanged_; }
 
+  // The fabric's recorder (frames only, stamped with TX cycles); null unless
+  // FleetOptions::trace is set.
+  trace::TraceRecorder* fabric_trace() { return fabric_trace_.get(); }
+  // All live recorders — one per board plus the fabric's — in a fixed order
+  // (board 0..N-1, then fabric) for merged export. Empty when tracing is off.
+  std::vector<trace::TraceRecorder*> TraceRecorders();
+
   std::vector<Board::Fingerprint> Fingerprints();
 
  private:
@@ -95,6 +107,7 @@ class Fleet {
   std::vector<std::unique_ptr<Board>> boards_;
   std::vector<int> board_ports_;
   Fabric fabric_;
+  std::unique_ptr<trace::TraceRecorder> fabric_trace_;
   net::Gateway gateway_;
   int gateway_port_ = -1;
   // Frames addressed to the gateway, collected during the barrier exchange

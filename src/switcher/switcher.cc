@@ -4,6 +4,7 @@
 #include "src/base/log.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
+#include "src/trace/trace.h"
 
 namespace cheriot {
 
@@ -152,6 +153,11 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   ++t.compartment_calls;
   posture_guard->Disarm();  // posture now managed explicitly below
   t.interrupts_enabled = PostureToEnabled(exp.posture, saved_irq);
+  if (auto* tr = m.trace()) {
+    // The recorder mirrors the call depth itself: reading the trusted stack
+    // here would tick guest cycles and perturb the model it observes.
+    tr->OnCompartmentCall(t.id, caller_comp, callee_id, export_index);
+  }
 
   Capability result;
   bool rethrow_forced = false;
@@ -194,6 +200,13 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   t.sp = f.sp_at_call;
   t.high_water = f.sp_at_call;
   t.current_compartment = caller_comp;
+  if (auto* tr = m.trace()) {
+    // Emitted after the return-path tick so the switcher's unwind/zeroing
+    // cost is charged to the callee, matching the call path charging setup
+    // to the caller. Unwind paths still reach here, keeping the recorder's
+    // mirrored stack balanced.
+    tr->OnCompartmentReturn(t.id, callee_id, caller_comp);
+  }
   t.interrupts_enabled = saved_irq;
   if (saved_irq) {
     // Re-enabling interrupts delivers any reschedule deferred by a wake
@@ -221,6 +234,9 @@ Capability Switcher::LibraryCall(GuestThread& t, const ImportBinding& b,
   }
   const LibraryRuntime& lib = boot.libraries[b.target_library];
   const ExportDef& exp = lib.def->exports[b.target_export];
+  if (auto* tr = m.trace()) {
+    tr->OnLibraryCall(t.id, b.target_library, b.target_export);
+  }
 
   // Sentries carry interrupt-posture semantics (§2.1); the matching return
   // restores the previous posture.
@@ -243,6 +259,9 @@ ErrorRecovery Switcher::DeliverTrap(GuestThread& t, CompartmentCtx& ctx,
   ++trap_count_;
   BootInfo& boot = system_->boot();
   Machine& m = system_->machine();
+  if (auto* tr = m.trace()) {
+    tr->OnTrap(t.id, static_cast<int>(info->cause), ctx.compartment());
+  }
   const CompartmentRuntime& rt = boot.compartments[ctx.compartment()];
   if (!rt.def->error_handler || ctx.in_error_handler_) {
     m.Tick(cost::kUnwindNoHandler);

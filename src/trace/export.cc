@@ -1,0 +1,354 @@
+#include "src/trace/export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cheriot::trace {
+
+namespace {
+
+// Pseudo-track ids inside a board's process; chosen far above any plausible
+// guest thread id so they never collide.
+constexpr int kTidRevoker = 9990;
+constexpr int kTidNic = 9991;
+constexpr int kTidFabric = 9992;
+// The fabric recorder has no board; give it a process id of its own.
+constexpr int kPidFabric = 9999;
+
+int PidFor(const TraceRecorder& r) {
+  return r.board_index() >= 0 ? r.board_index() : kPidFabric;
+}
+
+json::Value Meta(int pid, int tid, const char* what, const std::string& name) {
+  json::Object o;
+  o["args"] = json::Object{{"name", name}};
+  o["name"] = what;
+  o["ph"] = "M";
+  o["pid"] = pid;
+  if (tid >= 0) {
+    o["tid"] = tid;
+  }
+  return o;
+}
+
+json::Object Base(const char* ph, int pid, int tid, Cycles ts) {
+  json::Object o;
+  o["ph"] = ph;
+  o["pid"] = pid;
+  o["tid"] = tid;
+  o["ts"] = static_cast<uint64_t>(ts);
+  return o;
+}
+
+// Translates one recorded event into zero or more Chrome trace events.
+void AppendChromeEvents(TraceRecorder& r, const Event& e,
+                        std::vector<json::Value>* out) {
+  const int pid = PidFor(r);
+  switch (e.type) {
+    case EventType::kBootDone: {
+      json::Object o = Base("i", pid, 0, e.at);
+      o["name"] = "boot_done";
+      o["s"] = "p";
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kCompartmentCall: {
+      json::Object o = Base("B", pid, e.thread, e.at);
+      o["name"] = r.CompartmentName(e.b) + "." +
+                  r.ExportName(e.b, static_cast<int>(e.c));
+      o["args"] = json::Object{{"caller", r.CompartmentName(e.a)},
+                               {"depth", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kCompartmentReturn: {
+      json::Object o = Base("E", pid, e.thread, e.at);
+      o["name"] = r.CompartmentName(e.a);
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kLibraryCall: {
+      json::Object o = Base("i", pid, e.thread, e.at);
+      o["name"] = "lib:" + r.LibraryName(e.a);
+      o["s"] = "t";
+      o["args"] = json::Object{{"export", e.b}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kTrap: {
+      json::Object o = Base("i", pid, e.thread, e.at);
+      o["name"] = "trap:" + std::to_string(e.a);
+      o["s"] = "t";
+      o["args"] = json::Object{{"compartment", r.CompartmentName(e.b)}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kContextSwitch: {
+      json::Object o = Base("i", pid, e.b >= 0 ? e.b : e.a, e.at);
+      o["name"] = "switch:" + r.ThreadName(e.a) + ">" + r.ThreadName(e.b);
+      o["s"] = "t";
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kThreadWake: {
+      json::Object o = Base("i", pid, e.a, e.at);
+      o["name"] = "wake";
+      o["s"] = "t";
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kThreadBlock: {
+      json::Object o = Base("i", pid, e.a, e.at);
+      o["name"] = "block";
+      o["s"] = "t";
+      o["args"] = json::Object{{"futex", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kThreadSleep: {
+      json::Object o = Base("i", pid, e.a, e.at);
+      o["name"] = "sleep";
+      o["s"] = "t";
+      o["args"] = json::Object{{"wake_at", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kHeapAlloc:
+    case EventType::kHeapFree: {
+      json::Object o = Base("C", pid, 0, e.at);
+      o["name"] = "heap_live_bytes";
+      o["args"] = json::Object{{"bytes", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kQuotaExhausted: {
+      json::Object o = Base("i", pid, e.thread, e.at);
+      o["name"] = "quota_exhausted";
+      o["s"] = "t";
+      o["args"] = json::Object{{"compartment", r.CompartmentName(e.a)},
+                               {"quota", e.b},
+                               {"requested", e.c}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kSweepBegin: {
+      json::Object o = Base("B", pid, kTidRevoker, e.at);
+      o["name"] = "sweep";
+      o["args"] = json::Object{{"epoch", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kSweepEnd: {
+      json::Object end = Base("E", pid, kTidRevoker, e.at);
+      end["name"] = "sweep";
+      out->push_back(std::move(end));
+      json::Object o = Base("i", pid, kTidRevoker, e.at);
+      o["name"] = "revocation_epoch:" + std::to_string(e.d);
+      o["s"] = "t";
+      o["args"] = json::Object{{"granules", e.c}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kNicTx:
+    case EventType::kNicRx: {
+      json::Object o = Base("i", pid, kTidNic, e.at);
+      o["name"] = e.type == EventType::kNicTx ? "nic_tx" : "nic_rx";
+      o["s"] = "t";
+      o["args"] = json::Object{{"bytes", e.c}};
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kFabricFrame: {
+      json::Object o = Base("i", pid, kTidFabric, e.at);
+      o["name"] = "fabric_frame";
+      o["s"] = "t";
+      o["args"] = json::Object{
+          {"src_port", e.a}, {"dst_port", e.b}, {"bytes", e.c}};
+      out->push_back(std::move(o));
+      break;
+    }
+  }
+}
+
+void AppendMetadata(TraceRecorder& r, std::vector<json::Value>* out) {
+  const int pid = PidFor(r);
+  out->push_back(Meta(pid, -1, "process_name",
+                      r.label().empty() ? "board" : r.label()));
+  for (size_t t = 0; t < r.thread_count(); ++t) {
+    out->push_back(Meta(pid, static_cast<int>(t), "thread_name",
+                        r.ThreadName(static_cast<int>(t))));
+  }
+  if (r.board_index() >= 0) {
+    out->push_back(Meta(pid, kTidRevoker, "thread_name", "revoker"));
+    out->push_back(Meta(pid, kTidNic, "thread_name", "nic"));
+  } else {
+    out->push_back(Meta(pid, kTidFabric, "thread_name", "fabric"));
+  }
+}
+
+}  // namespace
+
+json::Value MergedChromeTrace(const std::vector<TraceRecorder*>& recorders) {
+  std::vector<json::Value> events;
+  for (TraceRecorder* r : recorders) {
+    AppendMetadata(*r, &events);
+  }
+  // Interleave by guest cycle. The per-recorder order is already
+  // deterministic, and std::stable_sort keeps the recorder order for ties,
+  // so the merged stream is byte-identical for any host worker count.
+  struct Stamped {
+    Cycles at;
+    json::Value event;
+  };
+  std::vector<Stamped> timeline;
+  for (TraceRecorder* r : recorders) {
+    for (const Event& e : r->Events()) {
+      std::vector<json::Value> chrome;
+      AppendChromeEvents(*r, e, &chrome);
+      for (auto& c : chrome) {
+        timeline.push_back({e.at, std::move(c)});
+      }
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Stamped& a, const Stamped& b) {
+                     return a.at < b.at;
+                   });
+  for (auto& s : timeline) {
+    events.push_back(std::move(s.event));
+  }
+  json::Object doc;
+  doc["displayTimeUnit"] = "ns";
+  doc["traceEvents"] = json::Array(std::make_move_iterator(events.begin()),
+                                   std::make_move_iterator(events.end()));
+  return doc;
+}
+
+json::Value ChromeTrace(TraceRecorder& recorder) {
+  return MergedChromeTrace({&recorder});
+}
+
+json::Value MetricsSnapshot(TraceRecorder& recorder,
+                            const std::vector<ThreadStackStats>& threads) {
+  json::Object doc;
+  doc["schema_version"] = kMetricsSchemaVersion;
+  doc["label"] = recorder.label();
+  doc["board"] = recorder.board_index();
+  doc["now"] = static_cast<uint64_t>(recorder.now());
+
+  json::Object ev;
+  ev["emitted"] = recorder.emitted();
+  ev["recorded"] = static_cast<uint64_t>(recorder.event_count());
+  ev["dropped"] = recorder.dropped();
+  json::Object by_type;
+  for (int t = 0; t <= static_cast<int>(EventType::kFabricFrame); ++t) {
+    const auto type = static_cast<EventType>(t);
+    if (recorder.events_of_type(type) > 0) {
+      by_type[EventTypeName(type)] = recorder.events_of_type(type);
+    }
+  }
+  ev["by_type"] = std::move(by_type);
+  doc["events"] = std::move(ev);
+
+  json::Object prof;
+  prof["boot_cycles"] = static_cast<uint64_t>(recorder.boot_cycles());
+  prof["idle_cycles"] = static_cast<uint64_t>(recorder.idle_cycles());
+  prof["attributed_cycles"] =
+      static_cast<uint64_t>(recorder.attributed_cycles());
+  json::Array comps;
+  for (const auto& [id, p] : recorder.Profile()) {
+    json::Object c;
+    c["id"] = id;
+    c["name"] = recorder.CompartmentName(id);
+    c["self"] = static_cast<uint64_t>(p.self);
+    c["total"] = static_cast<uint64_t>(p.total);
+    c["calls"] = p.calls;
+    comps.push_back(std::move(c));
+  }
+  prof["compartments"] = std::move(comps);
+  doc["profile"] = std::move(prof);
+
+  doc["heap"] = json::Object{{"live_bytes", recorder.heap_live_bytes()},
+                             {"allocs", recorder.heap_allocs()},
+                             {"frees", recorder.heap_frees()}};
+  doc["revoker"] = json::Object{{"sweeps", recorder.sweeps_completed()},
+                                {"granules_scanned",
+                                 recorder.granules_scanned()}};
+  doc["nic"] = json::Object{{"tx_frames", recorder.nic_tx_frames()},
+                            {"tx_bytes", recorder.nic_tx_bytes()},
+                            {"rx_frames", recorder.nic_rx_frames()},
+                            {"rx_bytes", recorder.nic_rx_bytes()}};
+
+  json::Array ts;
+  for (const auto& t : threads) {
+    json::Object o;
+    o["name"] = t.name;
+    o["stack_size"] = t.stack_size;
+    o["peak_stack_bytes"] = t.peak_stack_bytes;
+    o["compartment_calls"] = t.compartment_calls;
+    ts.push_back(std::move(o));
+  }
+  doc["threads"] = std::move(ts);
+  return doc;
+}
+
+std::string CollapsedStacksText(TraceRecorder& recorder) {
+  std::string out;
+  for (const auto& [key, cycles] : recorder.CollapsedStacks()) {
+    std::string line;
+    if (key.size() == 1) {
+      // Boot/idle pseudo-stacks have no owning thread.
+      line = recorder.CompartmentName(key[0]);
+    } else {
+      line = recorder.ThreadName(key[0]);
+      for (size_t i = 1; i < key.size(); ++i) {
+        line += ";";
+        line += recorder.CompartmentName(key[i]);
+      }
+    }
+    line += " " + std::to_string(static_cast<uint64_t>(cycles)) + "\n";
+    out += line;
+  }
+  return out;
+}
+
+std::string ProfileText(TraceRecorder& recorder) {
+  const Cycles now = recorder.now();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# %s: %llu cycles (boot %llu, idle %llu, attributed %llu)\n",
+                recorder.label().empty() ? "trace" : recorder.label().c_str(),
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(recorder.boot_cycles()),
+                static_cast<unsigned long long>(recorder.idle_cycles()),
+                static_cast<unsigned long long>(recorder.attributed_cycles()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-24s %10s %14s %14s %7s\n", "compartment",
+                "calls", "self", "total", "self%");
+  out += buf;
+  // Rows sorted by self cycles (descending), then id, for stable output.
+  std::vector<std::pair<int, TraceRecorder::CompartmentProfile>> rows(
+      recorder.Profile().begin(), recorder.Profile().end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second.self != b.second.self) {
+                       return a.second.self > b.second.self;
+                     }
+                     return a.first < b.first;
+                   });
+  for (const auto& [id, p] : rows) {
+    const double pct = now > 0 ? 100.0 * static_cast<double>(p.self) /
+                                     static_cast<double>(now)
+                               : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-24s %10llu %14llu %14llu %6.2f%%\n",
+                  recorder.CompartmentName(id).c_str(),
+                  static_cast<unsigned long long>(p.calls),
+                  static_cast<unsigned long long>(p.self),
+                  static_cast<unsigned long long>(p.total), pct);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cheriot::trace

@@ -1,0 +1,356 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+#include "src/hw/machine.h"
+
+namespace cheriot::trace {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kBootDone: return "boot_done";
+    case EventType::kCompartmentCall: return "compartment_call";
+    case EventType::kCompartmentReturn: return "compartment_return";
+    case EventType::kLibraryCall: return "library_call";
+    case EventType::kTrap: return "trap";
+    case EventType::kContextSwitch: return "context_switch";
+    case EventType::kThreadWake: return "thread_wake";
+    case EventType::kThreadBlock: return "thread_block";
+    case EventType::kThreadSleep: return "thread_sleep";
+    case EventType::kHeapAlloc: return "heap_alloc";
+    case EventType::kHeapFree: return "heap_free";
+    case EventType::kQuotaExhausted: return "quota_exhausted";
+    case EventType::kSweepBegin: return "sweep_begin";
+    case EventType::kSweepEnd: return "sweep_end";
+    case EventType::kNicTx: return "nic_tx";
+    case EventType::kNicRx: return "nic_rx";
+    case EventType::kFabricFrame: return "fabric_frame";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(TraceOptions options) : options_(options) {
+  ring_.resize(options_.ring_capacity);
+}
+
+void TraceRecorder::SetCompartmentNames(std::vector<std::string> names) {
+  compartment_names_ = std::move(names);
+}
+void TraceRecorder::SetLibraryNames(std::vector<std::string> names) {
+  library_names_ = std::move(names);
+}
+void TraceRecorder::SetExportNames(std::vector<std::vector<std::string>> names) {
+  export_names_ = std::move(names);
+}
+void TraceRecorder::SetThreadNames(std::vector<std::string> names) {
+  thread_names_ = std::move(names);
+}
+
+void TraceRecorder::EmitAt(Cycles at, EventType type, int16_t thread,
+                           int32_t a, int32_t b, int64_t c, uint64_t d) {
+  ++emitted_;
+  ++by_type_[static_cast<size_t>(type)];
+  latest_at_ = std::max(latest_at_, at);
+  if (ring_.empty()) {
+    ++dropped_;
+    return;
+  }
+  if (count_ == ring_.size()) {
+    start_ = (start_ + 1) % ring_.size();
+    --count_;
+    ++dropped_;
+  }
+  Event& e = ring_[(start_ + count_) % ring_.size()];
+  e.at = at;
+  e.d = d;
+  e.c = c;
+  e.a = a;
+  e.b = b;
+  e.type = type;
+  e.thread = thread;
+  ++count_;
+}
+
+void TraceRecorder::Emit(EventType type, int16_t thread, int32_t a, int32_t b,
+                         int64_t c, uint64_t d) {
+  EmitAt(clock_ ? clock_->now() : latest_at_, type, thread, a, b, c, d);
+}
+
+std::vector<int>& TraceRecorder::StackFor(int thread) {
+  if (static_cast<size_t>(thread) >= thread_stacks_.size()) {
+    thread_stacks_.resize(static_cast<size_t>(thread) + 1);
+  }
+  return thread_stacks_[static_cast<size_t>(thread)];
+}
+
+void TraceRecorder::ChargeToNow() {
+  if (!options_.profile || clock_ == nullptr) {
+    return;
+  }
+  const Cycles now = clock_->now();
+  if (now <= settled_at_) {
+    return;
+  }
+  const Cycles d = now - settled_at_;
+  settled_at_ = now;
+  if (!boot_done_) {
+    boot_cycles_ += d;
+    auto& p = profile_[kContextBoot];
+    p.self += d;
+    p.total += d;
+    collapsed_[{kContextBoot}] += d;
+    return;
+  }
+  if (current_thread_ < 0) {
+    idle_cycles_ += d;
+    auto& p = profile_[kContextIdle];
+    p.self += d;
+    p.total += d;
+    collapsed_[{kContextIdle}] += d;
+    return;
+  }
+  const std::vector<int>& stack = StackFor(current_thread_);
+  if (stack.empty()) {
+    auto& p = profile_[kContextKernel];
+    p.self += d;
+    p.total += d;
+    collapsed_[{current_thread_, kContextKernel}] += d;
+    return;
+  }
+  profile_[stack.back()].self += d;
+  // `total` counts a compartment once per running stack even under
+  // recursion, so Σ total can exceed wall cycles but never double-counts one
+  // frame chain.
+  for (size_t i = 0; i < stack.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (stack[j] == stack[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      profile_[stack[i]].total += d;
+    }
+  }
+  std::vector<int> key;
+  key.reserve(stack.size() + 1);
+  key.push_back(current_thread_);
+  key.insert(key.end(), stack.begin(), stack.end());
+  collapsed_[key] += d;
+}
+
+void TraceRecorder::OnBootDone() {
+  ChargeToNow();
+  boot_done_ = true;
+  Emit(EventType::kBootDone, -1, 0, 0, 0, 0);
+}
+
+void TraceRecorder::OnCompartmentCall(int thread, int caller, int callee,
+                                      int export_index) {
+  ChargeToNow();
+  std::vector<int>& stack = StackFor(thread);
+  stack.push_back(callee);
+  Emit(EventType::kCompartmentCall, static_cast<int16_t>(thread), caller,
+       callee, export_index, stack.size());
+  ++profile_[callee].calls;
+}
+
+void TraceRecorder::OnCompartmentReturn(int thread, int callee, int caller) {
+  ChargeToNow();
+  std::vector<int>& stack = StackFor(thread);
+  if (!stack.empty()) {
+    stack.pop_back();
+  }
+  Emit(EventType::kCompartmentReturn, static_cast<int16_t>(thread), callee,
+       caller, 0, stack.size());
+}
+
+void TraceRecorder::OnLibraryCall(int thread, int library, int export_index) {
+  ChargeToNow();
+  Emit(EventType::kLibraryCall, static_cast<int16_t>(thread), library,
+       export_index, 0, 0);
+}
+
+void TraceRecorder::OnTrap(int thread, int code, int compartment) {
+  ChargeToNow();
+  Emit(EventType::kTrap, static_cast<int16_t>(thread), code, compartment, 0,
+       0);
+}
+
+void TraceRecorder::OnContextSwitch(int from_thread, int to_thread) {
+  ChargeToNow();
+  Emit(EventType::kContextSwitch, static_cast<int16_t>(from_thread),
+       from_thread, to_thread, 0, 0);
+  current_thread_ = to_thread;
+}
+
+void TraceRecorder::OnThreadWake(int thread) {
+  ChargeToNow();
+  Emit(EventType::kThreadWake, static_cast<int16_t>(thread), thread, 0, 0, 0);
+}
+
+void TraceRecorder::OnThreadBlock(int thread, Address futex_addr) {
+  ChargeToNow();
+  Emit(EventType::kThreadBlock, static_cast<int16_t>(thread), thread, 0, 0,
+       futex_addr);
+}
+
+void TraceRecorder::OnThreadSleep(int thread, Cycles wake_at) {
+  ChargeToNow();
+  Emit(EventType::kThreadSleep, static_cast<int16_t>(thread), thread, 0, 0,
+       wake_at);
+}
+
+void TraceRecorder::OnHeapAlloc(int thread, int compartment, uint32_t quota,
+                                Word bytes) {
+  ChargeToNow();
+  heap_live_bytes_ += bytes;
+  ++heap_allocs_;
+  Emit(EventType::kHeapAlloc, static_cast<int16_t>(thread), compartment,
+       static_cast<int32_t>(quota), bytes, heap_live_bytes_);
+}
+
+void TraceRecorder::OnHeapFree(int thread, int compartment, uint32_t quota,
+                               Word bytes) {
+  ChargeToNow();
+  heap_live_bytes_ -= std::min<uint64_t>(heap_live_bytes_, bytes);
+  ++heap_frees_;
+  Emit(EventType::kHeapFree, static_cast<int16_t>(thread), compartment,
+       static_cast<int32_t>(quota), bytes, heap_live_bytes_);
+}
+
+void TraceRecorder::OnQuotaExhausted(int thread, int compartment,
+                                     uint32_t quota, Word bytes) {
+  ChargeToNow();
+  Emit(EventType::kQuotaExhausted, static_cast<int16_t>(thread), compartment,
+       static_cast<int32_t>(quota), bytes, 0);
+}
+
+void TraceRecorder::OnSweepBegin(uint32_t epoch) {
+  ChargeToNow();
+  Emit(EventType::kSweepBegin, -1, 0, 0, 0, epoch);
+}
+
+void TraceRecorder::OnSweepEnd(uint32_t epoch, uint64_t granules) {
+  ChargeToNow();
+  ++sweeps_completed_;
+  granules_scanned_ += granules;
+  Emit(EventType::kSweepEnd, -1, 0, 0, static_cast<int64_t>(granules), epoch);
+}
+
+void TraceRecorder::OnNicTx(size_t bytes) {
+  ChargeToNow();
+  ++nic_tx_frames_;
+  nic_tx_bytes_ += bytes;
+  Emit(EventType::kNicTx, static_cast<int16_t>(current_thread_), 0, 0,
+       static_cast<int64_t>(bytes), 0);
+}
+
+void TraceRecorder::OnNicRx(size_t bytes) {
+  ChargeToNow();
+  ++nic_rx_frames_;
+  nic_rx_bytes_ += bytes;
+  Emit(EventType::kNicRx, static_cast<int16_t>(current_thread_), 0, 0,
+       static_cast<int64_t>(bytes), 0);
+}
+
+void TraceRecorder::OnFabricFrame(Cycles at, int src_port, int dst_port,
+                                  size_t bytes) {
+  EmitAt(at, EventType::kFabricFrame, -1, src_port, dst_port,
+         static_cast<int64_t>(bytes), 0);
+}
+
+const std::map<int, TraceRecorder::CompartmentProfile>&
+TraceRecorder::Profile() {
+  ChargeToNow();
+  return profile_;
+}
+
+Cycles TraceRecorder::boot_cycles() {
+  ChargeToNow();
+  return boot_cycles_;
+}
+
+Cycles TraceRecorder::idle_cycles() {
+  ChargeToNow();
+  return idle_cycles_;
+}
+
+Cycles TraceRecorder::attributed_cycles() {
+  ChargeToNow();
+  Cycles sum = 0;
+  for (const auto& [id, p] : profile_) {
+    sum += p.self;
+  }
+  return sum;
+}
+
+const std::map<std::vector<int>, Cycles>& TraceRecorder::CollapsedStacks() {
+  ChargeToNow();
+  return collapsed_;
+}
+
+std::vector<Event> TraceRecorder::Events() const {
+  std::vector<Event> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceRecorder::CompartmentName(int id) const {
+  switch (id) {
+    case kContextBoot: return "<boot>";
+    case kContextIdle: return "<idle>";
+    case kContextKernel: return "<kernel>";
+    default: break;
+  }
+  if (id >= 0 && static_cast<size_t>(id) < compartment_names_.size()) {
+    return compartment_names_[static_cast<size_t>(id)];
+  }
+  return "compartment" + std::to_string(id);
+}
+
+std::string TraceRecorder::LibraryName(int id) const {
+  if (id >= 0 && static_cast<size_t>(id) < library_names_.size()) {
+    return library_names_[static_cast<size_t>(id)];
+  }
+  return "library" + std::to_string(id);
+}
+
+std::string TraceRecorder::ExportName(int compartment, int export_index) const {
+  if (compartment >= 0 &&
+      static_cast<size_t>(compartment) < export_names_.size()) {
+    const auto& exports = export_names_[static_cast<size_t>(compartment)];
+    if (export_index >= 0 &&
+        static_cast<size_t>(export_index) < exports.size()) {
+      return exports[static_cast<size_t>(export_index)];
+    }
+  }
+  return "export" + std::to_string(export_index);
+}
+
+std::string TraceRecorder::ThreadName(int id) const {
+  if (id < 0) {
+    return "<idle>";
+  }
+  if (static_cast<size_t>(id) < thread_names_.size()) {
+    return thread_names_[static_cast<size_t>(id)];
+  }
+  return "thread" + std::to_string(id);
+}
+
+void Attach(Machine& machine, TraceRecorder* recorder) {
+  recorder->SetClock(&machine.clock());
+  machine.set_trace(recorder);
+  if (recorder->options().profile) {
+    // The profiler rides the clock's std::function hook list; when no
+    // recorder is attached the clock stays on its raw fast path. The hook
+    // only reads now() — it never ticks — so the cycle model is untouched.
+    machine.clock().AddHook([recorder](Cycles) { recorder->ChargeToNow(); });
+  }
+}
+
+}  // namespace cheriot::trace

@@ -1,0 +1,244 @@
+// cheriot-trace: a deterministic flight recorder and per-compartment cycle
+// profiler for the simulated SoC (DESIGN.md §8).
+//
+// Typed events are emitted at the choke points the kernel already owns —
+// switcher call/return, trap delivery, context switch, scheduler wake/sleep,
+// allocator alloc/free/quota, revoker sweeps, NIC frame tx/rx — into a
+// bounded per-board ring buffer stamped with *guest* cycles (never host
+// time), so a trace is a pure function of the firmware: bit-identical across
+// runs and host thread counts, exactly like the fleet itself.
+//
+// Determinism contract (pinned by tests/trace_test.cpp and the traced
+// variants of tests/invariance_test.cpp): the recorder only OBSERVES the
+// cycle model. It never ticks the clock, never touches simulated memory, and
+// never consults host state, so enabling tracing cannot move a single guest
+// cycle. The zero-cost-when-off rule is structural: every emit site is a
+// raw-pointer null check, and the profiler's clock hook is only registered
+// when a recorder is attached.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/types.h"
+
+namespace cheriot {
+class Machine;
+}  // namespace cheriot
+
+namespace cheriot::trace {
+
+enum class EventType : uint8_t {
+  kBootDone = 0,
+  kCompartmentCall = 1,    // a=caller, b=callee, c=export index, d=depth
+  kCompartmentReturn = 2,  // a=callee, b=caller, d=depth after pop
+  kLibraryCall = 3,        // a=library, b=export index
+  kTrap = 4,               // a=TrapCode, b=faulting compartment
+  kContextSwitch = 5,      // a=from thread, b=to thread (-1 = idle)
+  kThreadWake = 6,         // a=thread made ready
+  kThreadBlock = 7,        // a=thread, d=futex address
+  kThreadSleep = 8,        // a=thread, d=absolute wake deadline
+  kHeapAlloc = 9,          // a=compartment, b=quota id, c=bytes, d=live bytes
+  kHeapFree = 10,          // a=compartment, b=quota id, c=bytes, d=live bytes
+  kQuotaExhausted = 11,    // a=compartment, b=quota id, c=bytes requested
+  kSweepBegin = 12,        // d=completed-epoch counter at start
+  kSweepEnd = 13,          // c=granules scanned, d=epoch after completion
+  kNicTx = 14,             // c=frame bytes
+  kNicRx = 15,             // c=frame bytes
+  kFabricFrame = 16,       // a=src port, b=dst port (-1 = flood), c=bytes
+};
+
+const char* EventTypeName(EventType type);
+
+// One recorded event. POD, fixed payload: the ring must never allocate or
+// chase pointers on the emit path.
+struct Event {
+  Cycles at = 0;      // guest cycles (CycleClock::now at emit)
+  uint64_t d = 0;
+  int64_t c = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  EventType type = EventType::kBootDone;
+  int16_t thread = -1;  // guest thread id, -1 when none is current
+};
+
+struct TraceOptions {
+  // Ring capacity in events; the oldest events are dropped (and counted)
+  // once the ring is full, deterministically.
+  size_t ring_capacity = 1 << 16;
+  // Cycle-attribution profiler (per-compartment self/total + collapsed
+  // stacks). Requires a clock, i.e. Attach().
+  bool profile = true;
+};
+
+// Pseudo-contexts for cycle attribution: cycles spent before the TCB exists,
+// cycles spent with no runnable thread, and cycles spent by a thread outside
+// any compartment (switcher / kernel entry and exit paths).
+inline constexpr int kContextBoot = -2;
+inline constexpr int kContextIdle = -1;
+inline constexpr int kContextKernel = -3;
+
+class TraceRecorder {
+ public:
+  struct CompartmentProfile {
+    Cycles self = 0;    // charged while top of the running thread's stack
+    Cycles total = 0;   // charged while anywhere on the running stack
+    uint64_t calls = 0; // cross-compartment entries
+  };
+
+  explicit TraceRecorder(TraceOptions options = {});
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- Wiring (Attach() / System::Boot) ------------------------------------
+  void SetClock(const CycleClock* clock) { clock_ = clock; }
+  void SetLabel(std::string label) { label_ = std::move(label); }
+  void SetBoardIndex(int index) { board_index_ = index; }
+  // Name tables, published by System::Boot from the loaded image so events
+  // stay integer-only and names are resolved at export time.
+  void SetCompartmentNames(std::vector<std::string> names);
+  void SetLibraryNames(std::vector<std::string> names);
+  void SetExportNames(std::vector<std::vector<std::string>> names);
+  void SetThreadNames(std::vector<std::string> names);
+
+  // --- Choke-point emitters -------------------------------------------------
+  // Every emitter first settles the profiler (charging the cycles elapsed
+  // since the last settlement to the *outgoing* context), then records the
+  // event, then updates the mirrored call stacks.
+  void OnBootDone();
+  void OnCompartmentCall(int thread, int caller, int callee, int export_index);
+  void OnCompartmentReturn(int thread, int callee, int caller);
+  void OnLibraryCall(int thread, int library, int export_index);
+  void OnTrap(int thread, int code, int compartment);
+  void OnContextSwitch(int from_thread, int to_thread);
+  void OnThreadWake(int thread);
+  void OnThreadBlock(int thread, Address futex_addr);
+  void OnThreadSleep(int thread, Cycles wake_at);
+  void OnHeapAlloc(int thread, int compartment, uint32_t quota, Word bytes);
+  void OnHeapFree(int thread, int compartment, uint32_t quota, Word bytes);
+  void OnQuotaExhausted(int thread, int compartment, uint32_t quota,
+                        Word bytes);
+  void OnSweepBegin(uint32_t epoch);
+  void OnSweepEnd(uint32_t epoch, uint64_t granules);
+  void OnNicTx(size_t bytes);
+  void OnNicRx(size_t bytes);
+  // Fabric events carry an explicit timestamp: the fabric has no clock of
+  // its own and switches frames at epoch barriers using their TX stamps.
+  void OnFabricFrame(Cycles at, int src_port, int dst_port, size_t bytes);
+
+  // Profiler clock hook: charges clock->now() - last settlement to the
+  // current context. Registered by Attach(); also safe to call manually.
+  void ChargeToNow();
+
+  // --- Read side (exporters, tests) ----------------------------------------
+  // Events in emit order (oldest first, post-drop).
+  std::vector<Event> Events() const;
+  size_t event_count() const { return count_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t emitted() const { return emitted_; }
+
+  // Settles the profiler and returns per-compartment attribution. The sum
+  // boot_cycles + idle_cycles + Σ self over all contexts equals the clock's
+  // current cycle exactly (asserted by trace_test).
+  const std::map<int, CompartmentProfile>& Profile();
+  Cycles boot_cycles();
+  Cycles idle_cycles();
+  Cycles attributed_cycles();
+
+  // Collapsed call stacks ("thread;compA;compB <cycles>" keys as id vectors:
+  // [thread, comp, comp...]) for flamegraph rendering.
+  const std::map<std::vector<int>, Cycles>& CollapsedStacks();
+
+  // --- Aggregates (deterministic, maintained on emit) -----------------------
+  uint64_t heap_live_bytes() const { return heap_live_bytes_; }
+  uint64_t heap_allocs() const { return heap_allocs_; }
+  uint64_t heap_frees() const { return heap_frees_; }
+  uint64_t sweeps_completed() const { return sweeps_completed_; }
+  uint64_t granules_scanned() const { return granules_scanned_; }
+  uint64_t nic_tx_frames() const { return nic_tx_frames_; }
+  uint64_t nic_tx_bytes() const { return nic_tx_bytes_; }
+  uint64_t nic_rx_frames() const { return nic_rx_frames_; }
+  uint64_t nic_rx_bytes() const { return nic_rx_bytes_; }
+  uint64_t events_of_type(EventType type) const {
+    return by_type_[static_cast<size_t>(type)];
+  }
+
+  // --- Name resolution ------------------------------------------------------
+  const std::string& label() const { return label_; }
+  int board_index() const { return board_index_; }
+  // Current guest time: the clock when attached, else the latest stamped
+  // event (clockless recorders, e.g. the fleet fabric's).
+  Cycles now() const { return clock_ ? clock_->now() : latest_at_; }
+  std::string CompartmentName(int id) const;
+  std::string LibraryName(int id) const;
+  std::string ExportName(int compartment, int export_index) const;
+  std::string ThreadName(int id) const;
+  size_t thread_count() const { return thread_names_.size(); }
+
+  const TraceOptions& options() const { return options_; }
+
+ private:
+  void Emit(EventType type, int16_t thread, int32_t a, int32_t b, int64_t c,
+            uint64_t d);
+  void EmitAt(Cycles at, EventType type, int16_t thread, int32_t a, int32_t b,
+              int64_t c, uint64_t d);
+  std::vector<int>& StackFor(int thread);
+
+  TraceOptions options_;
+  const CycleClock* clock_ = nullptr;
+  std::string label_;
+  int board_index_ = 0;
+
+  // Ring buffer.
+  std::vector<Event> ring_;
+  size_t start_ = 0;
+  size_t count_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t emitted_ = 0;
+  uint64_t by_type_[32] = {};
+  Cycles latest_at_ = 0;
+
+  // Profiler state: mirrored compartment call stacks (the trusted stack
+  // lives in simulated memory; reading it would tick the clock).
+  bool boot_done_ = false;
+  int current_thread_ = -1;
+  Cycles settled_at_ = 0;
+  std::vector<std::vector<int>> thread_stacks_;
+  std::map<int, CompartmentProfile> profile_;
+  std::map<std::vector<int>, Cycles> collapsed_;
+  Cycles boot_cycles_ = 0;
+  Cycles idle_cycles_ = 0;
+
+  // Aggregates.
+  uint64_t heap_live_bytes_ = 0;
+  uint64_t heap_allocs_ = 0;
+  uint64_t heap_frees_ = 0;
+  uint64_t sweeps_completed_ = 0;
+  uint64_t granules_scanned_ = 0;
+  uint64_t nic_tx_frames_ = 0;
+  uint64_t nic_tx_bytes_ = 0;
+  uint64_t nic_rx_frames_ = 0;
+  uint64_t nic_rx_bytes_ = 0;
+
+  // Names.
+  std::vector<std::string> compartment_names_;
+  std::vector<std::string> library_names_;
+  std::vector<std::vector<std::string>> export_names_;
+  std::vector<std::string> thread_names_;
+};
+
+// Attaches a recorder to a machine: publishes it to the devices (so the
+// switcher, kernel, allocator, revoker and NIC plumbing see it through
+// Machine::trace()) and registers the profiler's clock hook. Must be called
+// before System::Boot() so boot cycles are attributed and the scheduler is
+// wired; the recorder must outlive the machine's last tick.
+void Attach(Machine& machine, TraceRecorder* recorder);
+
+}  // namespace cheriot::trace
+
+#endif  // SRC_TRACE_TRACE_H_

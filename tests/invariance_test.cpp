@@ -20,6 +20,7 @@
 
 #include "src/rtos.h"
 #include "src/sync/sync.h"
+#include "src/trace/trace.h"
 
 namespace cheriot {
 namespace {
@@ -31,6 +32,10 @@ struct Trace {
   uint64_t cap_stores = 0;
   uint32_t revoker_epoch = 0;
   std::vector<int> traps;  // TrapCode values, in order of occurrence
+  // Filled only by the traced variants (the recorder's clock dies with the
+  // workload's Machine, so these are captured before it goes out of scope).
+  Cycles attributed = 0;
+  uint64_t emitted = 0;
 
   void Print(const char* name) const {
     std::printf("GOLDEN %s cycles=%llu accesses=%llu cap_loads=%llu "
@@ -50,8 +55,11 @@ struct Trace {
 // Word/byte/half/capability round-trips, bulk copies, zeroing, MMIO register
 // traffic, and a fixed battery of trapping accesses covering every hot-path
 // check (tag, seal, permission, bounds, revocation, alignment).
-Trace MemoryWorkload() {
+Trace MemoryWorkload(trace::TraceRecorder* rec = nullptr) {
   Machine machine;
+  if (rec) {
+    trace::Attach(machine, rec);
+  }
   Memory& mem = machine.memory();
   const Address base = mem.sram_base();
   const Capability root =
@@ -156,14 +164,21 @@ Trace MemoryWorkload() {
   t.accesses = mem.access_count();
   t.cap_loads = mem.cap_load_count();
   t.cap_stores = mem.cap_store_count();
+  if (rec) {
+    t.attributed = rec->attributed_cycles();
+    t.emitted = rec->emitted();
+  }
   return t;
 }
 
 // --- Workload 2: kernel/switcher traffic ----------------------------------
 // Compartment-call ping-pong, a library call, a scoped-handler fault, a
 // global-handler fault in the callee, futex wake/wait and yields.
-Trace KernelWorkload() {
+Trace KernelWorkload(trace::TraceRecorder* rec = nullptr) {
   Machine machine;
+  if (rec) {
+    trace::Attach(machine, rec);
+  }
   auto traps = std::make_shared<std::vector<int>>();
   ImageBuilder b("invariance-kernel");
   b.Compartment("callee")
@@ -230,6 +245,10 @@ Trace KernelWorkload() {
   t.cap_loads = machine.memory().cap_load_count();
   t.cap_stores = machine.memory().cap_store_count();
   t.traps = *traps;
+  if (rec) {
+    t.attributed = rec->attributed_cycles();
+    t.emitted = rec->emitted();
+  }
   return t;
 }
 
@@ -237,8 +256,11 @@ Trace KernelWorkload() {
 // Alloc/free churn across sizes (quarantine + revocation-bit traffic), a
 // large allocation that forces a completed sweep for reuse, and a
 // use-after-free probe.
-Trace AllocatorWorkload() {
+Trace AllocatorWorkload(trace::TraceRecorder* rec = nullptr) {
   Machine machine;
+  if (rec) {
+    trace::Attach(machine, rec);
+  }
   auto traps = std::make_shared<std::vector<int>>();
   ImageBuilder b("invariance-alloc");
   b.Compartment("app")
@@ -289,6 +311,10 @@ Trace AllocatorWorkload() {
   t.cap_stores = machine.memory().cap_store_count();
   t.revoker_epoch = machine.revoker().epoch();
   t.traps = *traps;
+  if (rec) {
+    t.attributed = rec->attributed_cycles();
+    t.emitted = rec->emitted();
+  }
   return t;
 }
 
@@ -329,6 +355,35 @@ TEST(CycleModelInvariance, AllocatorWorkload) {
   const Trace t = AllocatorWorkload();
   t.Print("allocator");
   ExpectMatches(t, Golden{1069709, 4781, 0, 0, 2, {1, 1}});
+}
+
+// --- Traced variants ------------------------------------------------------
+// cheriot-trace's core guarantee: attaching the flight recorder + profiler
+// moves no guest cycle, no access count, no trap — the SAME goldens hold —
+// while every cycle lands in exactly one profiler bucket.
+
+TEST(CycleModelInvariance, MemoryWorkloadTraced) {
+  trace::TraceRecorder rec;
+  const Trace t = MemoryWorkload(&rec);
+  ExpectMatches(t, Golden{68963, 33937, 65, 66, 0,
+                          {-1, 3, 3, 4, 5, 1, 2, 8, 8, 8, 1, 3}});
+  EXPECT_EQ(t.attributed, t.cycles);
+}
+
+TEST(CycleModelInvariance, KernelWorkloadTraced) {
+  trace::TraceRecorder rec;
+  const Trace t = KernelWorkload(&rec);
+  ExpectMatches(t, Golden{15517, 1187, 0, 0, 0, {1, -6}});
+  EXPECT_EQ(t.attributed, t.cycles);
+  EXPECT_GT(t.emitted, 0u);  // compartment calls, traps and wakes recorded
+}
+
+TEST(CycleModelInvariance, AllocatorWorkloadTraced) {
+  trace::TraceRecorder rec;
+  const Trace t = AllocatorWorkload(&rec);
+  ExpectMatches(t, Golden{1069709, 4781, 0, 0, 2, {1, 1}});
+  EXPECT_EQ(t.attributed, t.cycles);
+  EXPECT_GT(t.emitted, 0u);  // heap and revoker events recorded
 }
 
 }  // namespace

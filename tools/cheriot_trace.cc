@@ -1,0 +1,336 @@
+// cheriot_trace: run a shipped firmware image with the flight recorder on
+// and export the results — Chrome trace-event JSON (load in Perfetto or
+// chrome://tracing), a per-compartment cycle profile with collapsed stacks,
+// and a versioned metrics snapshot.
+//
+// Targets come from the same registry as cheriot_lint, so "trace every image
+// we ship" is one --all invocation (the CI trace-images job). --fleet=N runs
+// N boards of the image under the simulated fabric and merges the per-board
+// streams into one trace. --check re-runs the image with tracing off and
+// fails unless the fingerprints match (tracing must not move a guest cycle)
+// and the profiler's attributed cycles equal the board's cycle counter.
+//
+// Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/sim/board.h"
+#include "src/sim/fleet.h"
+#include "src/trace/export.h"
+#include "src/trace/trace.h"
+#include "tools/lint_targets.h"
+
+using namespace cheriot;
+using cheriot::tools::FindLintTarget;
+using cheriot::tools::LintTargets;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> targets;
+  bool all = false;
+  bool list = false;
+  bool check = false;
+  int fleet = 0;        // 0 = single board
+  int host_threads = 1; // fleet worker threads
+  Cycles cycles = 20'000'000;
+  size_t ring = 1 << 16;
+  std::string out_dir = ".";
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cheriot_trace [--all | --target=NAME[,NAME...]]"
+               " [options]\n"
+               "\n"
+               "  --list-targets     list the built-in firmware images\n"
+               "  --all              trace every built-in image\n"
+               "  --target=NAME      trace one built-in image (repeatable)\n"
+               "  --cycles=N         guest cycles to run (default 20000000)\n"
+               "  --fleet=N          run N boards under the fabric and merge\n"
+               "  --host-threads=N   fleet worker threads (default 1; the\n"
+               "                     result is identical for any value)\n"
+               "  --ring=N           ring capacity in events (default 65536)\n"
+               "  --out-dir=DIR      where to write artifacts (default .)\n"
+               "  --check            verify tracing moved no guest cycle and\n"
+               "                     attributed cycles == the cycle counter\n"
+               "\n"
+               "artifacts (per target): trace_<name>.json  (Perfetto)\n"
+               "                        profile_<name>.txt (table + stacks)\n"
+               "                        metrics_<name>.json (schema v1)\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cheriot_trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+std::vector<trace::ThreadStackStats> StatsFor(System& sys) {
+  std::vector<trace::ThreadStackStats> out;
+  for (const GuestThread& t : sys.threads()) {
+    out.push_back({t.name, t.stack_size, t.peak_stack_bytes,
+                   t.compartment_calls});
+  }
+  return out;
+}
+
+struct RunArtifacts {
+  std::string trace_json;
+  std::string metrics_json;
+  std::string profile_txt;
+  sim::Board::Fingerprint fingerprint;
+  Cycles now = 0;
+  // One (cycle counter, attributed cycles) pair per board. The profiler's
+  // invariant is per board: every guest cycle lands in exactly one bucket,
+  // so the two must be equal.
+  std::vector<std::pair<Cycles, Cycles>> attribution;
+  uint64_t events = 0;
+  uint64_t dropped = 0;
+};
+
+RunArtifacts RunBoard(const tools::LintTarget& target, const CliOptions& opts,
+                      bool traced) {
+  sim::Board board(target.build(), {});
+  trace::TraceRecorder* tr = nullptr;
+  if (traced) {
+    trace::TraceOptions topts;
+    topts.ring_capacity = opts.ring;
+    tr = board.EnableTrace(topts);
+  }
+  board.Boot();
+  board.StepTo(opts.cycles);
+  RunArtifacts a;
+  a.fingerprint = board.fingerprint();
+  a.now = board.Now();
+  if (tr != nullptr) {
+    a.attribution.emplace_back(board.Now(), tr->attributed_cycles());
+    a.events = tr->emitted();
+    a.dropped = tr->dropped();
+    a.trace_json = trace::ChromeTrace(*tr).Dump(2) + "\n";
+    a.metrics_json =
+        trace::MetricsSnapshot(*tr, StatsFor(board.system())).Dump(2) + "\n";
+    a.profile_txt =
+        trace::ProfileText(*tr) + "\n" + trace::CollapsedStacksText(*tr);
+  }
+  return a;
+}
+
+RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
+                      bool traced) {
+  sim::FleetOptions fopts;
+  fopts.host_threads = opts.host_threads;
+  fopts.trace = traced;
+  fopts.trace_options.ring_capacity = opts.ring;
+  sim::Fleet fleet(fopts);
+  for (int i = 0; i < opts.fleet; ++i) {
+    fleet.AddBoard(target.build());
+  }
+  fleet.Boot();
+  fleet.Run(opts.cycles);
+  RunArtifacts a;
+  a.fingerprint = fleet.board(0).fingerprint();
+  a.now = fleet.Now();
+  if (traced) {
+    a.trace_json = trace::MergedChromeTrace(fleet.TraceRecorders()).Dump(2) +
+                   "\n";
+    json::Array metrics;
+    std::string profiles;
+    for (trace::TraceRecorder* tr : fleet.TraceRecorders()) {
+      std::vector<trace::ThreadStackStats> stats;
+      if (tr->board_index() >= 0) {
+        sim::Board& b = fleet.board(static_cast<size_t>(tr->board_index()));
+        stats = StatsFor(b.system());
+        a.attribution.emplace_back(b.Now(), tr->attributed_cycles());
+      }
+      a.events += tr->emitted();
+      a.dropped += tr->dropped();
+      metrics.push_back(trace::MetricsSnapshot(*tr, stats));
+      profiles += trace::ProfileText(*tr) + "\n";
+      profiles += trace::CollapsedStacksText(*tr) + "\n";
+    }
+    a.metrics_json = json::Value(std::move(metrics)).Dump(2) + "\n";
+    a.profile_txt = std::move(profiles);
+  }
+  return a;
+}
+
+// Runs one target; returns false on a --check failure.
+bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
+  const bool fleet_mode = opts.fleet > 0;
+  RunArtifacts traced = fleet_mode ? RunFleet(target, opts, true)
+                                   : RunBoard(target, opts, true);
+
+  const std::string base = opts.out_dir + "/";
+  if (!WriteFile(base + "trace_" + target.name + ".json", traced.trace_json) ||
+      !WriteFile(base + "metrics_" + target.name + ".json",
+                 traced.metrics_json) ||
+      !WriteFile(base + "profile_" + target.name + ".txt",
+                 traced.profile_txt)) {
+    return false;
+  }
+  std::printf("%-26s %12llu cycles %8llu events (%llu dropped)\n",
+              target.name.c_str(),
+              static_cast<unsigned long long>(traced.now),
+              static_cast<unsigned long long>(traced.events),
+              static_cast<unsigned long long>(traced.dropped));
+
+  if (!opts.check) {
+    return true;
+  }
+  // Invariance: the same run with tracing off must land on the same
+  // fingerprint — enabling the recorder moved no guest cycle.
+  RunArtifacts plain = fleet_mode ? RunFleet(target, opts, false)
+                                  : RunBoard(target, opts, false);
+  bool ok = true;
+  if (!(plain.fingerprint == traced.fingerprint)) {
+    const auto& a = traced.fingerprint;
+    const auto& b = plain.fingerprint;
+    std::fprintf(stderr,
+                 "cheriot_trace: %s: tracing changed the fingerprint\n"
+                 "  traced:   now=%llu accesses=%llu cap=%llu/%llu traps=%llu"
+                 " idle=%llu uart=%llu/%016llx reboots=%u\n"
+                 "  untraced: now=%llu accesses=%llu cap=%llu/%llu traps=%llu"
+                 " idle=%llu uart=%llu/%016llx reboots=%u\n",
+                 target.name.c_str(),
+                 static_cast<unsigned long long>(a.now),
+                 static_cast<unsigned long long>(a.accesses),
+                 static_cast<unsigned long long>(a.cap_loads),
+                 static_cast<unsigned long long>(a.cap_stores),
+                 static_cast<unsigned long long>(a.traps),
+                 static_cast<unsigned long long>(a.idle_cycles),
+                 static_cast<unsigned long long>(a.uart_bytes),
+                 static_cast<unsigned long long>(a.uart_hash), a.reboots,
+                 static_cast<unsigned long long>(b.now),
+                 static_cast<unsigned long long>(b.accesses),
+                 static_cast<unsigned long long>(b.cap_loads),
+                 static_cast<unsigned long long>(b.cap_stores),
+                 static_cast<unsigned long long>(b.traps),
+                 static_cast<unsigned long long>(b.idle_cycles),
+                 static_cast<unsigned long long>(b.uart_bytes),
+                 static_cast<unsigned long long>(b.uart_hash), b.reboots);
+    ok = false;
+  }
+  // Attribution: every guest cycle lands in exactly one bucket, so each
+  // board's attributed cycles must equal its own cycle counter exactly.
+  Cycles counter = 0;
+  Cycles attributed = 0;
+  for (size_t i = 0; i < traced.attribution.size(); ++i) {
+    const auto& [now, attr] = traced.attribution[i];
+    counter += now;
+    attributed += attr;
+    if (attr != now) {
+      std::fprintf(stderr,
+                   "cheriot_trace: %s: board %zu attributed %llu != cycle "
+                   "counter %llu\n",
+                   target.name.c_str(), i,
+                   static_cast<unsigned long long>(attr),
+                   static_cast<unsigned long long>(now));
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%-26s check ok: fingerprint invariant, %llu/%llu cycles "
+                "attributed\n",
+                target.name.c_str(),
+                static_cast<unsigned long long>(attributed),
+                static_cast<unsigned long long>(counter));
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-targets") {
+      opts.list = true;
+    } else if (arg == "--all") {
+      opts.all = true;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (const char* v = value("--target=")) {
+      for (auto& t : SplitCsv(v)) {
+        opts.targets.push_back(t);
+      }
+    } else if (const char* v = value("--cycles=")) {
+      opts.cycles = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--fleet=")) {
+      opts.fleet = std::atoi(v);
+    } else if (const char* v = value("--host-threads=")) {
+      opts.host_threads = std::atoi(v);
+    } else if (const char* v = value("--ring=")) {
+      opts.ring = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out-dir=")) {
+      opts.out_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "cheriot_trace: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  if (opts.list) {
+    for (const auto& t : LintTargets()) {
+      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+  }
+  if (opts.all) {
+    for (const auto& t : LintTargets()) {
+      opts.targets.push_back(t.name);
+    }
+  }
+  if (opts.targets.empty()) {
+    Usage(stderr);
+    return 2;
+  }
+
+  bool ok = true;
+  for (const auto& name : opts.targets) {
+    const tools::LintTarget* t = FindLintTarget(name);
+    if (t == nullptr) {
+      std::fprintf(stderr,
+                   "cheriot_trace: unknown target '%s' (--list-targets)\n",
+                   name.c_str());
+      return 2;
+    }
+    try {
+      ok = RunTarget(*t, opts) && ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_trace: %s failed: %s\n", name.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}
