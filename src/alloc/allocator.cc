@@ -4,6 +4,7 @@
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/health/forensics.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
 #include "src/trace/trace.h"
@@ -23,6 +24,27 @@ void Allocator::Init() {
   first.state = ChunkState::kFree;
   WriteHeader(heap_base_, first);
   free_chunks_.insert(heap_base_);
+}
+
+int Allocator::ServiceCompartmentId() {
+  if (service_compartment_ == -2) {
+    CompartmentRuntime* rt = system_->boot().FindCompartment("alloc");
+    service_compartment_ = rt ? rt->id : -1;
+  }
+  return service_compartment_;
+}
+
+int Allocator::AttributedCompartment() {
+  const int thread = system_->current_thread_id();
+  if (thread < 0) {
+    return -1;
+  }
+  const GuestThread& t = system_->threads()[thread];
+  const auto& stack = t.compartment_stack;
+  if (stack.size() >= 2 && stack.back() == ServiceCompartmentId()) {
+    return stack[stack.size() - 2];
+  }
+  return t.current_compartment;
 }
 
 Allocator::Header Allocator::ReadHeader(Address chunk) const {
@@ -103,6 +125,16 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
                            m.memory().RawLoadWord(unsealed_q.base() + 12),
                            need);
     }
+    if (auto* hr = m.forensics()) {
+      // Unlike the trace hook above, forensics attributes the denial to the
+      // compartment that *asked* for memory, not the alloc service the
+      // heap_allocate export runs in — that is what the quota-exhaustion
+      // detector keys on.
+      hr->OnQuotaExhausted(system_->current_thread_id(),
+                           AttributedCompartment(),
+                           m.memory().RawLoadWord(unsealed_q.base() + 12),
+                           need);
+    }
     return StatusCap(Status::kNoMemory);
   }
 
@@ -151,6 +183,19 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
       h.epoch = 0;
       WriteHeader(chunk, h);
       used_.insert(chunk);
+      // Allocation-site provenance (native only; no guest cycles).
+      AllocSite site;
+      site.compartment = AttributedCompartment();
+      site.seq = ++site_seq_;
+      site.site_id =
+          (static_cast<uint32_t>(site.compartment & 0xFFF) << 20) |
+          static_cast<uint32_t>(site.seq & 0xFFFFF);
+      site.allocated_at = system_->Now();
+      site.payload = PayloadOf(chunk);
+      site.size = h.size - kHeaderBytes;
+      site.quota = h.quota;
+      sites_[chunk] = site;
+      live_native_ += h.size;
       SetQuotaUsed(unsealed_q, QuotaUsed(unsealed_q) + h.size);
       if (auto* tr = m.trace()) {
         tr->OnHeapAlloc(system_->current_thread_id(), ctx.compartment(),
@@ -202,13 +247,23 @@ void Allocator::ReleaseChunk(Address chunk, const Header& header) {
   WriteHeader(chunk, h);
   used_.erase(chunk);
   quarantine_.push_back(chunk);
+  // ReleaseChunk is reached from heap_free, heap_free_all, micro-reboot
+  // and deferred ephemeral-claim releases; the compartment attributed is
+  // whichever one the current thread is executing (or -1 from the kernel).
+  const int thread = system_->current_thread_id();
+  const int comp =
+      thread >= 0 ? system_->threads()[thread].current_compartment : -1;
+  live_native_ -= std::min(live_native_, header.size);
+  quarantined_native_ += header.size;
+  if (auto site_it = sites_.find(chunk); site_it != sites_.end()) {
+    site_it->second.state = SiteState::kQuarantined;
+    // Attribute the free to the alloc service's caller (heap_free is a
+    // cross-compartment call), falling back to the executing compartment
+    // for kernel/micro-reboot driven releases.
+    site_it->second.freed_by = AttributedCompartment();
+    site_it->second.freed_at = system_->Now();
+  }
   if (auto* tr = m.trace()) {
-    // ReleaseChunk is reached from heap_free, heap_free_all, micro-reboot
-    // and deferred ephemeral-claim releases; the compartment attributed is
-    // whichever one the current thread is executing (or -1 from the kernel).
-    const int thread = system_->current_thread_id();
-    const int comp =
-        thread >= 0 ? system_->threads()[thread].current_compartment : -1;
     tr->OnHeapFree(thread, comp, header.quota, header.size);
   }
   system_->machine().revoker().StartSweep();
@@ -417,6 +472,17 @@ void Allocator::ProcessQuarantine(int max_items) {
       break;  // not yet swept; FIFO order means nothing behind is ready
     }
     quarantine_.pop_front();
+    quarantined_native_ -= std::min(quarantined_native_, h.size);
+    if (auto site_it = sites_.find(chunk); site_it != sites_.end()) {
+      // The chunk rejoins the free list: retire its site (bounded history)
+      // so a late fault through a stale capability can still be attributed.
+      site_it->second.state = SiteState::kReused;
+      retired_.push_back(site_it->second);
+      while (retired_.size() > kRetiredSites) {
+        retired_.pop_front();
+      }
+      sites_.erase(site_it);
+    }
     // Clear the revocation bits: the sweep guarantees no stale capabilities
     // survive anywhere in memory.
     system_->machine().memory().revocation().SetRange(
@@ -540,6 +606,24 @@ Word Allocator::LargestFreeChunk() const {
     best = std::max(best, ReadHeader(chunk).size);
   }
   return best;
+}
+
+const Allocator::AllocSite* Allocator::ProvenanceFor(Address addr) const {
+  if (!sites_.empty()) {
+    auto it = sites_.upper_bound(addr);
+    if (it != sites_.begin()) {
+      const AllocSite& s = std::prev(it)->second;
+      if (addr >= s.payload && addr < s.payload + s.size) {
+        return &s;
+      }
+    }
+  }
+  for (auto rit = retired_.rbegin(); rit != retired_.rend(); ++rit) {
+    if (addr >= rit->payload && addr < rit->payload + rit->size) {
+      return &*rit;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace cheriot

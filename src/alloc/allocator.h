@@ -37,6 +37,32 @@ class Allocator {
 
   enum class ChunkState : uint8_t { kFree = 0, kUsed = 1, kQuarantined = 2 };
 
+  // --- Allocation-site provenance (src/health, DESIGN.md §9) ---------------
+  // Every live heap object carries a compact site id (allocating compartment
+  // + allocator-wide sequence number) in a native-only table, so crash
+  // forensics can answer "who allocated the object this faulting capability
+  // points into, and was it freed?". Purely observational: maintained with
+  // zero guest cycles and zero simulated-memory accesses.
+  enum class SiteState : uint8_t {
+    kLive = 0,         // allocated, not yet freed
+    kQuarantined = 1,  // freed; revocation bits painted, awaiting sweep
+    kReused = 2,       // freed and returned to the free list
+  };
+  struct AllocSite {
+    uint32_t site_id = 0;      // (compartment & 0xFFF) << 20 | (seq & 0xFFFFF)
+    int32_t compartment = -1;  // allocating compartment
+    uint64_t seq = 0;          // allocator-wide allocation sequence number
+    Cycles allocated_at = 0;   // guest cycles at allocation
+    Address payload = 0;
+    Word size = 0;             // payload bytes (chunk size minus header)
+    uint8_t quota = 0;
+    SiteState state = SiteState::kLive;
+    int32_t freed_by = -1;     // compartment that freed it (-1 = not freed)
+    Cycles freed_at = 0;
+  };
+  // Retired (reused) sites kept for late-fault attribution.
+  static constexpr size_t kRetiredSites = 64;
+
   explicit Allocator(System* system) : system_(system) {}
   void Init();
 
@@ -72,6 +98,19 @@ class Allocator {
   size_t UsedChunks() const { return used_.size(); }
   Word LargestFreeChunk() const;
 
+  // --- Provenance read side (health monitor, forensics capture) ------------
+  // Site whose payload contains `addr`: current sites first, then retired
+  // ones newest-first. Null when the address is not heap-attributable.
+  // Zero-cost observer — never reads simulated memory or ticks the clock
+  // (unlike FreeBytes()/QuarantinedBytes(), which are costed).
+  const AllocSite* ProvenanceFor(Address addr) const;
+  const std::map<Address, AllocSite>& sites() const { return sites_; }
+  const std::deque<AllocSite>& retired_sites() const { return retired_; }
+  uint64_t allocation_count() const { return site_seq_; }
+  // Native byte counters mirroring the in-band headers.
+  Word LiveBytesNative() const { return live_native_; }
+  Word QuarantinedBytesNative() const { return quarantined_native_; }
+
   // Unseals an allocation capability; returns untagged cap on failure.
   Capability UnsealAllocCap(const Capability& alloc_cap) const;
 
@@ -105,6 +144,14 @@ class Allocator {
   void CoalesceAndFree(Address chunk);
   Capability MakeHeapCap(Address payload, Word size) const;
 
+  // Compartment accountable for the current heap operation. heap_* exports
+  // execute inside the alloc service compartment, so the party to attribute
+  // (site provenance, quota forensics) is the caller that entered it — read
+  // from the thread's native compartment-stack mirror, never from simulated
+  // memory. Falls back to current_compartment for kernel-driven releases.
+  int AttributedCompartment();
+  int ServiceCompartmentId();
+
   System* system_;
   Capability heap_root_;  // privileged, revocation-exempt (§3.1.3)
   Address heap_base_ = 0;
@@ -118,6 +165,15 @@ class Allocator {
   std::map<Address, std::map<uint32_t, uint32_t>> claims_;
   // Frees deferred by ephemeral claims (§3.2.5).
   std::set<Address> pending_free_;
+
+  // Allocation-site provenance: chunk address -> site, plus a bounded deque
+  // of retired sites (chunks that left quarantine) newest-last. Native-only.
+  std::map<Address, AllocSite> sites_;
+  std::deque<AllocSite> retired_;
+  uint64_t site_seq_ = 0;
+  int service_compartment_ = -2;  // -2 = not yet resolved from boot info
+  Word live_native_ = 0;
+  Word quarantined_native_ = 0;
 };
 
 }  // namespace cheriot

@@ -1,0 +1,180 @@
+#include "src/health/forensics.h"
+
+#include "src/cap/capability.h"
+#include "src/hw/machine.h"
+
+namespace cheriot::health {
+
+const char* DispositionName(Disposition d) {
+  switch (d) {
+    case Disposition::kUnwindNoHandler: return "unwind_no_handler";
+    case Disposition::kHandlerUnwind: return "handler_unwind";
+    case Disposition::kHandlerInstalledContext:
+      return "handler_installed_context";
+    case Disposition::kHandlerFaulted: return "handler_faulted";
+    case Disposition::kForcedUnwind: return "forced_unwind";
+  }
+  return "unknown";
+}
+
+const char* ProvenanceStateName(HeapProvenance::State s) {
+  switch (s) {
+    case HeapProvenance::State::kLive: return "live";
+    case HeapProvenance::State::kQuarantined: return "quarantined";
+    case HeapProvenance::State::kReused: return "reused";
+  }
+  return "unknown";
+}
+
+namespace {
+
+DecodedCap Decode(const char* name, const Capability& c) {
+  DecodedCap d;
+  d.name = name;
+  d.tag = c.tag();
+  d.sealed = c.IsSealed();
+  d.cursor = c.cursor();
+  d.base = c.base();
+  d.top = c.top();
+  d.perms = c.permissions().ToString();
+  d.otype = static_cast<int>(c.otype());
+  return d;
+}
+
+}  // namespace
+
+std::vector<DecodedCap> DecodeRegisterFile(const RegisterFile& regs) {
+  std::vector<DecodedCap> out;
+  out.reserve(4 + regs.a.size() + regs.t.size());
+  out.push_back(Decode("pcc", regs.pcc));
+  out.push_back(Decode("ra", regs.ra));
+  out.push_back(Decode("csp", regs.csp));
+  out.push_back(Decode("cgp", regs.cgp));
+  static const char* kANames[] = {"a0", "a1", "a2", "a3", "a4", "a5"};
+  for (size_t i = 0; i < regs.a.size(); ++i) {
+    out.push_back(Decode(kANames[i], regs.a[i]));
+  }
+  static const char* kTNames[] = {"t0", "t1"};
+  for (size_t i = 0; i < regs.t.size(); ++i) {
+    out.push_back(Decode(kTNames[i], regs.t[i]));
+  }
+  return out;
+}
+
+ForensicsRecorder::ForensicsRecorder(ForensicsOptions options)
+    : options_(options) {
+  ring_.resize(options_.ring_capacity);
+}
+
+void ForensicsRecorder::SetCompartmentNames(std::vector<std::string> names) {
+  compartment_names_ = std::move(names);
+}
+void ForensicsRecorder::SetThreadNames(std::vector<std::string> names) {
+  thread_names_ = std::move(names);
+}
+
+void ForensicsRecorder::OnCompartmentCall(int thread, int callee) {
+  if (thread < 0) {
+    return;
+  }
+  if (static_cast<size_t>(thread) >= thread_stacks_.size()) {
+    thread_stacks_.resize(static_cast<size_t>(thread) + 1);
+  }
+  thread_stacks_[static_cast<size_t>(thread)].push_back(callee);
+}
+
+void ForensicsRecorder::OnCompartmentReturn(int thread) {
+  if (thread < 0 || static_cast<size_t>(thread) >= thread_stacks_.size()) {
+    return;
+  }
+  auto& stack = thread_stacks_[static_cast<size_t>(thread)];
+  if (!stack.empty()) {
+    stack.pop_back();
+  }
+}
+
+void ForensicsRecorder::OnQuotaExhausted(int thread, int compartment,
+                                         uint32_t quota, Word bytes) {
+  (void)thread;
+  (void)quota;
+  (void)bytes;
+  ++quota_exhaustions_;
+  ++quota_by_compartment_[compartment];
+}
+
+void ForensicsRecorder::OnMicroReboot(int compartment, Cycles at) {
+  ++total_reboots_;
+  auto& history = reboots_[compartment];
+  history.push_back(at);
+  while (history.size() > options_.reboot_history) {
+    history.pop_front();
+  }
+}
+
+const std::vector<int>& ForensicsRecorder::CallStack(int thread) {
+  if (thread < 0 || static_cast<size_t>(thread) >= thread_stacks_.size()) {
+    static const std::vector<int> kEmpty;
+    return kEmpty;
+  }
+  return thread_stacks_[static_cast<size_t>(thread)];
+}
+
+uint64_t ForensicsRecorder::Record(CrashRecord record) {
+  record.seq = next_seq_++;
+  record.at = now();
+  record.call_stack = CallStack(record.thread);
+  ++recorded_;
+  ++by_cause_[static_cast<int>(record.cause)];
+  ++by_compartment_[record.compartment];
+  ++by_disposition_[static_cast<int>(record.disposition)];
+  if (record.disposition == Disposition::kForcedUnwind) {
+    ++forced_unwinds_;
+  }
+  if (record.provenance.known &&
+      record.provenance.state != HeapProvenance::State::kLive) {
+    ++use_after_free_;
+  }
+  const uint64_t seq = record.seq;
+  if (ring_.empty()) {
+    ++dropped_;
+    return seq;
+  }
+  if (count_ == ring_.size()) {
+    start_ = (start_ + 1) % ring_.size();
+    --count_;
+    ++dropped_;
+  }
+  ring_[(start_ + count_) % ring_.size()] = std::move(record);
+  ++count_;
+  return seq;
+}
+
+std::vector<CrashRecord> ForensicsRecorder::Records() const {
+  std::vector<CrashRecord> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string ForensicsRecorder::CompartmentName(int id) const {
+  if (id >= 0 && static_cast<size_t>(id) < compartment_names_.size()) {
+    return compartment_names_[static_cast<size_t>(id)];
+  }
+  return "compartment" + std::to_string(id);
+}
+
+std::string ForensicsRecorder::ThreadName(int id) const {
+  if (id >= 0 && static_cast<size_t>(id) < thread_names_.size()) {
+    return thread_names_[static_cast<size_t>(id)];
+  }
+  return "thread" + std::to_string(id);
+}
+
+void Attach(Machine& machine, ForensicsRecorder* recorder) {
+  recorder->SetClock(&machine.clock());
+  machine.set_forensics(recorder);
+}
+
+}  // namespace cheriot::health

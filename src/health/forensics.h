@@ -1,0 +1,220 @@
+// cheriot-health fault forensics: a deterministic crash recorder for the
+// simulated SoC (DESIGN.md §9).
+//
+// Every CHERI trap that reaches the switcher's first-level handler — and
+// every switcher-initiated forced unwind — files a structured crash record:
+// trap cause and faulting address, the full capability register file with
+// tag/bounds/permissions/seal decoded, the compartment call stack (from a
+// mirrored stack, like the trace profiler's — the trusted stack lives in
+// simulated memory and reading it would tick the clock), the trusted-stack
+// depth, the error-handler disposition the switcher took, and — when the
+// faulting address lands in the heap — the allocation-site provenance of the
+// object it points into ("who allocated this, and was it freed?").
+//
+// Determinism contract (same as src/trace, pinned by tests/health_test.cpp):
+// the recorder only OBSERVES the cycle model. It never ticks the clock,
+// never touches simulated memory, and never consults host state, so enabling
+// forensics cannot move a single guest cycle. Every capture site in the
+// switcher/kernel/allocator is a raw-pointer null check through
+// Machine::forensics().
+#ifndef SRC_HEALTH_FORENSICS_H_
+#define SRC_HEALTH_FORENSICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/types.h"
+#include "src/mem/trap.h"
+#include "src/switcher/registers.h"
+
+namespace cheriot {
+class Machine;
+}  // namespace cheriot
+
+namespace cheriot::health {
+
+// What the switcher did with the trap (§3.2.6 error-handling paths).
+enum class Disposition : uint8_t {
+  kUnwindNoHandler = 0,         // no (or re-entered) handler: frame unwound
+  kHandlerUnwind = 1,           // global handler ran, chose kForceUnwind
+  kHandlerInstalledContext = 2, // global handler repaired the register file
+  kHandlerFaulted = 3,          // the handler itself trapped; frame unwound
+  kForcedUnwind = 4,            // switcher-initiated (micro-reboot step 2)
+};
+
+const char* DispositionName(Disposition d);
+
+// One architectural register, decoded for the crash record.
+struct DecodedCap {
+  std::string name;    // "pcc", "ra", "csp", "cgp", "a0".."a5", "t0".."t1"
+  bool tag = false;
+  bool sealed = false;
+  Address cursor = 0;
+  Address base = 0;
+  Address top = 0;     // exclusive
+  std::string perms;   // PermissionSet::ToString()
+  int otype = 0;
+};
+
+// Decodes the register file in declaration order (pcc, ra, csp, cgp, a0..a5,
+// t0..t1) so records are byte-stable.
+std::vector<DecodedCap> DecodeRegisterFile(const RegisterFile& regs);
+
+// Allocation-site provenance of the heap object containing the faulting
+// address, copied out of the allocator's native site table at capture time.
+struct HeapProvenance {
+  bool known = false;       // fault address resolved to an allocation site
+  uint32_t site_id = 0;     // compact id: (compartment << 20) | sequence
+  int32_t compartment = -1; // allocating compartment
+  uint64_t seq = 0;         // allocator-wide allocation sequence number
+  Cycles allocated_at = 0;  // guest cycles at allocation
+  Word size = 0;            // payload bytes
+  uint32_t quota = 0;       // owning allocation capability (quota id)
+  // kLive: still allocated. kQuarantined: freed, revocation bits painted,
+  // awaiting the sweep+quarantine drain. kReused: freed and since returned
+  // to the free list (the address may have been re-allocated).
+  enum class State : uint8_t { kLive = 0, kQuarantined = 1, kReused = 2 };
+  State state = State::kLive;
+  int32_t freed_by = -1;    // compartment that freed it (-1 = not freed)
+  Cycles freed_at = 0;
+};
+
+const char* ProvenanceStateName(HeapProvenance::State s);
+
+struct CrashRecord {
+  uint64_t seq = 0;          // monotonic per recorder, stamped by Record()
+  Cycles at = 0;             // guest cycles, stamped by Record()
+  int16_t thread = -1;
+  int32_t compartment = -1;  // faulting compartment
+  TrapCode cause = TrapCode::kNone;
+  Address fault_address = 0;
+  Disposition disposition = Disposition::kUnwindNoHandler;
+  std::vector<DecodedCap> regs;   // decoded register file at the fault
+  std::vector<int> call_stack;    // compartments, outermost first (mirror)
+  uint32_t trusted_depth = 0;     // trusted-stack frames below the fault
+  HeapProvenance provenance;      // heap object the fault address hit, if any
+};
+
+struct ForensicsOptions {
+  // Crash-record ring capacity; oldest records are dropped (and counted)
+  // once the ring is full, deterministically.
+  size_t ring_capacity = 256;
+  // Per-compartment micro-reboot history depth (reboot-loop detection).
+  size_t reboot_history = 32;
+};
+
+class ForensicsRecorder {
+ public:
+  explicit ForensicsRecorder(ForensicsOptions options = {});
+
+  ForensicsRecorder(const ForensicsRecorder&) = delete;
+  ForensicsRecorder& operator=(const ForensicsRecorder&) = delete;
+
+  // --- Wiring (Attach() / System::Boot) ------------------------------------
+  void SetClock(const CycleClock* clock) { clock_ = clock; }
+  void SetLabel(std::string label) { label_ = std::move(label); }
+  void SetBoardIndex(int index) { board_index_ = index; }
+  void SetCompartmentNames(std::vector<std::string> names);
+  void SetThreadNames(std::vector<std::string> names);
+
+  // --- Choke-point mirrors (same sites as the trace recorder's) ------------
+  void OnCompartmentCall(int thread, int callee);
+  void OnCompartmentReturn(int thread);
+  void OnQuotaExhausted(int thread, int compartment, uint32_t quota,
+                        Word bytes);
+  void OnMicroReboot(int compartment, Cycles at);
+
+  // Files a crash record: stamps seq and guest time, snapshots the mirrored
+  // compartment stack for `record.thread`, and appends to the ring (dropping
+  // the oldest when full). Returns the record's sequence number so a
+  // co-attached trace can join the two streams.
+  uint64_t Record(CrashRecord record);
+
+  // Mirrored compartment stack for a thread (capture helper for the
+  // switcher; outermost first).
+  const std::vector<int>& CallStack(int thread);
+
+  // --- Read side (health monitor, tools, tests) ----------------------------
+  std::vector<CrashRecord> Records() const;
+  size_t record_count() const { return count_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+
+  // Deterministic aggregates, maintained on capture.
+  const std::map<int, uint64_t>& crashes_by_cause() const {    // key TrapCode
+    return by_cause_;
+  }
+  const std::map<int, uint64_t>& crashes_by_compartment() const {
+    return by_compartment_;
+  }
+  const std::map<int, uint64_t>& crashes_by_disposition() const {
+    return by_disposition_;
+  }
+  uint64_t forced_unwinds() const { return forced_unwinds_; }
+  uint64_t use_after_free_crashes() const { return use_after_free_; }
+  uint64_t quota_exhaustions() const { return quota_exhaustions_; }
+  const std::map<int, uint64_t>& quota_exhaustions_by_compartment() const {
+    return quota_by_compartment_;
+  }
+  // Micro-reboot guest-cycle timestamps per compartment, newest last,
+  // bounded to options().reboot_history entries.
+  const std::map<int, std::deque<Cycles>>& reboots() const { return reboots_; }
+  uint64_t total_reboots() const { return total_reboots_; }
+
+  // --- Name resolution ------------------------------------------------------
+  const std::string& label() const { return label_; }
+  int board_index() const { return board_index_; }
+  Cycles now() const { return clock_ ? clock_->now() : 0; }
+  std::string CompartmentName(int id) const;
+  std::string ThreadName(int id) const;
+
+  const ForensicsOptions& options() const { return options_; }
+
+ private:
+  ForensicsOptions options_;
+  const CycleClock* clock_ = nullptr;
+  std::string label_;
+  int board_index_ = 0;
+
+  // Ring buffer of crash records.
+  std::vector<CrashRecord> ring_;
+  size_t start_ = 0;
+  size_t count_ = 0;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t next_seq_ = 0;
+
+  // Mirrored per-thread compartment stacks (fed from the switcher's
+  // call/return choke points, like the trace profiler's).
+  std::vector<std::vector<int>> thread_stacks_;
+
+  // Aggregates.
+  std::map<int, uint64_t> by_cause_;
+  std::map<int, uint64_t> by_compartment_;
+  std::map<int, uint64_t> by_disposition_;
+  uint64_t forced_unwinds_ = 0;
+  uint64_t use_after_free_ = 0;
+  uint64_t quota_exhaustions_ = 0;
+  std::map<int, uint64_t> quota_by_compartment_;
+  std::map<int, std::deque<Cycles>> reboots_;
+  uint64_t total_reboots_ = 0;
+
+  // Names.
+  std::vector<std::string> compartment_names_;
+  std::vector<std::string> thread_names_;
+};
+
+// Attaches a recorder to a machine: publishes it through
+// Machine::forensics() so the switcher, kernel and allocator capture sites
+// see it. Must be called before System::Boot() (which publishes the name
+// tables); the recorder must outlive the machine's last tick. Unlike the
+// trace recorder there is no clock hook: forensics has no catch-up charging.
+void Attach(Machine& machine, ForensicsRecorder* recorder);
+
+}  // namespace cheriot::health
+
+#endif  // SRC_HEALTH_FORENSICS_H_

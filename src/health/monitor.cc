@@ -1,0 +1,377 @@
+#include "src/health/monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cheriot::health {
+
+const char* DetectorName(Detector d) {
+  switch (d) {
+    case Detector::kStuckBoard: return "stuck_board";
+    case Detector::kTrapStorm: return "trap_storm";
+    case Detector::kQuotaExhaustion: return "quota_exhaustion";
+    case Detector::kRevokerBacklog: return "revoker_backlog";
+    case Detector::kRebootLoop: return "reboot_loop";
+    case Detector::kUseAfterFree: return "use_after_free";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string CompartmentNameFor(sim::Board& board, int id) {
+  if (id < 0) {
+    return "<board>";
+  }
+  const auto& comps = board.system().boot().compartments;
+  if (static_cast<size_t>(id) < comps.size()) {
+    return comps[static_cast<size_t>(id)].name;
+  }
+  return "compartment" + std::to_string(id);
+}
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+std::string Hex(Address a) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", a);
+  return buf;
+}
+
+}  // namespace
+
+BoardHealth AssessBoard(sim::Board& board, const HealthOptions& options) {
+  BoardHealth h;
+  h.board = board.index();
+  h.now = board.machine().clock().now();
+  System& sys = board.system();
+  h.traps = sys.switcher().trap_count();
+  h.idle_cycles = sys.sched().idle_cycles();
+  for (const auto& comp : sys.boot().compartments) {
+    h.reboots += comp.reboot_count;
+  }
+  h.allocations = sys.alloc().allocation_count();
+  h.heap_live_bytes = sys.alloc().LiveBytesNative();
+  h.heap_quarantined_bytes = sys.alloc().QuarantinedBytesNative();
+  h.deadlocked = board.last_result() == System::RunResult::kDeadlock;
+  ForensicsRecorder* hr = board.forensics_recorder();
+  if (hr != nullptr) {
+    h.crash_records = hr->recorded();
+    h.forced_unwinds = hr->forced_unwinds();
+    h.use_after_free_crashes = hr->use_after_free_crashes();
+    h.quota_exhaustions = hr->quota_exhaustions();
+  }
+
+  const auto add = [&h](Detector d, int compartment, std::string detail) {
+    h.anomalies.push_back({d, compartment, std::move(detail)});
+  };
+
+  // Detectors run in fixed order (and per-compartment maps iterate in key
+  // order), so the anomaly list is deterministic.
+  if (h.deadlocked) {
+    add(Detector::kStuckBoard, -1,
+        "all threads blocked with no future hardware event at cycle " +
+            U64(h.now) + " (idle " + U64(h.idle_cycles) + " cycles)");
+  }
+  if (h.traps >= options.trap_storm_min_traps && h.now > 0) {
+    const double per_mcycle =
+        1e6 * static_cast<double>(h.traps) / static_cast<double>(h.now);
+    if (per_mcycle > options.trap_storm_per_mcycle) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%.1f traps per Mcycle (%llu traps in %llu cycles, "
+                    "threshold %.1f)",
+                    per_mcycle, static_cast<unsigned long long>(h.traps),
+                    static_cast<unsigned long long>(h.now),
+                    options.trap_storm_per_mcycle);
+      add(Detector::kTrapStorm, -1, buf);
+    }
+  }
+  if (hr != nullptr) {
+    for (const auto& [comp, denials] : hr->quota_exhaustions_by_compartment()) {
+      if (denials >= options.quota_exhaustion_min) {
+        add(Detector::kQuotaExhaustion, comp,
+            CompartmentNameFor(board, comp) + " denied " + U64(denials) +
+                " allocations on an exhausted quota");
+      }
+    }
+  }
+  if (h.heap_quarantined_bytes > options.revoker_backlog_bytes) {
+    add(Detector::kRevokerBacklog, -1,
+        U64(h.heap_quarantined_bytes) +
+            " bytes in quarantine awaiting revocation (threshold " +
+            U64(options.revoker_backlog_bytes) + ")");
+  }
+  if (hr != nullptr) {
+    for (const auto& [comp, times] : hr->reboots()) {
+      for (size_t i = 0;
+           i + options.reboot_loop_min <= times.size(); ++i) {
+        const Cycles span =
+            times[i + options.reboot_loop_min - 1] - times[i];
+        if (span <= options.reboot_loop_window) {
+          add(Detector::kRebootLoop, comp,
+              CompartmentNameFor(board, comp) + " micro-rebooted " +
+                  std::to_string(options.reboot_loop_min) + " times within " +
+                  U64(span) + " cycles (window " +
+                  U64(options.reboot_loop_window) + ")");
+          break;
+        }
+      }
+    }
+  }
+  if (hr != nullptr && hr->use_after_free_crashes() > 0) {
+    // The first freed-provenance record names the object and both parties.
+    for (const auto& rec : hr->Records()) {
+      if (!rec.provenance.known ||
+          rec.provenance.state == HeapProvenance::State::kLive) {
+        continue;
+      }
+      add(Detector::kUseAfterFree, rec.compartment,
+          CompartmentNameFor(board, rec.compartment) + " faulted at 0x" +
+              Hex(rec.fault_address) + " inside a " +
+              ProvenanceStateName(rec.provenance.state) + " " +
+              U64(rec.provenance.size) + "-byte object allocated by " +
+              CompartmentNameFor(board, rec.provenance.compartment) +
+              " and freed by " +
+              CompartmentNameFor(board, rec.provenance.freed_by) +
+              " at cycle " + U64(rec.provenance.freed_at));
+      break;
+    }
+  }
+  h.healthy = h.anomalies.empty();
+  return h;
+}
+
+namespace {
+
+json::Value ProvenanceJson(sim::Board& board, const HeapProvenance& p) {
+  json::Object o;
+  o["site_id"] = p.site_id;
+  o["compartment"] = p.compartment;
+  o["compartment_name"] = CompartmentNameFor(board, p.compartment);
+  o["seq"] = p.seq;
+  o["allocated_at"] = static_cast<uint64_t>(p.allocated_at);
+  o["size"] = p.size;
+  o["quota"] = p.quota;
+  o["state"] = ProvenanceStateName(p.state);
+  o["freed_by"] = p.freed_by;
+  o["freed_by_name"] = p.freed_by >= 0
+                           ? CompartmentNameFor(board, p.freed_by)
+                           : std::string("<none>");
+  o["freed_at"] = static_cast<uint64_t>(p.freed_at);
+  return o;
+}
+
+json::Value CrashRecordJson(sim::Board& board, const ForensicsRecorder& rec,
+                            const CrashRecord& r) {
+  json::Object o;
+  o["seq"] = r.seq;
+  o["at"] = static_cast<uint64_t>(r.at);
+  o["thread"] = r.thread;
+  o["thread_name"] = rec.ThreadName(r.thread);
+  o["compartment"] = r.compartment;
+  o["compartment_name"] = CompartmentNameFor(board, r.compartment);
+  o["cause"] = TrapCodeName(r.cause);
+  o["fault_address"] = static_cast<uint64_t>(r.fault_address);
+  o["disposition"] = DispositionName(r.disposition);
+  o["trusted_depth"] = r.trusted_depth;
+  json::Array stack;
+  for (int comp : r.call_stack) {
+    stack.push_back(CompartmentNameFor(board, comp));
+  }
+  o["call_stack"] = std::move(stack);
+  json::Array regs;
+  for (const DecodedCap& c : r.regs) {
+    json::Object reg;
+    reg["name"] = c.name;
+    reg["tag"] = c.tag;
+    reg["sealed"] = c.sealed;
+    reg["cursor"] = static_cast<uint64_t>(c.cursor);
+    reg["base"] = static_cast<uint64_t>(c.base);
+    reg["top"] = static_cast<uint64_t>(c.top);
+    reg["perms"] = c.perms;
+    reg["otype"] = c.otype;
+    regs.push_back(std::move(reg));
+  }
+  o["regs"] = std::move(regs);
+  if (r.provenance.known) {
+    o["provenance"] = ProvenanceJson(board, r.provenance);
+  }
+  return o;
+}
+
+}  // namespace
+
+json::Value HealthReport(sim::Board& board, const HealthOptions& options) {
+  const BoardHealth h = AssessBoard(board, options);
+  ForensicsRecorder* hr = board.forensics_recorder();
+  json::Object doc;
+  doc["schema_version"] = kHealthSchemaVersion;
+  doc["board"] = h.board;
+  doc["label"] =
+      hr != nullptr ? hr->label() : "board" + std::to_string(h.board);
+  doc["healthy"] = h.healthy;
+  doc["now"] = static_cast<uint64_t>(h.now);
+
+  json::Object counters;
+  counters["traps"] = h.traps;
+  counters["idle_cycles"] = static_cast<uint64_t>(h.idle_cycles);
+  counters["reboots"] = h.reboots;
+  counters["crash_records"] = h.crash_records;
+  counters["forced_unwinds"] = h.forced_unwinds;
+  counters["use_after_free_crashes"] = h.use_after_free_crashes;
+  counters["quota_exhaustions"] = h.quota_exhaustions;
+  counters["allocations"] = h.allocations;
+  counters["heap_live_bytes"] = h.heap_live_bytes;
+  counters["heap_quarantined_bytes"] = h.heap_quarantined_bytes;
+  counters["deadlocked"] = h.deadlocked;
+  doc["counters"] = std::move(counters);
+
+  json::Array anomalies;
+  for (const Anomaly& a : h.anomalies) {
+    json::Object o;
+    o["detector"] = DetectorName(a.detector);
+    o["compartment"] = a.compartment;
+    o["compartment_name"] = CompartmentNameFor(board, a.compartment);
+    o["detail"] = a.detail;
+    anomalies.push_back(std::move(o));
+  }
+  doc["anomalies"] = std::move(anomalies);
+
+  if (hr != nullptr) {
+    json::Array records;
+    for (const CrashRecord& r : hr->Records()) {
+      records.push_back(CrashRecordJson(board, *hr, r));
+    }
+    doc["crash_records"] = std::move(records);
+    doc["crash_records_dropped"] = hr->dropped();
+    json::Object reboots;
+    for (const auto& [comp, times] : hr->reboots()) {
+      json::Array ts;
+      for (Cycles t : times) {
+        ts.push_back(static_cast<uint64_t>(t));
+      }
+      reboots[CompartmentNameFor(board, comp)] = std::move(ts);
+    }
+    doc["reboots"] = std::move(reboots);
+  }
+  return doc;
+}
+
+json::Value FleetHealthReport(sim::Fleet& fleet,
+                              const HealthOptions& options) {
+  json::Object doc;
+  doc["schema_version"] = kHealthSchemaVersion;
+  json::Array boards;
+  uint64_t total_traps = 0;
+  uint64_t total_crashes = 0;
+  uint64_t total_reboots = 0;
+  int unhealthy = 0;
+  std::map<std::string, uint64_t> anomaly_counts;
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    sim::Board& b = fleet.board(i);
+    const BoardHealth h = AssessBoard(b, options);
+    total_traps += h.traps;
+    total_crashes += h.crash_records;
+    total_reboots += h.reboots;
+    if (!h.healthy) {
+      ++unhealthy;
+    }
+    for (const Anomaly& a : h.anomalies) {
+      ++anomaly_counts[DetectorName(a.detector)];
+    }
+    boards.push_back(HealthReport(b, options));
+  }
+  json::Object fl;
+  fl["boards"] = static_cast<uint64_t>(fleet.size());
+  fl["now"] = static_cast<uint64_t>(fleet.Now());
+  fl["healthy_boards"] = static_cast<uint64_t>(fleet.size()) -
+                         static_cast<uint64_t>(unhealthy);
+  fl["unhealthy_boards"] = unhealthy;
+  fl["total_traps"] = total_traps;
+  fl["total_crash_records"] = total_crashes;
+  fl["total_reboots"] = total_reboots;
+  json::Object counts;
+  for (const auto& [name, n] : anomaly_counts) {
+    counts[name] = n;
+  }
+  fl["anomaly_counts"] = std::move(counts);
+  doc["fleet"] = std::move(fl);
+  doc["boards"] = std::move(boards);
+  return doc;
+}
+
+std::string CrashDumpText(const ForensicsRecorder& recorder) {
+  std::string out;
+  char buf[256];
+  const auto records = recorder.Records();
+  std::snprintf(buf, sizeof(buf), "# %s: %zu crash record(s), %llu dropped\n",
+                recorder.label().empty() ? "forensics"
+                                         : recorder.label().c_str(),
+                records.size(),
+                static_cast<unsigned long long>(recorder.dropped()));
+  out += buf;
+  for (const CrashRecord& r : records) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n=== crash %llu @ cycle %llu ===\n",
+                  static_cast<unsigned long long>(r.seq),
+                  static_cast<unsigned long long>(r.at));
+    out += buf;
+    out += "thread      : " + recorder.ThreadName(r.thread) + " (" +
+           std::to_string(r.thread) + ")\n";
+    out += "compartment : " + recorder.CompartmentName(r.compartment) + " (" +
+           std::to_string(r.compartment) + ")\n";
+    out += std::string("cause       : ") + TrapCodeName(r.cause) + "\n";
+    out += "fault addr  : 0x" + Hex(r.fault_address) + "\n";
+    out += std::string("disposition : ") + DispositionName(r.disposition) +
+           "\n";
+    out += "trusted depth: " + std::to_string(r.trusted_depth) + "\n";
+    out += "call stack  : ";
+    if (r.call_stack.empty()) {
+      out += "<entry>";
+    } else {
+      for (size_t i = 0; i < r.call_stack.size(); ++i) {
+        if (i > 0) {
+          out += " -> ";
+        }
+        out += recorder.CompartmentName(r.call_stack[i]);
+      }
+    }
+    out += "\n";
+    out += "registers   :\n";
+    for (const DecodedCap& c : r.regs) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-4s tag=%d sealed=%d cursor=0x%s [0x%s..0x%s) "
+                    "perms=%s otype=%d\n",
+                    c.name.c_str(), c.tag ? 1 : 0, c.sealed ? 1 : 0,
+                    Hex(c.cursor).c_str(), Hex(c.base).c_str(),
+                    Hex(c.top).c_str(),
+                    c.perms.empty() ? "-" : c.perms.c_str(), c.otype);
+      out += buf;
+    }
+    if (r.provenance.known) {
+      const HeapProvenance& p = r.provenance;
+      std::snprintf(buf, sizeof(buf),
+                    "provenance  : site 0x%08x, %u bytes allocated by %s "
+                    "(seq %llu) at cycle %llu, quota %u, state %s",
+                    p.site_id, p.size,
+                    recorder.CompartmentName(p.compartment).c_str(),
+                    static_cast<unsigned long long>(p.seq),
+                    static_cast<unsigned long long>(p.allocated_at), p.quota,
+                    ProvenanceStateName(p.state));
+      out += buf;
+      if (p.freed_by >= 0) {
+        std::snprintf(buf, sizeof(buf), ", freed by %s at cycle %llu",
+                      recorder.CompartmentName(p.freed_by).c_str(),
+                      static_cast<unsigned long long>(p.freed_at));
+        out += buf;
+      }
+      out += "\n";
+    } else {
+      out += "provenance  : fault address is not heap-attributable\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cheriot::health

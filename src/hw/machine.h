@@ -22,6 +22,10 @@ namespace trace {
 class TraceRecorder;
 }  // namespace trace
 
+namespace health {
+class ForensicsRecorder;
+}  // namespace health
+
 struct MachineConfig {
   Address sram_base = 0x20000000;
   Address sram_size = 256 * 1024;  // evaluation board SRAM (§5.3)
@@ -71,6 +75,15 @@ class Machine {
     revoker_.set_trace(recorder);
   }
 
+  // Crash forensics recorder (src/health). Null when forensics is off; the
+  // same zero-cost-when-off rule as trace() — every capture site in the
+  // switcher, kernel and allocator is a raw-pointer null check. Set via
+  // health::Attach().
+  health::ForensicsRecorder* forensics() const { return forensics_; }
+  void set_forensics(health::ForensicsRecorder* recorder) {
+    forensics_ = recorder;
+  }
+
   // True if any hardware activity is scheduled for the future (armed timer,
   // in-flight revocation sweep, pending world events).
   bool HasFutureEvent() const;
@@ -89,6 +102,7 @@ class Machine {
   EthernetDevice ethernet_;
   EntropySource entropy_;
   trace::TraceRecorder* trace_ = nullptr;
+  health::ForensicsRecorder* forensics_ = nullptr;
   std::vector<NextEventFn> next_event_sources_;
 };
 

@@ -47,6 +47,12 @@ class GuestThread {
 
   // --- Execution state ---
   int current_compartment = -1;
+  // Native mirror of the trusted stack's compartment chain (outermost first,
+  // current compartment last), maintained by the switcher at the same choke
+  // points as frame_depth. Lets the TCB attribute an operation to the alloc
+  // service's *caller* without reading simulated memory (which would tick
+  // the clock).
+  std::vector<int> compartment_stack;
   bool interrupts_enabled = true;
   // Ephemeral-claim hazard slots (§3.2.5), cleared at each compartment call.
   std::array<Address, 2> hazard_slots{};

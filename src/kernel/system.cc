@@ -4,6 +4,7 @@
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/health/forensics.h"
 #include "src/runtime/compartment_ctx.h"
 #include "src/trace/trace.h"
 
@@ -153,6 +154,20 @@ void System::Boot() {
     tr->SetThreadNames(std::move(thread_names));
     sched_->set_trace(tr);
     tr->OnBootDone();
+  }
+  if (auto* hr = machine_.forensics()) {
+    // Same name publication for the forensics recorder: crash records stay
+    // integer-only and the health report resolves names at the end.
+    std::vector<std::string> compartments;
+    for (const auto& c : boot_->compartments) {
+      compartments.push_back(c.name);
+    }
+    std::vector<std::string> thread_names;
+    for (const auto& t : threads_) {
+      thread_names.push_back(t.name);
+    }
+    hr->SetCompartmentNames(std::move(compartments));
+    hr->SetThreadNames(std::move(thread_names));
   }
 }
 
@@ -488,6 +503,11 @@ Cycles System::MicroRebootCompartment(int compartment_id) {
   rt.call_guard_closed = false;
   rt.last_reboot_at = start;
   rt.last_reboot_duration = Now() - start;
+  if (auto* hr = machine_.forensics()) {
+    // Reboot-loop detection keys off the guest-cycle timestamps of the last
+    // N micro-reboots per compartment.
+    hr->OnMicroReboot(compartment_id, start);
+  }
   return rt.last_reboot_duration;
 }
 

@@ -39,6 +39,16 @@ trace::TraceRecorder* Board::EnableTrace(trace::TraceOptions options) {
   return trace_.get();
 }
 
+health::ForensicsRecorder* Board::EnableForensics(
+    health::ForensicsOptions options) {
+  CHERIOT_CHECK(!booted_, "Board::EnableForensics() after Boot()");
+  forensics_ = std::make_unique<health::ForensicsRecorder>(options);
+  forensics_->SetLabel("board" + std::to_string(options_.index));
+  forensics_->SetBoardIndex(options_.index);
+  health::Attach(machine_, forensics_.get());
+  return forensics_.get();
+}
+
 void Board::Boot() {
   system_.Boot();
   booted_ = true;

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/health/forensics.h"
 #include "src/hw/machine.h"
 #include "src/kernel/system.h"
 #include "src/trace/trace.h"
@@ -61,6 +62,13 @@ class Board {
   trace::TraceRecorder* EnableTrace(trace::TraceOptions options = {});
   trace::TraceRecorder* trace_recorder() { return trace_.get(); }
 
+  // Creates and attaches a crash-forensics recorder (src/health) for this
+  // board, labeled "board<index>". Must be called before Boot() so the name
+  // tables are published. Returns the recorder; the board owns it.
+  health::ForensicsRecorder* EnableForensics(
+      health::ForensicsOptions options = {});
+  health::ForensicsRecorder* forensics_recorder() { return forensics_.get(); }
+
   void Boot();
 
   // Runs the guest forward to (at least) absolute cycle `target`. The clock
@@ -94,6 +102,7 @@ class Board {
   Machine machine_;
   System system_;
   std::unique_ptr<trace::TraceRecorder> trace_;
+  std::unique_ptr<health::ForensicsRecorder> forensics_;
   std::vector<std::pair<Cycles, Frame>> tx_staged_;
   std::multimap<Cycles, Frame> rx_pending_;
   System::RunResult last_result_ = System::RunResult::kBudgetExhausted;

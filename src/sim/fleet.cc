@@ -51,6 +51,9 @@ int Fleet::AddBoard(FirmwareImage image) {
   if (options_.trace) {
     board->EnableTrace(options_.trace_options);
   }
+  if (options_.forensics) {
+    board->EnableForensics(options_.forensics_options);
+  }
   board_ports_.push_back(fabric_.AttachPort(
       options_.board_link_latency,
       [board](Cycles due, Fabric::Frame f) {

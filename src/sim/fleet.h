@@ -49,6 +49,10 @@ struct FleetOptions {
   // are unchanged whether this is on or off.
   bool trace = false;
   trace::TraceOptions trace_options;
+  // Attach a crash-forensics recorder (src/health) to every board before
+  // boot. Same zero-guest-cycle contract as trace.
+  bool forensics = false;
+  health::ForensicsOptions forensics_options;
 };
 
 class Fleet {

@@ -1,7 +1,10 @@
 #include "src/switcher/switcher.h"
 
+#include <optional>
+
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/health/forensics.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
 #include "src/trace/trace.h"
@@ -134,6 +137,7 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   frame.sp_at_call = t.sp;
   frame.high_water_at_call = t.high_water;
   ts.Push(frame);
+  ++t.frame_depth;
 
   // Ephemeral claims last until the next compartment call (§3.2.5).
   if (t.hazard_slots[0] != 0 || t.hazard_slots[1] != 0) {
@@ -150,6 +154,7 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
 
   const int caller_comp = t.current_compartment;
   t.current_compartment = callee_id;
+  t.compartment_stack.push_back(callee_id);
   ++t.compartment_calls;
   posture_guard->Disarm();  // posture now managed explicitly below
   t.interrupts_enabled = PostureToEnabled(exp.posture, saved_irq);
@@ -157,6 +162,9 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
     // The recorder mirrors the call depth itself: reading the trusted stack
     // here would tick guest cycles and perturb the model it observes.
     tr->OnCompartmentCall(t.id, caller_comp, callee_id, export_index);
+  }
+  if (auto* hr = m.forensics()) {
+    hr->OnCompartmentCall(t.id, callee_id);
   }
 
   Capability result;
@@ -185,6 +193,26 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
       result = StatusCap(Status::kCompartmentFail);
       if (f.target_compartment == callee_id) {
         t.forced_unwind.erase(callee_id);
+        if (auto* hr = m.forensics()) {
+          // The forced unwind resolves at the evicted compartment's own
+          // frame: file one record per evicted thread, not per stack frame
+          // peeled on the way here. No architectural fault address exists;
+          // the register file reflects the compartment context being torn
+          // down (micro-reboot step 2).
+          RegisterFile regs;
+          regs.pcc = callee.pcc;
+          regs.cgp = callee.cgp;
+          regs.csp = t.stack_cap.WithAddress(t.sp);
+          health::CrashRecord r = BuildCrashRecord(
+              t, callee_id, TrapCode::kForcedUnwind, 0, regs);
+          r.disposition = health::Disposition::kForcedUnwind;
+          const uint64_t seq = hr->Record(std::move(r));
+          if (auto* tr = m.trace()) {
+            tr->OnCrashRecord(t.id,
+                              static_cast<int>(TrapCode::kForcedUnwind),
+                              callee_id, 0, seq);
+          }
+        }
       } else {
         rethrow_forced = true;
         forced_target = f.target_compartment;
@@ -196,16 +224,25 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   m.Tick(cost::kSwitcherReturnPath);
   t.interrupts_enabled = false;
   const TrustedFrame f = ts.Pop();
+  if (t.frame_depth > 0) {
+    --t.frame_depth;
+  }
   ZeroStackRange(t, t.high_water, f.sp_at_call);
   t.sp = f.sp_at_call;
   t.high_water = f.sp_at_call;
   t.current_compartment = caller_comp;
+  if (!t.compartment_stack.empty()) {
+    t.compartment_stack.pop_back();
+  }
   if (auto* tr = m.trace()) {
     // Emitted after the return-path tick so the switcher's unwind/zeroing
     // cost is charged to the callee, matching the call path charging setup
     // to the caller. Unwind paths still reach here, keeping the recorder's
     // mirrored stack balanced.
     tr->OnCompartmentReturn(t.id, callee_id, caller_comp);
+  }
+  if (auto* hr = m.forensics()) {
+    hr->OnCompartmentReturn(t.id);
   }
   t.interrupts_enabled = saved_irq;
   if (saved_irq) {
@@ -262,9 +299,32 @@ ErrorRecovery Switcher::DeliverTrap(GuestThread& t, CompartmentCtx& ctx,
   if (auto* tr = m.trace()) {
     tr->OnTrap(t.id, static_cast<int>(info->cause), ctx.compartment());
   }
+  // Snapshot the crash record before any handler runs: the decoded register
+  // file and the heap provenance of the faulting address must reflect the
+  // fault, not whatever the handler changed. The disposition is filed once
+  // the outcome is known.
+  health::ForensicsRecorder* hr = m.forensics();
+  std::optional<health::CrashRecord> crash;
+  if (hr != nullptr) {
+    crash = BuildCrashRecord(t, ctx.compartment(), info->cause,
+                             info->fault_address, info->regs);
+  }
+  const auto file = [&](health::Disposition disposition) {
+    if (!crash.has_value()) {
+      return;
+    }
+    crash->disposition = disposition;
+    const uint64_t seq = hr->Record(std::move(*crash));
+    crash.reset();
+    if (auto* tr = m.trace()) {
+      tr->OnCrashRecord(t.id, static_cast<int>(info->cause),
+                        ctx.compartment(), info->fault_address, seq);
+    }
+  };
   const CompartmentRuntime& rt = boot.compartments[ctx.compartment()];
   if (!rt.def->error_handler || ctx.in_error_handler_) {
     m.Tick(cost::kUnwindNoHandler);
+    file(health::Disposition::kUnwindNoHandler);
     throw UnwindException{};
   }
   m.Tick(cost::kGlobalHandlerFault);
@@ -276,13 +336,46 @@ ErrorRecovery Switcher::DeliverTrap(GuestThread& t, CompartmentCtx& ctx,
     // A buggy handler faulting falls back to the default unwind policy.
     ctx.in_error_handler_ = false;
     m.Tick(cost::kUnwindNoHandler);
+    file(health::Disposition::kHandlerFaulted);
     throw UnwindException{true};
   }
   ctx.in_error_handler_ = false;
   if (recovery == ErrorRecovery::kForceUnwind) {
+    file(health::Disposition::kHandlerUnwind);
     throw UnwindException{true};
   }
+  file(health::Disposition::kHandlerInstalledContext);
   return recovery;
+}
+
+health::CrashRecord Switcher::BuildCrashRecord(GuestThread& t, int compartment,
+                                               TrapCode cause,
+                                               Address fault_address,
+                                               const RegisterFile& regs) {
+  health::CrashRecord r;
+  r.thread = static_cast<int16_t>(t.id);
+  r.compartment = compartment;
+  r.cause = cause;
+  r.fault_address = fault_address;
+  r.regs = health::DecodeRegisterFile(regs);
+  r.trusted_depth = t.frame_depth;
+  if (const Allocator::AllocSite* site =
+          system_->alloc().ProvenanceFor(fault_address)) {
+    health::HeapProvenance& p = r.provenance;
+    p.known = true;
+    p.site_id = site->site_id;
+    p.compartment = site->compartment;
+    p.seq = site->seq;
+    p.allocated_at = site->allocated_at;
+    p.size = site->size;
+    p.quota = site->quota;
+    // Allocator::SiteState and HeapProvenance::State share enumerator values
+    // (live=0, quarantined=1, reused=2).
+    p.state = static_cast<health::HeapProvenance::State>(site->state);
+    p.freed_by = site->freed_by;
+    p.freed_at = site->freed_at;
+  }
+  return r;
 }
 
 Status Switcher::EphemeralClaim(GuestThread& t, const Capability& obj) {

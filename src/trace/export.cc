@@ -3,6 +3,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/mem/trap.h"
+
+// Exhaustiveness guard (satellite of the health PR): exporter switches over
+// EventType carry no `default:` and are compiled with switch warnings
+// promoted to errors, so adding an event kind without an exporter mapping
+// fails the build instead of silently dropping the new kind from traces.
+#pragma GCC diagnostic error "-Wswitch"
+
 namespace cheriot::trace {
 
 namespace {
@@ -167,6 +175,17 @@ void AppendChromeEvents(TraceRecorder& r, const Event& e,
       out->push_back(std::move(o));
       break;
     }
+    case EventType::kCrashRecord: {
+      json::Object o = Base("i", pid, e.thread, e.at);
+      o["name"] =
+          std::string("crash:") + TrapCodeName(static_cast<TrapCode>(e.a));
+      o["s"] = "t";
+      o["args"] = json::Object{{"compartment", r.CompartmentName(e.b)},
+                               {"fault_address", e.c},
+                               {"record_seq", e.d}};
+      out->push_back(std::move(o));
+      break;
+    }
   }
 }
 
@@ -241,7 +260,7 @@ json::Value MetricsSnapshot(TraceRecorder& recorder,
   ev["recorded"] = static_cast<uint64_t>(recorder.event_count());
   ev["dropped"] = recorder.dropped();
   json::Object by_type;
-  for (int t = 0; t <= static_cast<int>(EventType::kFabricFrame); ++t) {
+  for (size_t t = 0; t < kEventTypeCount; ++t) {
     const auto type = static_cast<EventType>(t);
     if (recorder.events_of_type(type) > 0) {
       by_type[EventTypeName(type)] = recorder.events_of_type(type);

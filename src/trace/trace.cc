@@ -4,6 +4,11 @@
 
 #include "src/hw/machine.h"
 
+// Exhaustiveness guard (satellite of the health PR): every switch over
+// EventType in this translation unit must cover every enumerator — adding an
+// event kind without a name mapping is a compile error, not an "unknown".
+#pragma GCC diagnostic error "-Wswitch"
+
 namespace cheriot::trace {
 
 const char* EventTypeName(EventType type) {
@@ -25,6 +30,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kNicTx: return "nic_tx";
     case EventType::kNicRx: return "nic_rx";
     case EventType::kFabricFrame: return "fabric_frame";
+    case EventType::kCrashRecord: return "crash_record";
   }
   return "unknown";
 }
@@ -259,6 +265,13 @@ void TraceRecorder::OnFabricFrame(Cycles at, int src_port, int dst_port,
                                   size_t bytes) {
   EmitAt(at, EventType::kFabricFrame, -1, src_port, dst_port,
          static_cast<int64_t>(bytes), 0);
+}
+
+void TraceRecorder::OnCrashRecord(int thread, int cause, int compartment,
+                                  Address fault_address, uint64_t seq) {
+  ChargeToNow();
+  Emit(EventType::kCrashRecord, static_cast<int16_t>(thread), cause,
+       compartment, static_cast<int64_t>(fault_address), seq);
 }
 
 const std::map<int, TraceRecorder::CompartmentProfile>&

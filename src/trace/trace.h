@@ -50,7 +50,17 @@ enum class EventType : uint8_t {
   kNicTx = 14,             // c=frame bytes
   kNicRx = 15,             // c=frame bytes
   kFabricFrame = 16,       // a=src port, b=dst port (-1 = flood), c=bytes
+  kCrashRecord = 17,       // a=TrapCode, b=compartment, c=fault address,
+                           // d=forensics record sequence number
 };
+
+// Number of event kinds. The exporters (src/trace/export.cc) switch over
+// EventType with no `default:` under -Werror=switch, so a new kind added
+// above without an exporter mapping is a build failure, not a silently
+// unexported event. This count sizes the per-type aggregate array and the
+// exporters' iteration bound; the static_assert pins it to the enum.
+inline constexpr size_t kEventTypeCount =
+    static_cast<size_t>(EventType::kCrashRecord) + 1;
 
 const char* EventTypeName(EventType type);
 
@@ -130,6 +140,11 @@ class TraceRecorder {
   // Fabric events carry an explicit timestamp: the fabric has no clock of
   // its own and switches frames at epoch barriers using their TX stamps.
   void OnFabricFrame(Cycles at, int src_port, int dst_port, size_t bytes);
+  // Crash record marker, emitted by the switcher when a forensics recorder
+  // (src/health) files a crash record while a trace is also attached. `seq`
+  // is the forensics ring sequence number so the two streams can be joined.
+  void OnCrashRecord(int thread, int cause, int compartment,
+                     Address fault_address, uint64_t seq);
 
   // Profiler clock hook: charges clock->now() - last settlement to the
   // current context. Registered by Attach(); also safe to call manually.
@@ -200,7 +215,7 @@ class TraceRecorder {
   size_t count_ = 0;
   uint64_t dropped_ = 0;
   uint64_t emitted_ = 0;
-  uint64_t by_type_[32] = {};
+  uint64_t by_type_[kEventTypeCount] = {};
   Cycles latest_at_ = 0;
 
   // Profiler state: mirrored compartment call stacks (the trusted stack

@@ -10,7 +10,9 @@
 //  3. Attribution: the profiler charges every guest cycle to exactly one
 //     context, so Σ self == the board's cycle counter, exactly.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -350,6 +352,69 @@ TEST(TraceTest, ChromeTraceEventsAreWellFormed) {
   // The parsed document round-trips through the parser.
   EXPECT_NO_THROW(json::Parse(doc.Dump(2)));
 }
+
+// --- Ring boundaries ------------------------------------------------------
+
+TEST(TraceTest, RingAtExactlyFullKeepsEveryEvent) {
+  trace::TraceOptions opts;
+  opts.ring_capacity = 4;
+  trace::TraceRecorder rec(opts);
+  for (int i = 0; i < 4; ++i) {
+    rec.OnFabricFrame(/*at=*/100 * (i + 1), /*src_port=*/i, /*dst_port=*/9,
+                      /*bytes=*/64);
+  }
+  EXPECT_EQ(rec.emitted(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<trace::Event> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().a, 0);  // the first event is still there
+  EXPECT_EQ(events.back().a, 3);
+}
+
+TEST(TraceTest, RingAtCapacityPlusOneDropsExactlyTheOldest) {
+  trace::TraceOptions opts;
+  opts.ring_capacity = 4;
+  trace::TraceRecorder rec(opts);
+  for (int i = 0; i < 5; ++i) {
+    rec.OnFabricFrame(/*at=*/100 * (i + 1), /*src_port=*/i, /*dst_port=*/9,
+                      /*bytes=*/64);
+  }
+  EXPECT_EQ(rec.emitted(), 5u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  const std::vector<trace::Event> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-oldest: event 0 is gone, order of the survivors is preserved.
+  EXPECT_EQ(events.front().a, 1);
+  EXPECT_EQ(events.back().a, 4);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at);
+  }
+}
+
+// --- CLI regression -------------------------------------------------------
+// --check must actually gate: an injected fingerprint mismatch has to turn
+// into a nonzero exit, or the CI invariance job is a no-op.
+
+#ifdef CHERIOT_TRACE_BIN
+TEST(TraceTest, CheckFlagExitsNonzeroOnInjectedFingerprintMismatch) {
+  const std::string base = std::string(CHERIOT_TRACE_BIN) +
+                           " --target=quickstart --cycles=200000 --check"
+                           " --out-dir=" + ::testing::TempDir() +
+                           " >/dev/null 2>&1";
+  const int ok_rc = std::system(base.c_str());
+  ASSERT_TRUE(WIFEXITED(ok_rc));
+  EXPECT_EQ(WEXITSTATUS(ok_rc), 0);
+
+  const std::string inject = std::string(CHERIOT_TRACE_BIN) +
+                             " --target=quickstart --cycles=200000 --check"
+                             " --inject-check-failure"
+                             " --out-dir=" + ::testing::TempDir() +
+                             " >/dev/null 2>&1";
+  const int bad_rc = std::system(inject.c_str());
+  ASSERT_TRUE(WIFEXITED(bad_rc));
+  EXPECT_EQ(WEXITSTATUS(bad_rc), 1);
+}
+#endif  // CHERIOT_TRACE_BIN
 
 }  // namespace
 }  // namespace cheriot

@@ -1,0 +1,258 @@
+// bench_all: run every benchmark target in one invocation and validate the
+// provenance stamp (git SHA, build type, UTC timestamp) in each emitted
+// BENCH_*.json. The CI bench-all job runs this non-gating and uploads the
+// JSON artifacts so the paper-figure numbers carry their origin with them.
+//
+// Three benches emit machine-readable BENCH_*.json (bench_sim_throughput,
+// bench_fleet_scale, bench_trace_overhead); the rest print their tables to
+// stdout and are only checked for a clean exit. --quick passes
+// --benchmark_min_time=0.01 to the google-benchmark targets so a smoke run
+// stays under a minute.
+//
+// Exit codes: 0 all benches ran and every emitted JSON validated, 1 a bench
+// failed or a provenance field is malformed, 2 usage.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/json/json.h"
+
+namespace {
+
+struct BenchTarget {
+  std::string name;
+  bool gbench;      // accepts google-benchmark flags
+  bool emits_json;  // accepts --json=PATH and writes BENCH_<name>.json
+};
+
+// Every target bench/CMakeLists.txt builds, in a fixed run order.
+const std::vector<BenchTarget>& BenchTargets() {
+  static const std::vector<BenchTarget> targets = {
+      {"bench_memory_usage", false, false},
+      {"bench_call_latency", true, false},
+      {"bench_core_apis", true, false},
+      {"bench_alloc_throughput", true, false},
+      {"bench_cap_overhead", true, false},
+      {"bench_case_study", false, false},
+      {"bench_sim_throughput", false, true},
+      {"bench_fleet_scale", false, true},
+      {"bench_trace_overhead", false, true},
+  };
+  return targets;
+}
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: bench_all [options]\n"
+               "\n"
+               "  --bin-dir=DIR   directory holding the bench binaries\n"
+               "                  (default: directory of this binary's\n"
+               "                  invocation, i.e. '.')\n"
+               "  --out-dir=DIR   where BENCH_*.json land (default .)\n"
+               "  --only=NAME[,NAME...]  run a subset\n"
+               "  --skip=NAME[,NAME...]  skip targets\n"
+               "  --quick         pass --benchmark_min_time=0.01 to the\n"
+               "                  google-benchmark targets\n"
+               "  --list          list bench targets and exit\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  for (const auto& e : v) {
+    if (e == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsHex40(const std::string& s) {
+  if (s.size() != 40) {
+    return false;
+  }
+  for (char c : s) {
+    if (!std::isxdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// "2026-08-06T12:34:56Z" — the exact shape bench/provenance.h emits.
+bool IsUtcStamp(const std::string& s) {
+  static const char* pattern = "dddd-dd-ddTdd:dd:ddZ";
+  if (s.size() != std::strlen(pattern)) {
+    return false;
+  }
+  for (size_t i = 0; pattern[i] != '\0'; ++i) {
+    if (pattern[i] == 'd') {
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return false;
+      }
+    } else if (s[i] != pattern[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Validates the provenance block of one emitted BENCH_*.json.
+bool ValidateProvenance(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_all: %s: bench exited 0 but wrote no JSON\n",
+                 path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  cheriot::json::Value doc;
+  try {
+    doc = cheriot::json::Parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_all: %s: malformed JSON: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  if (!doc.Has("provenance")) {
+    std::fprintf(stderr, "bench_all: %s: missing \"provenance\"\n",
+                 path.c_str());
+    return false;
+  }
+  const cheriot::json::Value& p = doc["provenance"];
+  bool ok = true;
+  const std::string build_type =
+      p.Has("build_type") ? p["build_type"].AsString() : "";
+  if (build_type.empty()) {
+    std::fprintf(stderr, "bench_all: %s: provenance.build_type missing/empty\n",
+                 path.c_str());
+    ok = false;
+  }
+  const std::string stamp =
+      p.Has("generated_utc") ? p["generated_utc"].AsString() : "";
+  if (!IsUtcStamp(stamp)) {
+    std::fprintf(stderr,
+                 "bench_all: %s: provenance.generated_utc '%s' is not "
+                 "YYYY-MM-DDTHH:MM:SSZ\n",
+                 path.c_str(), stamp.c_str());
+    ok = false;
+  }
+  const std::string sha = p.Has("git_sha") ? p["git_sha"].AsString() : "";
+  if (sha == "unknown") {
+    // Legal outside a git checkout, but worth a line in the CI log.
+    std::fprintf(stderr, "bench_all: %s: provenance.git_sha is \"unknown\"\n",
+                 path.c_str());
+  } else if (!IsHex40(sha)) {
+    std::fprintf(stderr,
+                 "bench_all: %s: provenance.git_sha '%s' is neither a 40-hex "
+                 "SHA nor \"unknown\"\n",
+                 path.c_str(), sha.c_str());
+    ok = false;
+  }
+  if (ok) {
+    std::printf("  provenance ok: %s (%s, %s)\n", path.c_str(),
+                build_type.c_str(), stamp.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bin_dir = ".";
+  std::string out_dir = ".";
+  std::vector<std::string> only;
+  std::vector<std::string> skip;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--bin-dir=")) {
+      bin_dir = v;
+    } else if (const char* v = value("--out-dir=")) {
+      out_dir = v;
+    } else if (const char* v = value("--only=")) {
+      for (auto& t : SplitCsv(v)) {
+        only.push_back(t);
+      }
+    } else if (const char* v = value("--skip=")) {
+      for (auto& t : SplitCsv(v)) {
+        skip.push_back(t);
+      }
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--list") {
+      for (const auto& t : BenchTargets()) {
+        std::printf("%-24s%s%s\n", t.name.c_str(),
+                    t.gbench ? " [gbench]" : "",
+                    t.emits_json ? " [json]" : "");
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_all: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  int ran = 0;
+  int failed = 0;
+  for (const auto& t : BenchTargets()) {
+    if (!only.empty() && !Contains(only, t.name)) {
+      continue;
+    }
+    if (Contains(skip, t.name)) {
+      continue;
+    }
+    std::string json_path;
+    std::string cmd = bin_dir + "/" + t.name;
+    if (t.gbench && quick) {
+      cmd += " --benchmark_min_time=0.01";
+    }
+    if (t.emits_json) {
+      json_path = out_dir + "/BENCH_" + t.name.substr(6) + ".json";
+      cmd += " --json=" + json_path;
+    }
+    std::printf("=== %s ===\n", cmd.c_str());
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    ++ran;
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_all: %s exited with status %d\n",
+                   t.name.c_str(), rc);
+      ++failed;
+      continue;
+    }
+    if (t.emits_json && !ValidateProvenance(json_path)) {
+      ++failed;
+    }
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "bench_all: no targets selected\n");
+    return 2;
+  }
+  std::printf("bench_all: %d target(s) run, %d failed\n", ran, failed);
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,298 @@
+// cheriot_health: run a shipped firmware image with the crash-forensics
+// recorder on and export the results — a schema-versioned JSON health report
+// (anomaly detectors, counters, the full crash-record ring with capability
+// registers decoded and allocation-site provenance resolved) and a
+// human-readable crash dump.
+//
+// Targets come from the same registry as cheriot_lint/cheriot_trace, so
+// "assess every image we ship" is one --all invocation (the CI health-images
+// job). --fleet=N runs N boards of the image under the simulated fabric and
+// emits the merged fleet report, which is byte-identical for any
+// --host-threads value. --check re-runs the image with forensics off and
+// fails unless the fingerprints match (forensics must not move a guest
+// cycle).
+//
+// Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/health/forensics.h"
+#include "src/health/monitor.h"
+#include "src/sim/board.h"
+#include "src/sim/fleet.h"
+#include "tools/lint_targets.h"
+
+using namespace cheriot;
+using cheriot::tools::FindLintTarget;
+using cheriot::tools::LintTargets;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> targets;
+  bool all = false;
+  bool list = false;
+  bool check = false;
+  int fleet = 0;        // 0 = single board
+  int host_threads = 1; // fleet worker threads
+  Cycles cycles = 20'000'000;
+  size_t ring = 256;
+  std::string out_dir = ".";
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cheriot_health [--all | --target=NAME[,NAME...]]"
+               " [options]\n"
+               "\n"
+               "  --list-targets     list the built-in firmware images\n"
+               "  --all              assess every built-in image\n"
+               "  --target=NAME      assess one built-in image (repeatable)\n"
+               "  --cycles=N         guest cycles to run (default 20000000)\n"
+               "  --fleet=N          run N boards under the fabric and emit\n"
+               "                     the merged fleet health report\n"
+               "  --host-threads=N   fleet worker threads (default 1; the\n"
+               "                     report is byte-identical for any value)\n"
+               "  --ring=N           crash-record ring capacity (default 256)\n"
+               "  --out-dir=DIR      where to write artifacts (default .)\n"
+               "  --check            verify forensics moved no guest cycle\n"
+               "\n"
+               "artifacts (per target): health_<name>.json (schema v1)\n"
+               "                        crash_<name>.txt   (crash dump)\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cheriot_health: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+struct RunArtifacts {
+  std::string health_json;
+  std::string crash_txt;
+  std::vector<sim::Board::Fingerprint> fingerprints;  // one per board
+  Cycles now = 0;
+  uint64_t crash_records = 0;
+  uint64_t anomalies = 0;
+  bool healthy = true;
+};
+
+RunArtifacts RunBoard(const tools::LintTarget& target, const CliOptions& opts,
+                      bool forensics) {
+  sim::Board board(target.build(), {});
+  if (forensics) {
+    health::ForensicsOptions fopts;
+    fopts.ring_capacity = opts.ring;
+    board.EnableForensics(fopts);
+  }
+  board.Boot();
+  board.StepTo(opts.cycles);
+  RunArtifacts a;
+  a.fingerprints.push_back(board.fingerprint());
+  a.now = board.Now();
+  if (forensics) {
+    const health::BoardHealth h = health::AssessBoard(board);
+    a.crash_records = h.crash_records;
+    a.anomalies = h.anomalies.size();
+    a.healthy = h.healthy;
+    a.health_json = health::HealthReport(board).Dump(2) + "\n";
+    a.crash_txt = health::CrashDumpText(*board.forensics_recorder());
+  }
+  return a;
+}
+
+RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
+                      bool forensics) {
+  sim::FleetOptions fopts;
+  fopts.host_threads = opts.host_threads;
+  fopts.forensics = forensics;
+  fopts.forensics_options.ring_capacity = opts.ring;
+  sim::Fleet fleet(fopts);
+  for (int i = 0; i < opts.fleet; ++i) {
+    fleet.AddBoard(target.build());
+  }
+  fleet.Boot();
+  fleet.Run(opts.cycles);
+  RunArtifacts a;
+  a.fingerprints = fleet.Fingerprints();
+  a.now = fleet.Now();
+  if (forensics) {
+    a.health_json = health::FleetHealthReport(fleet).Dump(2) + "\n";
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      sim::Board& b = fleet.board(i);
+      const health::BoardHealth h = health::AssessBoard(b);
+      a.crash_records += h.crash_records;
+      a.anomalies += h.anomalies.size();
+      a.healthy = a.healthy && h.healthy;
+      a.crash_txt += health::CrashDumpText(*b.forensics_recorder());
+      a.crash_txt += "\n";
+    }
+  }
+  return a;
+}
+
+// Runs one target; returns false on a --check failure.
+bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
+  const bool fleet_mode = opts.fleet > 0;
+  RunArtifacts on = fleet_mode ? RunFleet(target, opts, true)
+                               : RunBoard(target, opts, true);
+
+  const std::string base = opts.out_dir + "/";
+  if (!WriteFile(base + "health_" + target.name + ".json", on.health_json) ||
+      !WriteFile(base + "crash_" + target.name + ".txt", on.crash_txt)) {
+    return false;
+  }
+  std::printf("%-26s %12llu cycles %5llu crash records %3llu anomalies  %s\n",
+              target.name.c_str(), static_cast<unsigned long long>(on.now),
+              static_cast<unsigned long long>(on.crash_records),
+              static_cast<unsigned long long>(on.anomalies),
+              on.healthy ? "healthy" : "UNHEALTHY");
+
+  if (!opts.check) {
+    return true;
+  }
+  // Invariance: the same run with forensics off must land on the same
+  // fingerprint(s) — enabling the recorder moved no guest cycle.
+  RunArtifacts off = fleet_mode ? RunFleet(target, opts, false)
+                                : RunBoard(target, opts, false);
+  bool ok = on.fingerprints.size() == off.fingerprints.size();
+  for (size_t i = 0; ok && i < on.fingerprints.size(); ++i) {
+    ok = on.fingerprints[i] == off.fingerprints[i];
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "cheriot_health: %s: forensics changed the fingerprint\n",
+                 target.name.c_str());
+    for (size_t i = 0; i < on.fingerprints.size() &&
+                       i < off.fingerprints.size();
+         ++i) {
+      const auto& a = on.fingerprints[i];
+      const auto& b = off.fingerprints[i];
+      if (a == b) {
+        continue;
+      }
+      std::fprintf(
+          stderr,
+          "  board %zu with forensics: now=%llu accesses=%llu cap=%llu/%llu"
+          " traps=%llu idle=%llu uart=%llu/%016llx reboots=%u\n"
+          "  board %zu without:        now=%llu accesses=%llu cap=%llu/%llu"
+          " traps=%llu idle=%llu uart=%llu/%016llx reboots=%u\n",
+          i, static_cast<unsigned long long>(a.now),
+          static_cast<unsigned long long>(a.accesses),
+          static_cast<unsigned long long>(a.cap_loads),
+          static_cast<unsigned long long>(a.cap_stores),
+          static_cast<unsigned long long>(a.traps),
+          static_cast<unsigned long long>(a.idle_cycles),
+          static_cast<unsigned long long>(a.uart_bytes),
+          static_cast<unsigned long long>(a.uart_hash), a.reboots, i,
+          static_cast<unsigned long long>(b.now),
+          static_cast<unsigned long long>(b.accesses),
+          static_cast<unsigned long long>(b.cap_loads),
+          static_cast<unsigned long long>(b.cap_stores),
+          static_cast<unsigned long long>(b.traps),
+          static_cast<unsigned long long>(b.idle_cycles),
+          static_cast<unsigned long long>(b.uart_bytes),
+          static_cast<unsigned long long>(b.uart_hash), b.reboots);
+    }
+    return false;
+  }
+  std::printf("%-26s check ok: fingerprint invariant across %zu board(s)\n",
+              target.name.c_str(), on.fingerprints.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-targets") {
+      opts.list = true;
+    } else if (arg == "--all") {
+      opts.all = true;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (const char* v = value("--target=")) {
+      for (auto& t : SplitCsv(v)) {
+        opts.targets.push_back(t);
+      }
+    } else if (const char* v = value("--cycles=")) {
+      opts.cycles = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--fleet=")) {
+      opts.fleet = std::atoi(v);
+    } else if (const char* v = value("--host-threads=")) {
+      opts.host_threads = std::atoi(v);
+    } else if (const char* v = value("--ring=")) {
+      opts.ring = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out-dir=")) {
+      opts.out_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "cheriot_health: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  if (opts.list) {
+    for (const auto& t : LintTargets()) {
+      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+  }
+  if (opts.all) {
+    for (const auto& t : LintTargets()) {
+      opts.targets.push_back(t.name);
+    }
+  }
+  if (opts.targets.empty()) {
+    Usage(stderr);
+    return 2;
+  }
+
+  bool ok = true;
+  for (const auto& name : opts.targets) {
+    const tools::LintTarget* t = FindLintTarget(name);
+    if (t == nullptr) {
+      std::fprintf(stderr,
+                   "cheriot_health: unknown target '%s' (--list-targets)\n",
+                   name.c_str());
+      return 2;
+    }
+    try {
+      ok = RunTarget(*t, opts) && ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_health: %s failed: %s\n", name.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}

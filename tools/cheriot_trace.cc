@@ -35,6 +35,9 @@ struct CliOptions {
   bool all = false;
   bool list = false;
   bool check = false;
+  // Test hook: corrupt the traced fingerprint before the --check comparison
+  // so the mismatch path (and its nonzero exit) stays covered.
+  bool inject_check_failure = false;
   int fleet = 0;        // 0 = single board
   int host_threads = 1; // fleet worker threads
   Cycles cycles = 20'000'000;
@@ -198,6 +201,9 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
   if (!opts.check) {
     return true;
   }
+  if (opts.inject_check_failure) {
+    ++traced.fingerprint.uart_hash;
+  }
   // Invariance: the same run with tracing off must land on the same
   // fingerprint — enabling the recorder moved no guest cycle.
   RunArtifacts plain = fleet_mode ? RunFleet(target, opts, false)
@@ -275,6 +281,8 @@ int main(int argc, char** argv) {
       opts.all = true;
     } else if (arg == "--check") {
       opts.check = true;
+    } else if (arg == "--inject-check-failure") {
+      opts.inject_check_failure = true;
     } else if (const char* v = value("--target=")) {
       for (auto& t : SplitCsv(v)) {
         opts.targets.push_back(t);
