@@ -54,13 +54,28 @@ bool Machine::HasFutureEventIgnoringTimer() const {
   return false;
 }
 
-Cycles Machine::AdvanceIdle(Cycles max_skip) {
+std::optional<Cycles> Machine::NextHardwareEvent() const {
+  std::optional<Cycles> next;
+  if (revoker_.sweeping()) {
+    next = clock_.now() + std::max<Cycles>(revoker_.CyclesUntilDone(), 1);
+  }
+  for (const auto& source : next_event_sources_) {
+    if (auto n = source()) {
+      if (!next || *n < *next) {
+        next = *n;
+      }
+    }
+  }
+  return next;
+}
+
+Cycles Machine::AdvanceIdle(Cycles max_skip, bool ignore_timer) {
   if (irqs_.AnyPending()) {
     return 0;
   }
   const Cycles now = clock_.now();
   Cycles target = now + max_skip;
-  if (timer_.armed()) {
+  if (!ignore_timer && timer_.armed()) {
     target = std::min(target, std::max(timer_.deadline(), now + 1));
   }
   if (revoker_.sweeping()) {

@@ -58,8 +58,17 @@ class Machine {
   // Skips the clock forward while the CPU is idle: advances to the earliest
   // of the timer deadline, revoker completion and any registered next-event
   // source, bounded by max_skip. Returns the cycles skipped (0 if an IRQ is
-  // already pending).
-  Cycles AdvanceIdle(Cycles max_skip);
+  // already pending). With `ignore_timer` the armed timer does not bound the
+  // skip — used by the kernel's idle fast-forward, which treats its own
+  // quantum timer as noise (the caller must bound the skip by any genuine
+  // scheduler deadline itself); the timer interrupt still pends when the
+  // jump crosses the deadline and is delivered at the jump target.
+  Cycles AdvanceIdle(Cycles max_skip, bool ignore_timer = false);
+
+  // Earliest pending hardware event ignoring the CPU-armed timer: revoker
+  // sweep completion or any registered next-event source. nullopt when no
+  // such event is scheduled. The idle fast-forward bound.
+  std::optional<Cycles> NextHardwareEvent() const;
 
   void AddNextEventSource(NextEventFn fn) {
     next_event_sources_.push_back(std::move(fn));

@@ -356,13 +356,18 @@ void System::PreemptCheck() {
       t.forced_unwind.count(t.current_compartment) > 0) {
     throw ForcedUnwindException{t.current_compartment};
   }
-  // Run-budget pause: park the thread (still ready, still in its queue) and
-  // return to the idle loop so Run() can hand control back to the caller.
+  // Run-budget pause: hand control back to Run() without touching the
+  // scheduler, the quantum, the timer, or the clock. The pause must be
+  // invisible to the simulation — if it cost even one cycle, the number of
+  // epoch barriers a fleet run takes (which varies with epoch length and
+  // fast-forward mode) would leak into guest-visible state and break the
+  // fingerprint determinism contract.
   if (Now() >= run_deadline_ || stop_requested_) {
     in_kernel_ = true;
-    t.state = GuestThread::State::kReady;
-    SwitchToIdle();
-    return;  // resumed later with in_kernel_ already cleared
+    paused_thread_id_ = t.id;
+    FiberSwap(&t.context, &main_context_, nullptr, false);
+    in_kernel_ = false;  // resumed by Run(); continue in guest context
+    return;
   }
   if (!t.interrupts_enabled || !machine_.irqs().AnyPending()) {
     return;
@@ -529,6 +534,16 @@ System::RunResult System::Run(Cycles max_cycles) {
     if (Now() >= run_deadline_) {
       return RunResult::kBudgetExhausted;
     }
+    if (paused_thread_id_ >= 0) {
+      // Resume a thread parked by the run-budget pause in PreemptCheck.
+      // Bypass the scheduler entirely — no tick, no quantum reset, no trace
+      // event — so the pause/resume pair is invisible to the simulation.
+      GuestThread& t = threads_[paused_thread_id_];
+      paused_thread_id_ = -1;
+      g_active_system = this;
+      FiberSwap(&main_context_, &t.context, &t, false);
+      continue;
+    }
     DeliverPendingIrqs(/*from_guest=*/false);
     sched_->WakeExpired(Now());
     const int next = sched_->PickNext();
@@ -549,13 +564,61 @@ System::RunResult System::Run(Cycles max_cycles) {
       LOG_WARN("system deadlock: all threads blocked with no pending event");
       return RunResult::kDeadlock;
     }
+    if (run_deadline_ != ~0ull && Now() >= run_deadline_) {
+      // IRQ bookkeeping above can tick the clock across the deadline after
+      // the top-of-loop check; recheck before computing the idle budget or
+      // the subtraction below underflows into an unbounded skip.
+      continue;  // the top of the loop returns kBudgetExhausted
+    }
     const Cycles budget =
         run_deadline_ == ~0ull ? options_.idle_chunk
                                : std::min<Cycles>(options_.idle_chunk,
                                                   run_deadline_ - Now());
-    const Cycles skipped = machine_.AdvanceIdle(std::max<Cycles>(budget, 1));
+    Cycles limit = std::max<Cycles>(budget, 1);
+    if (options_.fast_forward) {
+      // Idle fast-forward: jump straight to the next genuine event. The
+      // quantum timer armed by ArmTimer is not one — with no runnable thread
+      // it would only re-arm itself every tick_quantum — so AdvanceIdle
+      // ignores it; if the jump crosses its deadline the interrupt pends
+      // once and is delivered at the jump target, which with no thread to
+      // wake or preempt changes nothing observable. Every genuine wake
+      // source still bounds the jump exactly: scheduler sleep/timeout
+      // deadlines here, revoker completion and pending device deliveries
+      // inside AdvanceIdle.
+      if (auto d = sched_->NextDeadline()) {
+        limit = std::min(limit, *d > Now() ? *d - Now() : 1);
+      }
+    }
+    const Cycles skipped = machine_.AdvanceIdle(limit, options_.fast_forward);
     sched_->AddIdleCycles(skipped);
+    if (auto* tr = machine_.trace();
+        tr != nullptr && options_.fast_forward &&
+        skipped >= options_.tick_quantum) {
+      // Idle-span event: spans the quantum timer would have chopped. Purely
+      // observational — the span is already charged to the idle context.
+      tr->OnIdleFastForward(skipped);
+    }
   }
+}
+
+Cycles System::NextEventCycle() const {
+  if (!booted_) {
+    return Now();
+  }
+  if (paused_thread_id_ >= 0) {
+    return Now();  // a thread is mid-op in a run-budget pause: busy now
+  }
+  if (sched_->PickNext() >= 0 || machine_.irqs().AnyPending()) {
+    return Now();
+  }
+  Cycles next = kForever;
+  if (auto d = sched_->NextDeadline()) {
+    next = std::min(next, *d);
+  }
+  if (auto h = machine_.NextHardwareEvent()) {
+    next = std::min(next, *h);
+  }
+  return next;
 }
 
 bool System::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {

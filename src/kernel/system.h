@@ -26,10 +26,20 @@ namespace cheriot {
 struct SystemOptions {
   Cycles tick_quantum = 33'000;   // 1 ms scheduler tick at 33 MHz
   Cycles idle_chunk = 1'000'000;  // max idle time-skip per step
+  // Idle fast-forward: with no runnable thread, jump the clock straight to
+  // the next genuine event (scheduler deadline, revoker completion, pending
+  // device delivery) instead of waking at every self-armed quantum-timer
+  // deadline. The quantum timer exists only to preempt running threads, so
+  // skipping its idle firings is unobservable: fingerprints are bit-identical
+  // with this on or off (pinned by tests/fleet_test.cpp). Escape hatch for
+  // CI and for bisecting determinism regressions.
+  bool fast_forward = true;
 };
 
 class System {
  public:
+  // Sentinel for NextEventCycle(): no event is scheduled, ever.
+  static constexpr Cycles kForever = ~0ull;
   // Augments the image with the TCB service compartments ("alloc", "sched")
   // and the "token" library, then holds it for Boot().
   System(Machine& machine, FirmwareImage image, SystemOptions options = {});
@@ -68,6 +78,16 @@ class System {
   }
   int current_thread_id() const { return current_thread_id_; }
   Cycles Now() const { return machine_.clock().now(); }
+
+  // The absolute cycle of the earliest thing this system could possibly do:
+  // Now() if a thread is runnable or an interrupt is pending (the system is
+  // busy), else the earliest of the scheduler's sleep/timeout deadlines, the
+  // revoker's sweep completion and any pending device delivery (e.g. an
+  // in-flight NIC frame), ignoring the self-armed quantum timer. kForever
+  // when every thread is exited or blocked with no deadline and no hardware
+  // event is scheduled — the deadlock condition. The fleet's idle
+  // fast-forward and adaptive epoch coarsening are built on this query.
+  Cycles NextEventCycle() const;
 
   // --- Kernel internals (used by switcher / ctx / TCB services) ---
   // Preemption point: called from the memory-access hook.
@@ -135,6 +155,9 @@ class System {
   void* main_tsan_fiber_ = nullptr;
   int current_thread_id_ = -1;
   int starting_thread_id_ = -1;
+  // Thread parked by the cycle-transparent run-budget pause in
+  // PreemptCheck(); Run() resumes it directly, bypassing the scheduler.
+  int paused_thread_id_ = -1;
   bool in_kernel_ = false;
   bool booted_ = false;
   bool need_resched_ = false;

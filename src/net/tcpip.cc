@@ -186,6 +186,9 @@ void TcpTransmit(CompartmentCtx& ctx, TcpIpState& state, Socket& s,
     s.una_seq = s.snd_nxt;
     s.rto_at = ctx.Now() + kRtoCycles;
     s.retries = 0;
+    // The worker sleeps event-driven on the ethernet IRQ futex; kick it so
+    // its next sleep honours this segment's retransmit deadline.
+    ctx.FutexWake(ctx.InterruptFutex(IrqLine::kEthernet), 1);
   }
   s.snd_nxt += payload.size();
   if (flags & (kTcpSyn | kTcpFin)) {
@@ -513,7 +516,25 @@ void AddTcpIpCompartment(ImageBuilder& image, const NetStackOptions& options) {
           const Word seen = ctx.LoadWord(irq_futex, 0);
           PollFrames(ctx, state);
           CheckRetransmits(ctx, state);
-          ctx.FutexWait(irq_futex, seen, 330'000);  // 10 ms timer granularity
+          // Event-driven sleep: frame arrivals wake the ethernet IRQ futex,
+          // so the timeout only has to cover the earliest TCP retransmit
+          // deadline. With nothing unacked a 1 s safety tick replaces the
+          // old fixed 10 ms heartbeat, which on an idle stack was pure
+          // wasted wakeups — and the dominant barrier source in idle
+          // fleets (DESIGN.md §6.1).
+          Cycles wake = ctx.Now() + 33'000'000;
+          for (int i = 0; i < kMaxSockets; ++i) {
+            const Socket& s = state.sockets[i];
+            if (s.live && s.proto == kIpProtoTcp && !s.unacked.empty()) {
+              wake = std::min(wake, s.rto_at);
+            }
+          }
+          const Cycles now = ctx.Now();
+          const Word budget =
+              wake > now ? static_cast<Word>(
+                               std::min<Cycles>(wake - now, 0xFFFFFFFEu))
+                         : 1;
+          ctx.FutexWait(irq_futex, seen, budget);
         }
       },
       1024, InterruptPosture::kEnabled);

@@ -73,6 +73,13 @@ System::RunResult Board::StepTo(Cycles target) {
   return last_result_;
 }
 
+Cycles Board::NextInterestingCycle() {
+  if (!runnable()) {
+    return System::kForever;
+  }
+  return system_.NextEventCycle();
+}
+
 bool Board::runnable() const {
   switch (last_result_) {
     case System::RunResult::kAllExited:

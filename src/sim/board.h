@@ -80,6 +80,19 @@ class Board {
   // deadlocked without any newly injected frame to wake it).
   bool runnable() const;
 
+  // The earliest absolute cycle at which this board could do anything
+  // observable: its current clock if a thread is runnable (busy), else the
+  // earliest timer wake / revoker completion / pending frame delivery;
+  // System::kForever when nothing is scheduled (all exited or deadlocked).
+  // The Fleet's adaptive epoch coarsening and board parking key off this —
+  // a board whose next interesting cycle lies beyond an epoch's target
+  // provably cannot execute, transmit or change state inside that epoch.
+  Cycles NextInterestingCycle();
+
+  // True if frames are staged for the next barrier exchange (the Fleet's
+  // dirty-list optimisation: only boards that transmitted are drained).
+  bool has_staged_tx() const { return !tx_staged_.empty(); }
+
   // Takes this epoch's transmitted frames, stamped with their TX cycle.
   std::vector<std::pair<Cycles, Frame>> DrainTx();
   // Schedules a frame to arrive at absolute cycle `due` (FIFO-stable for

@@ -13,7 +13,49 @@ constexpr Fabric::Mac kBroadcast = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
 
 int Fabric::AttachPort(Cycles latency, DeliverFn deliver) {
   ports_.push_back({latency, std::move(deliver)});
-  return static_cast<int>(ports_.size()) - 1;
+  const int id = static_cast<int>(ports_.size()) - 1;
+  group_parent_.push_back(id);  // every port starts in its own group
+  return id;
+}
+
+int Fabric::Find(int port) const {
+  int root = port;
+  while (group_parent_[static_cast<size_t>(root)] != root) {
+    root = group_parent_[static_cast<size_t>(root)];
+  }
+  while (group_parent_[static_cast<size_t>(port)] != root) {
+    int next = group_parent_[static_cast<size_t>(port)];
+    group_parent_[static_cast<size_t>(port)] = root;
+    port = next;
+  }
+  return root;
+}
+
+void Fabric::Union(int a, int b) {
+  const int ra = Find(a);
+  const int rb = Find(b);
+  if (ra == rb) {
+    return;
+  }
+  // Deterministic tie-break: the lower port id becomes the representative.
+  if (ra < rb) {
+    group_parent_[static_cast<size_t>(rb)] = ra;
+  } else {
+    group_parent_[static_cast<size_t>(ra)] = rb;
+  }
+  ++group_generation_;
+}
+
+int Fabric::GroupOf(int port) const { return Find(port); }
+
+size_t Fabric::group_count() const {
+  size_t groups = 0;
+  for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
+    if (Find(port) == port) {
+      ++groups;
+    }
+  }
+  return groups;
 }
 
 Cycles Fabric::MinLinkLatency() const {
@@ -51,6 +93,7 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
         if (trace_ != nullptr) {
           trace_->OnFabricFrame(at, src_port, it->second, frame.size());
         }
+        Union(src_port, it->second);
         DeliverTo(it->second, at, frame);
       }
       return;
@@ -63,6 +106,7 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
   }
   for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
     if (port != src_port) {
+      Union(src_port, port);
       DeliverTo(port, at, frame);
     }
   }

@@ -46,6 +46,24 @@ class Fabric {
   uint64_t frames_flooded() const { return frames_flooded_; }
   size_t macs_learned() const { return mac_table_.size(); }
 
+  // --- Communication groups -------------------------------------------------
+  // Union-find over ports, merged on every actual delivery (unicast and each
+  // leg of a flood): two ports share a group iff traffic has ever connected
+  // them, directly or transitively. Ports that have never exchanged a frame
+  // stay singleton. This is observational structure — the audit surface for
+  // "who actually talks to whom" that the Fleet reports alongside its epoch
+  // statistics. It is NOT used to decouple clocks: a broadcast can reach any
+  // port at any barrier, so per-board parking on next-event bounds (which is
+  // strictly finer-grained) is what the Fleet uses for correctness.
+
+  // Canonical group representative for `port` (path-compressed).
+  int GroupOf(int port) const;
+  // Number of distinct groups among attached ports.
+  size_t group_count() const;
+  // Bumped once per group merge; lets callers cache group-derived state and
+  // invalidate only when the partition actually changes.
+  uint64_t group_generation() const { return group_generation_; }
+
   // Flight recorder for switched frames. The fabric has no clock of its own,
   // so events are stamped with the frame's transmit time; the Fleet only
   // calls Transmit at epoch barriers, so emission order is deterministic for
@@ -59,12 +77,17 @@ class Fabric {
   };
 
   void DeliverTo(int port, Cycles at, const Frame& frame);
+  int Find(int port) const;
+  void Union(int a, int b);
 
   std::vector<Port> ports_;
   std::map<Mac, int> mac_table_;
   trace::TraceRecorder* trace_ = nullptr;
   uint64_t frames_switched_ = 0;
   uint64_t frames_flooded_ = 0;
+  // Union-find parent per port; mutable for path compression in const reads.
+  mutable std::vector<int> group_parent_;
+  uint64_t group_generation_ = 0;
 };
 
 }  // namespace cheriot::sim

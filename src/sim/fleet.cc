@@ -1,14 +1,35 @@
 #include "src/sim/fleet.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/base/check.h"
 #include "src/base/log.h"
 
 namespace cheriot::sim {
 
+namespace {
+
+// Validates options before any member that depends on them is constructed
+// (the fabric and gateway are built in the member-initialiser list), so a
+// bad epoch dies with a clear message instead of a misconfigured fleet.
+FleetOptions ValidatedOptions(FleetOptions o) {
+  CHERIOT_CHECK(o.board_link_latency > 0,
+                "FleetOptions::board_link_latency must be positive");
+  CHERIOT_CHECK(o.epoch <= o.board_link_latency,
+                "FleetOptions::epoch must not exceed the board link latency "
+                "(the conservative-lookahead bound)");
+  if (const char* env = std::getenv("CHERIOT_FLEET_FAST_FORWARD")) {
+    o.fast_forward = !(env[0] == '0' && env[1] == '\0');
+  }
+  return o;
+}
+
+}  // namespace
+
 Fleet::Fleet(FleetOptions options)
-    : options_(options), gateway_(options.world) {
+    : options_(ValidatedOptions(std::move(options))),
+      gateway_(options_.world) {
   // The gateway sits inside the switch: port latency 0, so a frame
   // transmitted by a board at t is processed by the gateway "at t" and the
   // reply crosses only the destination board's link — reproducing the
@@ -46,6 +67,9 @@ int Fleet::AddBoard(FirmwareImage image) {
   opts.mac = MacForIndex(index);
   opts.machine = options_.machine;
   opts.system = options_.system;
+  // The fleet-level switch governs the per-board kernel idle fast-forward
+  // too, so one flag (or the environment override) flips the whole stack.
+  opts.system.fast_forward = options_.fast_forward;
   boards_.push_back(std::make_unique<Board>(std::move(image), opts));
   Board* board = boards_.back().get();
   if (options_.trace) {
@@ -56,8 +80,16 @@ int Fleet::AddBoard(FirmwareImage image) {
   }
   board_ports_.push_back(fabric_.AttachPort(
       options_.board_link_latency,
-      [board](Cycles due, Fabric::Frame f) {
+      [this, board, index](Cycles due, Fabric::Frame f) {
         board->InjectAt(due, std::move(f));
+        // A newly injected frame is an interesting event: clamp the cached
+        // bound so a parked board (or one parked this barrier) is woken for
+        // the epoch containing the delivery. Guarded because the fabric can
+        // in principle deliver before Boot() sizes the cache.
+        if (static_cast<size_t>(index) < next_interesting_.size() &&
+            due < next_interesting_[static_cast<size_t>(index)]) {
+          next_interesting_[static_cast<size_t>(index)] = due;
+        }
       }));
   return index;
 }
@@ -70,6 +102,20 @@ void Fleet::Boot() {
   for (auto& board : boards_) {
     board->Boot();
   }
+  // Zero-initialised next-event cache: every board looks busy, so the first
+  // epoch is conservative and steps everyone, refreshing the cache with real
+  // bounds.
+  next_interesting_.assign(boards_.size(), 0);
+  worker_dirty_.resize(std::max<size_t>(
+      1, std::min<size_t>(static_cast<size_t>(std::max(options_.host_threads, 1)),
+                          boards_.size())));
+  // Should firmware ever stage frames during boot, drain them at the first
+  // barrier rather than losing them to the dirty-list optimisation.
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    if (boards_[i]->has_staged_tx()) {
+      tx_dirty_.push_back(i);
+    }
+  }
   booted_ = true;
 }
 
@@ -77,38 +123,71 @@ void Fleet::GatewayEmit(net::Bytes frame) {
   fabric_.Transmit(gateway_port_, gateway_emit_at_, frame);
 }
 
-void Fleet::ExchangeFrames() {
-  // Deterministic order: boards drained by index, then the gateway's inbox
-  // by transmit time (stable for ties, preserving drain order).
+Cycles Fleet::NextEpochTarget(Cycles end) const {
+  const Cycles conservative = std::min<Cycles>(now_ + epoch_, end);
+  if (!options_.fast_forward) {
+    return conservative;
+  }
+  // Coarsening is sound only when EVERY runnable board is provably idle past
+  // now_: an idle board cannot execute, so it cannot transmit, so no frame
+  // can become due inside the extended epoch. One busy board (its next
+  // interesting cycle is its own clock, <= now_ modulo overshoot) forces the
+  // conservative bound — it could transmit at any cycle.
+  Cycles next = System::kForever;
   for (size_t i = 0; i < boards_.size(); ++i) {
-    for (auto& [at, frame] : boards_[i]->DrainTx()) {
-      ++frames_exchanged_;
-      fabric_.Transmit(board_ports_[i], at, frame);
+    if (!boards_[i]->runnable()) {
+      continue;
     }
+    const Cycles n = next_interesting_[i];
+    if (n <= now_) {
+      return conservative;
+    }
+    next = std::min(next, n);
   }
-  std::stable_sort(gateway_inbox_.begin(), gateway_inbox_.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first < b.first;
-                   });
-  // The gateway may emit new board-bound frames while processing (replies,
-  // forwards); those go straight to board ports. It never sends to itself.
-  std::vector<std::pair<Cycles, net::Bytes>> inbox;
-  inbox.swap(gateway_inbox_);
-  for (auto& [at, frame] : inbox) {
-    gateway_emit_at_ = at;
-    gateway_.OnFrame(at, frame);
+  if (next == System::kForever) {
+    // Nothing will ever happen again (all exited/blocked, no timers, no
+    // frames in flight): jump the fleet clock straight to the horizon.
+    return end;
   }
+  // Never shorter than the conservative epoch (coarsening only), never past
+  // the horizon. Landing exactly ON the next event is correct: the barrier's
+  // Run budget ends there, so the waking board executes in the following
+  // epoch, which is conservative because that board is then busy.
+  return std::min(std::max(next, conservative), end);
+}
+
+void Fleet::BuildStepList(Cycles target) {
+  step_list_.clear();
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    if (!boards_[i]->runnable()) {
+      continue;
+    }
+    // Parking: a board whose next interesting cycle lies beyond the target
+    // cannot execute a single instruction before the barrier — stepping it
+    // would only idle its clock forward, which CatchUp() does lazily in one
+    // jump at the end of the run. (A busy board's bound is its own clock; if
+    // that already passed the target, StepTo would be a no-op anyway.)
+    if (options_.fast_forward && next_interesting_[i] > target) {
+      ++boards_skipped_;
+      continue;
+    }
+    step_list_.push_back(i);
+  }
+  boards_stepped_ += step_list_.size();
 }
 
 void Fleet::StartWorkers() {
-  const int n = std::min<int>(options_.host_threads,
-                              static_cast<int>(boards_.size()));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  const size_t n = std::min<size_t>(
+      static_cast<size_t>(options_.host_threads), boards_.size());
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (worker_dirty_.size() < workers_.size()) {
+    worker_dirty_.resize(workers_.size());
   }
 }
 
-void Fleet::WorkerLoop() {
+void Fleet::WorkerLoop(size_t worker_id) {
   uint64_t seen = 0;
   for (;;) {
     Cycles target;
@@ -123,12 +202,15 @@ void Fleet::WorkerLoop() {
     }
     try {
       for (;;) {
-        const size_t i = next_board_.fetch_add(1);
-        if (i >= boards_.size()) {
+        const size_t k = next_step_.fetch_add(1);
+        if (k >= step_list_.size()) {
           break;
         }
-        if (boards_[i]->runnable()) {
-          boards_[i]->StepTo(target);
+        const size_t i = step_list_[k];
+        boards_[i]->StepTo(target);
+        next_interesting_[i] = boards_[i]->NextInterestingCycle();
+        if (boards_[i]->has_staged_tx()) {
+          worker_dirty_[worker_id].push_back(i);
         }
       }
     } catch (...) {
@@ -146,11 +228,13 @@ void Fleet::WorkerLoop() {
   }
 }
 
-void Fleet::StepBoardsParallel(Cycles target) {
+void Fleet::StepBoards(Cycles target) {
   if (options_.host_threads <= 1 || boards_.size() <= 1) {
-    for (auto& board : boards_) {
-      if (board->runnable()) {
-        board->StepTo(target);
+    for (size_t i : step_list_) {
+      boards_[i]->StepTo(target);
+      next_interesting_[i] = boards_[i]->NextInterestingCycle();
+      if (boards_[i]->has_staged_tx()) {
+        worker_dirty_[0].push_back(i);
       }
     }
     return;
@@ -160,7 +244,7 @@ void Fleet::StepBoardsParallel(Cycles target) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    next_board_.store(0);
+    next_step_.store(0);
     step_target_ = target;
     workers_running_ = static_cast<int>(workers_.size());
     ++generation_;
@@ -177,18 +261,75 @@ void Fleet::StepBoardsParallel(Cycles target) {
   }
 }
 
+void Fleet::ExchangeFrames() {
+  // Sharded exchange: only boards that actually staged frames are drained.
+  // Workers claim boards in nondeterministic order, so the merged dirty list
+  // is sorted to restore the contract's board-index drain order. A board can
+  // appear at most once per epoch (one worker steps it once); the sort is
+  // over a handful of indices, not all N boards.
+  for (auto& dirty : worker_dirty_) {
+    tx_dirty_.insert(tx_dirty_.end(), dirty.begin(), dirty.end());
+    dirty.clear();
+  }
+  std::sort(tx_dirty_.begin(), tx_dirty_.end());
+  for (size_t i : tx_dirty_) {
+    for (auto& [at, frame] : boards_[i]->DrainTx()) {
+      ++frames_exchanged_;
+      fabric_.Transmit(board_ports_[i], at, frame);
+    }
+  }
+  tx_dirty_.clear();
+  std::stable_sort(gateway_inbox_.begin(), gateway_inbox_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  // The gateway may emit new board-bound frames while processing (replies,
+  // forwards); those go straight to board ports. It never sends to itself.
+  std::vector<std::pair<Cycles, net::Bytes>> inbox;
+  inbox.swap(gateway_inbox_);
+  for (auto& [at, frame] : inbox) {
+    gateway_emit_at_ = at;
+    gateway_.OnFrame(at, frame);
+  }
+}
+
 void Fleet::RunEpoch(Cycles target) {
-  StepBoardsParallel(target);
+  BuildStepList(target);
+  StepBoards(target);
   now_ = target;
+  ++barriers_;
   ExchangeFrames();
+}
+
+void Fleet::CatchUp() {
+  if (!options_.fast_forward) {
+    return;
+  }
+  // Parked boards' clocks lag the fleet clock; advance them (pure idle time
+  // by construction — a parked board has no event before now_) so that
+  // Fingerprints() and Now() observe exactly what a non-fast-forward run
+  // would. Single-threaded: catch-up is an idle jump, not guest execution.
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    Board& b = *boards_[i];
+    if (b.runnable() && b.Now() < now_) {
+      b.StepTo(now_);
+      next_interesting_[i] = b.NextInterestingCycle();
+      if (b.has_staged_tx()) {
+        // Unreachable for a truly parked board, but keep the dirty-list
+        // invariant: anything staged is drained at the next barrier.
+        tx_dirty_.push_back(i);
+      }
+    }
+  }
 }
 
 void Fleet::Run(Cycles cycles) {
   CHERIOT_CHECK(booted_, "Fleet::Run() before Boot()");
   const Cycles end = now_ + cycles;
   while (now_ < end) {
-    RunEpoch(std::min<Cycles>(now_ + epoch_, end));
+    RunEpoch(NextEpochTarget(end));
   }
+  CatchUp();
 }
 
 bool Fleet::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
@@ -196,6 +337,7 @@ bool Fleet::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
   const Cycles end = now_ + max_cycles;
   while (!pred()) {
     if (now_ >= end) {
+      CatchUp();
       return false;
     }
     bool any_runnable = false;
@@ -207,10 +349,12 @@ bool Fleet::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
     }
     if (!any_runnable) {
       LOG_WARN("fleet: no runnable boards before predicate held");
+      CatchUp();
       return pred();
     }
-    RunEpoch(std::min<Cycles>(now_ + epoch_, end));
+    RunEpoch(NextEpochTarget(end));
   }
+  CatchUp();
   return true;
 }
 

@@ -13,6 +13,19 @@
 // board next advances — at worst one preemption granule late — and the
 // overshoot itself is a deterministic function of the board's own history,
 // so the ε does not vary across runs or thread counts.)
+//
+// Three optimisations ride on top of that contract without changing a single
+// observable cycle (DESIGN.md §6.1):
+//   - Adaptive epoch coarsening: when every runnable board is provably idle
+//     past the conservative barrier, the epoch extends straight to the
+//     fleet-wide next interesting cycle — idle boards cannot transmit, so no
+//     frame can become due inside the extension.
+//   - Board parking: a board whose cached next interesting cycle lies beyond
+//     the epoch target is not stepped at all; its clock is caught up lazily
+//     (idle advance only) before Run/RunUntil return.
+//   - Sharded exchange: each worker keeps a dirty-list of boards that staged
+//     frames; the barrier drains only those, merged in board-index order,
+//     instead of scanning every board every epoch.
 #ifndef SRC_SIM_FLEET_H_
 #define SRC_SIM_FLEET_H_
 
@@ -36,10 +49,19 @@ struct FleetOptions {
   // the calling thread. The result is identical for any value.
   int host_threads = 1;
   // Epoch length in simulated cycles; 0 = the minimum board link latency
-  // (the largest sound value). Must not exceed the minimum link latency.
+  // (the largest sound value). Must not exceed the minimum link latency —
+  // validated at Fleet construction (against board_link_latency) and again
+  // at Boot() (against the fabric's actual minimum).
   Cycles epoch = 0;
-  // One-way latency of each board's link to the switch.
+  // One-way latency of each board's link to the switch. Must be positive.
   Cycles board_link_latency = 3'300;
+  // Idle fast-forward + adaptive epochs + board parking. Purely a host-time
+  // optimisation: fingerprints are bit-identical on or off (pinned by
+  // tests/fleet_test.cpp and CI's tsan-fleet job). Escape hatch for
+  // bisecting determinism regressions; the CHERIOT_FLEET_FAST_FORWARD
+  // environment variable ("0" = off, anything else = on) overrides this at
+  // Fleet construction so CI can force both modes without code changes.
+  bool fast_forward = true;
   // Gateway service configuration (DNS table, loss injection, ...).
   net::WorldOptions world;
   MachineConfig machine;
@@ -70,10 +92,14 @@ class Fleet {
   // Boots every board (deterministic, single-threaded).
   void Boot();
 
-  // Advances all boards by `cycles` in lockstep epochs.
+  // Advances all boards by `cycles` in lockstep epochs. Every board's clock
+  // has reached now_ + cycles (modulo the per-board overshoot ε) on return.
   void Run(Cycles cycles);
   // Epoch-stepping until pred() holds (checked at each barrier) or
-  // `max_cycles` elapse. Returns pred()'s final value.
+  // `max_cycles` elapse. Returns pred()'s final value. With fast-forward on,
+  // barriers land at different cycles than with it off, so the fleet time at
+  // which pred first holds may differ between the two modes; the state pred
+  // observes at any given barrier does not.
   bool RunUntil(const std::function<bool()>& pred, Cycles max_cycles);
 
   // Gateway control surface, applied at the fleet's current time.
@@ -86,7 +112,20 @@ class Fleet {
   net::Gateway& gateway() { return gateway_; }
   Fabric& fabric() { return fabric_; }
   Cycles epoch_length() const { return epoch_; }
+  bool fast_forward() const { return options_.fast_forward; }
   uint64_t frames_exchanged() const { return frames_exchanged_; }
+
+  // --- Epoch statistics (honesty counters for benches and tests) -----------
+  // Barriers crossed so far; with adaptive coarsening this is the real
+  // synchronisation count, not elapsed_cycles / epoch_length.
+  uint64_t barriers() const { return barriers_; }
+  // Board-steps actually executed vs. parked (skipped because the board's
+  // next interesting cycle lay beyond the epoch target).
+  uint64_t boards_stepped() const { return boards_stepped_; }
+  uint64_t boards_skipped() const { return boards_skipped_; }
+  // Distinct communication groups observed by the fabric (union-find over
+  // actual deliveries; see Fabric::GroupOf).
+  size_t communication_groups() const { return fabric_.group_count(); }
 
   // The fabric's recorder (frames only, stamped with TX cycles); null unless
   // FleetOptions::trace is set.
@@ -99,11 +138,21 @@ class Fleet {
 
  private:
   void RunEpoch(Cycles target);
-  void StepBoardsParallel(Cycles target);
+  // Picks the next barrier: the conservative bound min(now + epoch, end),
+  // extended to the fleet-wide minimum next interesting cycle when every
+  // runnable board is provably idle past `now`.
+  Cycles NextEpochTarget(Cycles end) const;
+  // Fills step_list_ with the runnable boards whose cached next interesting
+  // cycle is not beyond `target`; counts the rest as parked.
+  void BuildStepList(Cycles target);
+  void StepBoards(Cycles target);
+  // Steps parked boards (idle advance only, by construction) up to now_ so
+  // fingerprints and clocks match a non-fast-forward run bit for bit.
+  void CatchUp();
   void ExchangeFrames();
   void GatewayEmit(net::Bytes frame);
   void StartWorkers();
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_id);
 
   FleetOptions options_;
   Cycles epoch_ = 0;
@@ -121,6 +170,22 @@ class Fleet {
   uint64_t frames_exchanged_ = 0;
   bool booted_ = false;
 
+  // Cached Board::NextInterestingCycle per board, refreshed after each step
+  // and clamped down when the fabric injects a frame. Only read/written at
+  // barriers or for boards owned by exactly one worker during an epoch.
+  std::vector<Cycles> next_interesting_;
+  // Boards to step this epoch (indices), rebuilt at each barrier.
+  std::vector<size_t> step_list_;
+  // Per-worker dirty lists: boards that staged TX frames during the epoch.
+  // Slot 0 doubles as the inline (host_threads == 1) path's list. Merged and
+  // sorted into tx_dirty_ at the barrier so the drain order is board-index
+  // order regardless of which worker stepped what.
+  std::vector<std::vector<size_t>> worker_dirty_;
+  std::vector<size_t> tx_dirty_;
+  uint64_t barriers_ = 0;
+  uint64_t boards_stepped_ = 0;
+  uint64_t boards_skipped_ = 0;
+
   // Persistent worker pool (started lazily when host_threads > 1).
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -129,7 +194,7 @@ class Fleet {
   uint64_t generation_ = 0;
   int workers_running_ = 0;
   Cycles step_target_ = 0;
-  std::atomic<size_t> next_board_{0};
+  std::atomic<size_t> next_step_{0};
   bool shutdown_ = false;
   std::exception_ptr worker_error_;
 };

@@ -109,9 +109,11 @@ EntryFn AppMain(std::shared_ptr<FleetAppState> state, FleetAppOptions opts) {
     // micro-reboots under us.
     for (;;) {
       auto out = ctx.AllocStack(128);
+      const Cycles poll_timeout =
+          opts.poll_timeout != 0 ? opts.poll_timeout : kSecond / 2;
       const Capability r = ctx.Call(
           "mqtt.poll",
-          {session, out.cap(), WordCap(128), WordCap(kSecond / 2)});
+          {session, out.cap(), WordCap(128), WordCap(poll_timeout)});
       const auto n = static_cast<int32_t>(r.word());
       if (n > 0) {
         ++state->notifications;

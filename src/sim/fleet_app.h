@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "src/base/types.h"
 #include "src/firmware/image.h"
 #include "src/net/netstack.h"
 
@@ -34,6 +35,10 @@ struct FleetAppOptions {
   // the (mostly idle) poll loop. Benches use this to create a sustained busy
   // phase; each one counts in FleetAppState::publishes.
   int busy_publishes = 0;
+  // Steady-state mqtt.poll timeout in cycles; 0 means the half-second
+  // default. Telemetry-style benches stretch this to model devices that
+  // sleep for seconds between reports.
+  Cycles poll_timeout = 0;
   net::NetStackOptions net;
 };
 

@@ -186,6 +186,17 @@ void AppendChromeEvents(TraceRecorder& r, const Event& e,
       out->push_back(std::move(o));
       break;
     }
+    case EventType::kIdleFastForward: {
+      // Rendered as a completed span ending at the jump target, so the
+      // skipped stretch shows up as one solid "idle (ff)" block instead of
+      // empty space.
+      json::Object o = Base("X", pid, 0, e.at - static_cast<Cycles>(e.c));
+      o["name"] = "idle_fast_forward";
+      o["dur"] = static_cast<uint64_t>(e.c);
+      o["args"] = json::Object{{"span_cycles", e.c}};
+      out->push_back(std::move(o));
+      break;
+    }
   }
 }
 

@@ -31,6 +31,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kNicRx: return "nic_rx";
     case EventType::kFabricFrame: return "fabric_frame";
     case EventType::kCrashRecord: return "crash_record";
+    case EventType::kIdleFastForward: return "idle_fast_forward";
   }
   return "unknown";
 }
@@ -272,6 +273,12 @@ void TraceRecorder::OnCrashRecord(int thread, int cause, int compartment,
   ChargeToNow();
   Emit(EventType::kCrashRecord, static_cast<int16_t>(thread), cause,
        compartment, static_cast<int64_t>(fault_address), seq);
+}
+
+void TraceRecorder::OnIdleFastForward(Cycles span) {
+  ChargeToNow();
+  Emit(EventType::kIdleFastForward, /*thread=*/-1, 0, 0,
+       static_cast<int64_t>(span), 0);
 }
 
 const std::map<int, TraceRecorder::CompartmentProfile>&

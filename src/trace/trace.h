@@ -52,6 +52,9 @@ enum class EventType : uint8_t {
   kFabricFrame = 16,       // a=src port, b=dst port (-1 = flood), c=bytes
   kCrashRecord = 17,       // a=TrapCode, b=compartment, c=fault address,
                            // d=forensics record sequence number
+  kIdleFastForward = 18,   // c=cycles skipped in one idle jump (the event's
+                           // timestamp is the jump target); emitted only for
+                           // spans the quantum timer would have chopped
 };
 
 // Number of event kinds. The exporters (src/trace/export.cc) switch over
@@ -60,7 +63,7 @@ enum class EventType : uint8_t {
 // unexported event. This count sizes the per-type aggregate array and the
 // exporters' iteration bound; the static_assert pins it to the enum.
 inline constexpr size_t kEventTypeCount =
-    static_cast<size_t>(EventType::kCrashRecord) + 1;
+    static_cast<size_t>(EventType::kIdleFastForward) + 1;
 
 const char* EventTypeName(EventType type);
 
@@ -145,6 +148,11 @@ class TraceRecorder {
   // is the forensics ring sequence number so the two streams can be joined.
   void OnCrashRecord(int thread, int cause, int compartment,
                      Address fault_address, uint64_t seq);
+  // Idle fast-forward span (kernel jumped the clock `span` cycles to the
+  // next event with no runnable thread). The span is charged to the idle
+  // context by the ordinary settlement; the event only makes the jump
+  // visible in exported traces.
+  void OnIdleFastForward(Cycles span);
 
   // Profiler clock hook: charges clock->now() - last settlement to the
   // current context. Registered by Attach(); also safe to call manually.

@@ -5,8 +5,10 @@
 // for any host thread count and across repeated runs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/base/costs.h"
@@ -31,10 +33,13 @@ struct FleetRun {
 };
 
 FleetRun MakeFleet(int boards, int host_threads,
-                   bool ping_next_peer = false) {
+                   bool ping_next_peer = false, bool fast_forward = true,
+                   Cycles epoch = 0) {
   FleetRun run;
   FleetOptions options;
   options.host_threads = host_threads;
+  options.fast_forward = fast_forward;
+  options.epoch = epoch;
   run.fleet = std::make_unique<Fleet>(options);
   for (int i = 0; i < boards; ++i) {
     auto state = std::make_shared<FleetAppState>();
@@ -151,8 +156,10 @@ struct RunOutcome {
 // Fixed two-phase horizon: run, publish from the broker at a fixed fleet
 // time, run again. Everything observable must be a pure function of the
 // firmware — not of the host thread count or of which run this is.
-RunOutcome RunFixedHorizon(int boards, int host_threads) {
-  FleetRun run = MakeFleet(boards, host_threads);
+RunOutcome RunFixedHorizon(int boards, int host_threads,
+                           bool fast_forward = true, Cycles epoch = 0) {
+  FleetRun run = MakeFleet(boards, host_threads, /*ping_next_peer=*/false,
+                           fast_forward, epoch);
   run.fleet->Run(20 * kSecond);
   run.fleet->PublishMqtt("leds", {'o', 'n'});
   run.fleet->Run(5 * kSecond);
@@ -213,6 +220,178 @@ TEST(FleetTest, EpochNeverExceedsLinkLatency) {
   EXPECT_GT(run.fleet->epoch_length(), 0u);
   EXPECT_LE(run.fleet->epoch_length(),
             run.fleet->fabric().MinLinkLatency());
+}
+
+// True when the CHERIOT_FLEET_FAST_FORWARD override is active: the explicit
+// FleetOptions::fast_forward flag is ignored, so cross-mode comparisons
+// degenerate (both sides run in the forced mode) and effectiveness tests
+// must skip. CI exploits this to run the whole suite in each mode.
+bool FastForwardForcedByEnv() {
+  return std::getenv("CHERIOT_FLEET_FAST_FORWARD") != nullptr;
+}
+
+// The tentpole contract: idle fast-forward, adaptive epoch coarsening and
+// board parking are pure host-time optimisations. Fingerprints, firmware
+// observations and gateway counters are bit-identical with the optimisation
+// on or off, at any worker count.
+TEST(FleetDeterminismTest, FastForwardDoesNotChangeResults) {
+  const RunOutcome off = RunFixedHorizon(4, 1, /*fast_forward=*/false);
+  const RunOutcome on1 = RunFixedHorizon(4, 1, /*fast_forward=*/true);
+  const RunOutcome on2 = RunFixedHorizon(4, 2, /*fast_forward=*/true);
+  const RunOutcome on4 = RunFixedHorizon(4, 4, /*fast_forward=*/true);
+  ExpectSameOutcome(off, on1, "ff-on 1-thread");
+  ExpectSameOutcome(off, on2, "ff-on 2-thread");
+  ExpectSameOutcome(off, on4, "ff-on 4-thread");
+}
+
+// Epoch length is a scheduling knob, not a semantic one: any value in
+// (0, min link latency] yields bit-identical results, because frame delivery
+// is keyed on due cycles, not on barrier placement.
+TEST(FleetDeterminismTest, EpochLengthDoesNotChangeResults) {
+  const Cycles min_latency = FleetOptions{}.board_link_latency;
+  const RunOutcome dflt = RunFixedHorizon(4, 1);
+  const RunOutcome half = RunFixedHorizon(4, 1, true, min_latency / 2);
+  const RunOutcome full = RunFixedHorizon(4, 1, true, min_latency);
+  ExpectSameOutcome(dflt, half, "epoch=min/2");
+  ExpectSameOutcome(dflt, full, "epoch=min");
+}
+
+// epoch=1 is the degenerate worst case (a barrier every cycle while any
+// board is busy), so compare over a short horizon only.
+TEST(FleetDeterminismTest, SingleCycleEpochMatchesDefault) {
+  constexpr Cycles kHorizon = 150'000;
+  auto fingerprints_for = [](Cycles epoch) {
+    FleetRun run = MakeFleet(2, 1, false, /*fast_forward=*/true, epoch);
+    run.fleet->Run(kHorizon);
+    return run.fleet->Fingerprints();
+  };
+  EXPECT_EQ(fingerprints_for(0), fingerprints_for(1));
+}
+
+// Run/RunUntil land the fleet clock exactly on the requested horizon whether
+// or not it is a multiple of the epoch, in both fast-forward modes, with
+// identical per-board fingerprints.
+TEST(FleetTest, HorizonExactAndNonExactEpochMultiples) {
+  std::vector<Board::Fingerprint> previous;
+  for (bool ff : {false, true}) {
+    FleetRun run = MakeFleet(2, 1, false, ff);
+    const Cycles epoch = run.fleet->epoch_length();
+    run.fleet->Run(10 * epoch);  // exact multiple
+    EXPECT_EQ(run.fleet->Now(), 10 * epoch);
+    run.fleet->Run(epoch / 2 + 1);  // non-exact
+    EXPECT_EQ(run.fleet->Now(), 10 * epoch + epoch / 2 + 1);
+    const Cycles start = run.fleet->Now();
+    EXPECT_FALSE(run.fleet->RunUntil([] { return false; }, 3 * epoch + 7));
+    EXPECT_EQ(run.fleet->Now(), start + 3 * epoch + 7);
+    auto fps = run.fleet->Fingerprints();
+    if (!previous.empty() && !FastForwardForcedByEnv()) {
+      EXPECT_EQ(fps, previous) << "ff on/off divergence at odd horizons";
+    }
+    previous = std::move(fps);
+  }
+}
+
+// The point of the tentpole: the firmware's poll loop sleeps ~0.25 simulated
+// seconds between wakes, so an idle-heavy stretch should cross orders of
+// magnitude fewer barriers than the one-per-min-link-latency baseline, and
+// most per-board steps should be parked away entirely.
+TEST(FleetTest, FastForwardCollapsesIdleEpochs) {
+  if (FastForwardForcedByEnv() &&
+      std::string(std::getenv("CHERIOT_FLEET_FAST_FORWARD")) == "0") {
+    GTEST_SKIP() << "fast-forward forced off by environment";
+  }
+  FleetRun run = MakeFleet(4, 1);
+  ASSERT_TRUE(run.fleet->RunUntil([&] { return AllConnected(run); },
+                                  60 * kSecond));
+  const uint64_t barriers_before = run.fleet->barriers();
+  const Cycles idle_span = 30 * kSecond;
+  run.fleet->Run(idle_span);
+  const uint64_t barriers_taken = run.fleet->barriers() - barriers_before;
+  const uint64_t conservative = idle_span / run.fleet->epoch_length();
+  EXPECT_LT(barriers_taken, conservative / 10)
+      << "adaptive coarsening should collapse idle epochs";
+  EXPECT_GT(run.fleet->boards_skipped(), 0u);
+  // Every board's clock caught up to the fleet clock (modulo overshoot).
+  for (const auto& fp : run.fleet->Fingerprints()) {
+    EXPECT_GE(fp.now, run.fleet->Now());
+  }
+}
+
+// All boards talk to the shared gateway (DHCP broadcasts flood the switch),
+// so the whole fleet collapses into one communication group.
+TEST(FleetTest, ConnectedFleetFormsOneCommunicationGroup) {
+  FleetRun run = MakeFleet(4, 1);
+  EXPECT_EQ(run.fleet->communication_groups(), 5u);  // silent = singletons
+  ASSERT_TRUE(run.fleet->RunUntil([&] { return AllConnected(run); },
+                                  60 * kSecond));
+  EXPECT_EQ(run.fleet->communication_groups(), 1u);
+}
+
+TEST(FleetTest, FabricGroupsTrackActualDeliveries) {
+  sim::Fabric fabric;
+  const int p0 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
+  const int p1 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
+  const int p2 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
+  EXPECT_EQ(fabric.group_count(), 3u);
+  const uint64_t gen0 = fabric.group_generation();
+
+  auto frame = [](uint8_t dst_tag, uint8_t src_tag) {
+    sim::Fabric::Frame f(16, 0);
+    f[5] = dst_tag;   // dst MAC 00:00:00:00:00:<dst>
+    f[11] = src_tag;  // src MAC 00:00:00:00:00:<src>
+    return f;
+  };
+  // Self-addressed frame: learns p1's MAC without delivering anywhere, so
+  // the group partition must not change.
+  fabric.Transmit(p1, 0, frame(11, 11));
+  EXPECT_EQ(fabric.group_count(), 3u);
+  EXPECT_EQ(fabric.group_generation(), gen0);
+  // Learned unicast p0 -> p1 merges exactly those two.
+  fabric.Transmit(p0, 0, frame(11, 10));
+  EXPECT_EQ(fabric.group_count(), 2u);
+  EXPECT_EQ(fabric.GroupOf(p0), fabric.GroupOf(p1));
+  EXPECT_NE(fabric.GroupOf(p0), fabric.GroupOf(p2));
+  // A broadcast floods every port: one group.
+  sim::Fabric::Frame bcast(16, 0xFF);
+  fabric.Transmit(p0, 0, bcast);
+  EXPECT_EQ(fabric.group_count(), 1u);
+  EXPECT_GT(fabric.group_generation(), gen0);
+}
+
+TEST(FleetTest, FastForwardEnvOverride) {
+  ASSERT_EQ(setenv("CHERIOT_FLEET_FAST_FORWARD", "0", 1), 0);
+  {
+    FleetOptions options;
+    options.fast_forward = true;
+    Fleet fleet(options);
+    EXPECT_FALSE(fleet.fast_forward());
+  }
+  ASSERT_EQ(setenv("CHERIOT_FLEET_FAST_FORWARD", "1", 1), 0);
+  {
+    FleetOptions options;
+    options.fast_forward = false;
+    Fleet fleet(options);
+    EXPECT_TRUE(fleet.fast_forward());
+  }
+  ASSERT_EQ(unsetenv("CHERIOT_FLEET_FAST_FORWARD"), 0);
+}
+
+// Misconfigured epochs must die at construction, before any board exists —
+// not silently truncate or fail later inside Boot().
+TEST(FleetDeathTest, EpochBeyondLinkLatencyDiesAtConstruction) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FleetOptions options;
+  options.epoch = options.board_link_latency + 1;
+  EXPECT_DEATH({ Fleet fleet(options); },
+               "epoch must not exceed the board link latency");
+}
+
+TEST(FleetDeathTest, ZeroLinkLatencyDiesAtConstruction) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FleetOptions options;
+  options.board_link_latency = 0;
+  EXPECT_DEATH({ Fleet fleet(options); },
+               "board_link_latency must be positive");
 }
 
 }  // namespace
