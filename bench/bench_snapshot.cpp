@@ -1,0 +1,137 @@
+// Snapshot/restore cost (DESIGN.md §10): serialization throughput, blob
+// sizes and restore wall time for a representative board (mid-run, replay
+// restore) and its cold post-boot snapshot (the warm-boot fixture path),
+// plus warm-boot vs. cold-boot time — the number the test fixture banks on.
+// Every restore self-verifies byte-for-byte, so the times below include the
+// verify; BENCH_snapshot.json records the results with the usual provenance
+// stamp.
+#include <benchmark/benchmark.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/provenance.h"
+#include "src/sim/board.h"
+#include "tools/lint_targets.h"
+
+namespace cheriot {
+namespace {
+
+constexpr Cycles kRunCycles = 2'000'000;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+template <typename Fn>
+double BestOf(int runs, Fn&& fn) {
+  double best = 0;
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double s = SecondsSince(t0);
+    if (i == 0 || s < best) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace cheriot
+
+int main(int argc, char** argv) {
+  using namespace cheriot;
+  const char* json_path = "BENCH_snapshot.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  // Reach steady-state CPU frequency before timing anything.
+  {
+    volatile uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (SecondsSince(t0) < 0.5) {
+      for (int i = 0; i < 4096; ++i) {
+        sink += i;
+      }
+    }
+  }
+
+  const tools::LintTarget* target = tools::FindLintTarget("fleet-node");
+  if (!target) {
+    std::fprintf(stderr, "lint target 'fleet-node' missing\n");
+    return 1;
+  }
+
+  std::printf("=== snapshot/restore cost (%s, %llu guest cycles) ===\n",
+              target->name.c_str(),
+              static_cast<unsigned long long>(kRunCycles));
+
+  // Mid-run board: snapshot throughput + replay restore time.
+  sim::Board board(target->build(), {});
+  board.Boot();
+  board.StepTo(kRunCycles);
+  std::vector<uint8_t> blob;
+  const double snap_s = BestOf(5, [&] { board.Snapshot(blob); });
+  const double snap_mbps = blob.size() / snap_s / 1e6;
+
+  const double restore_s = BestOf(3, [&] {
+    auto restored = sim::Board::Restore(blob, target->build());
+    benchmark::DoNotOptimize(restored);
+  });
+
+  // Cold post-boot snapshot: the warm-boot fixture path.
+  sim::Board booted(target->build(), {});
+  booted.Boot();
+  std::vector<uint8_t> cold_blob;
+  booted.Snapshot(cold_blob);
+
+  const double cold_boot_s = BestOf(5, [&] {
+    sim::Board b(target->build(), {});
+    b.Boot();
+    benchmark::DoNotOptimize(b.Now());
+  });
+  const double warm_boot_s = BestOf(5, [&] {
+    auto b = sim::Board::Restore(cold_blob, target->build());
+    benchmark::DoNotOptimize(b);
+  });
+
+  std::printf("  snapshot:      %.4f s  (%zu bytes, %.1f MB/s)\n", snap_s,
+              blob.size(), snap_mbps);
+  std::printf("  replay restore %.4f s  (incl. byte-for-byte verify)\n",
+              restore_s);
+  std::printf("  cold boot:     %.4f s  (loader)\n", cold_boot_s);
+  std::printf("  warm boot:     %.4f s  (%zu-byte snapshot, incl. verify)\n",
+              warm_boot_s, cold_blob.size());
+
+  FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write '%s': %s\n", json_path,
+                 std::strerror(errno));
+    return 1;
+  }
+  std::fprintf(f, "{\n%s", bench::ProvenanceJson().c_str());
+  std::fprintf(f, "  \"bench\": \"snapshot\",\n");
+  std::fprintf(f, "  \"image\": \"%s\",\n", target->name.c_str());
+  std::fprintf(f, "  \"run_cycles\": %llu,\n",
+               static_cast<unsigned long long>(kRunCycles));
+  std::fprintf(f, "  \"blob_bytes\": %zu,\n", blob.size());
+  std::fprintf(f, "  \"cold_blob_bytes\": %zu,\n", cold_blob.size());
+  std::fprintf(f, "  \"snapshot_seconds\": %.6f,\n", snap_s);
+  std::fprintf(f, "  \"snapshot_mb_per_s\": %.2f,\n", snap_mbps);
+  std::fprintf(f, "  \"replay_restore_seconds\": %.6f,\n", restore_s);
+  std::fprintf(f, "  \"cold_boot_seconds\": %.6f,\n", cold_boot_s);
+  std::fprintf(f, "  \"warm_boot_seconds\": %.6f\n}\n", warm_boot_s);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

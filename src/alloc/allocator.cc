@@ -7,6 +7,7 @@
 #include "src/health/forensics.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
+#include "src/snap/wire.h"
 #include "src/trace/trace.h"
 
 namespace cheriot {
@@ -624,6 +625,120 @@ const Allocator::AllocSite* Allocator::ProvenanceFor(Address addr) const {
     }
   }
   return nullptr;
+}
+
+// --- Snapshot (DESIGN.md §10) ---------------------------------------------
+
+namespace {
+void SerializeSite(cheriot::snap::Writer& w, const Allocator::AllocSite& s) {
+  w.U32(s.site_id);
+  w.I32(s.compartment);
+  w.U64(s.seq);
+  w.U64(s.allocated_at);
+  w.U32(s.payload);
+  w.U32(s.size);
+  w.U8(s.quota);
+  w.U8(static_cast<uint8_t>(s.state));
+  w.I32(s.freed_by);
+  w.U64(s.freed_at);
+}
+Allocator::AllocSite RestoreSite(cheriot::snap::Reader& r) {
+  Allocator::AllocSite s;
+  s.site_id = r.U32();
+  s.compartment = r.I32();
+  s.seq = r.U64();
+  s.allocated_at = r.U64();
+  s.payload = r.U32();
+  s.size = r.U32();
+  s.quota = r.U8();
+  s.state = static_cast<Allocator::SiteState>(r.U8());
+  s.freed_by = r.I32();
+  s.freed_at = r.U64();
+  return s;
+}
+template <typename Set>
+void SerializeAddressSet(cheriot::snap::Writer& w, const Set& set) {
+  w.U32(static_cast<uint32_t>(set.size()));
+  for (Address a : set) {
+    w.U32(a);
+  }
+}
+void RestoreAddressSet(cheriot::snap::Reader& r, std::set<Address>& set) {
+  set.clear();
+  const uint32_t n = r.U32();
+  for (uint32_t i = 0; i < n; ++i) {
+    set.insert(r.U32());
+  }
+}
+}  // namespace
+
+void Allocator::SerializeState(snap::Writer& w) const {
+  SerializeAddressSet(w, free_chunks_);
+  SerializeAddressSet(w, used_);
+  w.U32(static_cast<uint32_t>(quarantine_.size()));
+  for (Address a : quarantine_) {
+    w.U32(a);
+  }
+  w.U32(static_cast<uint32_t>(claims_.size()));
+  for (const auto& [payload, per_quota] : claims_) {
+    w.U32(payload);
+    w.U32(static_cast<uint32_t>(per_quota.size()));
+    for (const auto& [quota, count] : per_quota) {
+      w.U32(quota);
+      w.U32(count);
+    }
+  }
+  SerializeAddressSet(w, pending_free_);
+  w.U32(static_cast<uint32_t>(sites_.size()));
+  for (const auto& [chunk, site] : sites_) {
+    w.U32(chunk);
+    SerializeSite(w, site);
+  }
+  w.U32(static_cast<uint32_t>(retired_.size()));
+  for (const AllocSite& site : retired_) {
+    SerializeSite(w, site);
+  }
+  w.U64(site_seq_);
+  w.I32(service_compartment_);
+  w.U32(live_native_);
+  w.U32(quarantined_native_);
+}
+
+void Allocator::RestoreState(snap::Reader& r) {
+  RestoreAddressSet(r, free_chunks_);
+  RestoreAddressSet(r, used_);
+  quarantine_.clear();
+  const uint32_t quarantined = r.U32();
+  for (uint32_t i = 0; i < quarantined; ++i) {
+    quarantine_.push_back(r.U32());
+  }
+  claims_.clear();
+  const uint32_t claims = r.U32();
+  for (uint32_t i = 0; i < claims; ++i) {
+    const Address payload = r.U32();
+    auto& per_quota = claims_[payload];
+    const uint32_t quotas = r.U32();
+    for (uint32_t j = 0; j < quotas; ++j) {
+      const uint32_t quota = r.U32();
+      per_quota[quota] = r.U32();
+    }
+  }
+  RestoreAddressSet(r, pending_free_);
+  sites_.clear();
+  const uint32_t sites = r.U32();
+  for (uint32_t i = 0; i < sites; ++i) {
+    const Address chunk = r.U32();
+    sites_[chunk] = RestoreSite(r);
+  }
+  retired_.clear();
+  const uint32_t retired = r.U32();
+  for (uint32_t i = 0; i < retired; ++i) {
+    retired_.push_back(RestoreSite(r));
+  }
+  site_seq_ = r.U64();
+  service_compartment_ = r.I32();
+  live_native_ = r.U32();
+  quarantined_native_ = r.U32();
 }
 
 }  // namespace cheriot

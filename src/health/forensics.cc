@@ -2,6 +2,7 @@
 
 #include "src/cap/capability.h"
 #include "src/hw/machine.h"
+#include "src/snap/wire.h"
 
 namespace cheriot::health {
 
@@ -123,6 +124,9 @@ uint64_t ForensicsRecorder::Record(CrashRecord record) {
   record.seq = next_seq_++;
   record.at = now();
   record.call_stack = CallStack(record.thread);
+  if (options_.capture_crash_scene && scene_hook_) {
+    record.scene = scene_hook_();
+  }
   ++recorded_;
   ++by_cause_[static_cast<int>(record.cause)];
   ++by_compartment_[record.compartment];
@@ -135,6 +139,7 @@ uint64_t ForensicsRecorder::Record(CrashRecord record) {
     ++use_after_free_;
   }
   const uint64_t seq = record.seq;
+  const bool has_scene = !record.scene.empty();
   if (ring_.empty()) {
     ++dropped_;
     return seq;
@@ -146,6 +151,23 @@ uint64_t ForensicsRecorder::Record(CrashRecord record) {
   }
   ring_[(start_ + count_) % ring_.size()] = std::move(record);
   ++count_;
+  // Bounded scene retention: only the scene_limit most recent records keep
+  // their (large) scene blob; the structured record itself always stays.
+  if (has_scene) {
+    scene_seqs_.push_back(seq);
+    while (scene_seqs_.size() > options_.scene_limit) {
+      const uint64_t old = scene_seqs_.front();
+      scene_seqs_.pop_front();
+      for (size_t i = 0; i < count_; ++i) {
+        CrashRecord& rec = ring_[(start_ + i) % ring_.size()];
+        if (rec.seq == old) {
+          rec.scene.clear();
+          rec.scene.shrink_to_fit();
+          break;
+        }
+      }
+    }
+  }
   return seq;
 }
 
@@ -170,6 +192,83 @@ std::string ForensicsRecorder::ThreadName(int id) const {
     return thread_names_[static_cast<size_t>(id)];
   }
   return "thread" + std::to_string(id);
+}
+
+void ForensicsRecorder::SerializeState(snap::Writer& w) const {
+  w.U64(recorded_);
+  w.U64(dropped_);
+  w.U64(next_seq_);
+  w.U32(static_cast<uint32_t>(count_));
+  for (size_t i = 0; i < count_; ++i) {
+    const CrashRecord& rec = ring_[(start_ + i) % ring_.size()];
+    w.U64(rec.seq);
+    w.U64(rec.at);
+    w.U16(static_cast<uint16_t>(rec.thread));
+    w.I32(rec.compartment);
+    w.U8(static_cast<uint8_t>(rec.cause));
+    w.U32(rec.fault_address);
+    w.U8(static_cast<uint8_t>(rec.disposition));
+    w.U32(static_cast<uint32_t>(rec.regs.size()));
+    for (const DecodedCap& c : rec.regs) {
+      w.Str(c.name);
+      w.Bool(c.tag);
+      w.Bool(c.sealed);
+      w.U32(c.cursor);
+      w.U32(c.base);
+      w.U32(c.top);
+      w.Str(c.perms);
+      w.I32(c.otype);
+    }
+    w.U32(static_cast<uint32_t>(rec.call_stack.size()));
+    for (int c : rec.call_stack) {
+      w.I32(c);
+    }
+    w.U32(rec.trusted_depth);
+    const HeapProvenance& p = rec.provenance;
+    w.Bool(p.known);
+    w.U32(p.site_id);
+    w.I32(p.compartment);
+    w.U64(p.seq);
+    w.U64(p.allocated_at);
+    w.U32(p.size);
+    w.U32(p.quota);
+    w.U8(static_cast<uint8_t>(p.state));
+    w.I32(p.freed_by);
+    w.U64(p.freed_at);
+    // Scene blobs are themselves serialized machine states; including them
+    // makes the snapshot verify double as a scene-determinism check.
+    w.Blob(rec.scene);
+  }
+  auto put_map = [&w](const std::map<int, uint64_t>& m) {
+    w.U32(static_cast<uint32_t>(m.size()));
+    for (const auto& [k, v] : m) {
+      w.I32(k);
+      w.U64(v);
+    }
+  };
+  put_map(by_cause_);
+  put_map(by_compartment_);
+  put_map(by_disposition_);
+  w.U64(forced_unwinds_);
+  w.U64(use_after_free_);
+  w.U64(quota_exhaustions_);
+  put_map(quota_by_compartment_);
+  w.U32(static_cast<uint32_t>(reboots_.size()));
+  for (const auto& [comp, times] : reboots_) {
+    w.I32(comp);
+    w.U32(static_cast<uint32_t>(times.size()));
+    for (Cycles t : times) {
+      w.U64(t);
+    }
+  }
+  w.U64(total_reboots_);
+  w.U32(static_cast<uint32_t>(thread_stacks_.size()));
+  for (const auto& stack : thread_stacks_) {
+    w.U32(static_cast<uint32_t>(stack.size()));
+    for (int c : stack) {
+      w.I32(c);
+    }
+  }
 }
 
 void Attach(Machine& machine, ForensicsRecorder* recorder) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +35,10 @@
 namespace cheriot {
 class Machine;
 }  // namespace cheriot
+
+namespace cheriot::snap {
+class Writer;
+}  // namespace cheriot::snap
 
 namespace cheriot::health {
 
@@ -97,6 +102,11 @@ struct CrashRecord {
   std::vector<int> call_stack;    // compartments, outermost first (mirror)
   uint32_t trusted_depth = 0;     // trusted-stack frames below the fault
   HeapProvenance provenance;      // heap object the fault address hit, if any
+  // Full machine-state crash scene (a serialized snapshot-section bundle,
+  // DESIGN.md §10), captured at the fault when
+  // ForensicsOptions::capture_crash_scene is set. Empty otherwise, and
+  // cleared on all but the `scene_limit` most recent records.
+  std::vector<uint8_t> scene;
 };
 
 struct ForensicsOptions {
@@ -105,6 +115,13 @@ struct ForensicsOptions {
   size_t ring_capacity = 256;
   // Per-compartment micro-reboot history depth (reboot-loop detection).
   size_t reboot_history = 32;
+  // Attach a full machine-state scene to each crash record (via the scene
+  // hook the board installs). Zero guest cycles: the scene serializer only
+  // reads native state and raw memory. Off by default — scenes are large.
+  bool capture_crash_scene = false;
+  // How many of the most recent records keep their scene blob; older
+  // records' scenes are dropped (the structured record itself remains).
+  size_t scene_limit = 4;
 };
 
 class ForensicsRecorder {
@@ -131,8 +148,18 @@ class ForensicsRecorder {
   // Files a crash record: stamps seq and guest time, snapshots the mirrored
   // compartment stack for `record.thread`, and appends to the ring (dropping
   // the oldest when full). Returns the record's sequence number so a
-  // co-attached trace can join the two streams.
+  // co-attached trace can join the two streams. When crash scenes are
+  // enabled the scene hook runs here and its blob rides on the record,
+  // bounded by ForensicsOptions::scene_limit.
   uint64_t Record(CrashRecord record);
+
+  // Scene capture hook, installed by Board::EnableForensics when
+  // capture_crash_scene is set: returns a serialized machine-state bundle.
+  // Must be a pure observer (no guest cycles, no simulated-memory reads
+  // through costed paths).
+  void SetSceneHook(std::function<std::vector<uint8_t>()> hook) {
+    scene_hook_ = std::move(hook);
+  }
 
   // Mirrored compartment stack for a thread (capture helper for the
   // switcher; outermost first).
@@ -174,6 +201,13 @@ class ForensicsRecorder {
 
   const ForensicsOptions& options() const { return options_; }
 
+  // Snapshot serialization (DESIGN.md §10). Serialize-only, like the trace
+  // recorder's: the replay restore path regenerates the recorder, so the
+  // verify step re-serializes and byte-compares. Scene blobs are included —
+  // each is itself a serialized machine state, so the comparison doubles as
+  // a determinism check on the scene serializer.
+  void SerializeState(snap::Writer& w) const;
+
  private:
   ForensicsOptions options_;
   const CycleClock* clock_ = nullptr;
@@ -187,6 +221,9 @@ class ForensicsRecorder {
   uint64_t recorded_ = 0;
   uint64_t dropped_ = 0;
   uint64_t next_seq_ = 0;
+  std::function<std::vector<uint8_t>()> scene_hook_;
+  // Ring slots (in emit order) currently holding a scene blob, oldest first.
+  std::deque<uint64_t> scene_seqs_;
 
   // Mirrored per-thread compartment stacks (fed from the switcher's
   // call/return choke points, like the trace profiler's).

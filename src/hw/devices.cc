@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/snap/wire.h"
+
 namespace cheriot {
 
 Word Uart::Mmio(Address offset, bool is_store, Word value) {
@@ -134,5 +136,80 @@ Word EntropySource::Mmio(Address offset, bool is_store, Word value) {
   }
   return 0;
 }
+
+// --- Snapshot (DESIGN.md §10) ---------------------------------------------
+
+namespace {
+void SerializeFrame(snap::Writer& w, const EthernetDevice::Frame& f) {
+  w.U32(static_cast<uint32_t>(f.size()));
+  w.Bytes(f.data(), f.size());
+}
+EthernetDevice::Frame RestoreFrame(snap::Reader& r) {
+  EthernetDevice::Frame f(r.U32());
+  r.BytesInto(f.data(), f.size());
+  return f;
+}
+}  // namespace
+
+void Uart::SerializeState(snap::Writer& w) const { w.Str(output_); }
+
+void Uart::RestoreState(snap::Reader& r) { output_ = r.Str(); }
+
+void LedBank::SerializeState(snap::Writer& w) const {
+  w.U32(state_);
+  w.U32(static_cast<uint32_t>(events_.size()));
+  for (const Event& e : events_) {
+    w.U64(e.at);
+    w.U32(e.mask);
+  }
+}
+
+void LedBank::RestoreState(snap::Reader& r) {
+  state_ = r.U32();
+  events_.resize(r.U32());
+  for (Event& e : events_) {
+    e.at = r.U64();
+    e.mask = r.U32();
+  }
+}
+
+void Timer::SerializeState(snap::Writer& w) const {
+  w.U64(mtimecmp_);
+  w.Bool(armed_);
+}
+
+void Timer::RestoreState(snap::Reader& r) {
+  mtimecmp_ = r.U64();
+  armed_ = r.Bool();
+}
+
+void EthernetDevice::SerializeState(snap::Writer& w) const {
+  w.Bytes(mac_.data(), mac_.size());
+  w.U32(static_cast<uint32_t>(rx_.size()));
+  for (const Frame& f : rx_) {
+    SerializeFrame(w, f);
+  }
+  SerializeFrame(w, rx_latched_);
+  w.U64(rx_read_pos_);
+  SerializeFrame(w, tx_building_);
+  w.U64(tx_expected_);
+}
+
+void EthernetDevice::RestoreState(snap::Reader& r) {
+  r.BytesInto(mac_.data(), mac_.size());
+  rx_.clear();
+  const uint32_t pending = r.U32();
+  for (uint32_t i = 0; i < pending; ++i) {
+    rx_.push_back(RestoreFrame(r));
+  }
+  rx_latched_ = RestoreFrame(r);
+  rx_read_pos_ = r.U64();
+  tx_building_ = RestoreFrame(r);
+  tx_expected_ = r.U64();
+}
+
+void EntropySource::SerializeState(snap::Writer& w) const { w.U64(state_); }
+
+void EntropySource::RestoreState(snap::Reader& r) { state_ = r.U64(); }
 
 }  // namespace cheriot

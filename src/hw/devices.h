@@ -17,6 +17,11 @@
 
 namespace cheriot {
 
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
 // Fixed MMIO map of the simulated SoC.
 inline constexpr Address kUartMmioBase = 0x10000000;
 inline constexpr Address kLedMmioBase = 0x10001000;
@@ -44,6 +49,8 @@ class InterruptController {
   }
   bool AnyPending() const { return pending_ != 0; }
   uint32_t pending_mask() const { return pending_; }
+  // Snapshot restore only (DESIGN.md §10).
+  void RestorePendingMask(uint32_t mask) { pending_ = mask; }
 
  private:
   uint32_t pending_ = 0;
@@ -56,6 +63,8 @@ class Uart {
   Word Mmio(Address offset, bool is_store, Word value);
   const std::string& output() const { return output_; }
   void set_echo(bool echo) { echo_ = echo; }
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   std::string output_;
@@ -75,6 +84,8 @@ class LedBank {
   Word Mmio(Address offset, bool is_store, Word value);
   Word state() const { return state_; }
   const std::vector<Event>& events() const { return events_; }
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   CycleClock* clock_;
@@ -103,6 +114,8 @@ class Timer {
   }
   Cycles deadline() const { return mtimecmp_; }
   bool armed() const { return armed_; }
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   CycleClock* clock_;
@@ -137,6 +150,12 @@ class EthernetDevice {
   void set_mac(const Mac& mac) { mac_ = mac; }
   const Mac& mac() const { return mac_; }
 
+  // Snapshot save/restore (DESIGN.md §10): RX/TX queues and latch state are
+  // guest-visible; the on_transmit callback is a host handle the owning
+  // Board re-wires itself.
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
+
  private:
   InterruptController* irqs_;
   std::deque<Frame> rx_;
@@ -154,6 +173,8 @@ class EntropySource {
       : state_(seed) {}
   Word Mmio(Address offset, bool is_store, Word value);
   Word Next();
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   uint64_t state_;

@@ -29,6 +29,10 @@ Machine::Machine(const MachineConfig& config)
   // Background hardware advances with the clock. Registered as the raw hook:
   // this dispatch happens on every simulated access, so it must not pay a
   // std::function indirection.
+  RebindHostHandles();
+}
+
+void Machine::RebindHostHandles() {
   clock_.SetRawHook(
       [](void* self, Cycles delta) {
         auto* machine = static_cast<Machine*>(self);
@@ -36,6 +40,7 @@ Machine::Machine(const MachineConfig& config)
         machine->timer_.Poll();
       },
       this);
+  revoker_.set_trace(trace_);
 }
 
 bool Machine::HasFutureEvent() const {

@@ -1,6 +1,7 @@
 #include "src/hw/revoker.h"
 
 #include "src/base/costs.h"
+#include "src/snap/wire.h"
 #include "src/trace/trace.h"
 
 namespace cheriot {
@@ -101,6 +102,24 @@ void Revoker::AdvanceSweep(Cycles delta) {
       StartSweep();
     }
   }
+}
+
+void Revoker::SerializeState(snap::Writer& w) const {
+  w.Bool(sweeping_);
+  w.Bool(restart_requested_);
+  w.Bool(irq_requested_);
+  w.U32(epoch_);
+  w.U64(next_granule_);
+  w.U64(budget_);
+}
+
+void Revoker::RestoreState(snap::Reader& r) {
+  sweeping_ = r.Bool();
+  restart_requested_ = r.Bool();
+  irq_requested_ = r.Bool();
+  epoch_ = r.U32();
+  next_granule_ = r.U64();
+  budget_ = r.U64();
 }
 
 }  // namespace cheriot

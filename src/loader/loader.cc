@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/base/log.h"
+#include "src/snap/wire.h"
 
 namespace cheriot {
 
@@ -469,6 +470,170 @@ std::unique_ptr<BootInfo> Loader::Load(Machine& machine, FirmwareImage image) {
   }
   for (size_t i = 0; i < boot->libraries.size(); ++i) {
     boot->libraries[i].def = &boot->image.libraries[i];
+  }
+  return boot;
+}
+
+// --- Snapshot (DESIGN.md §10) ---------------------------------------------
+
+void SerializeBootInfo(snap::Writer& w, const BootInfo& boot) {
+  w.U32(static_cast<uint32_t>(boot.compartments.size()));
+  for (const CompartmentRuntime& c : boot.compartments) {
+    w.I32(c.id);
+    w.Str(c.name);
+    w.Cap(c.pcc);
+    w.Cap(c.cgp);
+    w.U32(c.code_base);
+    w.U32(c.code_size);
+    w.U32(c.globals_base);
+    w.U32(c.globals_size);
+    w.U32(c.export_table);
+    w.U32(c.import_table);
+    w.U32(static_cast<uint32_t>(c.imports.size()));
+    for (const ImportBinding& b : c.imports) {
+      w.U8(static_cast<uint8_t>(b.kind));
+      w.Str(b.qualified_name);
+      w.Cap(b.cap);
+      w.I32(b.target_compartment);
+      w.I32(b.target_library);
+      w.I32(b.target_export);
+      w.U32(b.slot_address);
+    }
+    w.U32(static_cast<uint32_t>(c.globals_snapshot.size()));
+    w.Bytes(c.globals_snapshot.data(), c.globals_snapshot.size());
+  }
+  w.U32(static_cast<uint32_t>(boot.libraries.size()));
+  for (const LibraryRuntime& l : boot.libraries) {
+    w.I32(l.id);
+    w.Str(l.name);
+    w.Cap(l.code_cap);
+    w.U32(l.code_base);
+    w.U32(l.code_size);
+  }
+  w.U32(static_cast<uint32_t>(boot.threads.size()));
+  for (const ThreadLayout& t : boot.threads) {
+    w.Str(t.name);
+    w.U16(t.priority);
+    w.U32(t.stack_base);
+    w.U32(t.stack_size);
+    w.U32(t.trusted_stack_base);
+    w.U32(t.trusted_stack_size);
+    w.U16(t.max_frames);
+    w.I32(t.entry_compartment);
+    w.I32(t.entry_export);
+  }
+  w.U32(boot.heap_base);
+  w.U32(boot.heap_size);
+  w.Cap(boot.heap_root);
+  w.Cap(boot.trusted_stack_root);
+  w.Cap(boot.switcher_seal_key);
+  w.Cap(boot.allocator_seal_key);
+  w.Cap(boot.token_seal_key);
+  w.Cap(boot.globals_root);
+  w.U32(static_cast<uint32_t>(boot.virtual_type_ids.size()));
+  for (const auto& [name, id] : boot.virtual_type_ids) {
+    w.Str(name);
+    w.U32(id);
+  }
+  w.U32(boot.next_virtual_type_id);
+  w.U32(static_cast<uint32_t>(boot.export_table_index.size()));
+  for (const auto& [addr, comp] : boot.export_table_index) {
+    w.U32(addr);
+    w.I32(comp);
+  }
+  w.U32(boot.stats.code_bytes);
+  w.U32(boot.stats.metadata_bytes);
+  w.U32(boot.stats.sealed_object_bytes);
+  w.U32(boot.stats.globals_bytes);
+  w.U32(boot.stats.stack_bytes);
+  w.U32(boot.stats.trusted_stack_bytes);
+  w.U32(boot.stats.loader_scratch_bytes);
+  w.U32(boot.stats.heap_bytes);
+  w.U32(static_cast<uint32_t>(boot.stats.per_compartment_metadata.size()));
+  for (const auto& [name, bytes] : boot.stats.per_compartment_metadata) {
+    w.Str(name);
+    w.U32(bytes);
+  }
+}
+
+std::unique_ptr<BootInfo> DeserializeBootInfo(snap::Reader& r) {
+  auto boot = std::make_unique<BootInfo>();
+  boot->compartments.resize(r.U32());
+  for (CompartmentRuntime& c : boot->compartments) {
+    c.id = r.I32();
+    c.name = r.Str();
+    c.pcc = r.Cap();
+    c.cgp = r.Cap();
+    c.code_base = r.U32();
+    c.code_size = r.U32();
+    c.globals_base = r.U32();
+    c.globals_size = r.U32();
+    c.export_table = r.U32();
+    c.import_table = r.U32();
+    c.imports.resize(r.U32());
+    for (ImportBinding& b : c.imports) {
+      b.kind = static_cast<ImportBinding::Kind>(r.U8());
+      b.qualified_name = r.Str();
+      b.cap = r.Cap();
+      b.target_compartment = r.I32();
+      b.target_library = r.I32();
+      b.target_export = r.I32();
+      b.slot_address = r.U32();
+    }
+    c.globals_snapshot.resize(r.U32());
+    r.BytesInto(c.globals_snapshot.data(), c.globals_snapshot.size());
+  }
+  boot->libraries.resize(r.U32());
+  for (LibraryRuntime& l : boot->libraries) {
+    l.id = r.I32();
+    l.name = r.Str();
+    l.code_cap = r.Cap();
+    l.code_base = r.U32();
+    l.code_size = r.U32();
+  }
+  boot->threads.resize(r.U32());
+  for (ThreadLayout& t : boot->threads) {
+    t.name = r.Str();
+    t.priority = r.U16();
+    t.stack_base = r.U32();
+    t.stack_size = r.U32();
+    t.trusted_stack_base = r.U32();
+    t.trusted_stack_size = r.U32();
+    t.max_frames = r.U16();
+    t.entry_compartment = r.I32();
+    t.entry_export = r.I32();
+  }
+  boot->heap_base = r.U32();
+  boot->heap_size = r.U32();
+  boot->heap_root = r.Cap();
+  boot->trusted_stack_root = r.Cap();
+  boot->switcher_seal_key = r.Cap();
+  boot->allocator_seal_key = r.Cap();
+  boot->token_seal_key = r.Cap();
+  boot->globals_root = r.Cap();
+  const uint32_t vtypes = r.U32();
+  for (uint32_t i = 0; i < vtypes; ++i) {
+    const std::string name = r.Str();
+    boot->virtual_type_ids[name] = r.U32();
+  }
+  boot->next_virtual_type_id = r.U32();
+  const uint32_t exports = r.U32();
+  for (uint32_t i = 0; i < exports; ++i) {
+    const Address addr = r.U32();
+    boot->export_table_index[addr] = r.I32();
+  }
+  boot->stats.code_bytes = r.U32();
+  boot->stats.metadata_bytes = r.U32();
+  boot->stats.sealed_object_bytes = r.U32();
+  boot->stats.globals_bytes = r.U32();
+  boot->stats.stack_bytes = r.U32();
+  boot->stats.trusted_stack_bytes = r.U32();
+  boot->stats.loader_scratch_bytes = r.U32();
+  boot->stats.heap_bytes = r.U32();
+  const uint32_t per_comp = r.U32();
+  for (uint32_t i = 0; i < per_comp; ++i) {
+    const std::string name = r.Str();
+    boot->stats.per_compartment_metadata[name] = r.U32();
   }
   return boot;
 }

@@ -34,6 +34,11 @@
 
 namespace cheriot {
 
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
 // Tracks the revocation bit for each heap granule (stored in a dedicated
 // SRAM region on the real chip, §2.1). Word-packed so the load filter probes
 // one bit and free()/heap_free_all mark 64 granules per store.
@@ -70,6 +75,10 @@ class RevocationMap {
                                        kGranuleBytes),
                    value);
   }
+
+  // Snapshot save/restore of the packed revocation words (DESIGN.md §10).
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   Address base_;
@@ -167,6 +176,13 @@ class Memory {
   // core for the CoreMark-style ablation). Protection-relevant code must
   // never run in this mode.
   void set_checks_enabled(bool enabled) { checks_enabled_ = enabled; }
+
+  // Snapshot save/restore (DESIGN.md §10). Guest-visible state only: SRAM
+  // bytes, tag bitmap + shadow capabilities, revocation bits, access
+  // counters. Host-side plumbing (MMIO table, access hook, clock pointer)
+  // belongs to the constructed Machine and is rebound, never serialised.
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   struct MmioRegion {

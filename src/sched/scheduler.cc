@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/snap/wire.h"
 #include "src/trace/trace.h"
 
 namespace cheriot {
@@ -264,6 +265,72 @@ bool Scheduler::AllExited() const {
     }
   }
   return true;
+}
+
+void Scheduler::SerializeState(snap::Writer& w) const {
+  for (const auto& queue : ready_) {
+    w.U32(static_cast<uint32_t>(queue.size()));
+    for (int id : queue) {
+      w.I32(id);
+    }
+  }
+  w.U32(static_cast<uint32_t>(futex_waiters_.size()));
+  for (const auto& [addr, waiters] : futex_waiters_) {
+    w.U32(addr);
+    w.U32(static_cast<uint32_t>(waiters.size()));
+    for (int id : waiters) {
+      w.I32(id);
+    }
+  }
+  w.U32(static_cast<uint32_t>(multiwaiters_.size()));
+  for (const Multiwaiter& mw : multiwaiters_) {
+    w.Bool(mw.live);
+    w.I32(mw.max_events);
+    w.U32(static_cast<uint32_t>(mw.addrs.size()));
+    for (Address a : mw.addrs) {
+      w.U32(a);
+    }
+    w.I32(mw.waiting_thread);
+  }
+  for (Address a : irq_futex_addr_) {
+    w.U32(a);
+  }
+  w.U64(idle_cycles_);
+}
+
+void Scheduler::RestoreState(snap::Reader& r) {
+  for (auto& queue : ready_) {
+    queue.clear();
+    const uint32_t n = r.U32();
+    for (uint32_t i = 0; i < n; ++i) {
+      queue.push_back(r.I32());
+    }
+  }
+  futex_waiters_.clear();
+  const uint32_t sets = r.U32();
+  for (uint32_t i = 0; i < sets; ++i) {
+    const Address addr = r.U32();
+    std::deque<int>& waiters = futex_waiters_[addr];
+    const uint32_t n = r.U32();
+    for (uint32_t j = 0; j < n; ++j) {
+      waiters.push_back(r.I32());
+    }
+  }
+  multiwaiters_.clear();
+  multiwaiters_.resize(r.U32());
+  for (Multiwaiter& mw : multiwaiters_) {
+    mw.live = r.Bool();
+    mw.max_events = r.I32();
+    mw.addrs.resize(r.U32());
+    for (Address& a : mw.addrs) {
+      a = r.U32();
+    }
+    mw.waiting_thread = r.I32();
+  }
+  for (Address& a : irq_futex_addr_) {
+    a = r.U32();
+  }
+  idle_cycles_ = r.U64();
 }
 
 }  // namespace cheriot

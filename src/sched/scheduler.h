@@ -25,6 +25,11 @@ namespace trace {
 class TraceRecorder;
 }  // namespace trace
 
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
 class Scheduler {
  public:
   static constexpr int kPriorities = 16;
@@ -84,6 +89,12 @@ class Scheduler {
   // Flight recorder for wake/sleep/block events; null when tracing is off.
   // Set by System::Boot when a recorder is attached to the machine.
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
+  // Snapshot save/restore (DESIGN.md §10): queues, wait sets, multiwaiter
+  // table (including dead slots — indices are guest-visible ids) and idle
+  // accounting. threads_/trace_ are host handles owned by the System.
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   GuestThread& T(int id) { return (*threads_)[id]; }

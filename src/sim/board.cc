@@ -1,6 +1,7 @@
 #include "src/sim/board.h"
 
 #include "src/base/check.h"
+#include "src/snap/wire.h"
 
 namespace cheriot::sim {
 
@@ -32,6 +33,7 @@ Board::Board(FirmwareImage image, const BoardOptions& options)
 
 trace::TraceRecorder* Board::EnableTrace(trace::TraceOptions options) {
   CHERIOT_CHECK(!booted_, "Board::EnableTrace() after Boot()");
+  trace_options_ = options;
   trace_ = std::make_unique<trace::TraceRecorder>(options);
   trace_->SetLabel("board" + std::to_string(options_.index));
   trace_->SetBoardIndex(options_.index);
@@ -46,6 +48,13 @@ health::ForensicsRecorder* Board::EnableForensics(
   forensics_->SetLabel("board" + std::to_string(options_.index));
   forensics_->SetBoardIndex(options_.index);
   health::Attach(machine_, forensics_.get());
+  forensics_options_ = options;
+  if (options.capture_crash_scene) {
+    // Crash-scene capture (DESIGN.md §10): attach a full machine-state
+    // snapshot to each crash record. The serializer is a pure observer —
+    // zero guest cycles, pinned by the on/off fingerprint-diff test.
+    forensics_->SetSceneHook([this] { return SerializeCrashScene(); });
+  }
   return forensics_.get();
 }
 
@@ -66,6 +75,15 @@ void Board::PumpRx() {
 }
 
 System::RunResult Board::StepTo(Cycles target) {
+  if (op_log_enabled_) {
+    // Every call is logged, uncompressed: last_result_ / deadlock-return
+    // semantics depend on per-call behavior, so replay must re-execute the
+    // exact call sequence, not a coalesced one.
+    BoardOp op;
+    op.kind = BoardOp::Kind::kStep;
+    op.a = target;
+    op_log_.push_back(std::move(op));
+  }
   injected_since_deadlock_ = false;
   if (target > Now()) {
     last_result_ = system_.Run(target - Now());
@@ -99,8 +117,336 @@ std::vector<std::pair<Cycles, Board::Frame>> Board::DrainTx() {
 }
 
 void Board::InjectAt(Cycles due, Frame frame) {
+  if (op_log_enabled_) {
+    // Logged with the clock at injection: frame visibility depends on when
+    // (between which StepTo calls) the frame arrived, and replay asserts the
+    // clock matches before re-injecting.
+    BoardOp op;
+    op.kind = BoardOp::Kind::kInject;
+    op.a = Now();
+    op.b = due;
+    op.frame = frame;
+    op_log_.push_back(std::move(op));
+  }
   rx_pending_.emplace(due, std::move(frame));
   injected_since_deadlock_ = true;
+}
+
+// --- Snapshot/restore (DESIGN.md §10) --------------------------------------
+
+namespace {
+
+void SerializeFrameList(
+    snap::Writer& w, const std::vector<std::pair<Cycles, Board::Frame>>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const auto& [at, frame] : v) {
+    w.U64(at);
+    w.Blob(frame);
+  }
+}
+
+void AddSection(snap::Container& c, uint32_t id,
+                const std::function<void(snap::Writer&)>& fill) {
+  snap::Writer w;
+  fill(w);
+  c.sections.push_back({id, w.Take()});
+}
+
+void SerializeBoardOptions(snap::Writer& w, const BoardOptions& o) {
+  w.I32(o.index);
+  w.Bytes(o.mac.data(), o.mac.size());
+  w.U32(o.machine.sram_base);
+  w.U32(o.machine.sram_size);
+  w.Bool(o.machine.uart_echo);
+  w.U64(o.system.tick_quantum);
+  w.U64(o.system.idle_chunk);
+  w.Bool(o.system.fast_forward);
+}
+
+BoardOptions DeserializeBoardOptions(snap::Reader& r) {
+  BoardOptions o;
+  o.index = r.I32();
+  r.BytesInto(o.mac.data(), o.mac.size());
+  o.machine.sram_base = r.U32();
+  o.machine.sram_size = r.U32();
+  o.machine.uart_echo = r.Bool();
+  o.system.tick_quantum = r.U64();
+  o.system.idle_chunk = r.U64();
+  o.system.fast_forward = r.Bool();
+  return o;
+}
+
+}  // namespace
+
+void Board::SerializeBoardSection(snap::Writer& w) const {
+  w.Bool(booted_);
+  w.U8(static_cast<uint8_t>(last_result_));
+  w.Bool(injected_since_deadlock_);
+  SerializeFrameList(w, tx_staged_);
+  w.U32(static_cast<uint32_t>(rx_pending_.size()));
+  for (const auto& [due, frame] : rx_pending_) {
+    w.U64(due);
+    w.Blob(frame);
+  }
+}
+
+void Board::RestoreBoardSection(snap::Reader& r) {
+  const bool was_booted = r.Bool();
+  if (was_booted != booted_) {
+    throw snap::SnapshotError("snapshot boot-state mismatch");
+  }
+  last_result_ = static_cast<System::RunResult>(r.U8());
+  injected_since_deadlock_ = r.Bool();
+  tx_staged_.clear();
+  const uint32_t n_tx = r.U32();
+  for (uint32_t i = 0; i < n_tx; ++i) {
+    const Cycles at = r.U64();
+    tx_staged_.emplace_back(at, r.Blob());
+  }
+  rx_pending_.clear();
+  const uint32_t n_rx = r.U32();
+  for (uint32_t i = 0; i < n_rx; ++i) {
+    const Cycles due = r.U64();
+    rx_pending_.emplace(due, r.Blob());
+  }
+}
+
+void Board::BuildStateSections(snap::Container& c) {
+  CHERIOT_CHECK(booted_, "Board state sections require a booted board");
+  AddSection(c, snap::kSecClock,
+             [this](snap::Writer& w) { w.U64(machine_.clock().now()); });
+  AddSection(c, snap::kSecMemory,
+             [this](snap::Writer& w) { machine_.memory().SerializeState(w); });
+  AddSection(c, snap::kSecIrq, [this](snap::Writer& w) {
+    w.U32(machine_.irqs().pending_mask());
+  });
+  AddSection(c, snap::kSecDevices, [this](snap::Writer& w) {
+    machine_.uart().SerializeState(w);
+    machine_.leds().SerializeState(w);
+    machine_.timer().SerializeState(w);
+    machine_.ethernet().SerializeState(w);
+    machine_.entropy().SerializeState(w);
+  });
+  AddSection(c, snap::kSecRevoker,
+             [this](snap::Writer& w) { machine_.revoker().SerializeState(w); });
+  AddSection(c, snap::kSecKernel,
+             [this](snap::Writer& w) { system_.SerializeState(w); });
+  AddSection(c, snap::kSecSched,
+             [this](snap::Writer& w) { system_.sched().SerializeState(w); });
+  AddSection(c, snap::kSecSwitcher, [this](snap::Writer& w) {
+    w.U64(system_.switcher().trap_count());
+  });
+  AddSection(c, snap::kSecAlloc,
+             [this](snap::Writer& w) { system_.alloc().SerializeState(w); });
+  AddSection(c, snap::kSecBoard,
+             [this](snap::Writer& w) { SerializeBoardSection(w); });
+}
+
+void Board::RestoreStateSections(const snap::Container& c) {
+  auto with = [&c, this](uint32_t id, const std::function<void(snap::Reader&)>& fn) {
+    const snap::Section& s = c.Require(id);
+    snap::Reader r(s.body);
+    fn(r);
+    r.ExpectEnd(snap::SectionName(id).c_str());
+  };
+  with(snap::kSecClock,
+       [this](snap::Reader& r) { machine_.clock().RestoreNow(r.U64()); });
+  with(snap::kSecMemory,
+       [this](snap::Reader& r) { machine_.memory().RestoreState(r); });
+  with(snap::kSecIrq, [this](snap::Reader& r) {
+    machine_.irqs().RestorePendingMask(r.U32());
+  });
+  with(snap::kSecDevices, [this](snap::Reader& r) {
+    machine_.uart().RestoreState(r);
+    machine_.leds().RestoreState(r);
+    machine_.timer().RestoreState(r);
+    machine_.ethernet().RestoreState(r);
+    machine_.entropy().RestoreState(r);
+  });
+  with(snap::kSecRevoker,
+       [this](snap::Reader& r) { machine_.revoker().RestoreState(r); });
+  with(snap::kSecKernel, [this](snap::Reader& r) { system_.RestoreState(r); });
+  with(snap::kSecSched,
+       [this](snap::Reader& r) { system_.sched().RestoreState(r); });
+  with(snap::kSecSwitcher, [this](snap::Reader& r) {
+    system_.switcher().RestoreTrapCount(r.U64());
+  });
+  with(snap::kSecAlloc,
+       [this](snap::Reader& r) { system_.alloc().RestoreState(r); });
+  with(snap::kSecBoard, [this](snap::Reader& r) { RestoreBoardSection(r); });
+  // Re-seat every host-side raw pointer the machine hands to its own
+  // components (PR 1 raw clock hook, device trace pointers).
+  machine_.RebindHostHandles();
+}
+
+std::vector<uint8_t> Board::SerializeCrashScene() {
+  snap::Container c;
+  c.kind = snap::kScene;
+  BuildStateSections(c);
+  return c.Assemble();
+}
+
+void Board::BuildSnapshotContainer(snap::Container& c) {
+  CHERIOT_CHECK(booted_, "Board::Snapshot() before Boot()");
+  bool any_started = false;
+  for (const auto& t : system_.threads()) {
+    any_started |= t.started;
+  }
+  const bool cold = !any_started && op_log_.empty() && trace_ == nullptr &&
+                    forensics_ == nullptr;
+  CHERIOT_CHECK(op_log_enabled_ || cold,
+                "Board::Snapshot() mid-run with the replay log disabled "
+                "produces an unrestorable snapshot");
+  c.kind = snap::kBoard;
+  c.flags = snap::kHasReplayLog;
+  if (cold) {
+    c.flags |= snap::kColdRestorable;
+  }
+  if (trace_ != nullptr) {
+    c.flags |= snap::kHasTrace;
+  }
+  if (forensics_ != nullptr) {
+    c.flags |= snap::kHasForensics;
+  }
+  AddSection(c, snap::kSecOptions, [this](snap::Writer& w) {
+    SerializeBoardOptions(w, options_);
+    w.Bool(trace_ != nullptr);
+    if (trace_ != nullptr) {
+      w.U64(trace_options_.ring_capacity);
+      w.Bool(trace_options_.profile);
+    }
+    w.Bool(forensics_ != nullptr);
+    if (forensics_ != nullptr) {
+      w.U64(forensics_options_.ring_capacity);
+      w.U64(forensics_options_.reboot_history);
+      w.Bool(forensics_options_.capture_crash_scene);
+      w.U64(forensics_options_.scene_limit);
+    }
+  });
+  AddSection(c, snap::kSecBootInfo,
+             [this](snap::Writer& w) { SerializeBootInfo(w, system_.boot()); });
+  BuildStateSections(c);
+  if (trace_ != nullptr) {
+    AddSection(c, snap::kSecTrace,
+               [this](snap::Writer& w) { trace_->SerializeState(w); });
+  }
+  if (forensics_ != nullptr) {
+    AddSection(c, snap::kSecForensics,
+               [this](snap::Writer& w) { forensics_->SerializeState(w); });
+  }
+  AddSection(c, snap::kSecReplayLog, [this](snap::Writer& w) {
+    w.U64(op_log_.size());
+    for (const BoardOp& op : op_log_) {
+      w.U8(static_cast<uint8_t>(op.kind));
+      w.U64(op.a);
+      w.U64(op.b);
+      w.Blob(op.frame);
+    }
+  });
+}
+
+void Board::Snapshot(std::vector<uint8_t>& out) {
+  snap::Container c;
+  BuildSnapshotContainer(c);
+  out = c.Assemble();
+}
+
+std::unique_ptr<Board> Board::Restore(const uint8_t* data, size_t size,
+                                      FirmwareImage image) {
+  snap::Container c = snap::Container::Parse(data, size);
+  if (c.kind != snap::kBoard) {
+    throw snap::SnapshotError("not a board snapshot");
+  }
+  if (c.flags & snap::kEmbedded) {
+    throw snap::SnapshotError(
+        "fleet-embedded board state is not standalone-restorable");
+  }
+
+  const snap::Section& opts_sec = c.Require(snap::kSecOptions);
+  snap::Reader opts(opts_sec.body);
+  BoardOptions options = DeserializeBoardOptions(opts);
+  const bool has_trace = opts.Bool();
+  trace::TraceOptions trace_options;
+  if (has_trace) {
+    trace_options.ring_capacity = opts.U64();
+    trace_options.profile = opts.Bool();
+  }
+  const bool has_forensics = opts.Bool();
+  health::ForensicsOptions forensics_options;
+  if (has_forensics) {
+    forensics_options.ring_capacity = opts.U64();
+    forensics_options.reboot_history = opts.U64();
+    forensics_options.capture_crash_scene = opts.Bool();
+    forensics_options.scene_limit = opts.U64();
+  }
+  opts.ExpectEnd("OPTS");
+
+  auto board = std::make_unique<Board>(std::move(image), options);
+  if (has_trace) {
+    board->EnableTrace(trace_options);
+  }
+  if (has_forensics) {
+    board->EnableForensics(forensics_options);
+  }
+
+  if (c.flags & snap::kColdRestorable) {
+    // Direct restore: skip the loader, deserialize the boot-time capability
+    // graph and rebind host handles, then lay the saved state sections on
+    // top (the warm-boot fixture path).
+    const snap::Section& boot_sec = c.Require(snap::kSecBootInfo);
+    snap::Reader boot(boot_sec.body);
+    board->system_.BootFromSnapshot(boot);
+    boot.ExpectEnd("BOOT");
+    board->booted_ = true;
+    board->RestoreStateSections(c);
+  } else {
+    // Replay restore: boot normally, then re-execute the logged external
+    // inputs. Execution is fully deterministic, so the replayed board lands
+    // in the exact snapshotted state — which the verify below proves.
+    board->Boot();
+    const snap::Section& log_sec = c.Require(snap::kSecReplayLog);
+    snap::Reader log(log_sec.body);
+    const uint64_t n_ops = log.U64();
+    for (uint64_t i = 0; i < n_ops; ++i) {
+      const auto kind = static_cast<BoardOp::Kind>(log.U8());
+      const Cycles a = log.U64();
+      const Cycles b = log.U64();
+      Frame frame = log.Blob();
+      switch (kind) {
+        case BoardOp::Kind::kStep:
+          board->StepTo(a);
+          break;
+        case BoardOp::Kind::kInject:
+          if (board->Now() != a) {
+            throw snap::SnapshotError(
+                "replay diverged: injection clock mismatch");
+          }
+          board->InjectAt(b, std::move(frame));
+          break;
+        default:
+          throw snap::SnapshotError("unknown replay op");
+      }
+    }
+    log.ExpectEnd("RLOG");
+  }
+
+  // Verify: every section of the restored board must re-serialize to the
+  // exact bytes of the snapshot. This is what makes both restore paths
+  // trustworthy — any drift between serialized state and reconstructed
+  // state is caught here, not at cycle 10^9 of the resumed run.
+  snap::Container check;
+  board->BuildSnapshotContainer(check);
+  if (check.sections.size() != c.sections.size()) {
+    throw snap::SnapshotError("snapshot verify failed: section count");
+  }
+  for (size_t i = 0; i < c.sections.size(); ++i) {
+    if (check.sections[i].id != c.sections[i].id ||
+        check.sections[i].body != c.sections[i].body) {
+      throw snap::SnapshotError("snapshot verify failed at section " +
+                                snap::SectionName(c.sections[i].id));
+    }
+  }
+  return board;
 }
 
 Board::Fingerprint Board::fingerprint() {

@@ -7,6 +7,7 @@
 #ifndef SRC_SIM_BOARD_H_
 #define SRC_SIM_BOARD_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "src/health/forensics.h"
 #include "src/hw/machine.h"
 #include "src/kernel/system.h"
+#include "src/snap/snapshot.h"
 #include "src/trace/trace.h"
 
 namespace cheriot::sim {
@@ -101,6 +103,54 @@ class Board {
 
   Fingerprint fingerprint();
 
+  // --- Snapshot/restore (DESIGN.md §10) ------------------------------------
+  //
+  // Snapshot() serializes the whole board — SRAM + tag/revocation bitmaps,
+  // capability registers and trusted stacks (kernel thread state), scheduler
+  // and futex queues, allocator mirrors + provenance, device state including
+  // pending NIC deliveries, recorder rings, and the replay log of external
+  // inputs — into a versioned container. Byte-stable: two snapshots of the
+  // same state are byte-identical.
+  //
+  // Restore() rebuilds a board from a snapshot. The firmware image is a
+  // host-side artifact (native closures) and cannot cross a snapshot, so the
+  // caller supplies the same image the snapshot's board was built from.
+  // Two paths, chosen automatically:
+  //  - Cold/direct (flag kColdRestorable: post-Boot, no guest instruction
+  //    executed): the loader is skipped — the boot-time capability graph is
+  //    deserialized and host handles rebound (warm-boot fixture path).
+  //  - Replay (general, mid-run): guest fibers hold live host stacks that
+  //    cannot be byte-restored, so the board re-boots and re-executes the
+  //    logged external inputs (StepTo targets, injected frames); PR 6's
+  //    cycle-transparent pauses make this reproduce the run exactly.
+  // Both paths end with a verify: every state section of the restored board
+  // is re-serialized and byte-compared against the snapshot; a mismatch
+  // throws snap::SnapshotError.
+  void Snapshot(std::vector<uint8_t>& out);
+  static std::unique_ptr<Board> Restore(const uint8_t* data, size_t size,
+                                        FirmwareImage image);
+  static std::unique_ptr<Board> Restore(const std::vector<uint8_t>& blob,
+                                        FirmwareImage image) {
+    return Restore(blob.data(), blob.size(), std::move(image));
+  }
+
+  // The replay log records every external input (StepTo / InjectAt) so a
+  // mid-run snapshot can be restored by re-execution. On by default; the
+  // Fleet disables it per board (it keeps its own whole-fleet control log),
+  // and long-lived boards that never snapshot can opt out to stop the log
+  // growing without bound.
+  void set_op_log_enabled(bool on) { op_log_enabled_ = on; }
+  size_t op_log_size() const { return op_log_.size(); }
+
+  // Restores board state sections from an already-parsed container onto a
+  // booted board (Fleet embedded-board restore; the Fleet replays control
+  // ops itself and then verifies). Not for standalone use.
+  void RestoreStateSections(const snap::Container& c);
+  // Serializes the machine/kernel state sections (no OPTS/BOOT/RLOG) into
+  // `c` — the building block shared by Snapshot(), the Fleet's embedded
+  // per-board blobs and the forensics crash-scene capture.
+  void BuildStateSections(snap::Container& c);
+
   Cycles Now() { return machine_.clock().now(); }
   int index() const { return options_.index; }
   const EthernetDevice::Mac& mac() const { return options_.mac; }
@@ -109,7 +159,21 @@ class Board {
   System::RunResult last_result() const { return last_result_; }
 
  private:
+  struct BoardOp {
+    enum class Kind : uint8_t { kStep = 0, kInject = 1 };
+    Kind kind = Kind::kStep;
+    Cycles a = 0;  // kStep: absolute target; kInject: clock at injection
+    Cycles b = 0;  // kInject: absolute due cycle
+    Frame frame;   // kInject only
+  };
+
   void PumpRx();
+  void SerializeBoardSection(snap::Writer& w) const;
+  void RestoreBoardSection(snap::Reader& r);
+  // Full container for Snapshot(): OPTS + BOOT + state sections + recorder
+  // sections + RLOG.
+  void BuildSnapshotContainer(snap::Container& c);
+  std::vector<uint8_t> SerializeCrashScene();
 
   BoardOptions options_;
   Machine machine_;
@@ -121,6 +185,11 @@ class Board {
   System::RunResult last_result_ = System::RunResult::kBudgetExhausted;
   bool injected_since_deadlock_ = false;
   bool booted_ = false;
+  std::vector<BoardOp> op_log_;
+  bool op_log_enabled_ = true;
+  // Recorder options as passed to Enable*(), re-applied on replay restore.
+  trace::TraceOptions trace_options_;
+  health::ForensicsOptions forensics_options_;
 };
 
 }  // namespace cheriot::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/snap/wire.h"
 #include "src/trace/trace.h"
 
 namespace cheriot::sim {
@@ -109,6 +110,51 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
       Union(src_port, port);
       DeliverTo(port, at, frame);
     }
+  }
+}
+
+void Fabric::SerializeState(snap::Writer& w) const {
+  w.U32(static_cast<uint32_t>(ports_.size()));
+  w.U32(static_cast<uint32_t>(mac_table_.size()));
+  for (const auto& [mac, port] : mac_table_) {
+    for (uint8_t b : mac) {
+      w.U8(b);
+    }
+    w.I32(port);
+  }
+  w.U64(frames_switched_);
+  w.U64(frames_flooded_);
+  w.U64(group_generation_);
+  // Canonical partition: lower-id-wins unions make Find(port) the minimum
+  // member of the port's group, independent of merge/compression order.
+  for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
+    w.I32(Find(port));
+  }
+}
+
+void Fabric::RestoreState(snap::Reader& r) {
+  const uint32_t port_count = r.U32();
+  if (port_count != ports_.size()) {
+    throw snap::SnapshotError("snapshot fabric port count mismatch");
+  }
+  mac_table_.clear();
+  const uint32_t macs = r.U32();
+  for (uint32_t i = 0; i < macs; ++i) {
+    Mac mac;
+    for (uint8_t& b : mac) {
+      b = r.U8();
+    }
+    mac_table_[mac] = r.I32();
+  }
+  frames_switched_ = r.U64();
+  frames_flooded_ = r.U64();
+  group_generation_ = r.U64();
+  for (uint32_t port = 0; port < port_count; ++port) {
+    const int rep = r.I32();
+    if (rep < 0 || static_cast<uint32_t>(rep) > port) {
+      throw snap::SnapshotError("snapshot fabric partition malformed");
+    }
+    group_parent_[port] = rep;
   }
 }
 

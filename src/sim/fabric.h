@@ -19,6 +19,11 @@ class TraceRecorder;
 }  // namespace trace
 }  // namespace cheriot
 
+namespace cheriot::snap {
+class Writer;
+class Reader;
+}  // namespace cheriot::snap
+
 namespace cheriot::sim {
 
 class Fabric {
@@ -69,6 +74,16 @@ class Fabric {
   // calls Transmit at epoch barriers, so emission order is deterministic for
   // any host thread count.
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
+
+  // Snapshot support (DESIGN.md §10). The port list itself (latencies,
+  // deliver closures) is host wiring rebuilt by Fleet::Restore; what
+  // serializes is the learned/observed state: the MAC table, the switch
+  // counters and the communication partition. The raw union-find parent
+  // array is path-compression-order-dependent, so the partition is written
+  // in canonical form — Find(port) per port, which under the lower-id-wins
+  // union rule is always the group's minimum member.
+  void SerializeState(snap::Writer& w) const;
+  void RestoreState(snap::Reader& r);
 
  private:
   struct Port {

@@ -5,6 +5,7 @@
 
 #include "src/base/check.h"
 #include "src/base/log.h"
+#include "src/snap/wire.h"
 
 namespace cheriot::sim {
 
@@ -72,6 +73,9 @@ int Fleet::AddBoard(FirmwareImage image) {
   opts.system.fast_forward = options_.fast_forward;
   boards_.push_back(std::make_unique<Board>(std::move(image), opts));
   Board* board = boards_.back().get();
+  // The fleet keeps one whole-fleet control log (Snapshot()); per-board
+  // replay logs would duplicate it and grow without bound.
+  board->set_op_log_enabled(false);
   if (options_.trace) {
     board->EnableTrace(options_.trace_options);
   }
@@ -358,12 +362,35 @@ bool Fleet::RunUntil(const std::function<bool()>& pred, Cycles max_cycles) {
   return true;
 }
 
+void Fleet::LogAdvance() {
+  if (now_ > logged_now_) {
+    FleetOp op;
+    op.kind = FleetOp::Kind::kAdvance;
+    op.to = now_;
+    fleet_log_.push_back(std::move(op));
+    logged_now_ = now_;
+  }
+}
+
 void Fleet::PublishMqtt(const std::string& topic, const net::Bytes& payload) {
+  LogAdvance();
+  FleetOp op;
+  op.kind = FleetOp::Kind::kMqtt;
+  op.topic = topic;
+  op.payload = payload;
+  fleet_log_.push_back(std::move(op));
   gateway_emit_at_ = now_;
   gateway_.PublishMqtt(now_, topic, payload);
 }
 
 void Fleet::SendPing(net::Ipv4 dst, uint16_t id, uint16_t seq) {
+  LogAdvance();
+  FleetOp op;
+  op.kind = FleetOp::Kind::kPing;
+  op.dst = dst;
+  op.id = id;
+  op.seq = seq;
+  fleet_log_.push_back(std::move(op));
   gateway_emit_at_ = now_;
   gateway_.SendPing(now_, dst, id, seq);
 }
@@ -379,6 +406,223 @@ std::vector<trace::TraceRecorder*> Fleet::TraceRecorders() {
     out.push_back(fabric_trace_.get());
   }
   return out;
+}
+
+void Fleet::BuildSnapshotContainer(snap::Container& c) {
+  CHERIOT_CHECK(booted_, "Fleet::Snapshot() before Boot()");
+  LogAdvance();
+  c.kind = snap::kFleet;
+  c.flags = snap::kHasReplayLog;
+  if (options_.trace) {
+    c.flags |= snap::kHasTrace;
+  }
+  if (options_.forensics) {
+    c.flags |= snap::kHasForensics;
+  }
+  {
+    // Effective configuration + fleet-level state. host_threads and
+    // fast_forward are deliberately absent: both are host-performance knobs
+    // with bit-identical fingerprints (pinned by tests/fleet_test.cpp), so
+    // snapshots taken at any worker count / fast-forward mode byte-match.
+    snap::Writer w;
+    w.U64(options_.epoch);
+    w.U64(options_.board_link_latency);
+    const net::WorldOptions& wo = options_.world;
+    w.U64(wo.link_latency);
+    w.U32(static_cast<uint32_t>(wo.dns_table.size()));
+    for (const auto& [name, ip] : wo.dns_table) {
+      w.Str(name);
+      w.U32(ip);
+    }
+    w.U32(wo.ntp_unix_base);
+    w.I32(wo.drop_every_nth_tcp);
+    w.U32(options_.machine.sram_base);
+    w.U32(options_.machine.sram_size);
+    w.Bool(options_.machine.uart_echo);
+    w.U64(options_.system.tick_quantum);
+    w.U64(options_.system.idle_chunk);
+    w.Bool(options_.trace);
+    if (options_.trace) {
+      w.U64(options_.trace_options.ring_capacity);
+      w.Bool(options_.trace_options.profile);
+    }
+    w.Bool(options_.forensics);
+    if (options_.forensics) {
+      w.U64(options_.forensics_options.ring_capacity);
+      w.U64(options_.forensics_options.reboot_history);
+      w.Bool(options_.forensics_options.capture_crash_scene);
+      w.U64(options_.forensics_options.scene_limit);
+    }
+    w.U32(static_cast<uint32_t>(boards_.size()));
+    w.U64(now_);
+    w.U64(frames_exchanged_);
+    c.sections.push_back({snap::kSecFleet, w.Take()});
+  }
+  {
+    snap::Writer w;
+    fabric_.SerializeState(w);
+    c.sections.push_back({snap::kSecFabric, w.Take()});
+  }
+  if (fabric_trace_) {
+    snap::Writer w;
+    fabric_trace_->SerializeState(w);
+    c.sections.push_back({snap::kSecTrace, w.Take()});
+  }
+  {
+    // Every board's state sections as a nested container, plus its recorder
+    // rings — the restore verify then doubles as the proof that trace and
+    // health exports survive a restore byte-identically.
+    snap::Writer w;
+    w.U32(static_cast<uint32_t>(boards_.size()));
+    for (auto& board : boards_) {
+      snap::Container bc;
+      bc.kind = snap::kBoard;
+      bc.flags = snap::kEmbedded;
+      board->BuildStateSections(bc);
+      if (auto* tr = board->trace_recorder()) {
+        snap::Writer tw;
+        tr->SerializeState(tw);
+        bc.sections.push_back({snap::kSecTrace, tw.Take()});
+      }
+      if (auto* fr = board->forensics_recorder()) {
+        snap::Writer fw;
+        fr->SerializeState(fw);
+        bc.sections.push_back({snap::kSecForensics, fw.Take()});
+      }
+      w.Blob(bc.Assemble());
+    }
+    c.sections.push_back({snap::kSecFleetBoards, w.Take()});
+  }
+  {
+    snap::Writer w;
+    w.U64(fleet_log_.size());
+    for (const FleetOp& op : fleet_log_) {
+      w.U8(static_cast<uint8_t>(op.kind));
+      switch (op.kind) {
+        case FleetOp::Kind::kAdvance:
+          w.U64(op.to);
+          break;
+        case FleetOp::Kind::kMqtt:
+          w.Str(op.topic);
+          w.Blob(op.payload);
+          break;
+        case FleetOp::Kind::kPing:
+          w.U32(op.dst);
+          w.U16(op.id);
+          w.U16(op.seq);
+          break;
+      }
+    }
+    c.sections.push_back({snap::kSecFleetLog, w.Take()});
+  }
+}
+
+void Fleet::Snapshot(std::vector<uint8_t>& out) {
+  snap::Container c;
+  BuildSnapshotContainer(c);
+  out = c.Assemble();
+}
+
+std::unique_ptr<Fleet> Fleet::Restore(const uint8_t* data, size_t size,
+                                      const ImageResolver& images,
+                                      int host_threads) {
+  snap::Container c = snap::Container::Parse(data, size);
+  if (c.kind != snap::kFleet) {
+    throw snap::SnapshotError("not a fleet snapshot");
+  }
+  FleetOptions o;
+  uint32_t board_count = 0;
+  {
+    snap::Reader r(c.Require(snap::kSecFleet).body);
+    o.epoch = r.U64();
+    o.board_link_latency = r.U64();
+    o.world.link_latency = r.U64();
+    o.world.dns_table.clear();
+    const uint32_t dns = r.U32();
+    for (uint32_t i = 0; i < dns; ++i) {
+      const std::string name = r.Str();
+      o.world.dns_table[name] = r.U32();
+    }
+    o.world.ntp_unix_base = r.U32();
+    o.world.drop_every_nth_tcp = r.I32();
+    o.machine.sram_base = r.U32();
+    o.machine.sram_size = r.U32();
+    o.machine.uart_echo = r.Bool();
+    o.system.tick_quantum = r.U64();
+    o.system.idle_chunk = r.U64();
+    o.trace = r.Bool();
+    if (o.trace) {
+      o.trace_options.ring_capacity = r.U64();
+      o.trace_options.profile = r.Bool();
+    }
+    o.forensics = r.Bool();
+    if (o.forensics) {
+      o.forensics_options.ring_capacity = r.U64();
+      o.forensics_options.reboot_history = r.U64();
+      o.forensics_options.capture_crash_scene = r.Bool();
+      o.forensics_options.scene_limit = r.U64();
+    }
+    board_count = r.U32();
+    r.U64();  // now_: reproduced by the replay, compared by the verify
+    r.U64();  // frames_exchanged_: ditto
+    r.ExpectEnd("FLET");
+  }
+  o.host_threads = host_threads;
+  auto fleet = std::make_unique<Fleet>(std::move(o));
+  for (uint32_t i = 0; i < board_count; ++i) {
+    fleet->AddBoard(images(static_cast<int>(i)));
+  }
+  fleet->Boot();
+  {
+    snap::Reader r(c.Require(snap::kSecFleetLog).body);
+    const uint64_t n_ops = r.U64();
+    for (uint64_t i = 0; i < n_ops; ++i) {
+      switch (r.U8()) {
+        case 0: {  // kAdvance
+          const Cycles to = r.U64();
+          if (to < fleet->now_) {
+            throw snap::SnapshotError(
+                "fleet replay diverged: advance behind the fleet clock");
+          }
+          if (to > fleet->now_) {
+            fleet->Run(to - fleet->now_);
+          }
+          break;
+        }
+        case 1: {  // kMqtt
+          const std::string topic = r.Str();
+          const net::Bytes payload = r.Blob();
+          fleet->PublishMqtt(topic, payload);
+          break;
+        }
+        case 2: {  // kPing
+          const net::Ipv4 dst = r.U32();
+          const uint16_t id = r.U16();
+          const uint16_t seq = r.U16();
+          fleet->SendPing(dst, id, seq);
+          break;
+        }
+        default:
+          throw snap::SnapshotError("unknown fleet replay op");
+      }
+    }
+    r.ExpectEnd("FLOG");
+  }
+  // Verify: the restored fleet must re-serialize to the snapshot, byte for
+  // byte — boards, fabric, recorders and the rebuilt control log alike.
+  snap::Container check;
+  fleet->BuildSnapshotContainer(check);
+  if (check.sections.size() != c.sections.size()) {
+    throw snap::SnapshotError("fleet snapshot verify failed: section count");
+  }
+  for (size_t i = 0; i < c.sections.size(); ++i) {
+    if (check.sections[i].id != c.sections[i].id ||
+        check.sections[i].body != c.sections[i].body) {
+      throw snap::SnapshotError("fleet snapshot verify failed at section " +
+                                snap::SectionName(c.sections[i].id));
+    }
+  }
+  return fleet;
 }
 
 std::vector<Board::Fingerprint> Fleet::Fingerprints() {

@@ -136,7 +136,50 @@ class Fleet {
 
   std::vector<Board::Fingerprint> Fingerprints();
 
+  // --- Snapshot/restore (DESIGN.md §10) ------------------------------------
+  //
+  // Serializes the whole fleet: the effective options (EXCLUDING
+  // host_threads — a pure host-performance knob, so snapshots taken at 1, 2
+  // and 4 workers of the same state are byte-identical), the fabric's
+  // learned state, every board's state sections as an embedded container,
+  // and the fleet control-op log (coalesced Run advances plus gateway
+  // control calls). Call between Run/RunUntil calls — the fleet is then at
+  // an epoch barrier by construction.
+  void Snapshot(std::vector<uint8_t>& out);
+
+  // Firmware images are host-side artifacts (native closures) and cannot
+  // cross a snapshot; the resolver supplies board i's image — the same one
+  // the snapshot's fleet used. Restore rebuilds the fleet by replaying the
+  // control-op log (bit-identical for any host_threads, which is why the
+  // worker count is a free parameter here), then re-serializes everything
+  // and byte-compares against the snapshot; a mismatch throws
+  // snap::SnapshotError.
+  using ImageResolver = std::function<FirmwareImage(int board_index)>;
+  static std::unique_ptr<Fleet> Restore(const uint8_t* data, size_t size,
+                                        const ImageResolver& images,
+                                        int host_threads = 1);
+  static std::unique_ptr<Fleet> Restore(const std::vector<uint8_t>& blob,
+                                        const ImageResolver& images,
+                                        int host_threads = 1) {
+    return Restore(blob.data(), blob.size(), images, host_threads);
+  }
+
  private:
+  // One entry in the whole-fleet control log. Everything a fleet does is a
+  // deterministic function of its boot configuration plus this sequence, so
+  // mid-run restore replays it instead of trying to byte-restore live host
+  // fiber stacks.
+  struct FleetOp {
+    enum class Kind : uint8_t { kAdvance = 0, kMqtt = 1, kPing = 2 };
+    Kind kind = Kind::kAdvance;
+    Cycles to = 0;        // kAdvance: absolute fleet clock reached
+    std::string topic;    // kMqtt
+    net::Bytes payload;   // kMqtt
+    net::Ipv4 dst = 0;    // kPing
+    uint16_t id = 0;      // kPing
+    uint16_t seq = 0;     // kPing
+  };
+
   void RunEpoch(Cycles target);
   // Picks the next barrier: the conservative bound min(now + epoch, end),
   // extended to the fleet-wide minimum next interesting cycle when every
@@ -153,6 +196,11 @@ class Fleet {
   void GatewayEmit(net::Bytes frame);
   void StartWorkers();
   void WorkerLoop(size_t worker_id);
+  // Appends a coalesced kAdvance{now_} when the clock moved since the last
+  // logged op; called before every control op and before Snapshot() so the
+  // log always ends at the snapshot's barrier.
+  void LogAdvance();
+  void BuildSnapshotContainer(snap::Container& c);
 
   FleetOptions options_;
   Cycles epoch_ = 0;
@@ -185,6 +233,11 @@ class Fleet {
   uint64_t barriers_ = 0;
   uint64_t boards_stepped_ = 0;
   uint64_t boards_skipped_ = 0;
+
+  // Whole-fleet control log (see FleetOp). Per-board replay logs are
+  // disabled in AddBoard(); this is the single source of replay truth.
+  std::vector<FleetOp> fleet_log_;
+  Cycles logged_now_ = 0;
 
   // Persistent worker pool (started lazily when host_threads > 1).
   std::vector<std::thread> workers_;

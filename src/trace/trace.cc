@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/hw/machine.h"
+#include "src/snap/wire.h"
 
 // Exhaustiveness guard (satellite of the health PR): every switch over
 // EventType in this translation unit must cover every enumerator — adding an
@@ -360,6 +361,66 @@ std::string TraceRecorder::ThreadName(int id) const {
     return thread_names_[static_cast<size_t>(id)];
   }
   return "thread" + std::to_string(id);
+}
+
+void TraceRecorder::SerializeState(snap::Writer& w) const {
+  w.U64(emitted_);
+  w.U64(dropped_);
+  w.U64(latest_at_);
+  for (uint64_t n : by_type_) {
+    w.U64(n);
+  }
+  w.U32(static_cast<uint32_t>(count_));
+  for (size_t i = 0; i < count_; ++i) {
+    const Event& e = ring_[(start_ + i) % ring_.size()];
+    w.U64(e.at);
+    w.U64(e.d);
+    w.I64(e.c);
+    w.I32(e.a);
+    w.I32(e.b);
+    w.U8(static_cast<uint8_t>(e.type));
+    w.U16(static_cast<uint16_t>(e.thread));
+  }
+  // Profiler state, serialized raw (no settlement): both sides of a verify
+  // comparison are serialized at the same point of the same deterministic
+  // run, so their pending unsettled spans match too.
+  w.Bool(boot_done_);
+  w.I32(current_thread_);
+  w.U64(settled_at_);
+  w.U64(boot_cycles_);
+  w.U64(idle_cycles_);
+  w.U32(static_cast<uint32_t>(thread_stacks_.size()));
+  for (const auto& stack : thread_stacks_) {
+    w.U32(static_cast<uint32_t>(stack.size()));
+    for (int c : stack) {
+      w.I32(c);
+    }
+  }
+  w.U32(static_cast<uint32_t>(profile_.size()));
+  for (const auto& [id, p] : profile_) {
+    w.I32(id);
+    w.U64(p.self);
+    w.U64(p.total);
+    w.U64(p.calls);
+  }
+  w.U32(static_cast<uint32_t>(collapsed_.size()));
+  for (const auto& [key, cycles] : collapsed_) {
+    w.U32(static_cast<uint32_t>(key.size()));
+    for (int c : key) {
+      w.I32(c);
+    }
+    w.U64(cycles);
+  }
+  // Aggregates.
+  w.U64(heap_live_bytes_);
+  w.U64(heap_allocs_);
+  w.U64(heap_frees_);
+  w.U64(sweeps_completed_);
+  w.U64(granules_scanned_);
+  w.U64(nic_tx_frames_);
+  w.U64(nic_tx_bytes_);
+  w.U64(nic_rx_frames_);
+  w.U64(nic_rx_bytes_);
 }
 
 void Attach(Machine& machine, TraceRecorder* recorder) {

@@ -30,6 +30,10 @@ namespace cheriot {
 class Machine;
 }  // namespace cheriot
 
+namespace cheriot::snap {
+class Writer;
+}  // namespace cheriot::snap
+
 namespace cheriot::trace {
 
 enum class EventType : uint8_t {
@@ -204,6 +208,13 @@ class TraceRecorder {
   size_t thread_count() const { return thread_names_.size(); }
 
   const TraceOptions& options() const { return options_; }
+
+  // Snapshot serialization (DESIGN.md §10). Serialize-only: the ring, the
+  // aggregates and the profiler state are a pure function of the guest run,
+  // so a snapshot verify re-serializes the replayed recorder and compares
+  // bytes instead of restoring (restoring would need the name tables too and
+  // buys nothing — replay regenerates the identical recorder).
+  void SerializeState(snap::Writer& w) const;
 
  private:
   void Emit(EventType type, int16_t thread, int32_t a, int32_t b, int64_t c,

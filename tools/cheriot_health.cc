@@ -37,6 +37,7 @@ struct CliOptions {
   bool all = false;
   bool list = false;
   bool check = false;
+  bool scenes = false;
   int fleet = 0;        // 0 = single board
   int host_threads = 1; // fleet worker threads
   Cycles cycles = 20'000'000;
@@ -60,9 +61,13 @@ void Usage(std::FILE* out) {
                "  --ring=N           crash-record ring capacity (default 256)\n"
                "  --out-dir=DIR      where to write artifacts (default .)\n"
                "  --check            verify forensics moved no guest cycle\n"
+               "  --scenes           capture a full machine-state scene at\n"
+               "                     each crash and dump the blobs (inspect\n"
+               "                     them with cheriot_snap info/diff)\n"
                "\n"
                "artifacts (per target): health_<name>.json (schema v1)\n"
-               "                        crash_<name>.txt   (crash dump)\n");
+               "                        crash_<name>.txt   (crash dump)\n"
+               "                        scene_<name>_*.snap (with --scenes)\n");
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -91,11 +96,22 @@ struct RunArtifacts {
   std::string health_json;
   std::string crash_txt;
   std::vector<sim::Board::Fingerprint> fingerprints;  // one per board
+  // Crash-scene blobs (name suffix, serialized machine state), --scenes only.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> scenes;
   Cycles now = 0;
   uint64_t crash_records = 0;
   uint64_t anomalies = 0;
   bool healthy = true;
 };
+
+void CollectScenes(health::ForensicsRecorder& recorder,
+                   const std::string& prefix, RunArtifacts& a) {
+  for (const auto& rec : recorder.Records()) {
+    if (!rec.scene.empty()) {
+      a.scenes.emplace_back(prefix + std::to_string(rec.seq), rec.scene);
+    }
+  }
+}
 
 RunArtifacts RunBoard(const tools::LintTarget& target, const CliOptions& opts,
                       bool forensics) {
@@ -103,6 +119,7 @@ RunArtifacts RunBoard(const tools::LintTarget& target, const CliOptions& opts,
   if (forensics) {
     health::ForensicsOptions fopts;
     fopts.ring_capacity = opts.ring;
+    fopts.capture_crash_scene = opts.scenes;
     board.EnableForensics(fopts);
   }
   board.Boot();
@@ -117,6 +134,7 @@ RunArtifacts RunBoard(const tools::LintTarget& target, const CliOptions& opts,
     a.healthy = h.healthy;
     a.health_json = health::HealthReport(board).Dump(2) + "\n";
     a.crash_txt = health::CrashDumpText(*board.forensics_recorder());
+    CollectScenes(*board.forensics_recorder(), "", a);
   }
   return a;
 }
@@ -127,6 +145,7 @@ RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
   fopts.host_threads = opts.host_threads;
   fopts.forensics = forensics;
   fopts.forensics_options.ring_capacity = opts.ring;
+  fopts.forensics_options.capture_crash_scene = opts.scenes;
   sim::Fleet fleet(fopts);
   for (int i = 0; i < opts.fleet; ++i) {
     fleet.AddBoard(target.build());
@@ -146,6 +165,7 @@ RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
       a.healthy = a.healthy && h.healthy;
       a.crash_txt += health::CrashDumpText(*b.forensics_recorder());
       a.crash_txt += "\n";
+      CollectScenes(*b.forensics_recorder(), "b" + std::to_string(i) + "_", a);
     }
   }
   return a;
@@ -161,6 +181,21 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
   if (!WriteFile(base + "health_" + target.name + ".json", on.health_json) ||
       !WriteFile(base + "crash_" + target.name + ".txt", on.crash_txt)) {
     return false;
+  }
+  for (const auto& [suffix, blob] : on.scenes) {
+    const std::string path =
+        base + "scene_" + target.name + "_" + suffix + ".snap";
+    std::ofstream scene(path, std::ios::binary | std::ios::trunc);
+    scene.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    if (!scene.good()) {
+      std::fprintf(stderr, "cheriot_health: cannot write %s\n", path.c_str());
+      return false;
+    }
+  }
+  if (opts.scenes) {
+    std::printf("%-26s %zu crash scene(s) dumped\n", target.name.c_str(),
+                on.scenes.size());
   }
   std::printf("%-26s %12llu cycles %5llu crash records %3llu anomalies  %s\n",
               target.name.c_str(), static_cast<unsigned long long>(on.now),
@@ -237,6 +272,8 @@ int main(int argc, char** argv) {
       opts.all = true;
     } else if (arg == "--check") {
       opts.check = true;
+    } else if (arg == "--scenes") {
+      opts.scenes = true;
     } else if (const char* v = value("--target=")) {
       for (auto& t : SplitCsv(v)) {
         opts.targets.push_back(t);
