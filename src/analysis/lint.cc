@@ -407,6 +407,91 @@ void DuplicateExports(const json::Value& report,
   }
 }
 
+// --- CL009: interrupt-posture audit ----------------------------------------
+
+void InterruptPostureAudit(const json::Value& report,
+                           const AuthorityGraph& graph,
+                           const LintOptions& options,
+                           std::vector<Finding>* findings) {
+  // Every interrupts-disabled export of a non-exempt owner, with its graph
+  // node id ("compartment:x" / "library:x").
+  struct DisabledExport {
+    std::string owner;
+    std::string node;
+    std::string fn;
+    bool is_library;
+  };
+  std::vector<DisabledExport> disabled;
+  auto scan = [&](const std::string& owner, const json::Value& def,
+                  bool is_library) {
+    if (Contains(options.posture_exempt_owners, owner)) {
+      return;
+    }
+    for (const auto& e : ArrOrEmpty(def["exports"])) {
+      if (e["interrupt_posture"].AsString() != "disabled") {
+        continue;
+      }
+      disabled.push_back({owner,
+                          (is_library ? "library:" : "compartment:") + owner,
+                          e["function"].AsString(), is_library});
+    }
+  };
+  for (const auto& [name, comp] : ObjOrEmpty(report["compartments"])) {
+    scan(name, comp, false);
+  }
+  for (const auto& [name, lib] : ObjOrEmpty(report["libraries"])) {
+    scan(name, lib, true);
+  }
+
+  // Direct importers get one warning per export; transitive-only reachers
+  // get one info finding per (caller, owner) — every disabled export of the
+  // owner sits behind the same path, so per-export findings are pure noise.
+  std::set<std::pair<std::string, std::string>> transitive_seen;
+  for (const auto& d : disabled) {
+    for (const auto& comp : graph.Nodes()) {
+      if (comp.rfind("compartment:", 0) != 0) {
+        continue;
+      }
+      const std::string caller = AuthorityGraph::DisplayName(comp);
+      if (caller == d.owner || Contains(options.interrupt_posture_allowlist,
+                                        caller)) {
+        continue;
+      }
+      bool direct = false;
+      for (const auto& e : graph.EdgesFrom(comp)) {
+        if (e.to == d.node && e.detail == d.fn &&
+            (e.kind == "call" || e.kind == "library")) {
+          direct = true;
+        }
+      }
+      if (!direct && !graph.Reaches(comp, d.node)) {
+        continue;
+      }
+      if (!direct && !transitive_seen.emplace(caller, d.node).second) {
+        continue;
+      }
+      Finding f;
+      f.rule = "CL009";
+      f.name = "interrupt-posture";
+      f.subject = caller;
+      if (direct) {
+        f.severity = "warning";
+        f.message = caller + " can invoke " + d.owner + "." + d.fn +
+                    ", which runs with interrupts disabled; allowlist " +
+                    caller + " if this availability authority is intended";
+      } else {
+        // Reaches the owner only through other compartments: a confused
+        // deputy could still drive it into its interrupts-disabled region.
+        f.severity = "info";
+        f.path = graph.ShortestPath(comp, d.node);
+        f.message = caller + " reaches interrupts-disabled " + d.owner +
+                    " transitively: " + AuthorityGraph::RenderPath(f.path);
+      }
+      findings->push_back(std::move(f));
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLints(const json::Value& report,
@@ -420,6 +505,7 @@ std::vector<Finding> RunLints(const json::Value& report,
   RedundantImports(report, &findings);
   StackDepth(report, graph, &findings);
   DuplicateExports(report, &findings);
+  InterruptPostureAudit(report, graph, options, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               const int ra = SeverityRank(a.severity);

@@ -20,6 +20,12 @@
 //         call-graph cycles (statically unbounded depth)
 //   CL008 duplicate-export              (error)   one compartment or library
 //         exports the same function name twice (ambiguous linkage)
+//   CL009 interrupt-posture             (warning/info) a compartment outside
+//         the trusted allowlist can invoke an interrupts-disabled export
+//         (directly = warning; only through other compartments = info).
+//         Interrupt-disabled sentries are availability authority (§2.1): the
+//         caller stalls the whole board's scheduler for the export's
+//         duration, so who can reach one is an auditable property
 #ifndef SRC_ANALYSIS_LINT_H_
 #define SRC_ANALYSIS_LINT_H_
 
@@ -48,6 +54,12 @@ struct LintOptions {
   // Compartments/libraries whose unreferenced exports are expected: the TCB
   // service surface is linked into every image whether used or not.
   std::vector<std::string> dead_export_exempt = {"alloc", "sched", "token"};
+  // CL009: compartments trusted to invoke interrupts-disabled exports (bare
+  // names). Anything else that can reach one is flagged.
+  std::vector<std::string> interrupt_posture_allowlist;
+  // CL009: owners whose interrupts-disabled exports are the expected TCB
+  // service surface — every compartment calls these by design.
+  std::vector<std::string> posture_exempt_owners = {"alloc", "sched", "token"};
 };
 
 // Runs all lint passes over a BuildReport() document. Findings are sorted

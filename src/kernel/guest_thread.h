@@ -64,6 +64,10 @@ class GuestThread {
   Cycles wake_at = kNoDeadline;
   bool timed_out = false;
   int multiwaiter_id = -1;  // nonzero while blocked on a multiwaiter
+  // Monotonic stamp of the last time this thread parked on a futex or
+  // multiwaiter. Wait queues are FIFO in this stamp (the documented wake
+  // contract, src/sync/sync.h); survives snapshot/restore.
+  uint64_t block_seq = 0;
 
   // --- Entry ---
   int entry_compartment = -1;

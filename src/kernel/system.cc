@@ -373,6 +373,29 @@ void System::PreemptCheck() {
   if (!t.interrupts_enabled || !machine_.irqs().AnyPending()) {
     return;
   }
+  // kIrqDelivery decision point: once per pending episode the arbiter may
+  // defer delivery by one tick quantum (bounded — unbounded deferral would
+  // starve wakes and make the deadlock oracle unsound). Checked before the
+  // trap-entry tick so a deferred episode costs nothing until delivery.
+  if (arbiter_ != nullptr) {
+    if (!irq_episode_consulted_) {
+      irq_episode_consulted_ = true;
+      uint32_t mask = 0;
+      for (size_t i = 0; i < static_cast<size_t>(IrqLine::kCount); ++i) {
+        if (machine_.irqs().Pending(static_cast<IrqLine>(i))) {
+          mask |= 1u << i;
+        }
+      }
+      if (arbiter_->Choose(DecisionKind::kIrqDelivery, mask, 2) == 1) {
+        irq_defer_until_ = Now() + options_.tick_quantum;
+      }
+    }
+    if (Now() < irq_defer_until_) {
+      return;
+    }
+    irq_episode_consulted_ = false;
+    irq_defer_until_ = 0;
+  }
   in_kernel_ = true;
   machine_.Tick(cost::kTrapEntry);
   const bool resched = DeliverPendingIrqs(/*from_guest=*/true);
@@ -381,7 +404,14 @@ void System::PreemptCheck() {
     if (next >= 0 && next != t.id) {
       const bool higher = threads_[next].priority > t.priority;
       const bool quantum_expired = Now() >= quantum_end_;
-      if (higher || quantum_expired) {
+      // kPreempt decision point: at quantum expiry (never when a higher-
+      // priority thread woke — priority preemption is architectural) the
+      // arbiter may grant the running thread one more quantum.
+      if (!higher && quantum_expired && arbiter_ != nullptr &&
+          arbiter_->Choose(DecisionKind::kPreempt,
+                           static_cast<uint32_t>(t.id), 2) == 1) {
+        quantum_end_ = Now() + options_.tick_quantum;
+      } else if (higher || quantum_expired) {
         machine_.Tick(cost::kSchedule);
         if (quantum_expired) {
           sched_->RoundRobin(t.id);
@@ -392,6 +422,32 @@ void System::PreemptCheck() {
     }
   }
   in_kernel_ = false;
+}
+
+void System::MaybeArbiterPreempt() {
+  if (arbiter_ == nullptr || !booted_ || in_kernel_ || current_thread_id_ < 0) {
+    return;
+  }
+  GuestThread& t = current_thread();
+  if (!t.interrupts_enabled) {
+    return;  // deferred-interrupt sections are atomic on this single core
+  }
+  // Only a real decision when another thread is ready to run (the current
+  // thread is kRunning, so PickNext() can only name somebody else).
+  if (sched_->PickNext() < 0) {
+    return;
+  }
+  if (arbiter_->Choose(DecisionKind::kSyncPreempt,
+                       static_cast<uint32_t>(t.id), 2) != 1) {
+    return;
+  }
+  // Yield-equivalent: rotate and hand the core over, exactly as
+  // YieldCurrent() would if the guest had called sched.yield here.
+  sched_->RoundRobin(t.id);
+  const int next = sched_->PickNext();
+  if (next >= 0 && next != t.id) {
+    SwitchTo(next);
+  }
 }
 
 void System::SwitchAway() {
@@ -659,6 +715,14 @@ FirmwareImage System::AugmentWithTcb(FirmwareImage image) {
   alloc.exports.push_back(
       {"heap_allocate",
        [this, arg](CompartmentCtx& ctx, const std::vector<Capability>& a) {
+         // kAllocFail injection point: the arbiter may force this call to
+         // fail as if the heap were exhausted (untagged result, nothing
+         // allocated) — only branched under cheriot_mc --inject-faults.
+         if (arbiter_ != nullptr &&
+             arbiter_->Choose(DecisionKind::kAllocFail,
+                              arg(a, 1).word(), 2) == 1) {
+           return Capability();
+         }
          return alloc_->HeapAllocate(ctx, arg(a, 0), arg(a, 1).word(),
                                      arg(a, 2).word());
        },
@@ -972,6 +1036,7 @@ void System::SerializeState(snap::Writer& w) const {
     w.U64(t.wake_at);
     w.Bool(t.timed_out);
     w.I32(t.multiwaiter_id);
+    w.U64(t.block_seq);
     w.I32(t.entry_compartment);
     w.I32(t.entry_export);
     w.Bool(t.started);
@@ -1034,6 +1099,7 @@ void System::RestoreState(snap::Reader& r) {
     t.wake_at = r.U64();
     t.timed_out = r.Bool();
     t.multiwaiter_id = r.I32();
+    t.block_seq = r.U64();
     t.entry_compartment = r.I32();
     t.entry_export = r.I32();
     t.started = r.Bool();

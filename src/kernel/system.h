@@ -16,6 +16,7 @@
 #include "src/firmware/image.h"
 #include "src/hw/machine.h"
 #include "src/kernel/guest_thread.h"
+#include "src/kernel/schedule_arbiter.h"
 #include "src/loader/loader.h"
 #include "src/sched/scheduler.h"
 #include "src/switcher/switcher.h"
@@ -135,6 +136,23 @@ class System {
 
   bool deadlocked() const { return deadlocked_; }
 
+  // Installs the schedule-exploration arbiter (schedule_arbiter.h); null
+  // detaches. Valid after Boot()/restore; mirrored into the scheduler. A
+  // host handle like the trace recorder — never serialized.
+  void SetArbiter(ScheduleArbiter* arbiter) {
+    arbiter_ = arbiter;
+    if (sched_ != nullptr) {
+      sched_->set_arbiter(arbiter);
+    }
+  }
+  ScheduleArbiter* arbiter() const { return arbiter_; }
+
+  // Sync-preemption decision point: consulted by CompartmentCtx just before
+  // a sched.*/alloc.* service call while interrupts are enabled. Choice 1
+  // yields to the next ready thread first (the classic read-then-call race
+  // window). No-op without an arbiter.
+  void MaybeArbiterPreempt();
+
   // Internal: thread fiber entry.
   void RunThreadBody(int thread_id);
   int StartingThreadId() const;
@@ -182,6 +200,13 @@ class System {
   bool deadlocked_ = false;
   Cycles quantum_end_ = 0;
   Cycles run_deadline_ = ~0ull;
+  ScheduleArbiter* arbiter_ = nullptr;
+  // kIrqDelivery episode tracking: consult the arbiter once per
+  // pending-IRQ episode, and defer delivery no further than
+  // irq_defer_until_ (unbounded deferral would starve wakes and make the
+  // deadlock oracle unsound).
+  bool irq_episode_consulted_ = false;
+  Cycles irq_defer_until_ = 0;
 
   friend class Switcher;
   friend class CompartmentCtx;

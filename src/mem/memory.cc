@@ -125,6 +125,9 @@ void Memory::SlowStore(Address addr, Address size, Word value) {
 Capability Memory::LoadCap(const Capability& authority, Address addr) {
   ++cap_loads_;
   HookAndTick(cost::kLoadCap + cost::kLoadFilter);
+  if (access_observer_) {
+    access_observer_(access_observer_ctx_, addr, 8, /*is_store=*/false);
+  }
   CheckDataAccess(authority, addr, 8, Permission::kLoad);
   if (addr < sram_base_ || addr + 8 > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr,
@@ -152,6 +155,9 @@ void Memory::StoreCap(const Capability& authority, Address addr,
                       const Capability& value) {
   ++cap_stores_;
   HookAndTick(cost::kStoreCap);
+  if (access_observer_) {
+    access_observer_(access_observer_ctx_, addr, 8, /*is_store=*/true);
+  }
   CheckDataAccess(authority, addr, 8, Permission::kStore);
   if (addr < sram_base_ || addr + 8 > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr,
@@ -190,6 +196,9 @@ void Memory::ReadBytes(const Capability& authority, Address addr, void* out,
     return;
   }
   HookAndTick(cost::kLoadWord * ((len + 3) / 4));
+  if (access_observer_) {
+    access_observer_(access_observer_ctx_, addr, len, /*is_store=*/false);
+  }
   CheckDataAccess(authority, addr, len, Permission::kLoad);
   if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");
@@ -203,6 +212,9 @@ void Memory::WriteBytes(const Capability& authority, Address addr,
     return;
   }
   HookAndTick(cost::kStoreWord * ((len + 3) / 4));
+  if (access_observer_) {
+    access_observer_(access_observer_ctx_, addr, len, /*is_store=*/true);
+  }
   CheckDataAccess(authority, addr, len, Permission::kStore);
   if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");
@@ -220,6 +232,9 @@ void Memory::ZeroRange(const Capability& authority, Address addr,
       (AlignUp(addr + len, kGranuleBytes) - AlignDown(addr, kGranuleBytes)) /
       kGranuleBytes;
   HookAndTick(cost::kZeroPerGranule * granules);
+  if (access_observer_) {
+    access_observer_(access_observer_ctx_, addr, len, /*is_store=*/true);
+  }
   CheckDataAccess(authority, addr, len, Permission::kStore);
   if (addr < sram_base_ || static_cast<uint64_t>(addr) + len > sram_top()) {
     throw TrapException(TrapCode::kBoundsViolation, addr, "unmapped range");

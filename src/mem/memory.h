@@ -99,6 +99,15 @@ class Memory {
   // identical preemption points.
   using AccessHook = void (*)(void* ctx);
 
+  // Passive observer of every guest-visible data access, used by the
+  // concurrency explorer (src/mc) to harvest per-thread read/write
+  // footprints for partial-order reduction. Same raw-pointer shape as
+  // AccessHook; invoked after the preemption hook, before the checks.
+  // Must not perturb guest-visible state (it sees the access, it does not
+  // cost or count it).
+  using AccessObserver = void (*)(void* ctx, Address addr, Address size,
+                                  bool is_store);
+
   Memory(Address sram_base, Address sram_size, CycleClock* clock);
 
   Address sram_base() const { return sram_base_; }
@@ -110,6 +119,11 @@ class Memory {
   void SetAccessHook(AccessHook hook, void* ctx) {
     access_hook_ = hook;
     access_hook_ctx_ = ctx;
+  }
+
+  void SetAccessObserver(AccessObserver observer, void* ctx) {
+    access_observer_ = observer;
+    access_observer_ctx_ = ctx;
   }
 
   // --- Guest (capability-checked) accesses ---
@@ -225,6 +239,10 @@ class Memory {
     if (access_hook_) {
       access_hook_(access_hook_ctx_);
     }
+    if (access_observer_) {
+      access_observer_(access_observer_ctx_, addr, size,
+                       perm == Permission::kStore);
+    }
     clock_->Tick(cycles);
     CheckDataAccess(authority, addr, size, perm);
     const uint64_t end = static_cast<uint64_t>(addr) + size;
@@ -258,6 +276,8 @@ class Memory {
   Address mmio_max_ = 0;
   AccessHook access_hook_ = nullptr;
   void* access_hook_ctx_ = nullptr;
+  AccessObserver access_observer_ = nullptr;
+  void* access_observer_ctx_ = nullptr;
   uint64_t access_count_ = 0;
   uint64_t cap_loads_ = 0;
   uint64_t cap_stores_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/check.h"
+#include "src/kernel/schedule_arbiter.h"
 #include "src/snap/wire.h"
 #include "src/trace/trace.h"
 
@@ -50,6 +52,7 @@ void Scheduler::MakeBlocked(int thread_id, Address futex_addr, Cycles wake_at) {
   t.futex_addr = futex_addr;
   t.wake_at = wake_at;
   t.timed_out = false;
+  t.block_seq = ++block_seq_counter_;
   if (futex_addr != 0) {
     futex_waiters_[futex_addr].push_back(thread_id);
   }
@@ -97,11 +100,31 @@ void Scheduler::RemoveFromReady(int thread_id) {
 int Scheduler::FutexWake(Address addr, int count) {
   auto it = futex_waiters_.find(addr);
   int woken = 0;
-  // Wake direct waiters first.
+  // Wake direct waiters first, FIFO in block_seq (the documented contract,
+  // src/sync/sync.h). The arbiter may reorder WHICH waiter wakes first —
+  // that models the wake racing with late arrivals — but the queue itself
+  // must always be monotonic in park order.
   if (it != futex_waiters_.end()) {
+    for (size_t i = 1; i < it->second.size(); ++i) {
+      CHERIOT_CHECK(T(it->second[i - 1]).block_seq < T(it->second[i]).block_seq,
+                    "futex wait queue must be FIFO in park order");
+    }
+    bool first_pop = true;
     while (woken < count && !it->second.empty()) {
-      const int id = it->second.front();
-      it->second.pop_front();
+      size_t pick = 0;
+      if (first_pop && arbiter_ != nullptr && it->second.size() > 1) {
+        // Decision point: which of the queued waiters observes the wake
+        // first. Bounded to the four oldest to keep the branching factor
+        // small; choice 0 is the FIFO default.
+        const int n = static_cast<int>(std::min<size_t>(it->second.size(), 4));
+        const int c = arbiter_->Choose(DecisionKind::kWakeOrder, addr, n);
+        if (c > 0 && c < n) {
+          pick = static_cast<size_t>(c);
+        }
+      }
+      first_pop = false;
+      const int id = it->second[pick];
+      it->second.erase(it->second.begin() + static_cast<long>(pick));
       GuestThread& t = T(id);
       t.futex_addr = 0;
       t.timed_out = false;
@@ -119,13 +142,31 @@ int Scheduler::FutexWake(Address addr, int count) {
       futex_waiters_.erase(it);
     }
   }
-  // Then multiwaiter waiters armed on this address.
-  for (size_t m = 0; m < multiwaiters_.size() && woken < count; ++m) {
-    auto& mw = multiwaiters_[m];
+  // Then multiwaiter waiters armed on this address, in slot order (slot ids
+  // are assigned at arm time, so this too is creation-order FIFO).
+  std::vector<size_t> eligible;
+  for (size_t m = 0; m < multiwaiters_.size(); ++m) {
+    const auto& mw = multiwaiters_[m];
     if (!mw.live || mw.waiting_thread < 0) {
       continue;
     }
     if (std::find(mw.addrs.begin(), mw.addrs.end(), addr) == mw.addrs.end()) {
+      continue;
+    }
+    eligible.push_back(m);
+  }
+  if (arbiter_ != nullptr && eligible.size() > 1 && woken < count) {
+    // Decision point: which armed multiwaiter completes first.
+    const int n = static_cast<int>(std::min<size_t>(eligible.size(), 4));
+    const int c = arbiter_->Choose(DecisionKind::kMultiwaiterOrder, addr, n);
+    if (c > 0 && c < n) {
+      std::rotate(eligible.begin(), eligible.begin() + c,
+                  eligible.begin() + c + 1);
+    }
+  }
+  for (size_t e = 0; e < eligible.size() && woken < count; ++e) {
+    auto& mw = multiwaiters_[eligible[e]];
+    if (mw.waiting_thread < 0) {
       continue;
     }
     const int id = mw.waiting_thread;
@@ -204,6 +245,7 @@ void Scheduler::BlockOnMultiwaiter(int thread_id, int mw_id, Cycles wake_at) {
   t.multiwaiter_id = mw_id;
   t.wake_at = wake_at;
   t.timed_out = false;
+  t.block_seq = ++block_seq_counter_;
   multiwaiters_[mw_id].waiting_thread = thread_id;
   if (trace_ != nullptr) {
     trace_->OnThreadBlock(thread_id, 0);
@@ -296,6 +338,7 @@ void Scheduler::SerializeState(snap::Writer& w) const {
     w.U32(a);
   }
   w.U64(idle_cycles_);
+  w.U64(block_seq_counter_);
 }
 
 void Scheduler::RestoreState(snap::Reader& r) {
@@ -331,6 +374,7 @@ void Scheduler::RestoreState(snap::Reader& r) {
     a = r.U32();
   }
   idle_cycles_ = r.U64();
+  block_seq_counter_ = r.U64();
 }
 
 }  // namespace cheriot

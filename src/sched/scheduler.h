@@ -21,6 +21,8 @@
 
 namespace cheriot {
 
+class ScheduleArbiter;
+
 namespace trace {
 class TraceRecorder;
 }  // namespace trace
@@ -90,6 +92,11 @@ class Scheduler {
   // Set by System::Boot when a recorder is attached to the machine.
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
 
+  // Schedule-exploration arbiter (src/kernel/schedule_arbiter.h); null in
+  // normal operation. Consulted for wake-order and multiwaiter-completion
+  // choices in FutexWake. A host handle like trace_: never snapshotted.
+  void set_arbiter(ScheduleArbiter* arbiter) { arbiter_ = arbiter; }
+
   // Snapshot save/restore (DESIGN.md §10): queues, wait sets, multiwaiter
   // table (including dead slots — indices are guest-visible ids) and idle
   // accounting. threads_/trace_ are host handles owned by the System.
@@ -113,7 +120,11 @@ class Scheduler {
   std::vector<Multiwaiter> multiwaiters_;
   std::array<Address, static_cast<size_t>(IrqLine::kCount)> irq_futex_addr_{};
   Cycles idle_cycles_ = 0;
+  // Source of GuestThread::block_seq stamps; monotonic over the machine's
+  // life and serialized so FIFO wake order is pinned across snapshot/restore.
+  uint64_t block_seq_counter_ = 0;
   trace::TraceRecorder* trace_ = nullptr;
+  ScheduleArbiter* arbiter_ = nullptr;
 };
 
 }  // namespace cheriot

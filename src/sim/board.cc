@@ -66,6 +66,15 @@ void Board::Boot() {
 void Board::PumpRx() {
   const Cycles now = machine_.clock().now();
   while (!rx_pending_.empty() && rx_pending_.begin()->first <= now) {
+    // kNicLoss injection point: the arbiter may drop a due frame instead of
+    // delivering it (models lossy links; only branched under cheriot_mc
+    // --inject-faults).
+    const uint32_t seq = rx_frame_seq_++;
+    if (arbiter_ != nullptr &&
+        arbiter_->Choose(DecisionKind::kNicLoss, seq, 2) == 1) {
+      rx_pending_.erase(rx_pending_.begin());
+      continue;
+    }
     if (auto* tr = machine_.trace()) {
       tr->OnNicRx(rx_pending_.begin()->second.size());
     }

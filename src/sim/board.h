@@ -151,6 +151,15 @@ class Board {
   // per-board blobs and the forensics crash-scene capture.
   void BuildStateSections(snap::Container& c);
 
+  // Installs the schedule-exploration arbiter (src/kernel/schedule_arbiter.h)
+  // on this board: kernel/scheduler decision points plus the board-level
+  // NIC-loss injection point in PumpRx. Null detaches. Host handle — never
+  // serialized; re-install after Restore().
+  void SetArbiter(ScheduleArbiter* arbiter) {
+    arbiter_ = arbiter;
+    system_.SetArbiter(arbiter);
+  }
+
   Cycles Now() { return machine_.clock().now(); }
   int index() const { return options_.index; }
   const EthernetDevice::Mac& mac() const { return options_.mac; }
@@ -187,6 +196,8 @@ class Board {
   bool booted_ = false;
   std::vector<BoardOp> op_log_;
   bool op_log_enabled_ = true;
+  ScheduleArbiter* arbiter_ = nullptr;
+  uint32_t rx_frame_seq_ = 0;  // kNicLoss decision subject
   // Recorder options as passed to Enable*(), re-applied on replay restore.
   trace::TraceOptions trace_options_;
   health::ForensicsOptions forensics_options_;

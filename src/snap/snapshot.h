@@ -24,7 +24,9 @@
 namespace cheriot::snap {
 
 inline constexpr uint64_t kMagic = 0x50414E5352454843ull;  // "CHERSNAP" LE
-inline constexpr uint32_t kVersion = 1;
+// v2: GuestThread::block_seq (KERN) + Scheduler block_seq counter (SCHD),
+// pinning FIFO futex wake order across snapshot/restore.
+inline constexpr uint32_t kVersion = 2;
 
 enum Kind : uint8_t {
   kBoard = 1,  // one board: options + full machine/kernel state (+ log)

@@ -7,6 +7,18 @@
 // but cannot forge lock ownership. Message queues come in two flavours: the
 // library (for threads that trust each other) and a compartment that wraps
 // the library behind opaque handles for mutual distrust.
+//
+// Wake-order contract (FIFO): futex and multiwaiter wait queues wake in
+// park order — the thread that blocked earliest on a word is the first one
+// FutexWake readies, and armed multiwaiters complete in slot order. This is
+// a documented guarantee, not an accident: each park stamps
+// GuestThread::block_seq from a monotonic counter, Scheduler::FutexWake
+// asserts every wait queue is monotone in that stamp, both the stamps and
+// the counter are serialized into snapshots (snap::kVersion 2) so the order
+// survives restore, and tests/mc_test.cpp pins wake order across a
+// snapshot/restore round trip. cheriot-mc's partial-order reduction relies
+// on this determinism: wake order is a *decision point*
+// (DecisionKind::kWakeOrder) precisely because the default is well-defined.
 #ifndef SRC_SYNC_SYNC_H_
 #define SRC_SYNC_SYNC_H_
 

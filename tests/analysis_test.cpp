@@ -363,6 +363,71 @@ TEST(Lint, EmptyReportProducesNoFindings) {
   EXPECT_TRUE(analysis::RunLints(json::Parse("{}"), {}).empty());
 }
 
+// --- CL009: interrupt-posture audit ------------------------------------------
+//
+// driver exports an interrupts-disabled entry; app imports it directly
+// (warning); outer only reaches driver through app (info, with path).
+
+FirmwareImage PostureImage() {
+  ImageBuilder b("posture");
+  b.Compartment("driver").Export("spin", Nop(), 256,
+                                 InterruptPosture::kDisabled);
+  b.Compartment("app")
+      .ImportCompartment("driver.spin")
+      .Export("main", Nop());
+  b.Compartment("outer").ImportCompartment("app.main").Export("main", Nop());
+  b.Thread("main", 1, 4096, 8, "app.main");
+  return b.Build();
+}
+
+TEST(Lint, InterruptPostureDirectCallerIsAWarningTransitiveIsInfo) {
+  const auto findings = analysis::RunLints(ReportOf(PostureImage()), {});
+  const auto cl009 = FindingsForRule(findings, "CL009");
+  ASSERT_EQ(cl009.size(), 2u);  // sorted: warning before info
+  EXPECT_EQ(cl009[0].severity, "warning");
+  EXPECT_EQ(cl009[0].subject, "app");
+  EXPECT_NE(cl009[0].message.find("driver.spin"), std::string::npos);
+  EXPECT_NE(cl009[0].message.find("interrupts disabled"), std::string::npos);
+  EXPECT_EQ(cl009[1].severity, "info");
+  EXPECT_EQ(cl009[1].subject, "outer");
+  const std::vector<std::string> want_path = {
+      "compartment:outer", "compartment:app", "compartment:driver"};
+  EXPECT_EQ(cl009[1].path, want_path);
+  EXPECT_FALSE(analysis::HasErrors(cl009));
+}
+
+TEST(Lint, InterruptPostureAllowlistSilencesTrustedCallers) {
+  LintOptions options;
+  options.interrupt_posture_allowlist = {"app", "outer"};
+  const auto findings = analysis::RunLints(ReportOf(PostureImage()), options);
+  EXPECT_TRUE(FindingsForRule(findings, "CL009").empty());
+}
+
+TEST(Lint, InterruptPostureExemptOwnersProduceNoFindings) {
+  // "sched" is in the default posture_exempt_owners: its interrupts-disabled
+  // service surface is called by every compartment by design.
+  ImageBuilder b("posture-exempt");
+  b.Compartment("sched").Export("yield", Nop(), 256,
+                                InterruptPosture::kDisabled);
+  b.Compartment("app").ImportCompartment("sched.yield").Export("main", Nop());
+  b.Thread("main", 1, 4096, 8, "app.main");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  EXPECT_TRUE(FindingsForRule(findings, "CL009").empty());
+}
+
+TEST(Lint, InterruptPostureDisabledLibraryExportIsFlagged) {
+  ImageBuilder b("posture-lib");
+  b.Library("spinlib").Export("lock", Nop(), 128, InterruptPosture::kDisabled);
+  b.Compartment("app").ImportLibrary("spinlib.lock").Export("main", Nop());
+  b.Thread("main", 1, 4096, 8, "app.main");
+  const auto findings = analysis::RunLints(ReportOf(b.Build()), {});
+  const auto cl009 = FindingsForRule(findings, "CL009");
+  ASSERT_EQ(cl009.size(), 1u);
+  EXPECT_EQ(cl009[0].severity, "warning");
+  EXPECT_EQ(cl009[0].subject, "app");
+  EXPECT_NE(cl009[0].message.find("spinlib.lock"), std::string::npos);
+}
+
 // --- Output formats ----------------------------------------------------------
 
 TEST(Lint, FindingsJsonIsByteStableAndVersioned) {

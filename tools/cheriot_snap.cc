@@ -22,6 +22,7 @@
 
 #include "src/sim/board.h"
 #include "src/sim/fleet.h"
+#include "src/snap/diff.h"
 #include "src/snap/snapshot.h"
 #include "tools/lint_targets.h"
 
@@ -242,51 +243,28 @@ int CmdDiff(const CliOptions& opts) {
   if (!ReadBlob(opts.a_path, ab) || !ReadBlob(opts.b_path, bb)) {
     return 2;
   }
-  const snap::Container a = snap::Container::Parse(ab);
-  const snap::Container b = snap::Container::Parse(bb);
-  bool same = true;
-  if (a.kind != b.kind || a.flags != b.flags) {
-    std::printf("header differs: kind %s/%s flags [%s]/[%s]\n",
-                KindName(a.kind), KindName(b.kind), FlagNames(a.flags).c_str(),
-                FlagNames(b.flags).c_str());
-    same = false;
+  const snap::BlobDiff d = snap::DiffBlobs(ab, bb);
+  if (d.header_differs) {
+    std::printf("header differs: %s\n", d.header_detail.c_str());
   }
-  const size_t n = std::max(a.sections.size(), b.sections.size());
-  for (size_t i = 0; i < n; ++i) {
-    if (i >= a.sections.size() || i >= b.sections.size()) {
-      const auto& s =
-          i < a.sections.size() ? a.sections[i] : b.sections[i];
-      std::printf("  %-4s only in %s\n", snap::SectionName(s.id).c_str(),
-                  i < a.sections.size() ? "A" : "B");
-      same = false;
-      continue;
-    }
-    const auto& sa = a.sections[i];
-    const auto& sb = b.sections[i];
-    if (sa.id != sb.id) {
-      std::printf("  section %zu: %s vs %s\n", i,
-                  snap::SectionName(sa.id).c_str(),
-                  snap::SectionName(sb.id).c_str());
-      same = false;
-    } else if (sa.body != sb.body) {
-      size_t off = 0;
-      const size_t limit = std::min(sa.body.size(), sb.body.size());
-      while (off < limit && sa.body[off] == sb.body[off]) {
-        ++off;
-      }
-      std::printf("  %-4s differs at byte %zu (%zu vs %zu bytes)\n",
-                  snap::SectionName(sa.id).c_str(), off, sa.body.size(),
-                  sb.body.size());
-      same = false;
+  for (const snap::SectionDiff& sd : d.divergent) {
+    if (sd.only_in_a || sd.only_in_b) {
+      std::printf("  %-4s only in %s\n", sd.name.c_str(),
+                  sd.only_in_a ? "A" : "B");
     } else {
-      std::printf("  %-4s identical (%zu bytes)\n",
-                  snap::SectionName(sa.id).c_str(), sa.body.size());
+      std::printf(
+          "  %-4s differs at body byte %zu (abs %zu vs %zu; %zu vs %zu "
+          "bytes)\n",
+          sd.name.c_str(), sd.first_diff_offset, sd.abs_offset_a,
+          sd.abs_offset_b, sd.size_a, sd.size_b);
     }
   }
-  if (same) {
+  if (d.equal) {
     std::printf("snapshots identical\n");
+  } else {
+    std::printf("first divergence: %s\n", d.summary.c_str());
   }
-  return same ? 0 : 1;
+  return d.equal ? 0 : 1;
 }
 
 }  // namespace
