@@ -119,6 +119,7 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
   const Word limit = QuotaLimit(unsealed_q);
   const Word used = QuotaUsed(unsealed_q);
   if (used + need > limit) {
+    ++quota_denials_;
     if (auto* tr = m.trace()) {
       // RawLoadWord, not QuotaId(): the trace path must not add costed
       // accesses or the cycle model would move when tracing is on.

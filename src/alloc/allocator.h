@@ -112,6 +112,10 @@ class Allocator {
   const std::map<Address, AllocSite>& sites() const { return sites_; }
   const std::deque<AllocSite>& retired_sites() const { return retired_; }
   uint64_t allocation_count() const { return site_seq_; }
+  // Allocations refused for quota exhaustion. Native-only observability
+  // counter (fleet metrics time-series); deliberately NOT serialized —
+  // restore replays regenerate it exactly.
+  uint64_t quota_denials() const { return quota_denials_; }
   // Native byte counters mirroring the in-band headers.
   Word LiveBytesNative() const { return live_native_; }
   Word QuarantinedBytesNative() const { return quarantined_native_; }
@@ -184,6 +188,7 @@ class Allocator {
   std::map<Address, AllocSite> sites_;
   std::deque<AllocSite> retired_;
   uint64_t site_seq_ = 0;
+  uint64_t quota_denials_ = 0;
   int service_compartment_ = -2;  // -2 = not yet resolved from boot info
   Word live_native_ = 0;
   Word quarantined_native_ = 0;

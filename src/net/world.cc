@@ -5,6 +5,7 @@
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/trace/trace.h"
 
 namespace cheriot::net {
 
@@ -42,13 +43,25 @@ std::optional<MacAddress> AddressPool::MacOf(Ipv4 ip) const {
 Gateway::Gateway(WorldOptions options) : options_(std::move(options)) {}
 
 void Gateway::Emit(Bytes frame) {
+  // Every emitted frame gets gateway provenance unconditionally (the
+  // sequence ticks whether or not a recorder watches), parented to the frame
+  // being processed — that parent edge is what stitches request->reply and
+  // publish->fan-out causality across boards.
+  const flow::FlowId id{flow::FlowId::kGateway, emit_seq_++};
+  if (flow_ != nullptr) {
+    flow_->OnGatewayEmit(id, rx_flow_, now_, frame.size());
+  }
   if (emit_) {
-    emit_(std::move(frame));
+    emit_(std::move(frame), id);
   }
 }
 
-void Gateway::OnFrame(Cycles now, const Bytes& frame) {
+void Gateway::OnFrame(Cycles now, const Bytes& frame, flow::FlowId flow) {
   now_ = now;
+  rx_flow_ = flow;
+  if (flow_ != nullptr) {
+    flow_->OnGatewayRx(flow, now);
+  }
   ++frames_rx_;
   const ParsedFrame p = ParseFrame(frame);
   if (!p.valid) {
@@ -252,6 +265,14 @@ void Gateway::HandleTcp(const ParsedFrame& p) {
                 static_cast<uint32_t>(options_.drop_every_nth_tcp) ==
             0) {
       ++tcp_segments_dropped_;
+      // The injected loss is observable, not silent: a kFrameDrop trace
+      // event via the transport's hook and a flow drop record.
+      if (flow_ != nullptr) {
+        flow_->OnDrop(rx_flow_, flow::kDropGatewayTcp, now_);
+      }
+      if (drop_trace_) {
+        drop_trace_(now_, p.payload.size(), rx_flow_);
+      }
       return;  // simulated loss; guest must retransmit
     }
     if (p.tcp.seq == conn.rcv_nxt) {
@@ -406,12 +427,45 @@ void Gateway::MqttServerMessage(TcpConn& conn, uint8_t op, const Bytes& body) {
       break;
     case kMqttSubscribe:
       subscriptions_.push_back(std::string(body.begin(), body.end()));
+      conn.topics.push_back(std::string(body.begin(), body.end()));
       reply(kMqttSubAck, {});
       break;
-    case kMqttPublish:
+    case kMqttPublish: {
       ++mqtt_rx_publishes_;
       ++publishes_by_ip_[conn.peer_ip];
+      // PUBLISH body: [topic_len u8][topic][payload].
+      std::string topic;
+      if (!body.empty() && body.size() >= 1 + static_cast<size_t>(body[0])) {
+        topic.assign(body.begin() + 1, body.begin() + 1 + body[0]);
+      }
+      // Publish span: every frame emitted between Begin and End is one
+      // broker->subscriber fan-out leg, parented to the carrying frame.
+      if (flow_ != nullptr) {
+        flow_->BeginPublish(topic, rx_flow_, now_);
+      }
+      if (options_.mqtt_fanout && !topic.empty()) {
+        for (auto& [skey, sub] : conns_) {
+          if (&sub == &conn || !sub.mqtt_connected ||
+              sub.state != TcpConn::State::kEstablished) {
+            continue;
+          }
+          if (std::find(sub.topics.begin(), sub.topics.end(), topic) ==
+              sub.topics.end()) {
+            continue;
+          }
+          Bytes msg;
+          msg.push_back(kMqttPublish);
+          msg.push_back(static_cast<uint8_t>(body.size() >> 8));
+          msg.push_back(static_cast<uint8_t>(body.size()));
+          msg.insert(msg.end(), body.begin(), body.end());
+          SendTlsRecord(sub, kTlsRecordData, std::move(msg));
+        }
+      }
+      if (flow_ != nullptr) {
+        flow_->EndPublish();
+      }
       break;
+    }
     case kMqttPingReq:
       reply(kMqttPingResp, {});
       break;
@@ -433,6 +487,10 @@ size_t Gateway::mqtt_clients_connected() const {
 void Gateway::PublishMqtt(Cycles now, const std::string& topic,
                           const Bytes& payload) {
   now_ = now;
+  rx_flow_ = {};  // control-surface publish: no carrying guest frame
+  if (flow_ != nullptr) {
+    flow_->BeginPublish(topic, rx_flow_, now_);
+  }
   for (auto& [key, conn] : conns_) {
     if (!conn.mqtt_connected || conn.state != TcpConn::State::kEstablished) {
       continue;
@@ -448,11 +506,15 @@ void Gateway::PublishMqtt(Cycles now, const std::string& topic,
     msg.insert(msg.end(), body.begin(), body.end());
     SendTlsRecord(conn, kTlsRecordData, std::move(msg));
   }
+  if (flow_ != nullptr) {
+    flow_->EndPublish();
+  }
 }
 
 void Gateway::SendPing(Cycles now, Ipv4 dst, uint16_t id, uint16_t seq,
                        size_t payload_len) {
   now_ = now;
+  rx_flow_ = {};
   Bytes payload(payload_len, 0xA5);
   const MacAddress dst_mac = pool_.MacOf(dst).value_or(kDeviceMac);
   Emit(BuildIpv4(kWorldMac, dst_mac, kWorldIp, dst, kIpProtoIcmp,
@@ -461,6 +523,7 @@ void Gateway::SendPing(Cycles now, Ipv4 dst, uint16_t id, uint16_t seq,
 
 void Gateway::SendPingOfDeath(Cycles now, Ipv4 dst) {
   now_ = now;
+  rx_flow_ = {};
   // Claims 1400 bytes of echo payload while carrying only 8: the buggy
   // parser copies the claimed length and runs off the end of its buffer.
   Bytes payload(8, 0xEE);
@@ -478,29 +541,53 @@ NetWorld::NetWorld(Machine& machine, WorldOptions options)
   // MMIO store, so "emit time" equals the frame's transmit time and every
   // reply lands exactly one link latency after the guest's transmit — the
   // same round-trip the pre-fleet NetWorld modelled.
-  gateway_.set_emit([this](Bytes frame) { Deliver(std::move(frame)); });
+  gateway_.set_emit([this](Bytes frame, flow::FlowId flow) {
+    Deliver(std::move(frame), flow);
+  });
+  // Injected gateway losses surface as kFrameDrop events in the machine's
+  // trace (when one is attached) — the drop hook is a pure observation on a
+  // path the gateway already executes, so the cycle model is untouched.
+  gateway_.set_drop_trace([this](Cycles, size_t bytes, flow::FlowId id) {
+    if (auto* tr = machine_.trace()) {
+      tr->OnFrameDrop(flow::kDropGatewayTcp, bytes, id.origin, id.seq);
+    }
+  });
   machine_.ethernet().on_transmit = [this](Bytes frame) {
-    gateway_.OnFrame(machine_.clock().now(), frame);
+    // Board-0 provenance for the single-board world; the sequence ticks
+    // whether or not a flow recorder is attached.
+    const flow::FlowId flow{0, tx_seq_++};
+    if (flow_ != nullptr) {
+      flow_->OnTx(flow, machine_.clock().now(), frame.size());
+    }
+    gateway_.OnFrame(machine_.clock().now(), frame, flow);
   };
   machine_.clock().AddHook([this](Cycles) { PumpDeliveries(); });
   machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
     if (pending_.empty()) {
       return std::nullopt;
     }
-    return pending_.front().first;
+    return pending_.front().due;
   });
 }
 
-void NetWorld::Deliver(Bytes frame) {
+void NetWorld::AttachFlow(flow::FlowRecorder* recorder) {
+  flow_ = recorder;
+  gateway_.set_flow(recorder);
+}
+
+void NetWorld::Deliver(Bytes frame, flow::FlowId flow) {
   const Cycles due = machine_.clock().now() + options_.link_latency;
   // Keep sorted by due time (link is FIFO: latency is constant).
-  pending_.emplace_back(due, std::move(frame));
+  pending_.push_back({due, std::move(frame), flow});
 }
 
 void NetWorld::PumpDeliveries() {
   const Cycles now = machine_.clock().now();
-  while (!pending_.empty() && pending_.front().first <= now) {
-    machine_.ethernet().HostInject(std::move(pending_.front().second));
+  while (!pending_.empty() && pending_.front().due <= now) {
+    if (flow_ != nullptr) {
+      flow_->OnDelivery(pending_.front().flow, 0, now);
+    }
+    machine_.ethernet().HostInject(std::move(pending_.front().frame));
     pending_.pop_front();
   }
 }

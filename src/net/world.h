@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/flow/flow.h"
 #include "src/hw/machine.h"
 #include "src/net/crypto.h"
 #include "src/net/packet.h"
@@ -72,6 +73,11 @@ struct WorldOptions {
   // Drop every Nth guest TCP data segment per connection (0 = lossless) to
   // exercise the guest's retransmission path.
   int drop_every_nth_tcp = 0;
+  // Broker-side fan-out of guest publishes: re-deliver each guest PUBLISH to
+  // every *other* established MQTT client subscribed to its topic. Off by
+  // default (historically the broker only counted guest publishes), so
+  // existing images keep their exact frame schedules.
+  bool mqtt_fanout = false;
 };
 
 // The gateway's DHCP pool: MAC -> IP leases handed out in arrival order
@@ -95,12 +101,27 @@ class Gateway {
   explicit Gateway(WorldOptions options = {});
 
   // Reply/forward transport: the gateway hands every outbound frame (already
-  // ethernet-addressed) to this hook; the transport adds its own latency.
-  using EmitFn = std::function<void(Bytes frame)>;
+  // ethernet-addressed) to this hook with its freshly assigned host-side
+  // flow id; the transport adds its own latency.
+  using EmitFn = std::function<void(Bytes frame, flow::FlowId flow)>;
   void set_emit(EmitFn emit) { emit_ = std::move(emit); }
 
-  // Processes one client frame transmitted at simulated time `now`.
-  void OnFrame(Cycles now, const Bytes& frame);
+  // Flow recorder hook (PR 9): gateway receipt, causal emit parentage and
+  // MQTT publish fan-out spans are reported here. Pure observer, host handle
+  // — never serialized.
+  void set_flow(flow::FlowRecorder* recorder) { flow_ = recorder; }
+
+  // Fault-injected TCP drops are reported here (at, dropped payload bytes,
+  // flow id of the carrying frame) so the transport can emit a kFrameDrop
+  // trace event into whichever recorder it owns.
+  using DropTraceFn = std::function<void(Cycles at, size_t bytes,
+                                         flow::FlowId flow)>;
+  void set_drop_trace(DropTraceFn fn) { drop_trace_ = std::move(fn); }
+
+  // Processes one client frame transmitted at simulated time `now`. `flow`
+  // is the frame's host-side provenance (defaulted for hand-built frames);
+  // replies emitted while processing it are parented to it.
+  void OnFrame(Cycles now, const Bytes& frame, flow::FlowId flow = {});
 
   // --- Test/bench control surface ---
   // Queues an MQTT publish from the broker to every subscribed client.
@@ -149,6 +170,7 @@ class Gateway {
     uint32_t tls_rx_counter = 0;
     uint32_t tls_tx_counter = 0;
     bool mqtt_connected = false;
+    std::vector<std::string> topics;  // this client's subscriptions
   };
   using ConnKey = std::pair<Ipv4, uint16_t>;  // (client IP, client port)
 
@@ -167,6 +189,10 @@ class Gateway {
 
   WorldOptions options_;
   EmitFn emit_;
+  flow::FlowRecorder* flow_ = nullptr;
+  DropTraceFn drop_trace_;
+  uint32_t emit_seq_ = 0;       // gateway flow-id sequence; always ticks
+  flow::FlowId rx_flow_;        // provenance of the frame being processed
   AddressPool pool_;
   Cycles now_ = 0;  // time of the frame being processed (for NTP)
   std::map<ConnKey, TcpConn> conns_;
@@ -214,14 +240,26 @@ class NetWorld {
   uint32_t frames_from_guest() const { return gateway_.frames_from_guest(); }
   Gateway& gateway() { return gateway_; }
 
+  // Attaches a flow recorder (PR 9): guest transmits, gateway causality and
+  // scheduled deliveries are reported to it. Pure observer.
+  void AttachFlow(flow::FlowRecorder* recorder);
+
  private:
-  void Deliver(Bytes frame);
+  struct Pending {
+    Cycles due = 0;
+    Bytes frame;
+    flow::FlowId flow;
+  };
+
+  void Deliver(Bytes frame, flow::FlowId flow);
   void PumpDeliveries();
 
   Machine& machine_;
   WorldOptions options_;
   Gateway gateway_;
-  std::deque<std::pair<Cycles, Bytes>> pending_;  // scheduled deliveries
+  flow::FlowRecorder* flow_ = nullptr;
+  uint32_t tx_seq_ = 0;  // board-0 flow-id sequence; always ticks
+  std::deque<Pending> pending_;  // scheduled deliveries
 };
 
 }  // namespace cheriot::net

@@ -55,6 +55,7 @@ void Scheduler::MakeBlocked(int thread_id, Address futex_addr, Cycles wake_at) {
   t.block_seq = ++block_seq_counter_;
   if (futex_addr != 0) {
     futex_waiters_[futex_addr].push_back(thread_id);
+    ++futex_waits_;
   }
   if (trace_ != nullptr) {
     trace_->OnThreadBlock(thread_id, futex_addr);

@@ -85,6 +85,9 @@ class Scheduler {
   // --- Idle accounting (drives the Fig. 7 CPU-load measurement) ---
   void AddIdleCycles(Cycles c) { idle_cycles_ += c; }
   Cycles idle_cycles() const { return idle_cycles_; }
+  // Total futex block operations. Native-only observability counter (fleet
+  // metrics time-series); NOT serialized — restore replays regenerate it.
+  uint64_t futex_waits() const { return futex_waits_; }
 
   bool AllExited() const;
 
@@ -120,6 +123,7 @@ class Scheduler {
   std::vector<Multiwaiter> multiwaiters_;
   std::array<Address, static_cast<size_t>(IrqLine::kCount)> irq_futex_addr_{};
   Cycles idle_cycles_ = 0;
+  uint64_t futex_waits_ = 0;
   // Source of GuestThread::block_seq stamps; monotonic over the machine's
   // life and serialized so FIFO wake order is pinned across snapshot/restore.
   uint64_t block_seq_counter_ = 0;

@@ -17,10 +17,15 @@ Board::Board(FirmwareImage image, const BoardOptions& options)
       system_(machine_, std::move(image), options.system) {
   machine_.ethernet().set_mac(options_.mac);
   machine_.ethernet().on_transmit = [this](Frame frame) {
+    // Provenance is assigned unconditionally (the sequence ticks whether or
+    // not anything records it), so flows-on and flows-off runs stay
+    // bit-identical — including their snapshots.
+    const flow::FlowId flow{static_cast<int16_t>(options_.index), tx_seq_++};
+    ++nic_tx_frames_;
     if (auto* tr = machine_.trace()) {
-      tr->OnNicTx(frame.size());
+      tr->OnNicTx(frame.size(), flow.origin, flow.seq);
     }
-    tx_staged_.emplace_back(machine_.clock().now(), std::move(frame));
+    tx_staged_.push_back({machine_.clock().now(), std::move(frame), flow});
   };
   machine_.clock().AddHook([this](Cycles) { PumpRx(); });
   machine_.AddNextEventSource([this]() -> std::optional<Cycles> {
@@ -66,19 +71,35 @@ void Board::Boot() {
 void Board::PumpRx() {
   const Cycles now = machine_.clock().now();
   while (!rx_pending_.empty() && rx_pending_.begin()->first <= now) {
+    RxFrame& rx = rx_pending_.begin()->second;
     // kNicLoss injection point: the arbiter may drop a due frame instead of
     // delivering it (models lossy links; only branched under cheriot_mc
-    // --inject-faults).
+    // --inject-faults). The drop is observable: a kFrameDrop trace event, a
+    // board counter, and a flow observation — not just retransmit echoes.
     const uint32_t seq = rx_frame_seq_++;
     if (arbiter_ != nullptr &&
         arbiter_->Choose(DecisionKind::kNicLoss, seq, 2) == 1) {
+      ++nic_frames_dropped_;
+      if (auto* tr = machine_.trace()) {
+        tr->OnFrameDrop(flow::kDropNicLoss, rx.frame.size(), rx.flow.origin,
+                        rx.flow.seq);
+      }
+      if (flow_staging_) {
+        flow_obs_.push_back({FlowObs::Kind::kDropped, rx.flow, now,
+                             static_cast<uint32_t>(rx.frame.size())});
+      }
       rx_pending_.erase(rx_pending_.begin());
       continue;
     }
+    ++nic_rx_frames_;
     if (auto* tr = machine_.trace()) {
-      tr->OnNicRx(rx_pending_.begin()->second.size());
+      tr->OnNicRx(rx.frame.size(), rx.flow.origin, rx.flow.seq);
     }
-    machine_.ethernet().HostInject(std::move(rx_pending_.begin()->second));
+    if (flow_staging_) {
+      flow_obs_.push_back({FlowObs::Kind::kDelivered, rx.flow, now,
+                           static_cast<uint32_t>(rx.frame.size())});
+    }
+    machine_.ethernet().HostInject(std::move(rx.frame));
     rx_pending_.erase(rx_pending_.begin());
   }
 }
@@ -119,13 +140,19 @@ bool Board::runnable() const {
   }
 }
 
-std::vector<std::pair<Cycles, Board::Frame>> Board::DrainTx() {
-  std::vector<std::pair<Cycles, Frame>> out;
+std::vector<Board::TxFrame> Board::DrainTx() {
+  std::vector<TxFrame> out;
   out.swap(tx_staged_);
   return out;
 }
 
-void Board::InjectAt(Cycles due, Frame frame) {
+std::vector<Board::FlowObs> Board::DrainFlowObs() {
+  std::vector<FlowObs> out;
+  out.swap(flow_obs_);
+  return out;
+}
+
+void Board::InjectAt(Cycles due, Frame frame, flow::FlowId flow) {
   if (op_log_enabled_) {
     // Logged with the clock at injection: frame visibility depends on when
     // (between which StepTo calls) the frame arrived, and replay asserts the
@@ -135,9 +162,10 @@ void Board::InjectAt(Cycles due, Frame frame) {
     op.a = Now();
     op.b = due;
     op.frame = frame;
+    op.flow = flow;
     op_log_.push_back(std::move(op));
   }
-  rx_pending_.emplace(due, std::move(frame));
+  rx_pending_.emplace(due, RxFrame{std::move(frame), flow});
   injected_since_deadlock_ = true;
 }
 
@@ -145,12 +173,25 @@ void Board::InjectAt(Cycles due, Frame frame) {
 
 namespace {
 
-void SerializeFrameList(
-    snap::Writer& w, const std::vector<std::pair<Cycles, Board::Frame>>& v) {
+void SerializeFlowId(snap::Writer& w, const flow::FlowId& id) {
+  w.I32(id.origin);
+  w.U32(id.seq);
+}
+
+flow::FlowId DeserializeFlowId(snap::Reader& r) {
+  flow::FlowId id;
+  id.origin = static_cast<int16_t>(r.I32());
+  id.seq = r.U32();
+  return id;
+}
+
+void SerializeFrameList(snap::Writer& w,
+                        const std::vector<Board::TxFrame>& v) {
   w.U32(static_cast<uint32_t>(v.size()));
-  for (const auto& [at, frame] : v) {
-    w.U64(at);
-    w.Blob(frame);
+  for (const auto& tx : v) {
+    w.U64(tx.at);
+    w.Blob(tx.frame);
+    SerializeFlowId(w, tx.flow);
   }
 }
 
@@ -191,11 +232,13 @@ void Board::SerializeBoardSection(snap::Writer& w) const {
   w.Bool(booted_);
   w.U8(static_cast<uint8_t>(last_result_));
   w.Bool(injected_since_deadlock_);
+  w.U32(tx_seq_);
   SerializeFrameList(w, tx_staged_);
   w.U32(static_cast<uint32_t>(rx_pending_.size()));
-  for (const auto& [due, frame] : rx_pending_) {
+  for (const auto& [due, rx] : rx_pending_) {
     w.U64(due);
-    w.Blob(frame);
+    w.Blob(rx.frame);
+    SerializeFlowId(w, rx.flow);
   }
 }
 
@@ -206,17 +249,23 @@ void Board::RestoreBoardSection(snap::Reader& r) {
   }
   last_result_ = static_cast<System::RunResult>(r.U8());
   injected_since_deadlock_ = r.Bool();
+  tx_seq_ = r.U32();
   tx_staged_.clear();
   const uint32_t n_tx = r.U32();
   for (uint32_t i = 0; i < n_tx; ++i) {
-    const Cycles at = r.U64();
-    tx_staged_.emplace_back(at, r.Blob());
+    TxFrame tx;
+    tx.at = r.U64();
+    tx.frame = r.Blob();
+    tx.flow = DeserializeFlowId(r);
+    tx_staged_.push_back(std::move(tx));
   }
   rx_pending_.clear();
   const uint32_t n_rx = r.U32();
   for (uint32_t i = 0; i < n_rx; ++i) {
     const Cycles due = r.U64();
-    rx_pending_.emplace(due, r.Blob());
+    Frame frame = r.Blob();
+    const flow::FlowId flow = DeserializeFlowId(r);
+    rx_pending_.emplace(due, RxFrame{std::move(frame), flow});
   }
 }
 
@@ -350,6 +399,7 @@ void Board::BuildSnapshotContainer(snap::Container& c) {
       w.U64(op.a);
       w.U64(op.b);
       w.Blob(op.frame);
+      SerializeFlowId(w, op.flow);
     }
   });
 }
@@ -421,6 +471,7 @@ std::unique_ptr<Board> Board::Restore(const uint8_t* data, size_t size,
       const Cycles a = log.U64();
       const Cycles b = log.U64();
       Frame frame = log.Blob();
+      const flow::FlowId flow = DeserializeFlowId(log);
       switch (kind) {
         case BoardOp::Kind::kStep:
           board->StepTo(a);
@@ -430,7 +481,7 @@ std::unique_ptr<Board> Board::Restore(const uint8_t* data, size_t size,
             throw snap::SnapshotError(
                 "replay diverged: injection clock mismatch");
           }
-          board->InjectAt(b, std::move(frame));
+          board->InjectAt(b, std::move(frame), flow);
           break;
         default:
           throw snap::SnapshotError("unknown replay op");

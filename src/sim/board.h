@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/flow/flow.h"
 #include "src/health/forensics.h"
 #include "src/hw/machine.h"
 #include "src/kernel/system.h"
@@ -95,11 +96,43 @@ class Board {
   // dirty-list optimisation: only boards that transmitted are drained).
   bool has_staged_tx() const { return !tx_staged_.empty(); }
 
+  // One transmitted frame with its TX cycle and host-side provenance. The
+  // flow id is assigned unconditionally at transmit (board index + per-board
+  // sequence) so snapshots and replays are identical whether or not a flow
+  // recorder is attached; it never exists in guest-visible bytes.
+  struct TxFrame {
+    Cycles at = 0;
+    Frame frame;
+    flow::FlowId flow;
+  };
+
   // Takes this epoch's transmitted frames, stamped with their TX cycle.
-  std::vector<std::pair<Cycles, Frame>> DrainTx();
+  std::vector<TxFrame> DrainTx();
   // Schedules a frame to arrive at absolute cycle `due` (FIFO-stable for
-  // equal timestamps).
-  void InjectAt(Cycles due, Frame frame);
+  // equal timestamps). `flow` is the frame's host-side provenance; defaulted
+  // (= untracked) for hand-injected test frames.
+  void InjectAt(Cycles due, Frame frame, flow::FlowId flow = {});
+
+  // --- Flow observations (PR 9) --------------------------------------------
+  // When staging is on (Fleet flow mode), PumpRx records one observation per
+  // delivered or fault-dropped frame; the Fleet drains them at epoch
+  // barriers in board-index order and feeds the FlowRecorder. Purely
+  // host-side: staging on/off cannot move a guest cycle.
+  struct FlowObs {
+    enum class Kind : uint8_t { kDelivered = 0, kDropped = 1 };
+    Kind kind = Kind::kDelivered;
+    flow::FlowId flow;
+    Cycles at = 0;
+    uint32_t bytes = 0;
+  };
+  void set_flow_staging(bool on) { flow_staging_ = on; }
+  std::vector<FlowObs> DrainFlowObs();
+
+  // NIC counters (fed to the fleet metrics time-series; maintained whether
+  // or not a trace recorder is attached).
+  uint64_t nic_tx_frames() const { return nic_tx_frames_; }
+  uint64_t nic_rx_frames() const { return nic_rx_frames_; }
+  uint64_t nic_frames_dropped() const { return nic_frames_dropped_; }
 
   Fingerprint fingerprint();
 
@@ -174,6 +207,12 @@ class Board {
     Cycles a = 0;  // kStep: absolute target; kInject: clock at injection
     Cycles b = 0;  // kInject: absolute due cycle
     Frame frame;   // kInject only
+    flow::FlowId flow;  // kInject only: the frame's provenance
+  };
+
+  struct RxFrame {
+    Frame frame;
+    flow::FlowId flow;
   };
 
   void PumpRx();
@@ -189,8 +228,14 @@ class Board {
   System system_;
   std::unique_ptr<trace::TraceRecorder> trace_;
   std::unique_ptr<health::ForensicsRecorder> forensics_;
-  std::vector<std::pair<Cycles, Frame>> tx_staged_;
-  std::multimap<Cycles, Frame> rx_pending_;
+  std::vector<TxFrame> tx_staged_;
+  std::multimap<Cycles, RxFrame> rx_pending_;
+  uint32_t tx_seq_ = 0;  // flow-id sequence; ticks on every transmit
+  std::vector<FlowObs> flow_obs_;
+  bool flow_staging_ = false;
+  uint64_t nic_tx_frames_ = 0;
+  uint64_t nic_rx_frames_ = 0;
+  uint64_t nic_frames_dropped_ = 0;
   System::RunResult last_result_ = System::RunResult::kBudgetExhausted;
   bool injected_since_deadlock_ = false;
   bool booted_ = false;

@@ -69,14 +69,16 @@ Cycles Fabric::MinLinkLatency() const {
   return best;
 }
 
-void Fabric::DeliverTo(int port, Cycles at, const Frame& frame) {
+void Fabric::DeliverTo(int port, Cycles at, const Frame& frame,
+                       flow::FlowId flow) {
   const Port& p = ports_[static_cast<size_t>(port)];
   if (p.deliver) {
-    p.deliver(at + p.latency, frame);
+    p.deliver(at + p.latency, frame, flow);
   }
 }
 
-void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
+void Fabric::Transmit(int src_port, Cycles at, const Frame& frame,
+                      flow::FlowId flow) {
   if (frame.size() < 12) {
     return;
   }
@@ -92,10 +94,16 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
     if (it != mac_table_.end()) {
       if (it->second != src_port) {
         if (trace_ != nullptr) {
-          trace_->OnFabricFrame(at, src_port, it->second, frame.size());
+          trace_->OnFabricFrame(at, src_port, it->second, frame.size(),
+                                flow.origin, flow.seq);
+        }
+        if (flow_ != nullptr) {
+          const Cycles due =
+              at + ports_[static_cast<size_t>(it->second)].latency;
+          flow_->OnHop(flow, src_port, it->second, at, due, frame.size());
         }
         Union(src_port, it->second);
-        DeliverTo(it->second, at, frame);
+        DeliverTo(it->second, at, frame, flow);
       }
       return;
     }
@@ -103,12 +111,17 @@ void Fabric::Transmit(int src_port, Cycles at, const Frame& frame) {
   // Broadcast or unlearned unicast: flood.
   ++frames_flooded_;
   if (trace_ != nullptr) {
-    trace_->OnFabricFrame(at, src_port, -1, frame.size());
+    trace_->OnFabricFrame(at, src_port, -1, frame.size(), flow.origin,
+                          flow.seq);
   }
   for (int port = 0; port < static_cast<int>(ports_.size()); ++port) {
     if (port != src_port) {
+      if (flow_ != nullptr) {
+        const Cycles due = at + ports_[static_cast<size_t>(port)].latency;
+        flow_->OnHop(flow, src_port, port, at, due, frame.size());
+      }
       Union(src_port, port);
-      DeliverTo(port, at, frame);
+      DeliverTo(port, at, frame, flow);
     }
   }
 }

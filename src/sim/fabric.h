@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/base/types.h"
+#include "src/flow/flow.h"
 
 namespace cheriot {
 namespace trace {
@@ -31,8 +32,9 @@ class Fabric {
   using Frame = std::vector<uint8_t>;
   using Mac = std::array<uint8_t, 6>;
   // Called once per delivered frame with its arrival time (transmit time
-  // plus the destination port's latency).
-  using DeliverFn = std::function<void(Cycles due, Frame frame)>;
+  // plus the destination port's latency) and its host-side provenance.
+  using DeliverFn = std::function<void(Cycles due, Frame frame,
+                                       flow::FlowId flow)>;
 
   // Attaches a port; returns its id. `latency` is the one-way delay of the
   // link behind this port (0 for the gateway, which sits "in" the switch).
@@ -40,8 +42,10 @@ class Fabric {
 
   // Switches one frame transmitted on `src_port` at time `at`: learns the
   // source MAC, then delivers to the learned destination port, or floods to
-  // every other port for broadcast/unknown destinations.
-  void Transmit(int src_port, Cycles at, const Frame& frame);
+  // every other port for broadcast/unknown destinations. `flow` rides
+  // alongside the frame (never inside it); defaulted for hand-built frames.
+  void Transmit(int src_port, Cycles at, const Frame& frame,
+                flow::FlowId flow = {});
 
   // Smallest nonzero port latency (the conservative-lookahead bound for the
   // Fleet's epoch length); 0 if no such port exists yet.
@@ -75,6 +79,11 @@ class Fabric {
   // any host thread count.
   void set_trace(trace::TraceRecorder* recorder) { trace_ = recorder; }
 
+  // Flow recorder hook (PR 9): every delivered leg is reported as a hop
+  // (src port -> dst port, tx time -> due time). Pure observer, host handle
+  // — never serialized; re-install after Restore.
+  void set_flow(flow::FlowRecorder* recorder) { flow_ = recorder; }
+
   // Snapshot support (DESIGN.md §10). The port list itself (latencies,
   // deliver closures) is host wiring rebuilt by Fleet::Restore; what
   // serializes is the learned/observed state: the MAC table, the switch
@@ -91,13 +100,14 @@ class Fabric {
     DeliverFn deliver;
   };
 
-  void DeliverTo(int port, Cycles at, const Frame& frame);
+  void DeliverTo(int port, Cycles at, const Frame& frame, flow::FlowId flow);
   int Find(int port) const;
   void Union(int a, int b);
 
   std::vector<Port> ports_;
   std::map<Mac, int> mac_table_;
   trace::TraceRecorder* trace_ = nullptr;
+  flow::FlowRecorder* flow_ = nullptr;
   uint64_t frames_switched_ = 0;
   uint64_t frames_flooded_ = 0;
   // Union-find parent per port; mutable for path compression in const reads.

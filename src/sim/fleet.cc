@@ -35,15 +35,31 @@ Fleet::Fleet(FleetOptions options)
   // transmitted by a board at t is processed by the gateway "at t" and the
   // reply crosses only the destination board's link — reproducing the
   // single-board NetWorld round-trip of exactly one link latency.
-  gateway_port_ = fabric_.AttachPort(0, [this](Cycles due, Fabric::Frame f) {
-    gateway_inbox_.emplace_back(due, std::move(f));
+  gateway_port_ = fabric_.AttachPort(
+      0, [this](Cycles due, Fabric::Frame f, flow::FlowId flow) {
+        gateway_inbox_.push_back({due, std::move(f), flow});
+      });
+  gateway_.set_emit([this](net::Bytes frame, flow::FlowId flow) {
+    GatewayEmit(std::move(frame), flow);
   });
-  gateway_.set_emit([this](net::Bytes frame) { GatewayEmit(std::move(frame)); });
   if (options_.trace) {
     fabric_trace_ = std::make_unique<trace::TraceRecorder>(options_.trace_options);
     fabric_trace_->SetLabel("fabric");
     fabric_trace_->SetBoardIndex(-1);
     fabric_.set_trace(fabric_trace_.get());
+    // Gateway-side TCP fault drops become clockless kFrameDrop events on the
+    // fabric track (the gateway has no recorder of its own).
+    gateway_.set_drop_trace(
+        [this](Cycles at, size_t bytes, flow::FlowId flow) {
+          fabric_trace_->OnFrameDropAt(at, flow::kDropGatewayTcp, bytes,
+                                       flow.origin, flow.seq);
+        });
+  }
+  if (options_.flow) {
+    flow_ = std::make_unique<flow::FlowRecorder>(options_.flow_options);
+    fabric_.set_flow(flow_.get());
+    gateway_.set_flow(flow_.get());
+    flow_next_sample_ = options_.flow_options.metrics_interval;
   }
 }
 
@@ -82,10 +98,13 @@ int Fleet::AddBoard(FirmwareImage image) {
   if (options_.forensics) {
     board->EnableForensics(options_.forensics_options);
   }
+  if (options_.flow) {
+    board->set_flow_staging(true);
+  }
   board_ports_.push_back(fabric_.AttachPort(
       options_.board_link_latency,
-      [this, board, index](Cycles due, Fabric::Frame f) {
-        board->InjectAt(due, std::move(f));
+      [this, board, index](Cycles due, Fabric::Frame f, flow::FlowId flow) {
+        board->InjectAt(due, std::move(f), flow);
         // A newly injected frame is an interesting event: clamp the cached
         // bound so a parked board (or one parked this barrier) is woken for
         // the epoch containing the delivery. Guarded because the fabric can
@@ -123,8 +142,8 @@ void Fleet::Boot() {
   booted_ = true;
 }
 
-void Fleet::GatewayEmit(net::Bytes frame) {
-  fabric_.Transmit(gateway_port_, gateway_emit_at_, frame);
+void Fleet::GatewayEmit(net::Bytes frame, flow::FlowId flow) {
+  fabric_.Transmit(gateway_port_, gateway_emit_at_, frame, flow);
 }
 
 Cycles Fleet::NextEpochTarget(Cycles end) const {
@@ -276,24 +295,77 @@ void Fleet::ExchangeFrames() {
     dirty.clear();
   }
   std::sort(tx_dirty_.begin(), tx_dirty_.end());
+  // Observations from this epoch (deliveries/drops of frames transmitted at
+  // earlier barriers) are fed to the flow recorder before this barrier's new
+  // transmits, keeping the hook sequence in causal order.
+  DrainFlowObservations();
   for (size_t i : tx_dirty_) {
-    for (auto& [at, frame] : boards_[i]->DrainTx()) {
+    for (auto& [at, frame, flow] : boards_[i]->DrainTx()) {
       ++frames_exchanged_;
-      fabric_.Transmit(board_ports_[i], at, frame);
+      if (flow_) {
+        flow_->OnTx(flow, at, frame.size());
+      }
+      fabric_.Transmit(board_ports_[i], at, frame, flow);
     }
   }
   tx_dirty_.clear();
   std::stable_sort(gateway_inbox_.begin(), gateway_inbox_.end(),
-                   [](const auto& a, const auto& b) {
-                     return a.first < b.first;
+                   [](const GatewayRx& a, const GatewayRx& b) {
+                     return a.at < b.at;
                    });
   // The gateway may emit new board-bound frames while processing (replies,
   // forwards); those go straight to board ports. It never sends to itself.
-  std::vector<std::pair<Cycles, net::Bytes>> inbox;
+  std::vector<GatewayRx> inbox;
   inbox.swap(gateway_inbox_);
-  for (auto& [at, frame] : inbox) {
-    gateway_emit_at_ = at;
-    gateway_.OnFrame(at, frame);
+  for (auto& rx : inbox) {
+    gateway_emit_at_ = rx.at;
+    gateway_.OnFrame(rx.at, rx.frame, rx.flow);
+  }
+}
+
+void Fleet::DrainFlowObservations() {
+  if (!flow_) {
+    return;
+  }
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    for (const Board::FlowObs& obs : boards_[i]->DrainFlowObs()) {
+      if (obs.kind == Board::FlowObs::Kind::kDelivered) {
+        flow_->OnDelivery(obs.flow, static_cast<int>(i), obs.at);
+      } else {
+        flow_->OnDrop(obs.flow, flow::kDropNicLoss, obs.at);
+      }
+    }
+  }
+}
+
+void Fleet::SampleMetrics() {
+  if (!flow_ || now_ < flow_next_sample_) {
+    return;
+  }
+  // One row per board at the first barrier at or after each interval
+  // boundary. With adaptive coarsening a single barrier can cross several
+  // boundaries; that yields one sample, stamped with the barrier cycle — the
+  // schedule is a pure function of the barrier sequence, which is identical
+  // for any host worker count.
+  const Cycles interval = flow_->options().metrics_interval;
+  while (flow_next_sample_ <= now_) {
+    flow_next_sample_ += interval;
+  }
+  for (size_t i = 0; i < boards_.size(); ++i) {
+    Board& b = *boards_[i];
+    flow::MetricsSeries::Row row;
+    row.at = now_;
+    row.board = static_cast<int32_t>(i);
+    row.board_now = b.Now();
+    row.idle_cycles = b.system().sched().idle_cycles();
+    row.traps = b.system().switcher().trap_count();
+    row.allocs = b.system().alloc().allocation_count();
+    row.quota_denials = b.system().alloc().quota_denials();
+    row.nic_tx = b.nic_tx_frames();
+    row.nic_rx = b.nic_rx_frames();
+    row.nic_drops = b.nic_frames_dropped();
+    row.futex_waits = b.system().sched().futex_waits();
+    flow_->metrics().Append(row);
   }
 }
 
@@ -303,6 +375,7 @@ void Fleet::RunEpoch(Cycles target) {
   now_ = target;
   ++barriers_;
   ExchangeFrames();
+  SampleMetrics();
 }
 
 void Fleet::CatchUp() {
@@ -325,6 +398,9 @@ void Fleet::CatchUp() {
       }
     }
   }
+  // A frame injected at the final barrier may have been delivered during the
+  // catch-up advance; its observation must not sit staged across Run calls.
+  DrainFlowObservations();
 }
 
 void Fleet::Run(Cycles cycles) {
@@ -436,6 +512,7 @@ void Fleet::BuildSnapshotContainer(snap::Container& c) {
     }
     w.U32(wo.ntp_unix_base);
     w.I32(wo.drop_every_nth_tcp);
+    w.Bool(wo.mqtt_fanout);
     w.U32(options_.machine.sram_base);
     w.U32(options_.machine.sram_size);
     w.Bool(options_.machine.uart_echo);
@@ -525,7 +602,8 @@ void Fleet::Snapshot(std::vector<uint8_t>& out) {
 
 std::unique_ptr<Fleet> Fleet::Restore(const uint8_t* data, size_t size,
                                       const ImageResolver& images,
-                                      int host_threads) {
+                                      int host_threads, bool flow,
+                                      flow::FlowOptions flow_options) {
   snap::Container c = snap::Container::Parse(data, size);
   if (c.kind != snap::kFleet) {
     throw snap::SnapshotError("not a fleet snapshot");
@@ -545,6 +623,7 @@ std::unique_ptr<Fleet> Fleet::Restore(const uint8_t* data, size_t size,
     }
     o.world.ntp_unix_base = r.U32();
     o.world.drop_every_nth_tcp = r.I32();
+    o.world.mqtt_fanout = r.Bool();
     o.machine.sram_base = r.U32();
     o.machine.sram_size = r.U32();
     o.machine.uart_echo = r.Bool();
@@ -568,6 +647,8 @@ std::unique_ptr<Fleet> Fleet::Restore(const uint8_t* data, size_t size,
     r.ExpectEnd("FLET");
   }
   o.host_threads = host_threads;
+  o.flow = flow;
+  o.flow_options = flow_options;
   auto fleet = std::make_unique<Fleet>(std::move(o));
   for (uint32_t i = 0; i < board_count; ++i) {
     fleet->AddBoard(images(static_cast<int>(i)));

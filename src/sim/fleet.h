@@ -75,6 +75,12 @@ struct FleetOptions {
   // boot. Same zero-guest-cycle contract as trace.
   bool forensics = false;
   health::ForensicsOptions forensics_options;
+  // Attach the flow recorder (src/flow): cross-board causal message tracing,
+  // latency histograms and the fleet metrics time-series (DESIGN.md §13).
+  // Flow ids are assigned whether this is on or off — only *recording* is
+  // gated — so fingerprints AND snapshot bytes are identical either way.
+  bool flow = false;
+  flow::FlowOptions flow_options;
 };
 
 class Fleet {
@@ -130,6 +136,10 @@ class Fleet {
   // The fabric's recorder (frames only, stamped with TX cycles); null unless
   // FleetOptions::trace is set.
   trace::TraceRecorder* fabric_trace() { return fabric_trace_.get(); }
+  // The flow recorder; null unless FleetOptions::flow is set. Fed exclusively
+  // at epoch barriers in board-index order, so its exports are byte-identical
+  // for any host worker count.
+  flow::FlowRecorder* flow_recorder() { return flow_.get(); }
   // All live recorders — one per board plus the fabric's — in a fixed order
   // (board 0..N-1, then fabric) for merged export. Empty when tracing is off.
   std::vector<trace::TraceRecorder*> TraceRecorders();
@@ -154,14 +164,23 @@ class Fleet {
   // worker count is a free parameter here), then re-serializes everything
   // and byte-compares against the snapshot; a mismatch throws
   // snap::SnapshotError.
+  // Like host_threads, `flow` is a host-observability knob: flow ids are
+  // assigned unconditionally, so snapshots never record whether a recorder
+  // was attached and any snapshot can be restored with recording on. The
+  // replay then rebuilds the flow table / histograms / metrics exactly —
+  // including spans that were in flight when the snapshot was taken.
   using ImageResolver = std::function<FirmwareImage(int board_index)>;
   static std::unique_ptr<Fleet> Restore(const uint8_t* data, size_t size,
                                         const ImageResolver& images,
-                                        int host_threads = 1);
+                                        int host_threads = 1,
+                                        bool flow = false,
+                                        flow::FlowOptions flow_options = {});
   static std::unique_ptr<Fleet> Restore(const std::vector<uint8_t>& blob,
                                         const ImageResolver& images,
-                                        int host_threads = 1) {
-    return Restore(blob.data(), blob.size(), images, host_threads);
+                                        int host_threads = 1, bool flow = false,
+                                        flow::FlowOptions flow_options = {}) {
+    return Restore(blob.data(), blob.size(), images, host_threads, flow,
+                   flow_options);
   }
 
  private:
@@ -193,7 +212,13 @@ class Fleet {
   // fingerprints and clocks match a non-fast-forward run bit for bit.
   void CatchUp();
   void ExchangeFrames();
-  void GatewayEmit(net::Bytes frame);
+  // Drains every board's staged flow observations (deliveries / NIC drops)
+  // into the flow recorder, in board-index order. No-op when flow is off.
+  void DrainFlowObservations();
+  // Appends one metrics row per board when the fleet clock has crossed a
+  // metrics_interval boundary since the last sample. No-op when flow is off.
+  void SampleMetrics();
+  void GatewayEmit(net::Bytes frame, flow::FlowId flow);
   void StartWorkers();
   void WorkerLoop(size_t worker_id);
   // Appends a coalesced kAdvance{now_} when the clock moved since the last
@@ -212,9 +237,16 @@ class Fleet {
   net::Gateway gateway_;
   int gateway_port_ = -1;
   // Frames addressed to the gateway, collected during the barrier exchange
-  // and processed in transmit-time order.
-  std::vector<std::pair<Cycles, net::Bytes>> gateway_inbox_;
+  // and processed in transmit-time order (with their provenance alongside).
+  struct GatewayRx {
+    Cycles at = 0;
+    net::Bytes frame;
+    flow::FlowId flow;
+  };
+  std::vector<GatewayRx> gateway_inbox_;
   Cycles gateway_emit_at_ = 0;  // TX timestamp for gateway replies
+  std::unique_ptr<flow::FlowRecorder> flow_;
+  Cycles flow_next_sample_ = 0;  // next metrics_interval boundary to sample
   uint64_t frames_exchanged_ = 0;
   bool booted_ = false;
 

@@ -1,5 +1,7 @@
 #include "src/sim/fleet_app.h"
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "src/net/world.h"
@@ -48,10 +50,13 @@ EntryFn AppMain(std::shared_ptr<FleetAppState> state, FleetAppOptions opts) {
       if (!session.tag()) {
         return session;
       }
-      auto topic = ctx.AllocStack(8);
-      ctx.WriteBytes(topic.cap(), 0, "leds", 4);
+      const std::string& sub = opts.subscribe_topic;
+      auto topic = ctx.AllocStack(std::max<Word>(8, sub.size()));
+      ctx.WriteBytes(topic.cap(), 0, sub.data(), sub.size());
       if (static_cast<int32_t>(
-              ctx.Call("mqtt.subscribe", {session, topic.cap(), WordCap(4)})
+              ctx.Call("mqtt.subscribe",
+                       {session, topic.cap(),
+                        WordCap(static_cast<Word>(sub.size()))})
                   .word()) != 0) {
         return Capability();
       }

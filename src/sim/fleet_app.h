@@ -7,6 +7,7 @@
 #define SRC_SIM_FLEET_APP_H_
 
 #include <memory>
+#include <string>
 
 #include "src/base/types.h"
 #include "src/firmware/image.h"
@@ -39,6 +40,10 @@ struct FleetAppOptions {
   // default. Telemetry-style benches stretch this to model devices that
   // sleep for seconds between reports.
   Cycles poll_timeout = 0;
+  // Topic the board subscribes to after connecting. The default keeps the
+  // historical bring-up byte-for-byte; flow tests point different boards at
+  // different topics to exercise broker fan-out routing.
+  std::string subscribe_topic = "leds";
   net::NetStackOptions net;
 };
 

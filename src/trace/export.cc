@@ -27,6 +27,20 @@ int PidFor(const TraceRecorder& r) {
   return r.board_index() >= 0 ? r.board_index() : kPidFabric;
 }
 
+// Flow-id rendering; mirrors flow::FlowId::Label()/key() without a src/flow
+// dependency (the trace layer stores raw integers).
+std::string FlowLabel(int32_t origin, uint32_t seq) {
+  if (origin == -1) {
+    return "gw#" + std::to_string(seq);
+  }
+  return "b" + std::to_string(origin) + "#" + std::to_string(seq);
+}
+
+std::string FlowKey(int32_t origin, uint32_t seq) {
+  return std::to_string(
+      (static_cast<uint64_t>(static_cast<uint16_t>(origin)) << 32) | seq);
+}
+
 json::Value Meta(int pid, int tid, const char* what, const std::string& name) {
   json::Object o;
   o["args"] = json::Object{{"name", name}};
@@ -159,19 +173,59 @@ void AppendChromeEvents(TraceRecorder& r, const Event& e,
     }
     case EventType::kNicTx:
     case EventType::kNicRx: {
+      const bool tx = e.type == EventType::kNicTx;
+      const bool has_flow = e.a != kNoFlowOrigin;
       json::Object o = Base("i", pid, kTidNic, e.at);
-      o["name"] = e.type == EventType::kNicTx ? "nic_tx" : "nic_rx";
+      o["name"] = tx ? "nic_tx" : "nic_rx";
       o["s"] = "t";
-      o["args"] = json::Object{{"bytes", e.c}};
+      json::Object args{{"bytes", e.c}};
+      if (has_flow) {
+        args["flow"] = FlowLabel(e.a, static_cast<uint32_t>(e.d));
+      }
+      o["args"] = std::move(args);
       out->push_back(std::move(o));
+      if (has_flow) {
+        // Perfetto flow arrow binding this tx to the matching rx on another
+        // board's track: an "s" (start) at the transmit and an "f" with
+        // bp:"e" (bind to enclosing slice end) at each receive, all sharing
+        // the flow key as id.
+        json::Object arrow = Base(tx ? "s" : "f", pid, kTidNic, e.at);
+        arrow["name"] = "flow";
+        arrow["cat"] = "flow";
+        arrow["id"] = FlowKey(e.a, static_cast<uint32_t>(e.d));
+        if (!tx) {
+          arrow["bp"] = "e";
+        }
+        out->push_back(std::move(arrow));
+      }
       break;
     }
     case EventType::kFabricFrame: {
       json::Object o = Base("i", pid, kTidFabric, e.at);
       o["name"] = "fabric_frame";
       o["s"] = "t";
-      o["args"] = json::Object{
-          {"src_port", e.a}, {"dst_port", e.b}, {"bytes", e.c}};
+      json::Object args{{"src_port", e.a}, {"dst_port", e.b}, {"bytes", e.c}};
+      const auto origin = static_cast<int32_t>(
+          static_cast<int16_t>(static_cast<uint16_t>(e.d >> 32)));
+      if (origin != kNoFlowOrigin) {
+        args["flow"] = FlowLabel(origin, static_cast<uint32_t>(e.d));
+      }
+      o["args"] = std::move(args);
+      out->push_back(std::move(o));
+      break;
+    }
+    case EventType::kFrameDrop: {
+      json::Object o = Base("i", pid, r.board_index() >= 0 ? kTidNic
+                                                           : kTidFabric,
+                            e.at);
+      o["name"] = "frame_drop";
+      o["s"] = "t";
+      json::Object args{{"bytes", e.c},
+                        {"reason", e.b == 0 ? "nic_loss" : "gateway_tcp"}};
+      if (e.a != kNoFlowOrigin) {
+        args["flow"] = FlowLabel(e.a, static_cast<uint32_t>(e.d));
+      }
+      o["args"] = std::move(args);
       out->push_back(std::move(o));
       break;
     }
@@ -307,7 +361,8 @@ json::Value MetricsSnapshot(TraceRecorder& recorder,
   doc["nic"] = json::Object{{"tx_frames", recorder.nic_tx_frames()},
                             {"tx_bytes", recorder.nic_tx_bytes()},
                             {"rx_frames", recorder.nic_rx_frames()},
-                            {"rx_bytes", recorder.nic_rx_bytes()}};
+                            {"rx_bytes", recorder.nic_rx_bytes()},
+                            {"dropped_frames", recorder.frames_dropped()}};
 
   json::Array ts;
   for (const auto& t : threads) {

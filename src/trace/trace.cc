@@ -33,6 +33,7 @@ const char* EventTypeName(EventType type) {
     case EventType::kFabricFrame: return "fabric_frame";
     case EventType::kCrashRecord: return "crash_record";
     case EventType::kIdleFastForward: return "idle_fast_forward";
+    case EventType::kFrameDrop: return "frame_drop";
   }
   return "unknown";
 }
@@ -247,26 +248,49 @@ void TraceRecorder::OnSweepEnd(uint32_t epoch, uint64_t granules) {
   Emit(EventType::kSweepEnd, -1, 0, 0, static_cast<int64_t>(granules), epoch);
 }
 
-void TraceRecorder::OnNicTx(size_t bytes) {
+void TraceRecorder::OnNicTx(size_t bytes, int32_t flow_origin,
+                            uint32_t flow_seq) {
   ChargeToNow();
   ++nic_tx_frames_;
   nic_tx_bytes_ += bytes;
-  Emit(EventType::kNicTx, static_cast<int16_t>(current_thread_), 0, 0,
-       static_cast<int64_t>(bytes), 0);
+  Emit(EventType::kNicTx, static_cast<int16_t>(current_thread_), flow_origin,
+       0, static_cast<int64_t>(bytes), flow_seq);
 }
 
-void TraceRecorder::OnNicRx(size_t bytes) {
+void TraceRecorder::OnNicRx(size_t bytes, int32_t flow_origin,
+                            uint32_t flow_seq) {
   ChargeToNow();
   ++nic_rx_frames_;
   nic_rx_bytes_ += bytes;
-  Emit(EventType::kNicRx, static_cast<int16_t>(current_thread_), 0, 0,
-       static_cast<int64_t>(bytes), 0);
+  Emit(EventType::kNicRx, static_cast<int16_t>(current_thread_), flow_origin,
+       0, static_cast<int64_t>(bytes), flow_seq);
 }
 
 void TraceRecorder::OnFabricFrame(Cycles at, int src_port, int dst_port,
-                                  size_t bytes) {
+                                  size_t bytes, int32_t flow_origin,
+                                  uint32_t flow_seq) {
+  // d packs the full flow key (flow::FlowId::key() layout: origin as u16 in
+  // the high lane) so one operand survives the 32-byte event.
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint16_t>(flow_origin)) << 32) |
+      flow_seq;
   EmitAt(at, EventType::kFabricFrame, -1, src_port, dst_port,
-         static_cast<int64_t>(bytes), 0);
+         static_cast<int64_t>(bytes), key);
+}
+
+void TraceRecorder::OnFrameDrop(uint8_t reason, size_t bytes,
+                                int32_t flow_origin, uint32_t flow_seq) {
+  ChargeToNow();
+  ++frames_dropped_;
+  Emit(EventType::kFrameDrop, static_cast<int16_t>(current_thread_),
+       flow_origin, reason, static_cast<int64_t>(bytes), flow_seq);
+}
+
+void TraceRecorder::OnFrameDropAt(Cycles at, uint8_t reason, size_t bytes,
+                                  int32_t flow_origin, uint32_t flow_seq) {
+  ++frames_dropped_;
+  EmitAt(at, EventType::kFrameDrop, -1, flow_origin, reason,
+         static_cast<int64_t>(bytes), flow_seq);
 }
 
 void TraceRecorder::OnCrashRecord(int thread, int cause, int compartment,
@@ -421,6 +445,7 @@ void TraceRecorder::SerializeState(snap::Writer& w) const {
   w.U64(nic_tx_bytes_);
   w.U64(nic_rx_frames_);
   w.U64(nic_rx_bytes_);
+  w.U64(frames_dropped_);
 }
 
 void Attach(Machine& machine, TraceRecorder* recorder) {

@@ -51,14 +51,17 @@ enum class EventType : uint8_t {
   kQuotaExhausted = 11,    // a=compartment, b=quota id, c=bytes requested
   kSweepBegin = 12,        // d=completed-epoch counter at start
   kSweepEnd = 13,          // c=granules scanned, d=epoch after completion
-  kNicTx = 14,             // c=frame bytes
-  kNicRx = 15,             // c=frame bytes
-  kFabricFrame = 16,       // a=src port, b=dst port (-1 = flood), c=bytes
+  kNicTx = 14,             // c=frame bytes, a=flow origin, d=flow seq
+  kNicRx = 15,             // c=frame bytes, a=flow origin, d=flow seq
+  kFabricFrame = 16,       // a=src port, b=dst port (-1 = flood), c=bytes,
+                           // d=flow key (origin<<32 | seq)
   kCrashRecord = 17,       // a=TrapCode, b=compartment, c=fault address,
                            // d=forensics record sequence number
   kIdleFastForward = 18,   // c=cycles skipped in one idle jump (the event's
                            // timestamp is the jump target); emitted only for
                            // spans the quantum timer would have chopped
+  kFrameDrop = 19,         // a=flow origin, b=drop reason (0=nic_loss,
+                           // 1=gateway_tcp), c=frame bytes, d=flow seq
 };
 
 // Number of event kinds. The exporters (src/trace/export.cc) switch over
@@ -67,7 +70,12 @@ enum class EventType : uint8_t {
 // unexported event. This count sizes the per-type aggregate array and the
 // exporters' iteration bound; the static_assert pins it to the enum.
 inline constexpr size_t kEventTypeCount =
-    static_cast<size_t>(EventType::kIdleFastForward) + 1;
+    static_cast<size_t>(EventType::kFrameDrop) + 1;
+
+// Sentinel for the flow-id operands on kNicTx/kNicRx/kFrameDrop events:
+// matches flow::FlowId::kNone without making the trace layer depend on
+// src/flow (the trace ring stores raw integers only).
+inline constexpr int32_t kNoFlowOrigin = -32768;
 
 const char* EventTypeName(EventType type);
 
@@ -142,11 +150,26 @@ class TraceRecorder {
                         Word bytes);
   void OnSweepBegin(uint32_t epoch);
   void OnSweepEnd(uint32_t epoch, uint64_t granules);
-  void OnNicTx(size_t bytes);
-  void OnNicRx(size_t bytes);
+  // NIC events optionally carry the frame's host-side flow id (PR 9) in
+  // spare operands so Perfetto exports can bind tx->rx arrows. Defaulted so
+  // pre-flow call sites stay valid; the id never exists in guest memory.
+  void OnNicTx(size_t bytes, int32_t flow_origin = kNoFlowOrigin,
+               uint32_t flow_seq = 0);
+  void OnNicRx(size_t bytes, int32_t flow_origin = kNoFlowOrigin,
+               uint32_t flow_seq = 0);
   // Fabric events carry an explicit timestamp: the fabric has no clock of
   // its own and switches frames at epoch barriers using their TX stamps.
-  void OnFabricFrame(Cycles at, int src_port, int dst_port, size_t bytes);
+  void OnFabricFrame(Cycles at, int src_port, int dst_port, size_t bytes,
+                     int32_t flow_origin = kNoFlowOrigin,
+                     uint32_t flow_seq = 0);
+  // Frame dropped by fault injection before reaching its destination:
+  // reason 0 = arbiter kNicLoss at a board NIC, 1 = drop_every_nth_tcp at
+  // the gateway. OnFrameDrop stamps the attached clock; OnFrameDropAt is for
+  // clockless recorders (the fleet's fabric recorder).
+  void OnFrameDrop(uint8_t reason, size_t bytes, int32_t flow_origin,
+                   uint32_t flow_seq);
+  void OnFrameDropAt(Cycles at, uint8_t reason, size_t bytes,
+                     int32_t flow_origin, uint32_t flow_seq);
   // Crash record marker, emitted by the switcher when a forensics recorder
   // (src/health) files a crash record while a trace is also attached. `seq`
   // is the forensics ring sequence number so the two streams can be joined.
@@ -191,6 +214,7 @@ class TraceRecorder {
   uint64_t nic_tx_bytes() const { return nic_tx_bytes_; }
   uint64_t nic_rx_frames() const { return nic_rx_frames_; }
   uint64_t nic_rx_bytes() const { return nic_rx_bytes_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
   uint64_t events_of_type(EventType type) const {
     return by_type_[static_cast<size_t>(type)];
   }
@@ -258,6 +282,7 @@ class TraceRecorder {
   uint64_t nic_tx_bytes_ = 0;
   uint64_t nic_rx_frames_ = 0;
   uint64_t nic_rx_bytes_ = 0;
+  uint64_t frames_dropped_ = 0;
 
   // Names.
   std::vector<std::string> compartment_names_;

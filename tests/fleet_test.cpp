@@ -329,9 +329,9 @@ TEST(FleetTest, ConnectedFleetFormsOneCommunicationGroup) {
 
 TEST(FleetTest, FabricGroupsTrackActualDeliveries) {
   sim::Fabric fabric;
-  const int p0 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
-  const int p1 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
-  const int p2 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame) {});
+  const int p0 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame, flow::FlowId) {});
+  const int p1 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame, flow::FlowId) {});
+  const int p2 = fabric.AttachPort(100, [](Cycles, sim::Fabric::Frame, flow::FlowId) {});
   EXPECT_EQ(fabric.group_count(), 3u);
   const uint64_t gen0 = fabric.group_generation();
 

@@ -267,6 +267,10 @@ TEST(McTest, MidRunSnapshotReplaysIdenticallyUnderTcpLoss) {
   FleetOptions options;
   options.host_threads = 1;
   options.world.drop_every_nth_tcp = 3;
+  // Flow recording on: the snapshot lands between a TCP drop and its
+  // retransmission, so in-flight flow spans (the dropped segment's record,
+  // half-open publish causality) must survive the restore replay too.
+  options.flow = true;
   auto fleet = std::make_unique<Fleet>(options);
   for (int i = 0; i < 2; ++i) {
     sim::FleetAppOptions app;
@@ -296,11 +300,48 @@ TEST(McTest, MidRunSnapshotReplaysIdenticallyUnderTcpLoss) {
   // Traffic kept flowing past the loss: retransmission recovered.
   EXPECT_GT(fleet->gateway().mqtt_publishes_received(), 0u);
 
-  auto restored = Fleet::Restore(blob, FleetImages(), /*host_threads=*/1);
+  auto restored = Fleet::Restore(blob, FleetImages(), /*host_threads=*/1,
+                                 /*flow=*/true);
   restored->Run(cost::kCoreHz / 2);
   EXPECT_EQ(restored->Fingerprints(), expect);
   EXPECT_EQ(restored->gateway().tcp_segments_dropped(),
             fleet->gateway().tcp_segments_dropped());
+  // The restore replay regenerated the flow recorder's state — ids are
+  // assigned unconditionally, so the replayed run re-derives byte-identical
+  // flow/histogram/metrics exports, drops and in-flight spans included.
+  ASSERT_NE(restored->flow_recorder(), nullptr);
+  EXPECT_GT(fleet->flow_recorder()->drops(), 0u);
+  EXPECT_EQ(restored->flow_recorder()->FlowTableJson().Dump(2),
+            fleet->flow_recorder()->FlowTableJson().Dump(2));
+  EXPECT_EQ(restored->flow_recorder()->HistogramsJson().Dump(2),
+            fleet->flow_recorder()->HistogramsJson().Dump(2));
+  // The metrics series samples at fleet barriers, and barriers fall wherever
+  // Run() calls end: the original run above advanced in small chunks while
+  // the restore replay coalesces consecutive advances into one Run(), so the
+  // original can hold extra chunk-boundary samples the replay never takes.
+  // Guest-visible state is unaffected (the fingerprint check above proves
+  // it); only the host-side sampling grid shifts. Both runs do end at the
+  // same barrier cycle, so the final per-board rows — every column — must
+  // agree exactly.
+  {
+    const json::Value a = restored->flow_recorder()->MetricsJson();
+    const json::Value b = fleet->flow_recorder()->MetricsJson();
+    ASSERT_GE(a["rows"].AsInt(), 2);
+    ASSERT_GE(b["rows"].AsInt(), 2);
+    const json::Value& ac = a["columns"];
+    const json::Value& bc = b["columns"];
+    for (const char* col :
+         {"cycle", "board", "board_cycle", "busy_cycles", "idle_cycles",
+          "traps", "allocs", "quota_denials", "nic_tx_frames",
+          "nic_rx_frames", "nic_drops", "futex_waits"}) {
+      const size_t an = ac[col].size();
+      const size_t bn = bc[col].size();
+      for (size_t i = 1; i <= 2; ++i) {
+        EXPECT_EQ(ac[col][an - i].AsInt(), bc[col][bn - i].AsInt())
+            << "column " << col << " tail row " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

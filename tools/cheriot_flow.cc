@@ -1,0 +1,295 @@
+// cheriot_flow: run a shipped firmware image as a fleet with the flow
+// recorder on and export the cross-board observability products — the causal
+// flow table (per-frame provenance: tx -> fabric hops -> delivery/drop,
+// gateway causality, MQTT publish fan-out), the per-topic / per-board-pair
+// latency histograms, and the fleet metrics time-series.
+//
+// Targets come from the same registry as cheriot_lint/cheriot_trace, so
+// "flow-trace every image we ship" is one --all invocation (the CI
+// flow-images job). Flow tracing is fleet-level by construction (the causal
+// graph spans boards and the gateway), so every run is a Fleet — --fleet=N
+// picks the board count (default 2). Between run chunks the tool issues
+// control MQTT publishes so the broker fan-out path is always exercised.
+//
+// --check enforces the two contracts from DESIGN.md §13:
+//   1. Zero-guest-cycle: the same run with flow recording off must land on
+//      identical fingerprints for EVERY board (ids are assigned either way;
+//      only recording is gated).
+//   2. Worker invariance: the three JSON exports must be byte-identical at
+//      host_threads 1, 2 and 4.
+//
+// Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/flow/flow.h"
+#include "src/sim/fleet.h"
+#include "tools/lint_targets.h"
+
+using namespace cheriot;
+using cheriot::tools::FindLintTarget;
+using cheriot::tools::LintTargets;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> targets;
+  bool all = false;
+  bool list = false;
+  bool check = false;
+  // Test hook: corrupt the flow-on fingerprint before the --check comparison
+  // so the mismatch path (and its nonzero exit) stays covered.
+  bool inject_check_failure = false;
+  int fleet = 2;
+  int host_threads = 1;
+  int publishes = 3;  // control MQTT publishes spread across the run
+  Cycles cycles = 20'000'000;
+  Cycles metrics_interval = 1'000'000;
+  std::string out_dir = ".";
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cheriot_flow [--all | --target=NAME[,NAME...]]"
+               " [options]\n"
+               "\n"
+               "  --list-targets       list the built-in firmware images\n"
+               "  --all                flow-trace every built-in image\n"
+               "  --target=NAME        flow-trace one image (repeatable)\n"
+               "  --fleet=N            boards in the fleet (default 2)\n"
+               "  --cycles=N           guest cycles to run (default 20000000)\n"
+               "  --publishes=N        control MQTT publishes spread across\n"
+               "                       the run (default 3)\n"
+               "  --host-threads=N     fleet worker threads (default 1; the\n"
+               "                       exports are identical for any value)\n"
+               "  --metrics-interval=N metrics sampling cadence in cycles\n"
+               "                       (default 1000000)\n"
+               "  --out-dir=DIR        where to write artifacts (default .)\n"
+               "  --check              verify flow recording moved no guest\n"
+               "                       cycle (all-board fingerprints) and the\n"
+               "                       exports are byte-identical at 1/2/4\n"
+               "                       worker threads\n"
+               "\n"
+               "artifacts (per target): flow_<name>.json        (flow table)\n"
+               "                        flowhist_<name>.json    (histograms)\n"
+               "                        fleetmetrics_<name>.json (series)\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cheriot_flow: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+struct RunArtifacts {
+  std::string flow_json;
+  std::string hist_json;
+  std::string metrics_json;
+  std::vector<sim::Board::Fingerprint> fingerprints;
+  Cycles now = 0;
+  uint64_t flows = 0;
+  uint64_t deliveries = 0;
+  uint64_t drops = 0;
+};
+
+// One deterministic fleet run: the same chunked schedule (with control
+// publishes at fixed chunk boundaries) regardless of `flow` / worker count,
+// so every invocation is comparing like with like.
+RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
+                      bool flow, int host_threads) {
+  sim::FleetOptions fopts;
+  fopts.host_threads = host_threads;
+  fopts.flow = flow;
+  fopts.flow_options.metrics_interval = opts.metrics_interval;
+  sim::Fleet fleet(fopts);
+  for (int i = 0; i < opts.fleet; ++i) {
+    fleet.AddBoard(target.build());
+  }
+  fleet.Boot();
+  const int chunks = opts.publishes + 1;
+  const Cycles chunk = opts.cycles / static_cast<Cycles>(chunks);
+  for (int i = 0; i < chunks; ++i) {
+    fleet.Run(i + 1 == chunks ? opts.cycles - chunk * (chunks - 1) : chunk);
+    if (i + 1 < chunks) {
+      const std::string payload = "cmd" + std::to_string(i);
+      fleet.PublishMqtt("leds",
+                        net::Bytes(payload.begin(), payload.end()));
+    }
+  }
+  RunArtifacts a;
+  a.fingerprints = fleet.Fingerprints();
+  a.now = fleet.Now();
+  if (flow::FlowRecorder* fr = fleet.flow_recorder()) {
+    a.flows = fr->flow_count();
+    a.deliveries = fr->deliveries();
+    a.drops = fr->drops();
+    a.flow_json = fr->FlowTableJson().Dump(2) + "\n";
+    a.hist_json = fr->HistogramsJson().Dump(2) + "\n";
+    a.metrics_json = fr->MetricsJson().Dump(2) + "\n";
+  }
+  return a;
+}
+
+// Runs one target; returns false on a --check failure.
+bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
+  RunArtifacts flowed = RunFleet(target, opts, true, opts.host_threads);
+
+  const std::string base = opts.out_dir + "/";
+  if (!WriteFile(base + "flow_" + target.name + ".json", flowed.flow_json) ||
+      !WriteFile(base + "flowhist_" + target.name + ".json",
+                 flowed.hist_json) ||
+      !WriteFile(base + "fleetmetrics_" + target.name + ".json",
+                 flowed.metrics_json)) {
+    return false;
+  }
+  std::printf("%-26s %12llu cycles %6llu flows %6llu delivered %4llu dropped\n",
+              target.name.c_str(), static_cast<unsigned long long>(flowed.now),
+              static_cast<unsigned long long>(flowed.flows),
+              static_cast<unsigned long long>(flowed.deliveries),
+              static_cast<unsigned long long>(flowed.drops));
+
+  if (!opts.check) {
+    return true;
+  }
+  if (opts.inject_check_failure && !flowed.fingerprints.empty()) {
+    ++flowed.fingerprints[0].uart_hash;
+  }
+  bool ok = true;
+  // Contract 1: recording off, same run — every board's fingerprint matches.
+  RunArtifacts plain = RunFleet(target, opts, false, opts.host_threads);
+  for (size_t b = 0; b < flowed.fingerprints.size(); ++b) {
+    if (!(plain.fingerprints[b] == flowed.fingerprints[b])) {
+      std::fprintf(stderr,
+                   "cheriot_flow: %s: flow recording changed board %zu's "
+                   "fingerprint (now %llu vs %llu, uart %016llx vs %016llx)\n",
+                   target.name.c_str(), b,
+                   static_cast<unsigned long long>(flowed.fingerprints[b].now),
+                   static_cast<unsigned long long>(plain.fingerprints[b].now),
+                   static_cast<unsigned long long>(
+                       flowed.fingerprints[b].uart_hash),
+                   static_cast<unsigned long long>(
+                       plain.fingerprints[b].uart_hash));
+      ok = false;
+    }
+  }
+  // Contract 2: exports byte-identical at 1, 2 and 4 worker threads.
+  const RunArtifacts one = RunFleet(target, opts, true, 1);
+  for (int threads : {2, 4}) {
+    const RunArtifacts multi = RunFleet(target, opts, true, threads);
+    if (multi.flow_json != one.flow_json ||
+        multi.hist_json != one.hist_json ||
+        multi.metrics_json != one.metrics_json) {
+      std::fprintf(stderr,
+                   "cheriot_flow: %s: exports differ between 1 and %d worker "
+                   "threads\n",
+                   target.name.c_str(), threads);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%-26s check ok: fingerprints invariant on %zu boards, "
+                "exports stable at 1/2/4 workers\n",
+                target.name.c_str(), flowed.fingerprints.size());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-targets") {
+      opts.list = true;
+    } else if (arg == "--all") {
+      opts.all = true;
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (arg == "--inject-check-failure") {
+      opts.inject_check_failure = true;
+    } else if (const char* v = value("--target=")) {
+      for (auto& t : SplitCsv(v)) {
+        opts.targets.push_back(t);
+      }
+    } else if (const char* v = value("--cycles=")) {
+      opts.cycles = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--fleet=")) {
+      opts.fleet = std::atoi(v);
+    } else if (const char* v = value("--publishes=")) {
+      opts.publishes = std::atoi(v);
+    } else if (const char* v = value("--host-threads=")) {
+      opts.host_threads = std::atoi(v);
+    } else if (const char* v = value("--metrics-interval=")) {
+      opts.metrics_interval = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out-dir=")) {
+      opts.out_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "cheriot_flow: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+
+  if (opts.list) {
+    for (const auto& t : LintTargets()) {
+      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    return 0;
+  }
+  if (opts.all) {
+    for (const auto& t : LintTargets()) {
+      opts.targets.push_back(t.name);
+    }
+  }
+  if (opts.targets.empty() || opts.fleet < 1 || opts.publishes < 0) {
+    Usage(stderr);
+    return 2;
+  }
+
+  bool ok = true;
+  for (const auto& name : opts.targets) {
+    const tools::LintTarget* t = FindLintTarget(name);
+    if (t == nullptr) {
+      std::fprintf(stderr,
+                   "cheriot_flow: unknown target '%s' (--list-targets)\n",
+                   name.c_str());
+      return 2;
+    }
+    try {
+      ok = RunTarget(*t, opts) && ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_flow: %s failed: %s\n", name.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}
