@@ -4,6 +4,7 @@
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/cov/coverage.h"
 #include "src/health/forensics.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
@@ -137,6 +138,9 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
                            m.memory().RawLoadWord(unsealed_q.base() + 12),
                            need);
     }
+    if (auto* cr = m.cov()) {
+      cr->OnQuotaDenied(m.memory().RawLoadWord(unsealed_q.base() + 12), need);
+    }
     return StatusCap(Status::kNoMemory);
   }
 
@@ -203,6 +207,9 @@ Capability Allocator::AllocateInternal(CompartmentCtx& ctx,
         tr->OnHeapAlloc(system_->current_thread_id(), ctx.compartment(),
                         h.quota, h.size);
       }
+      if (auto* cr = m.cov()) {
+        cr->OnHeapAlloc(h.quota, h.size);
+      }
       // Freed memory was zeroed in free(); exclusive allocator access
       // guarantees the zeros persisted (§3.1.3 "Zeroing").
       return MakeHeapCap(PayloadOf(chunk), payload_size);
@@ -267,6 +274,9 @@ void Allocator::ReleaseChunk(Address chunk, const Header& header) {
   }
   if (auto* tr = m.trace()) {
     tr->OnHeapFree(thread, comp, header.quota, header.size);
+  }
+  if (auto* cr = m.cov()) {
+    cr->OnHeapFree(header.quota, header.size);
   }
   system_->machine().revoker().StartSweep();
 }
@@ -560,6 +570,9 @@ Capability Allocator::TokenObjNew(CompartmentCtx& ctx,
   Memory& mem = system_->machine().memory();
   mem.StoreWord(heap_root_, raw.base(), key.cursor());  // virtual type header
   mem.StoreWord(heap_root_, raw.base() + 4, size);
+  if (auto* cr = system_->machine().cov()) {
+    cr->OnSealingUse(AttributedCompartment(), key.cursor(), /*unseal=*/false);
+  }
   return system_->token().SealWithHardwareType(raw);
 }
 
@@ -578,6 +591,9 @@ Status Allocator::TokenObjDestroy(CompartmentCtx& ctx,
   const Word vtype = mem.LoadWord(heap_root_, unsealed.base());
   if (vtype != key.cursor()) {
     return Status::kPermissionDenied;
+  }
+  if (auto* cr = system_->machine().cov()) {
+    cr->OnSealingUse(AttributedCompartment(), key.cursor(), /*unseal=*/true);
   }
   // The sealed allocation requires both the matching allocation capability
   // and the sealing key to deallocate (§3.2.3).

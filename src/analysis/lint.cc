@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "src/cov/report.h"
+
 namespace cheriot::analysis {
 
 namespace {
@@ -492,6 +494,112 @@ void InterruptPostureAudit(const json::Value& report,
   }
 }
 
+// --- CL010: unused-authority (dynamic coverage evidence) --------------------
+
+void UnusedAuthority(const json::Value& report, const LintOptions& options,
+                     std::vector<Finding>* findings) {
+  if (options.coverage == nullptr) {
+    return;
+  }
+  const cov::ExerciseIndex idx = cov::BuildExerciseIndex(*options.coverage);
+  if (!idx.valid) {
+    return;
+  }
+  const std::string image = report["firmware"].AsString();
+  auto push = [findings](const std::string& severity,
+                         const std::string& subject, std::string message,
+                         std::string fix) {
+    Finding f;
+    f.rule = "CL010";
+    f.name = "unused-authority";
+    f.severity = severity;
+    f.subject = subject;
+    f.message = std::move(message);
+    f.fix = std::move(fix);
+    findings->push_back(std::move(f));
+  };
+  if (idx.image != image) {
+    push("info", image,
+         "coverage evidence is for image \"" + idx.image + "\", not \"" +
+             image + "\"; unused-authority not evaluated",
+         "re-run cheriot_cov on this image");
+    return;
+  }
+  const std::set<std::string>& service = cov::ServiceOwners();
+  for (const auto& [comp, c] : ObjOrEmpty(report["compartments"])) {
+    // Mirrors the least-privilege report (src/cov/report.cc): an
+    // unexercised grant is only *suspicious* when its holder demonstrably
+    // ran and used other authority of its own; being called doesn't count.
+    // Imports targeting a service owner — and service owners' own device
+    // windows — are wholesale linkage (sync::Use*, net::UseNetwork), so
+    // they stay info regardless.
+    const bool active = idx.active.count(comp) > 0;
+    const std::string unused_sev = active ? "warning" : "info";
+    const std::string holder_sev = service.count(comp) ? "info" : unused_sev;
+    for (const auto& imp : ArrOrEmpty(c["imports"])) {
+      const std::string& kind = imp["kind"].AsString();
+      if (kind == "call") {
+        const std::string& callee = imp["compartment_name"].AsString();
+        const std::string target = callee + "." + imp["function"].AsString();
+        if (!idx.calls.count({comp, target})) {
+          push(service.count(callee) ? "info" : unused_sev,
+               comp + " -> " + target,
+               comp + " imports " + target + " but never called it",
+               "remove unused import: ImageBuilder.Compartment(\"" + comp +
+                   "\").ImportCompartment(\"" + target + "\")");
+        }
+      } else if (kind == "library") {
+        const std::string& library = imp["library"].AsString();
+        const std::string target = library + "." + imp["function"].AsString();
+        if (!idx.libcalls.count({comp, target})) {
+          push(service.count(library) ? "info" : unused_sev,
+               comp + " -> " + target,
+               comp + " imports library " + target + " but never called it",
+               "remove unused import: ImageBuilder.Compartment(\"" + comp +
+                   "\").ImportLibrary(\"" + target + "\")");
+        }
+      } else if (kind == "mmio") {
+        const std::string& device = imp["device"].AsString();
+        const auto key = std::make_tuple(
+            comp, device, static_cast<uint64_t>(imp["start"].AsInt()),
+            static_cast<uint64_t>(imp["length"].AsInt()));
+        auto it = idx.mmio.find(key);
+        if (it == idx.mmio.end() ||
+            it->second.reads + it->second.writes == 0) {
+          push(holder_sev, comp + " -> " + device,
+               comp + " holds mmio grant \"" + device + "\" (" +
+                   std::to_string(imp["length"].AsInt()) +
+                   " bytes) but never touched it",
+               "remove unused grant: ImageBuilder.Compartment(\"" + comp +
+                   "\").ImportMmio(\"" + device + "\", ...)");
+        }
+      } else if (kind == "allocation_capability") {
+        const std::string& name = imp["name"].AsString();
+        auto it = idx.quotas.find({comp, name});
+        if (it == idx.quotas.end() ||
+            it->second.allocations + it->second.denials == 0) {
+          // Quotas and sealing keys are standing headroom, not a reachable
+          // attack surface the way a dead call or device window is: info.
+          push("info", comp + " -> " + name,
+               comp + " holds allocation capability \"" + name +
+                   "\" but never allocated from it",
+               "remove unused quota: ImageBuilder.Compartment(\"" + comp +
+                   "\").AllocCap(\"" + name + "\", ...)");
+        }
+      } else if (kind == "sealing_key") {
+        const std::string& type = imp["sealing_type"].AsString();
+        if (!idx.sealing.count({comp, type})) {
+          push("info", comp + " -> " + type,
+               comp + " holds a sealing key for \"" + type +
+                   "\" but never sealed or unsealed with it",
+               "remove unused key: ImageBuilder.Compartment(\"" + comp +
+                   "\").SealingKey(\"" + type + "\")");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLints(const json::Value& report,
@@ -506,6 +614,7 @@ std::vector<Finding> RunLints(const json::Value& report,
   StackDepth(report, graph, &findings);
   DuplicateExports(report, &findings);
   InterruptPostureAudit(report, graph, options, &findings);
+  UnusedAuthority(report, options, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               const int ra = SeverityRank(a.severity);

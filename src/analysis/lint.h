@@ -26,6 +26,14 @@
 //         Interrupt-disabled sentries are availability authority (§2.1): the
 //         caller stalls the whole board's scheduler for the export's
 //         duration, so who can reach one is an auditable property
+//   CL010 unused-authority             (warning/info) a static grant (call,
+//         library or MMIO import; allocation capability; sealing key) was
+//         never exercised in a coverage run (src/cov evidence, §14). The one
+//         evidence-driven rule: it only runs when LintOptions.coverage is
+//         supplied, so plain lint output is unchanged. Unexercised call/
+//         library/MMIO grants warn only when the holder was *active* (used
+//         some other authority of its own); alloc-cap and sealing-key
+//         findings are always info
 #ifndef SRC_ANALYSIS_LINT_H_
 #define SRC_ANALYSIS_LINT_H_
 
@@ -60,6 +68,11 @@ struct LintOptions {
   // CL009: owners whose interrupts-disabled exports are the expected TCB
   // service surface — every compartment calls these by design.
   std::vector<std::string> posture_exempt_owners = {"alloc", "sched", "token"};
+  // CL010: optional dynamic evidence — a parsed cov_<image>.json document
+  // (tools/cheriot_cov, src/cov/report.h). Null (the default) disables the
+  // rule entirely; evidence for a different image yields a single info
+  // finding instead of a diff.
+  const json::Value* coverage = nullptr;
 };
 
 // Runs all lint passes over a BuildReport() document. Findings are sorted

@@ -1,0 +1,469 @@
+#include "src/cov/coverage.h"
+
+#include <algorithm>
+
+#include "src/hw/machine.h"
+#include "src/mem/memory.h"
+#include "src/snap/wire.h"
+
+namespace cheriot::cov {
+
+namespace {
+
+// Lowercase hex of a granule bitmap, 16 chars per 64-granule word, in word
+// order. Byte-stable and trivially OR-able for the fleet-merged export.
+std::string BitmapHex(const std::vector<uint64_t>& words) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(words.size() * 16);
+  for (uint64_t w : words) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kHex[(w >> shift) & 0xf]);
+    }
+  }
+  return out;
+}
+
+void MmioTrampoline(void* ctx, Address addr, Address size, bool is_store) {
+  static_cast<CovRecorder*>(ctx)->OnMmioAccess(addr, size, is_store);
+}
+
+}  // namespace
+
+size_t MmioGrantCov::granules_touched() const {
+  size_t n = 0;
+  for (uint64_t w : touched) {
+    n += static_cast<size_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+CovRecorder::CovRecorder(CovOptions options) : options_(options) {}
+
+void CovRecorder::SetCompartmentNames(std::vector<std::string> names) {
+  compartment_names_ = std::move(names);
+}
+void CovRecorder::SetExportNames(std::vector<std::vector<std::string>> names) {
+  export_names_ = std::move(names);
+}
+void CovRecorder::SetLibraryNames(std::vector<std::string> names) {
+  library_names_ = std::move(names);
+}
+void CovRecorder::SetLibraryExportNames(
+    std::vector<std::vector<std::string>> names) {
+  library_export_names_ = std::move(names);
+}
+void CovRecorder::SetThreadNames(std::vector<std::string> names) {
+  thread_names_ = std::move(names);
+}
+
+void CovRecorder::AddMmioGrant(int compartment, std::string device,
+                               Address base, Address size, bool writeable) {
+  MmioGrantCov g;
+  g.compartment = compartment;
+  g.device = std::move(device);
+  g.base = base;
+  g.size = size;
+  g.writeable = writeable;
+  if (options_.mmio_granules) {
+    g.touched.assign((g.granules_total() + 63) / 64, 0);
+  }
+  mmio_.push_back(std::move(g));
+}
+
+void CovRecorder::AddQuotaGrant(uint32_t quota_id, int compartment,
+                                std::string name, Word limit) {
+  QuotaGrantCov g;
+  g.quota_id = quota_id;
+  g.compartment = compartment;
+  g.name = std::move(name);
+  g.limit = limit;
+  quotas_.push_back(std::move(g));
+}
+
+void CovRecorder::AddSealingGrant(int compartment, std::string type_name,
+                                  uint32_t type_id) {
+  SealingGrantCov g;
+  g.compartment = compartment;
+  g.type_name = std::move(type_name);
+  g.type_id = type_id;
+  sealing_.push_back(std::move(g));
+}
+
+void CovRecorder::OnContextSwitch(int to_thread) {
+  current_thread_ = to_thread;
+}
+
+void CovRecorder::OnCompartmentCall(int thread, int caller, int callee,
+                                    int export_index, uint32_t depth) {
+  if (thread >= 0) {
+    if (static_cast<size_t>(thread) >= thread_stacks_.size()) {
+      thread_stacks_.resize(static_cast<size_t>(thread) + 1);
+    }
+    thread_stacks_[static_cast<size_t>(thread)].push_back(callee);
+  }
+  const Cycles at = now();
+  EdgeStats& e = calls_[{caller, callee, export_index}];
+  if (e.count == 0) {
+    e.first_cycle = at;
+  }
+  ++e.count;
+  e.last_cycle = at;
+  e.peak_depth = std::max(e.peak_depth, depth);
+  uint32_t& peak = peak_depth_[{callee, export_index}];
+  peak = std::max(peak, depth);
+  ++calls_recorded_;
+}
+
+void CovRecorder::OnCompartmentReturn(int thread) {
+  if (thread < 0 || static_cast<size_t>(thread) >= thread_stacks_.size()) {
+    return;
+  }
+  auto& stack = thread_stacks_[static_cast<size_t>(thread)];
+  if (!stack.empty()) {
+    stack.pop_back();
+  }
+}
+
+void CovRecorder::OnLibraryCall(int thread, int caller, int library,
+                                int export_index) {
+  (void)thread;
+  const Cycles at = now();
+  EdgeStats& e = libs_[{caller, library, export_index}];
+  if (e.count == 0) {
+    e.first_cycle = at;
+  }
+  ++e.count;
+  e.last_cycle = at;
+}
+
+int CovRecorder::CurrentCompartment() const {
+  if (current_thread_ < 0) {
+    return current_thread_ == kCompartmentIdle ? kCompartmentIdle
+                                               : kCompartmentBoot;
+  }
+  const size_t t = static_cast<size_t>(current_thread_);
+  if (t < thread_stacks_.size() && !thread_stacks_[t].empty()) {
+    return thread_stacks_[t].back();
+  }
+  return kCompartmentKernel;
+}
+
+void CovRecorder::OnMmioAccess(Address addr, Address size, bool is_store) {
+  const int comp = CurrentCompartment();
+  const Cycles at = now();
+  for (MmioGrantCov& g : mmio_) {
+    if (g.compartment != comp || addr < g.base || addr >= g.base + g.size) {
+      continue;
+    }
+    if (g.reads + g.writes == 0) {
+      g.first_cycle = at;
+    }
+    g.last_cycle = at;
+    if (is_store) {
+      ++g.writes;
+    } else {
+      ++g.reads;
+    }
+    if (!g.touched.empty()) {
+      const Address end = std::min<Address>(addr + size, g.base + g.size);
+      for (Address a = AlignDown(addr, kGranuleBytes); a < end;
+           a += kGranuleBytes) {
+        const size_t bit = (a - g.base) / kGranuleBytes;
+        g.touched[bit / 64] |= 1ull << (bit % 64);
+      }
+    }
+    return;
+  }
+  // No covering grant for the touching compartment: the access went through
+  // a delegated capability or a pseudo context. Recorded so the report can
+  // surface authority exercised outside the static grant table.
+  ++unattributed_mmio_[{comp, AlignDown(addr, kGranuleBytes)}];
+}
+
+void CovRecorder::OnSealingUse(int compartment, uint32_t type_id,
+                               bool unseal) {
+  for (SealingGrantCov& g : sealing_) {
+    if (g.compartment == compartment && g.type_id == type_id) {
+      if (unseal) {
+        ++g.unseals;
+      } else {
+        ++g.seals;
+      }
+      return;
+    }
+  }
+}
+
+void CovRecorder::OnHeapAlloc(uint32_t quota, Word bytes) {
+  for (QuotaGrantCov& g : quotas_) {
+    if (g.quota_id != quota) {
+      continue;
+    }
+    ++g.allocations;
+    g.live_bytes += bytes;
+    g.peak_live_bytes = std::max(g.peak_live_bytes, g.live_bytes);
+    return;
+  }
+}
+
+void CovRecorder::OnHeapFree(uint32_t quota, Word bytes) {
+  for (QuotaGrantCov& g : quotas_) {
+    if (g.quota_id != quota) {
+      continue;
+    }
+    ++g.frees;
+    g.live_bytes -= std::min(g.live_bytes, bytes);
+    return;
+  }
+}
+
+void CovRecorder::OnQuotaDenied(uint32_t quota, Word bytes) {
+  (void)bytes;
+  for (QuotaGrantCov& g : quotas_) {
+    if (g.quota_id == quota) {
+      ++g.denials;
+      return;
+    }
+  }
+}
+
+std::string CovRecorder::CompartmentName(int id) const {
+  if (id >= 0 && static_cast<size_t>(id) < compartment_names_.size()) {
+    return compartment_names_[static_cast<size_t>(id)];
+  }
+  switch (id) {
+    case kCompartmentIdle: return "<idle>";
+    case kCompartmentBoot: return "<boot>";
+    case kCompartmentKernel: return "<kernel>";
+    default: return "compartment" + std::to_string(id);
+  }
+}
+
+std::string CovRecorder::ExportName(int compartment, int export_index) const {
+  if (compartment >= 0 &&
+      static_cast<size_t>(compartment) < export_names_.size()) {
+    const auto& names = export_names_[static_cast<size_t>(compartment)];
+    if (export_index >= 0 &&
+        static_cast<size_t>(export_index) < names.size()) {
+      return names[static_cast<size_t>(export_index)];
+    }
+  }
+  return "export" + std::to_string(export_index);
+}
+
+std::string CovRecorder::LibraryName(int id) const {
+  if (id >= 0 && static_cast<size_t>(id) < library_names_.size()) {
+    return library_names_[static_cast<size_t>(id)];
+  }
+  return "library" + std::to_string(id);
+}
+
+std::string CovRecorder::LibraryExportName(int library,
+                                           int export_index) const {
+  if (library >= 0 &&
+      static_cast<size_t>(library) < library_export_names_.size()) {
+    const auto& names = library_export_names_[static_cast<size_t>(library)];
+    if (export_index >= 0 &&
+        static_cast<size_t>(export_index) < names.size()) {
+      return names[static_cast<size_t>(export_index)];
+    }
+  }
+  return "export" + std::to_string(export_index);
+}
+
+json::Value CovRecorder::Json() const {
+  json::Object doc;
+  doc["board"] = board_index_;
+  doc["label"] = label_;
+  doc["now"] = now();
+  doc["calls_recorded"] = calls_recorded_;
+
+  json::Array calls;
+  for (const auto& [key, e] : calls_) {
+    const auto [caller, callee, exp] = key;
+    json::Object o;
+    o["caller"] = caller == kCallerThreadEntry ? std::string("<entry>")
+                                               : CompartmentName(caller);
+    o["callee"] = CompartmentName(callee);
+    o["export"] = ExportName(callee, exp);
+    o["count"] = e.count;
+    o["first_cycle"] = e.first_cycle;
+    o["last_cycle"] = e.last_cycle;
+    o["peak_depth"] = e.peak_depth;
+    calls.push_back(std::move(o));
+  }
+  doc["calls"] = std::move(calls);
+
+  json::Array libcalls;
+  for (const auto& [key, e] : libs_) {
+    const auto [caller, lib, exp] = key;
+    json::Object o;
+    o["caller"] = caller == kCallerThreadEntry ? std::string("<entry>")
+                                               : CompartmentName(caller);
+    o["library"] = LibraryName(lib);
+    o["export"] = LibraryExportName(lib, exp);
+    o["count"] = e.count;
+    o["first_cycle"] = e.first_cycle;
+    o["last_cycle"] = e.last_cycle;
+    libcalls.push_back(std::move(o));
+  }
+  doc["library_calls"] = std::move(libcalls);
+
+  json::Array exports;
+  for (const auto& [key, depth] : peak_depth_) {
+    json::Object o;
+    o["compartment"] = CompartmentName(key.first);
+    o["export"] = ExportName(key.first, key.second);
+    o["peak_depth"] = depth;
+    exports.push_back(std::move(o));
+  }
+  doc["export_peak_depth"] = std::move(exports);
+
+  json::Array mmio;
+  for (const MmioGrantCov& g : mmio_) {
+    json::Object o;
+    o["compartment"] = CompartmentName(g.compartment);
+    o["device"] = g.device;
+    o["base"] = g.base;
+    o["size"] = g.size;
+    o["writeable"] = g.writeable;
+    o["reads"] = g.reads;
+    o["writes"] = g.writes;
+    o["first_cycle"] = g.first_cycle;
+    o["last_cycle"] = g.last_cycle;
+    o["granules_total"] = static_cast<uint64_t>(g.granules_total());
+    o["granules_touched"] = static_cast<uint64_t>(g.granules_touched());
+    if (!g.touched.empty()) {
+      o["touched"] = BitmapHex(g.touched);
+    }
+    mmio.push_back(std::move(o));
+  }
+  doc["mmio"] = std::move(mmio);
+
+  json::Array stray;
+  for (const auto& [key, count] : unattributed_mmio_) {
+    json::Object o;
+    o["compartment"] = CompartmentName(key.first);
+    o["granule"] = key.second;
+    o["count"] = count;
+    stray.push_back(std::move(o));
+  }
+  doc["unattributed_mmio"] = std::move(stray);
+
+  json::Array sealing;
+  for (const SealingGrantCov& g : sealing_) {
+    json::Object o;
+    o["compartment"] = CompartmentName(g.compartment);
+    o["type"] = g.type_name;
+    o["type_id"] = g.type_id;
+    o["seals"] = g.seals;
+    o["unseals"] = g.unseals;
+    sealing.push_back(std::move(o));
+  }
+  doc["sealing"] = std::move(sealing);
+
+  json::Array quotas;
+  for (const QuotaGrantCov& g : quotas_) {
+    json::Object o;
+    o["quota_id"] = g.quota_id;
+    o["compartment"] = CompartmentName(g.compartment);
+    o["name"] = g.name;
+    o["limit"] = g.limit;
+    o["allocations"] = g.allocations;
+    o["frees"] = g.frees;
+    o["denials"] = g.denials;
+    o["live_bytes"] = g.live_bytes;
+    o["peak_live_bytes"] = g.peak_live_bytes;
+    quotas.push_back(std::move(o));
+  }
+  doc["quotas"] = std::move(quotas);
+
+  return json::Value(std::move(doc));
+}
+
+void CovRecorder::SerializeState(snap::Writer& w) const {
+  w.U64(calls_recorded_);
+  auto put_edges = [&w](const std::map<EdgeKey, EdgeStats>& edges) {
+    w.U32(static_cast<uint32_t>(edges.size()));
+    for (const auto& [key, e] : edges) {
+      w.I32(std::get<0>(key));
+      w.I32(std::get<1>(key));
+      w.I32(std::get<2>(key));
+      w.U64(e.count);
+      w.U64(e.first_cycle);
+      w.U64(e.last_cycle);
+      w.U32(e.peak_depth);
+    }
+  };
+  put_edges(calls_);
+  put_edges(libs_);
+  w.U32(static_cast<uint32_t>(peak_depth_.size()));
+  for (const auto& [key, depth] : peak_depth_) {
+    w.I32(key.first);
+    w.I32(key.second);
+    w.U32(depth);
+  }
+  w.U32(static_cast<uint32_t>(mmio_.size()));
+  for (const MmioGrantCov& g : mmio_) {
+    w.I32(g.compartment);
+    w.Str(g.device);
+    w.U32(g.base);
+    w.U32(g.size);
+    w.Bool(g.writeable);
+    w.U64(g.reads);
+    w.U64(g.writes);
+    w.U64(g.first_cycle);
+    w.U64(g.last_cycle);
+    w.U32(static_cast<uint32_t>(g.touched.size()));
+    for (uint64_t word : g.touched) {
+      w.U64(word);
+    }
+  }
+  w.U32(static_cast<uint32_t>(unattributed_mmio_.size()));
+  for (const auto& [key, count] : unattributed_mmio_) {
+    w.I32(key.first);
+    w.U32(key.second);
+    w.U64(count);
+  }
+  w.U32(static_cast<uint32_t>(sealing_.size()));
+  for (const SealingGrantCov& g : sealing_) {
+    w.I32(g.compartment);
+    w.Str(g.type_name);
+    w.U32(g.type_id);
+    w.U64(g.seals);
+    w.U64(g.unseals);
+  }
+  w.U32(static_cast<uint32_t>(quotas_.size()));
+  for (const QuotaGrantCov& g : quotas_) {
+    w.U32(g.quota_id);
+    w.I32(g.compartment);
+    w.Str(g.name);
+    w.U32(g.limit);
+    w.U64(g.allocations);
+    w.U64(g.frees);
+    w.U64(g.denials);
+    w.U32(g.live_bytes);
+    w.U32(g.peak_live_bytes);
+  }
+  w.I32(current_thread_);
+  w.U32(static_cast<uint32_t>(thread_stacks_.size()));
+  for (const auto& stack : thread_stacks_) {
+    w.U32(static_cast<uint32_t>(stack.size()));
+    for (int c : stack) {
+      w.I32(c);
+    }
+  }
+}
+
+void Attach(Machine& machine, CovRecorder* recorder) {
+  if (recorder != nullptr) {
+    recorder->SetClock(&machine.clock());
+    machine.memory().SetMmioObserver(&MmioTrampoline, recorder);
+  } else {
+    machine.memory().SetMmioObserver(nullptr, nullptr);
+  }
+  machine.set_cov(recorder);
+}
+
+}  // namespace cheriot::cov

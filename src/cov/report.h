@@ -1,0 +1,101 @@
+// Coverage export and least-privilege reporting (DESIGN.md §14).
+//
+// CoverageJson merges per-board recorders (board-index order, the fleet
+// determinism argument) into the schema-versioned `cov_<image>.json`
+// document. BuildExerciseIndex digests such a document into the dynamic
+// exercise sets, and LeastPrivilegeJson diffs them against the §4 audit
+// report — the static authority grants — into the least-privilege report:
+// unused imports, MMIO ranges granted-but-untouched, never-called exports,
+// quota headroom, each with a suggested policy/lint tightening. The same
+// index drives lint rule CL010 (src/analysis/lint.cc).
+#ifndef SRC_COV_REPORT_H_
+#define SRC_COV_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/json/json.h"
+
+namespace cheriot::cov {
+
+class CovRecorder;
+
+inline constexpr int kCoverageSchemaVersion = 1;
+inline constexpr int kLeastPrivilegeSchemaVersion = 1;
+
+// The merged, byte-stable coverage document:
+//   { "schema_version": 1, "image": ..., "boards": [ <per-board body>... ] }
+// Boards must be passed in board-index order.
+json::Value CoverageJson(const std::string& image,
+                         const std::vector<const CovRecorder*>& boards);
+
+// Dynamic exercise sets digested from a coverage document, unioned across
+// boards (same image on every board, so grant tables line up by identity).
+struct MmioUse {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t granules_total = 0;
+  uint64_t granules_touched = 0;  // popcount of the cross-board union
+};
+
+struct QuotaUse {
+  uint64_t allocations = 0;
+  uint64_t denials = 0;
+  uint64_t limit = 0;
+  uint64_t peak_live = 0;  // max over boards
+};
+
+struct ExerciseIndex {
+  bool valid = false;  // parsed a recognisable coverage document
+  std::string image;
+  int boards = 0;
+  // (caller compartment, "callee.function") cross-compartment edges.
+  std::set<std::pair<std::string, std::string>> calls;
+  // (caller compartment, "library.function") edges.
+  std::set<std::pair<std::string, std::string>> libcalls;
+  // "compartment.function" exports invoked at least once (any caller).
+  std::set<std::string> called_exports;
+  // (compartment, device, base, size) -> use.
+  std::map<std::tuple<std::string, std::string, uint64_t, uint64_t>, MmioUse>
+      mmio;
+  // (compartment, alloc-capability name) -> use.
+  std::map<std::pair<std::string, std::string>, QuotaUse> quotas;
+  // (compartment, sealing type) exercised via seal or unseal.
+  std::set<std::pair<std::string, std::string>> sealing;
+  // Compartments that exercised at least one of their *own* grants (made a
+  // call, touched MMIO, allocated, sealed/unsealed). Being called does not
+  // make a compartment active — shipped audit fixtures with no-op entry
+  // points stay inactive, which is what keeps CL010 free of false
+  // positives: an unexercised grant is only *suspicious* (warning) when its
+  // holder demonstrably ran and used other authority.
+  std::set<std::string> active;
+};
+
+ExerciseIndex BuildExerciseIndex(const json::Value& coverage);
+
+// Compartments and libraries whose APIs are imported wholesale by the
+// bundled helpers (sync::Use*, net::UseNetwork, compat::UseMalloc,
+// js::RegisterMiniVmLibrary): TCB services and the shipped middleware
+// stacks. An uncalled import *targeting* one of these — or one of their own
+// unexercised device windows — is linkage policy, not an authored grant, so
+// the report and lint rule CL010 keep it at info severity. Used symmetrically
+// by LeastPrivilegeJson and src/analysis/lint.cc.
+const std::set<std::string>& ServiceOwners();
+
+// Diffs static grants (audit report, src/audit) against dynamic exercise
+// (coverage document). If the documents disagree on the image, the report
+// carries a single stale-evidence info finding and no diff.
+json::Value LeastPrivilegeJson(const json::Value& audit_report,
+                               const json::Value& coverage);
+
+// Human-readable rendering of a LeastPrivilegeJson document.
+std::string LeastPrivilegeText(const json::Value& report);
+
+}  // namespace cheriot::cov
+
+#endif  // SRC_COV_REPORT_H_

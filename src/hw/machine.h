@@ -26,6 +26,10 @@ namespace health {
 class ForensicsRecorder;
 }  // namespace health
 
+namespace cov {
+class CovRecorder;
+}  // namespace cov
+
 struct MachineConfig {
   Address sram_base = 0x20000000;
   Address sram_size = 256 * 1024;  // evaluation board SRAM (§5.3)
@@ -93,6 +97,13 @@ class Machine {
     forensics_ = recorder;
   }
 
+  // Authority-coverage recorder (src/cov). Null when coverage is off; same
+  // zero-cost-when-off rule as trace()/forensics() — every capture site is a
+  // raw-pointer null check. Set via cov::Attach(), which also installs the
+  // memory's MMIO observer.
+  cov::CovRecorder* cov() const { return cov_; }
+  void set_cov(cov::CovRecorder* recorder) { cov_ = recorder; }
+
   // True if any hardware activity is scheduled for the future (armed timer,
   // in-flight revocation sweep, pending world events).
   bool HasFutureEvent() const;
@@ -122,6 +133,7 @@ class Machine {
   EntropySource entropy_;
   trace::TraceRecorder* trace_ = nullptr;
   health::ForensicsRecorder* forensics_ = nullptr;
+  cov::CovRecorder* cov_ = nullptr;
   std::vector<NextEventFn> next_event_sources_;
 };
 

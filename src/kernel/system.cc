@@ -1,9 +1,11 @@
 #include "src/kernel/system.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/cov/coverage.h"
 #include "src/health/forensics.h"
 #include "src/runtime/compartment_ctx.h"
 #include "src/snap/wire.h"
@@ -170,6 +172,83 @@ void System::Boot() {
     hr->SetCompartmentNames(std::move(compartments));
     hr->SetThreadNames(std::move(thread_names));
   }
+  if (auto* cr = machine_.cov()) {
+    // Name tables plus the *static grant tables* the coverage recorder diffs
+    // exercise against: MMIO windows, allocation capabilities and sealing
+    // keys, all read from native loader state (RawLoadWord for the quota
+    // headers) — no guest cycles. Declaration order is import-table order,
+    // keeping the export byte-stable.
+    std::vector<std::string> compartments;
+    std::vector<std::vector<std::string>> exports;
+    for (const auto& c : boot_->compartments) {
+      compartments.push_back(c.name);
+      std::vector<std::string> names;
+      for (const auto& e : c.def->exports) {
+        names.push_back(e.name);
+      }
+      exports.push_back(std::move(names));
+    }
+    std::vector<std::string> libraries;
+    std::vector<std::vector<std::string>> lib_exports;
+    for (const auto& l : boot_->libraries) {
+      libraries.push_back(l.name);
+      std::vector<std::string> names;
+      for (const auto& e : l.def->exports) {
+        names.push_back(e.name);
+      }
+      lib_exports.push_back(std::move(names));
+    }
+    std::vector<std::string> thread_names;
+    for (const auto& t : threads_) {
+      thread_names.push_back(t.name);
+    }
+    cr->SetCompartmentNames(std::move(compartments));
+    cr->SetExportNames(std::move(exports));
+    cr->SetLibraryNames(std::move(libraries));
+    cr->SetLibraryExportNames(std::move(lib_exports));
+    cr->SetThreadNames(std::move(thread_names));
+    // Invert the virtual-type-id table once for sealing-key names.
+    std::map<uint32_t, std::string> type_names;
+    for (const auto& [name, id] : boot_->virtual_type_ids) {
+      type_names[id] = name;
+    }
+    for (size_t ci = 0; ci < boot_->compartments.size(); ++ci) {
+      for (const ImportBinding& b : boot_->compartments[ci].imports) {
+        switch (b.kind) {
+          case ImportBinding::Kind::kMmio:
+            cr->AddMmioGrant(static_cast<int>(ci), b.qualified_name,
+                             b.cap.base(), b.cap.length(),
+                             b.cap.permissions().Has(Permission::kStore));
+            break;
+          case ImportBinding::Kind::kSealedObject: {
+            // Allocation capabilities are sealed quota headers: magic 'ALOC',
+            // then limit and used words, then the quota id.
+            const Word magic = machine_.memory().RawLoadWord(b.cap.base());
+            if (magic == 0x414C4F43) {
+              const Word limit =
+                  machine_.memory().RawLoadWord(b.cap.base() + 4);
+              const Word quota_id =
+                  machine_.memory().RawLoadWord(b.cap.base() + 12);
+              cr->AddQuotaGrant(quota_id, static_cast<int>(ci),
+                                b.qualified_name, limit);
+            }
+            break;
+          }
+          case ImportBinding::Kind::kSealingKey: {
+            const uint32_t type_id = b.cap.cursor();
+            auto it = type_names.find(type_id);
+            cr->AddSealingGrant(static_cast<int>(ci),
+                                it != type_names.end() ? it->second
+                                                       : b.qualified_name,
+                                type_id);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
 }
 
 void System::CreateThreads() {
@@ -252,6 +331,9 @@ void System::SwitchTo(int next_id) {
     // thread's context.
     tr->OnContextSwitch(prev, next_id);
   }
+  if (auto* cr = machine_.cov()) {
+    cr->OnContextSwitch(next_id);
+  }
   machine_.Tick(cost::kContextSwitch);
   ucontext_t* prev_ctx =
       prev >= 0 ? &threads_[prev].context : &main_context_;
@@ -272,6 +354,9 @@ void System::SwitchToIdle() {
   current_thread_id_ = -1;
   if (auto* tr = machine_.trace()) {
     tr->OnContextSwitch(prev, -1);
+  }
+  if (auto* cr = machine_.cov()) {
+    cr->OnContextSwitch(cov::kCompartmentIdle);
   }
   in_kernel_ = false;
   FiberSwap(&threads_[prev].context, &main_context_, nullptr, prev_dying);
@@ -939,7 +1024,9 @@ void System::BootFromSnapshot(snap::Reader& r) {
   // The cold restore path regenerates no history, so recorders attached now
   // would start from an inconsistent blank; boards that need tracing across
   // a restore use the replay path instead.
-  CHERIOT_CHECK(machine_.trace() == nullptr && machine_.forensics() == nullptr,
+  CHERIOT_CHECK(machine_.trace() == nullptr &&
+                    machine_.forensics() == nullptr &&
+                    machine_.cov() == nullptr,
                 "cold snapshot restore forbids attached recorders");
   boot_ = DeserializeBootInfo(r);
   boot_->image = std::move(image_);

@@ -100,6 +100,9 @@ void Memory::AddMmioRegion(Address base, Address size, MmioHandler handler) {
 
 Word Memory::SlowLoad(Address addr, Address size) {
   if (MmioRegion* r = FindMmio(addr, size)) {
+    if (mmio_observer_) {
+      mmio_observer_(mmio_observer_ctx_, addr, size, /*is_store=*/false);
+    }
     return r->handler(addr - r->base, /*is_store=*/false, 0);
   }
   if (addr < sram_base_ || static_cast<uint64_t>(addr) + size > sram_top()) {
@@ -112,6 +115,9 @@ Word Memory::SlowLoad(Address addr, Address size) {
 
 void Memory::SlowStore(Address addr, Address size, Word value) {
   if (MmioRegion* r = FindMmio(addr, size)) {
+    if (mmio_observer_) {
+      mmio_observer_(mmio_observer_ctx_, addr, size, /*is_store=*/true);
+    }
     r->handler(addr - r->base, /*is_store=*/true, value);
     return;
   }

@@ -108,6 +108,14 @@ class Memory {
   using AccessObserver = void (*)(void* ctx, Address addr, Address size,
                                   bool is_store);
 
+  // Passive observer of MMIO dispatches only, used by the authority-coverage
+  // recorder (src/cov) to record which device granules each compartment
+  // touches. Invoked on the slow (device-window) path right before the
+  // handler runs, so the SRAM fast path never sees it. Same rules as
+  // AccessObserver: must not perturb guest-visible state.
+  using MmioObserver = void (*)(void* ctx, Address addr, Address size,
+                                bool is_store);
+
   Memory(Address sram_base, Address sram_size, CycleClock* clock);
 
   Address sram_base() const { return sram_base_; }
@@ -124,6 +132,11 @@ class Memory {
   void SetAccessObserver(AccessObserver observer, void* ctx) {
     access_observer_ = observer;
     access_observer_ctx_ = ctx;
+  }
+
+  void SetMmioObserver(MmioObserver observer, void* ctx) {
+    mmio_observer_ = observer;
+    mmio_observer_ctx_ = ctx;
   }
 
   // --- Guest (capability-checked) accesses ---
@@ -278,6 +291,8 @@ class Memory {
   void* access_hook_ctx_ = nullptr;
   AccessObserver access_observer_ = nullptr;
   void* access_observer_ctx_ = nullptr;
+  MmioObserver mmio_observer_ = nullptr;
+  void* mmio_observer_ctx_ = nullptr;
   uint64_t access_count_ = 0;
   uint64_t cap_loads_ = 0;
   uint64_t cap_stores_ = 0;

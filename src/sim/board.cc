@@ -63,6 +63,16 @@ health::ForensicsRecorder* Board::EnableForensics(
   return forensics_.get();
 }
 
+cov::CovRecorder* Board::EnableCoverage(cov::CovOptions options) {
+  CHERIOT_CHECK(!booted_, "Board::EnableCoverage() after Boot()");
+  cov_options_ = options;
+  cov_ = std::make_unique<cov::CovRecorder>(options);
+  cov_->SetLabel("board" + std::to_string(options_.index));
+  cov_->SetBoardIndex(options_.index);
+  cov::Attach(machine_, cov_.get());
+  return cov_.get();
+}
+
 void Board::Boot() {
   system_.Boot();
   booted_ = true;
@@ -351,7 +361,7 @@ void Board::BuildSnapshotContainer(snap::Container& c) {
     any_started |= t.started;
   }
   const bool cold = !any_started && op_log_.empty() && trace_ == nullptr &&
-                    forensics_ == nullptr;
+                    forensics_ == nullptr && cov_ == nullptr;
   CHERIOT_CHECK(op_log_enabled_ || cold,
                 "Board::Snapshot() mid-run with the replay log disabled "
                 "produces an unrestorable snapshot");
@@ -365,6 +375,9 @@ void Board::BuildSnapshotContainer(snap::Container& c) {
   }
   if (forensics_ != nullptr) {
     c.flags |= snap::kHasForensics;
+  }
+  if (cov_ != nullptr) {
+    c.flags |= snap::kHasCoverage;
   }
   AddSection(c, snap::kSecOptions, [this](snap::Writer& w) {
     SerializeBoardOptions(w, options_);
@@ -380,6 +393,10 @@ void Board::BuildSnapshotContainer(snap::Container& c) {
       w.Bool(forensics_options_.capture_crash_scene);
       w.U64(forensics_options_.scene_limit);
     }
+    w.Bool(cov_ != nullptr);
+    if (cov_ != nullptr) {
+      w.Bool(cov_options_.mmio_granules);
+    }
   });
   AddSection(c, snap::kSecBootInfo,
              [this](snap::Writer& w) { SerializeBootInfo(w, system_.boot()); });
@@ -391,6 +408,10 @@ void Board::BuildSnapshotContainer(snap::Container& c) {
   if (forensics_ != nullptr) {
     AddSection(c, snap::kSecForensics,
                [this](snap::Writer& w) { forensics_->SerializeState(w); });
+  }
+  if (cov_ != nullptr) {
+    AddSection(c, snap::kSecCoverage,
+               [this](snap::Writer& w) { cov_->SerializeState(w); });
   }
   AddSection(c, snap::kSecReplayLog, [this](snap::Writer& w) {
     w.U64(op_log_.size());
@@ -438,6 +459,11 @@ std::unique_ptr<Board> Board::Restore(const uint8_t* data, size_t size,
     forensics_options.capture_crash_scene = opts.Bool();
     forensics_options.scene_limit = opts.U64();
   }
+  const bool has_cov = opts.Bool();
+  cov::CovOptions cov_options;
+  if (has_cov) {
+    cov_options.mmio_granules = opts.Bool();
+  }
   opts.ExpectEnd("OPTS");
 
   auto board = std::make_unique<Board>(std::move(image), options);
@@ -446,6 +472,9 @@ std::unique_ptr<Board> Board::Restore(const uint8_t* data, size_t size,
   }
   if (has_forensics) {
     board->EnableForensics(forensics_options);
+  }
+  if (has_cov) {
+    board->EnableCoverage(cov_options);
   }
 
   if (c.flags & snap::kColdRestorable) {

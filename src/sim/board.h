@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/cov/coverage.h"
 #include "src/flow/flow.h"
 #include "src/health/forensics.h"
 #include "src/hw/machine.h"
@@ -71,6 +72,12 @@ class Board {
   health::ForensicsRecorder* EnableForensics(
       health::ForensicsOptions options = {});
   health::ForensicsRecorder* forensics_recorder() { return forensics_.get(); }
+
+  // Creates and attaches an authority-coverage recorder (src/cov) for this
+  // board, labeled "board<index>". Must be called before Boot() so the name
+  // and grant tables are published. Returns the recorder; the board owns it.
+  cov::CovRecorder* EnableCoverage(cov::CovOptions options = {});
+  cov::CovRecorder* cov_recorder() { return cov_.get(); }
 
   void Boot();
 
@@ -228,6 +235,7 @@ class Board {
   System system_;
   std::unique_ptr<trace::TraceRecorder> trace_;
   std::unique_ptr<health::ForensicsRecorder> forensics_;
+  std::unique_ptr<cov::CovRecorder> cov_;
   std::vector<TxFrame> tx_staged_;
   std::multimap<Cycles, RxFrame> rx_pending_;
   uint32_t tx_seq_ = 0;  // flow-id sequence; ticks on every transmit
@@ -246,6 +254,7 @@ class Board {
   // Recorder options as passed to Enable*(), re-applied on replay restore.
   trace::TraceOptions trace_options_;
   health::ForensicsOptions forensics_options_;
+  cov::CovOptions cov_options_;
 };
 
 }  // namespace cheriot::sim

@@ -98,6 +98,9 @@ int Fleet::AddBoard(FirmwareImage image) {
   if (options_.forensics) {
     board->EnableForensics(options_.forensics_options);
   }
+  if (options_.cov) {
+    board->EnableCoverage(options_.cov_options);
+  }
   if (options_.flow) {
     board->set_flow_staging(true);
   }
@@ -484,6 +487,16 @@ std::vector<trace::TraceRecorder*> Fleet::TraceRecorders() {
   return out;
 }
 
+std::vector<const cov::CovRecorder*> Fleet::CovRecorders() {
+  std::vector<const cov::CovRecorder*> out;
+  for (auto& board : boards_) {
+    if (auto* cr = board->cov_recorder()) {
+      out.push_back(cr);
+    }
+  }
+  return out;
+}
+
 void Fleet::BuildSnapshotContainer(snap::Container& c) {
   CHERIOT_CHECK(booted_, "Fleet::Snapshot() before Boot()");
   LogAdvance();
@@ -494,6 +507,9 @@ void Fleet::BuildSnapshotContainer(snap::Container& c) {
   }
   if (options_.forensics) {
     c.flags |= snap::kHasForensics;
+  }
+  if (options_.cov) {
+    c.flags |= snap::kHasCoverage;
   }
   {
     // Effective configuration + fleet-level state. host_threads and
@@ -530,6 +546,10 @@ void Fleet::BuildSnapshotContainer(snap::Container& c) {
       w.Bool(options_.forensics_options.capture_crash_scene);
       w.U64(options_.forensics_options.scene_limit);
     }
+    w.Bool(options_.cov);
+    if (options_.cov) {
+      w.Bool(options_.cov_options.mmio_granules);
+    }
     w.U32(static_cast<uint32_t>(boards_.size()));
     w.U64(now_);
     w.U64(frames_exchanged_);
@@ -565,6 +585,11 @@ void Fleet::BuildSnapshotContainer(snap::Container& c) {
         snap::Writer fw;
         fr->SerializeState(fw);
         bc.sections.push_back({snap::kSecForensics, fw.Take()});
+      }
+      if (auto* cr = board->cov_recorder()) {
+        snap::Writer cw;
+        cr->SerializeState(cw);
+        bc.sections.push_back({snap::kSecCoverage, cw.Take()});
       }
       w.Blob(bc.Assemble());
     }
@@ -640,6 +665,10 @@ std::unique_ptr<Fleet> Fleet::Restore(const uint8_t* data, size_t size,
       o.forensics_options.reboot_history = r.U64();
       o.forensics_options.capture_crash_scene = r.Bool();
       o.forensics_options.scene_limit = r.U64();
+    }
+    o.cov = r.Bool();
+    if (o.cov) {
+      o.cov_options.mmio_granules = r.Bool();
     }
     board_count = r.U32();
     r.U64();  // now_: reproduced by the replay, compared by the verify

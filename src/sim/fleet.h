@@ -81,6 +81,12 @@ struct FleetOptions {
   // gated — so fingerprints AND snapshot bytes are identical either way.
   bool flow = false;
   flow::FlowOptions flow_options;
+  // Attach an authority-coverage recorder (src/cov) to every board before
+  // boot. Same zero-guest-cycle contract as trace/forensics; the merged
+  // export iterates boards in index order, so it is byte-identical for any
+  // host worker count.
+  bool cov = false;
+  cov::CovOptions cov_options;
 };
 
 class Fleet {
@@ -143,6 +149,9 @@ class Fleet {
   // All live recorders — one per board plus the fabric's — in a fixed order
   // (board 0..N-1, then fabric) for merged export. Empty when tracing is off.
   std::vector<trace::TraceRecorder*> TraceRecorders();
+  // Per-board coverage recorders in board-index order; empty when coverage
+  // is off. The order is the merged export's determinism argument.
+  std::vector<const cov::CovRecorder*> CovRecorders();
 
   std::vector<Board::Fingerprint> Fingerprints();
 

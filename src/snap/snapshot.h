@@ -26,7 +26,9 @@ namespace cheriot::snap {
 inline constexpr uint64_t kMagic = 0x50414E5352454843ull;  // "CHERSNAP" LE
 // v2: GuestThread::block_seq (KERN) + Scheduler block_seq counter (SCHD),
 // pinning FIFO futex wake order across snapshot/restore.
-inline constexpr uint32_t kVersion = 2;
+// v3: authority-coverage recorder (COVG section + coverage presence bytes in
+// the board OPTS and fleet FLET sections).
+inline constexpr uint32_t kVersion = 3;
 
 enum Kind : uint8_t {
   kBoard = 1,  // one board: options + full machine/kernel state (+ log)
@@ -47,6 +49,7 @@ enum Flags : uint32_t {
   // Embedded inside a fleet blob: per-board state is verification-only (the
   // fleet replays its own control log to rebuild boards).
   kEmbedded = 1u << 4,
+  kHasCoverage = 1u << 5,
 };
 
 // Section ids (fourcc, read as ASCII in hexdumps).
@@ -73,6 +76,7 @@ inline constexpr uint32_t kSecFleet = FourCc('F', 'L', 'E', 'T');
 inline constexpr uint32_t kSecFabric = FourCc('F', 'A', 'B', 'R');
 inline constexpr uint32_t kSecFleetBoards = FourCc('B', 'R', 'D', 'S');
 inline constexpr uint32_t kSecFleetLog = FourCc('F', 'L', 'O', 'G');
+inline constexpr uint32_t kSecCoverage = FourCc('C', 'O', 'V', 'G');
 
 std::string SectionName(uint32_t id);
 

@@ -4,6 +4,7 @@
 
 #include "src/base/costs.h"
 #include "src/base/log.h"
+#include "src/cov/coverage.h"
 #include "src/health/forensics.h"
 #include "src/kernel/system.h"
 #include "src/runtime/compartment_ctx.h"
@@ -166,6 +167,10 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   if (auto* hr = m.forensics()) {
     hr->OnCompartmentCall(t.id, callee_id);
   }
+  if (auto* cr = m.cov()) {
+    cr->OnCompartmentCall(t.id, caller_comp, callee_id, export_index,
+                          t.frame_depth);
+  }
 
   Capability result;
   bool rethrow_forced = false;
@@ -244,6 +249,9 @@ Capability Switcher::DoCall(GuestThread& t, int callee_id, int export_index,
   if (auto* hr = m.forensics()) {
     hr->OnCompartmentReturn(t.id);
   }
+  if (auto* cr = m.cov()) {
+    cr->OnCompartmentReturn(t.id);
+  }
   t.interrupts_enabled = saved_irq;
   if (saved_irq) {
     // Re-enabling interrupts delivers any reschedule deferred by a wake
@@ -273,6 +281,10 @@ Capability Switcher::LibraryCall(GuestThread& t, const ImportBinding& b,
   const ExportDef& exp = lib.def->exports[b.target_export];
   if (auto* tr = m.trace()) {
     tr->OnLibraryCall(t.id, b.target_library, b.target_export);
+  }
+  if (auto* cr = m.cov()) {
+    cr->OnLibraryCall(t.id, t.current_compartment, b.target_library,
+                      b.target_export);
   }
 
   // Sentries carry interrupt-posture semantics (§2.1); the matching return

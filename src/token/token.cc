@@ -1,6 +1,7 @@
 #include "src/token/token.h"
 
 #include "src/base/costs.h"
+#include "src/cov/coverage.h"
 #include "src/kernel/system.h"
 
 namespace cheriot {
@@ -42,6 +43,14 @@ Capability TokenService::Unseal(const Capability& key,
   const Word size = m.memory().LoadWord(unsealed, unsealed.base() + 4);
   if (vtype != key.cursor()) {
     return Capability();
+  }
+  if (auto* cr = m.cov()) {
+    // token_unseal is a library call: it runs in the caller's compartment
+    // context, which is exactly the holder the sealing grant names.
+    const int thread = system_->current_thread_id();
+    cr->OnSealingUse(
+        thread >= 0 ? system_->threads()[thread].current_compartment : -1,
+        key.cursor(), /*unseal=*/true);
   }
   // Return a capability to the payload, exclusive of the header.
   Capability payload =

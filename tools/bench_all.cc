@@ -10,9 +10,21 @@
 // --benchmark_min_time=0.01 to the google-benchmark targets so a smoke run
 // stays under a minute.
 //
-// Exit codes: 0 all benches ran and every emitted JSON validated, 1 a bench
-// failed or a provenance field is malformed, 2 usage.
+// --compare=DIR diffs each emitted JSON against the checked-in baseline
+// (bench/baselines/BENCH_<name>.json). Host-timing keys — names containing
+// per_sec / seconds / overhead / speedup — get a relative tolerance band
+// (--tolerance, default 0.75: CI runners vary a lot, so only gross
+// regressions fail); every other key is guest-deterministic and must match
+// exactly; keys appearing on only one side fail (schema drift must update
+// the baseline). Host-environment keys (provenance,
+// host_hardware_concurrency, host_undersized) are skipped.
+//
+// Exit codes: 0 all benches ran and every emitted JSON validated (and, with
+// --compare, stayed inside the band), 1 a bench failed, a provenance field
+// is malformed or a comparison regressed, 2 usage.
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +72,12 @@ void Usage(std::FILE* out) {
                "  --skip=NAME[,NAME...]  skip targets\n"
                "  --quick         pass --benchmark_min_time=0.01 to the\n"
                "                  google-benchmark targets\n"
+               "  --compare=DIR   diff each emitted JSON against the\n"
+               "                  baseline BENCH_*.json in DIR; host-timing\n"
+               "                  keys get a tolerance band, the rest must\n"
+               "                  match exactly\n"
+               "  --tolerance=F   relative band for host-timing keys with\n"
+               "                  --compare (default 0.75)\n"
                "  --list          list bench targets and exit\n");
 }
 
@@ -174,11 +192,190 @@ bool ValidateProvenance(const std::string& path) {
   return ok;
 }
 
+// ---- --compare support ------------------------------------------------
+//
+// Key classes for the baseline diff. Host-timing keys carry wall-clock
+// measurements and get a relative band; host-environment keys describe the
+// machine the bench ran on and are skipped outright; everything else is
+// derived from deterministic guest execution and must match exactly.
+
+bool IsHostTimingKey(const std::string& key) {
+  return key.find("per_sec") != std::string::npos ||
+         key.find("seconds") != std::string::npos ||
+         key.find("overhead") != std::string::npos ||
+         key.find("speedup") != std::string::npos;
+}
+
+// Ratio-valued timing keys (overhead fractions, speedup factors) also get
+// an *absolute* band of the same magnitude: an overhead measured over a
+// millisecond-scale run swings wildly in relative terms around zero
+// (0.17 vs 0.45 is run-to-run noise, not a regression) while staying tiny
+// in absolute terms.
+bool IsRatioKey(const std::string& key) {
+  return key.find("overhead") != std::string::npos ||
+         key.find("speedup") != std::string::npos;
+}
+
+bool IsHostEnvKey(const std::string& key) {
+  return key == "provenance" || key == "host_hardware_concurrency" ||
+         key == "host_undersized";
+}
+
+bool IsNumber(const cheriot::json::Value& v) {
+  return v.type() == cheriot::json::Value::Type::kInt ||
+         v.type() == cheriot::json::Value::Type::kDouble;
+}
+
+bool LoadJsonFile(const std::string& path, cheriot::json::Value* doc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_all: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    *doc = cheriot::json::Parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_all: %s: malformed JSON: %s\n", path.c_str(),
+                 e.what());
+    return false;
+  }
+  return true;
+}
+
+// Recursively diffs a fresh value against its baseline. `ctx` is the dotted
+// key path for messages. Returns true when everything is inside the band.
+bool CompareValues(const std::string& ctx, const cheriot::json::Value& base,
+                   const cheriot::json::Value& fresh, double tolerance) {
+  using Type = cheriot::json::Value::Type;
+  // Host-timing leaves may legitimately flip between int and double
+  // (e.g. a rate that rounds to a whole number), so numeric-vs-numeric is
+  // never a type error.
+  if (IsNumber(base) && IsNumber(fresh)) {
+    const double b = base.AsDouble();
+    const double f = fresh.AsDouble();
+    if (IsHostTimingKey(ctx)) {
+      const double denom = std::max(std::abs(b), 1e-9);
+      const double rel = std::abs(f - b) / denom;
+      if (rel > tolerance && !(IsRatioKey(ctx) && std::abs(f - b) <= tolerance)) {
+        std::fprintf(stderr,
+                     "bench_all: compare: %s = %g vs baseline %g "
+                     "(rel delta %.2f > tolerance %.2f)\n",
+                     ctx.c_str(), f, b, rel, tolerance);
+        return false;
+      }
+      return true;
+    }
+    if (b != f) {
+      std::fprintf(stderr,
+                   "bench_all: compare: deterministic key %s = %g vs "
+                   "baseline %g\n",
+                   ctx.c_str(), f, b);
+      return false;
+    }
+    return true;
+  }
+  if (base.type() != fresh.type()) {
+    std::fprintf(stderr, "bench_all: compare: %s changed JSON type\n",
+                 ctx.c_str());
+    return false;
+  }
+  bool ok = true;
+  switch (base.type()) {
+    case Type::kObject: {
+      for (const auto& [key, bval] : base.AsObject()) {
+        if (IsHostEnvKey(key)) {
+          continue;
+        }
+        const std::string sub = ctx.empty() ? key : ctx + "." + key;
+        if (!fresh.Has(key)) {
+          std::fprintf(stderr, "bench_all: compare: %s missing from fresh "
+                       "output (baseline is stale? regenerate it)\n",
+                       sub.c_str());
+          ok = false;
+          continue;
+        }
+        if (!CompareValues(sub, bval, fresh[key], tolerance)) {
+          ok = false;
+        }
+      }
+      for (const auto& [key, fval] : fresh.AsObject()) {
+        (void)fval;
+        if (!IsHostEnvKey(key) && !base.Has(key)) {
+          std::fprintf(stderr, "bench_all: compare: %s%s%s not in baseline "
+                       "(schema drift — update bench/baselines/)\n",
+                       ctx.c_str(), ctx.empty() ? "" : ".", key.c_str());
+          ok = false;
+        }
+      }
+      break;
+    }
+    case Type::kArray: {
+      if (base.size() != fresh.size()) {
+        std::fprintf(stderr,
+                     "bench_all: compare: %s length %zu vs baseline %zu\n",
+                     ctx.c_str(), fresh.size(), base.size());
+        return false;
+      }
+      for (size_t i = 0; i < base.size(); ++i) {
+        const std::string sub = ctx + "[" + std::to_string(i) + "]";
+        if (!CompareValues(sub, base[i], fresh[i], tolerance)) {
+          ok = false;
+        }
+      }
+      break;
+    }
+    case Type::kBool:
+      if (base.AsBool() != fresh.AsBool()) {
+        std::fprintf(stderr, "bench_all: compare: %s = %s vs baseline %s\n",
+                     ctx.c_str(), fresh.AsBool() ? "true" : "false",
+                     base.AsBool() ? "true" : "false");
+        ok = false;
+      }
+      break;
+    case Type::kString:
+      if (base.AsString() != fresh.AsString()) {
+        std::fprintf(stderr,
+                     "bench_all: compare: %s = \"%s\" vs baseline \"%s\"\n",
+                     ctx.c_str(), fresh.AsString().c_str(),
+                     base.AsString().c_str());
+        ok = false;
+      }
+      break;
+    case Type::kNull:
+      break;
+    default:
+      break;
+  }
+  return ok;
+}
+
+// Diffs one emitted BENCH_*.json against bench/baselines/BENCH_*.json.
+bool CompareAgainstBaseline(const std::string& json_path,
+                            const std::string& baseline_path,
+                            double tolerance) {
+  cheriot::json::Value base;
+  cheriot::json::Value fresh;
+  if (!LoadJsonFile(baseline_path, &base) ||
+      !LoadJsonFile(json_path, &fresh)) {
+    return false;
+  }
+  if (!CompareValues("", base, fresh, tolerance)) {
+    return false;
+  }
+  std::printf("  compare ok: %s within %.0f%% of %s\n", json_path.c_str(),
+              tolerance * 100.0, baseline_path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string bin_dir = ".";
   std::string out_dir = ".";
+  std::string compare_dir;
+  double tolerance = 0.75;
   std::vector<std::string> only;
   std::vector<std::string> skip;
   bool quick = false;
@@ -202,6 +399,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quick") {
       quick = true;
+    } else if (const char* v = value("--compare=")) {
+      compare_dir = v;
+    } else if (const char* v = value("--tolerance=")) {
+      char* end = nullptr;
+      tolerance = std::strtod(v, &end);
+      if (end == v || *end != '\0' || tolerance < 0) {
+        std::fprintf(stderr, "bench_all: bad --tolerance value %s\n", v);
+        return 2;
+      }
     } else if (arg == "--list") {
       for (const auto& t : BenchTargets()) {
         std::printf("%-24s%s%s\n", t.name.c_str(),
@@ -249,6 +455,14 @@ int main(int argc, char** argv) {
     }
     if (t.emits_json && !ValidateProvenance(json_path)) {
       ++failed;
+      continue;
+    }
+    if (t.emits_json && !compare_dir.empty()) {
+      const std::string baseline =
+          compare_dir + "/BENCH_" + t.name.substr(6) + ".json";
+      if (!CompareAgainstBaseline(json_path, baseline, tolerance)) {
+        ++failed;
+      }
     }
   }
   if (ran == 0) {

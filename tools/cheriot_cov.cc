@@ -1,0 +1,264 @@
+// cheriot_cov: run a shipped firmware image as a fleet with the authority-
+// coverage recorder on and export what the firmware actually *used* of its
+// static grants — cross-compartment call edges, library calls, MMIO granules
+// touched, sealing keys exercised, allocation-quota consumption and peak
+// trusted-stack depth per export — as the schema-versioned cov_<name>.json.
+//
+// --report additionally diffs the dynamic edge set against the §4 audit
+// report (the static authority graph) into the least-privilege report:
+// unused imports, MMIO granted-but-untouched, never-called exports, quota
+// headroom, each with a suggested tightening. The same coverage file feeds
+// lint rule CL010 (cheriot_lint --coverage=FILE).
+//
+// Targets come from the same registry as the other tools, plus the seeded
+// cov-overprivileged image (a known true positive; not part of --all). The
+// run is always a Fleet (--fleet=N, default 2) on the same chunked
+// control-publish schedule as cheriot_flow, so broker fan-out and the
+// network compartments are exercised.
+//
+// --check enforces the recorder contracts from DESIGN.md §14:
+//   1. Zero-guest-cycle: the same run with coverage off must land on
+//      identical fingerprints for EVERY board.
+//   2. Worker invariance: cov_<name>.json must be byte-identical at
+//      host_threads 1, 2 and 4.
+//
+// Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/audit/report.h"
+#include "src/cov/coverage.h"
+#include "src/cov/report.h"
+#include "src/json/json.h"
+#include "src/kernel/system.h"
+#include "src/sim/fleet.h"
+#include "tools/cov_targets.h"
+#include "tools/registry_cli.h"
+
+using namespace cheriot;
+using cheriot::tools::WriteArtifact;
+
+namespace {
+
+struct CliOptions {
+  bool check = false;
+  bool report = false;
+  bool granules = true;
+  // Test hook: corrupt the coverage-on fingerprint before the --check
+  // comparison so the mismatch path (and its nonzero exit) stays covered.
+  bool inject_check_failure = false;
+  int fleet = 2;
+  int host_threads = 1;
+  int publishes = 3;  // control MQTT publishes spread across the run
+  Cycles cycles = 20'000'000;
+  std::string out_dir = ".";
+};
+
+void Usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cheriot_cov [--all | --target=NAME[,NAME...]]"
+               " [options]\n"
+               "\n"
+               "  --list-targets       list the built-in firmware images\n"
+               "  --all                cover every built-in image (the seeded\n"
+               "                       cov-overprivileged image is opt-in)\n"
+               "  --target=NAME        cover one image (repeatable)\n"
+               "  --fleet=N            boards in the fleet (default 2)\n"
+               "  --cycles=N           guest cycles to run (default 20000000)\n"
+               "  --publishes=N        control MQTT publishes spread across\n"
+               "                       the run (default 3)\n"
+               "  --host-threads=N     fleet worker threads (default 1; the\n"
+               "                       export is identical for any value)\n"
+               "  --no-granules        disable per-granule MMIO bitmaps\n"
+               "  --out-dir=DIR        where to write artifacts (default .)\n"
+               "  --report             also emit the least-privilege report\n"
+               "                       (static grants vs dynamic exercise)\n"
+               "  --check              verify coverage recording moved no\n"
+               "                       guest cycle (all-board fingerprints)\n"
+               "                       and the export is byte-identical at\n"
+               "                       1/2/4 worker threads\n"
+               "\n"
+               "artifacts (per target): cov_<name>.json        (coverage)\n"
+               "                        covreport_<name>.json  (--report)\n"
+               "                        covreport_<name>.txt   (--report)\n");
+}
+
+struct RunArtifacts {
+  std::string image;  // the firmware's own name (not the registry name)
+  std::string cov_json;
+  std::vector<sim::Board::Fingerprint> fingerprints;
+  Cycles now = 0;
+  uint64_t calls = 0;
+};
+
+// One deterministic fleet run: the same chunked schedule (with control
+// publishes at fixed chunk boundaries) regardless of `cov` / worker count,
+// so every invocation is comparing like with like.
+RunArtifacts RunFleet(const tools::LintTarget& target, const CliOptions& opts,
+                      bool cov_on, int host_threads) {
+  sim::FleetOptions fopts;
+  fopts.host_threads = host_threads;
+  fopts.cov = cov_on;
+  fopts.cov_options.mmio_granules = opts.granules;
+  sim::Fleet fleet(fopts);
+  RunArtifacts a;
+  for (int i = 0; i < opts.fleet; ++i) {
+    FirmwareImage image = target.build();
+    a.image = image.name;
+    fleet.AddBoard(std::move(image));
+  }
+  fleet.Boot();
+  const int chunks = opts.publishes + 1;
+  const Cycles chunk = opts.cycles / static_cast<Cycles>(chunks);
+  for (int i = 0; i < chunks; ++i) {
+    fleet.Run(i + 1 == chunks ? opts.cycles - chunk * (chunks - 1) : chunk);
+    if (i + 1 < chunks) {
+      const std::string payload = "cmd" + std::to_string(i);
+      fleet.PublishMqtt("leds", net::Bytes(payload.begin(), payload.end()));
+    }
+  }
+  a.fingerprints = fleet.Fingerprints();
+  a.now = fleet.Now();
+  if (cov_on) {
+    const std::vector<const cov::CovRecorder*> boards = fleet.CovRecorders();
+    a.cov_json = cov::CoverageJson(a.image, boards).Dump(2) + "\n";
+    for (const cov::CovRecorder* r : boards) {
+      a.calls += r->calls_recorded();
+    }
+  }
+  return a;
+}
+
+// The static side of the diff: boot the image on a throwaway machine (the
+// loader runs, no guest instruction does) and serialize the grant table.
+json::Value AuditReportForTarget(const tools::LintTarget& target) {
+  Machine machine;
+  System sys(machine, target.build());
+  sys.Boot();
+  return audit::BuildReport(sys.boot());
+}
+
+// Runs one target; returns false on a --check failure.
+bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
+  RunArtifacts covered = RunFleet(target, opts, true, opts.host_threads);
+
+  const std::string base = opts.out_dir + "/";
+  if (!WriteArtifact("cheriot_cov", base + "cov_" + target.name + ".json",
+                     covered.cov_json)) {
+    return false;
+  }
+  uint64_t warnings = 0;
+  if (opts.report) {
+    const json::Value coverage = json::Parse(covered.cov_json);
+    const json::Value report =
+        cov::LeastPrivilegeJson(AuditReportForTarget(target), coverage);
+    warnings = static_cast<uint64_t>(report["summary"]["warnings"].AsInt());
+    if (!WriteArtifact("cheriot_cov",
+                       base + "covreport_" + target.name + ".json",
+                       report.Dump(2) + "\n") ||
+        !WriteArtifact("cheriot_cov",
+                       base + "covreport_" + target.name + ".txt",
+                       cov::LeastPrivilegeText(report))) {
+      return false;
+    }
+  }
+  std::printf("%-26s %12llu cycles %8llu calls%s\n", target.name.c_str(),
+              static_cast<unsigned long long>(covered.now),
+              static_cast<unsigned long long>(covered.calls),
+              opts.report
+                  ? ("  " + std::to_string(warnings) + " warning(s)").c_str()
+                  : "");
+
+  if (!opts.check) {
+    return true;
+  }
+  if (opts.inject_check_failure && !covered.fingerprints.empty()) {
+    ++covered.fingerprints[0].uart_hash;
+  }
+  bool ok = true;
+  // Contract 1: recording off, same run — every board's fingerprint matches.
+  RunArtifacts plain = RunFleet(target, opts, false, opts.host_threads);
+  for (size_t b = 0; b < covered.fingerprints.size(); ++b) {
+    if (!(plain.fingerprints[b] == covered.fingerprints[b])) {
+      std::fprintf(
+          stderr,
+          "cheriot_cov: %s: coverage recording changed board %zu's "
+          "fingerprint (now %llu vs %llu, uart %016llx vs %016llx)\n",
+          target.name.c_str(), b,
+          static_cast<unsigned long long>(covered.fingerprints[b].now),
+          static_cast<unsigned long long>(plain.fingerprints[b].now),
+          static_cast<unsigned long long>(covered.fingerprints[b].uart_hash),
+          static_cast<unsigned long long>(plain.fingerprints[b].uart_hash));
+      ok = false;
+    }
+  }
+  // Contract 2: the export is byte-identical at 1, 2 and 4 worker threads.
+  const RunArtifacts one = RunFleet(target, opts, true, 1);
+  for (int threads : {2, 4}) {
+    const RunArtifacts multi = RunFleet(target, opts, true, threads);
+    if (multi.cov_json != one.cov_json) {
+      std::fprintf(stderr,
+                   "cheriot_cov: %s: coverage differs between 1 and %d "
+                   "worker threads\n",
+                   target.name.c_str(), threads);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("%-26s check ok: fingerprints invariant on %zu boards, "
+                "coverage stable at 1/2/4 workers\n",
+                target.name.c_str(), covered.fingerprints.size());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::RegistryCli cli("cheriot_cov");
+  cli.AddExtraTargets(&tools::CovSeededTargets());
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (cli.ParseTargetFlag(arg)) {
+    } else if (arg == "--check") {
+      opts.check = true;
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else if (arg == "--no-granules") {
+      opts.granules = false;
+    } else if (arg == "--inject-check-failure") {
+      opts.inject_check_failure = true;
+    } else if (const char* v = value("--cycles=")) {
+      opts.cycles = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--fleet=")) {
+      opts.fleet = std::atoi(v);
+    } else if (const char* v = value("--publishes=")) {
+      opts.publishes = std::atoi(v);
+    } else if (const char* v = value("--host-threads=")) {
+      opts.host_threads = std::atoi(v);
+    } else if (const char* v = value("--out-dir=")) {
+      opts.out_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "cheriot_cov: unknown option %s\n", arg.c_str());
+      Usage(stderr);
+      return 2;
+    }
+  }
+  if (!cli.list_requested() && (opts.fleet < 1 || opts.publishes < 0)) {
+    Usage(stderr);
+    return 2;
+  }
+  return cli.Run(
+      [&opts](const tools::LintTarget& t) { return RunTarget(t, opts); },
+      Usage);
+}

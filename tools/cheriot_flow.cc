@@ -21,25 +21,19 @@
 // Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/flow/flow.h"
 #include "src/sim/fleet.h"
-#include "tools/lint_targets.h"
+#include "tools/registry_cli.h"
 
 using namespace cheriot;
-using cheriot::tools::FindLintTarget;
-using cheriot::tools::LintTargets;
+using cheriot::tools::WriteArtifact;
 
 namespace {
 
 struct CliOptions {
-  std::vector<std::string> targets;
-  bool all = false;
-  bool list = false;
   bool check = false;
   // Test hook: corrupt the flow-on fingerprint before the --check comparison
   // so the mismatch path (and its nonzero exit) stays covered.
@@ -77,28 +71,6 @@ void Usage(std::FILE* out) {
                "artifacts (per target): flow_<name>.json        (flow table)\n"
                "                        flowhist_<name>.json    (histograms)\n"
                "                        fleetmetrics_<name>.json (series)\n");
-}
-
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      out.push_back(item);
-    }
-  }
-  return out;
-}
-
-bool WriteFile(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "cheriot_flow: cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << text;
-  return true;
 }
 
 struct RunArtifacts {
@@ -155,11 +127,14 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
   RunArtifacts flowed = RunFleet(target, opts, true, opts.host_threads);
 
   const std::string base = opts.out_dir + "/";
-  if (!WriteFile(base + "flow_" + target.name + ".json", flowed.flow_json) ||
-      !WriteFile(base + "flowhist_" + target.name + ".json",
-                 flowed.hist_json) ||
-      !WriteFile(base + "fleetmetrics_" + target.name + ".json",
-                 flowed.metrics_json)) {
+  if (!WriteArtifact("cheriot_flow", base + "flow_" + target.name + ".json",
+                     flowed.flow_json) ||
+      !WriteArtifact("cheriot_flow",
+                     base + "flowhist_" + target.name + ".json",
+                     flowed.hist_json) ||
+      !WriteArtifact("cheriot_flow",
+                     base + "fleetmetrics_" + target.name + ".json",
+                     flowed.metrics_json)) {
     return false;
   }
   std::printf("%-26s %12llu cycles %6llu flows %6llu delivered %4llu dropped\n",
@@ -217,6 +192,7 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::RegistryCli cli("cheriot_flow");
   CliOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -224,18 +200,11 @@ int main(int argc, char** argv) {
       const size_t n = std::strlen(flag);
       return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (arg == "--list-targets") {
-      opts.list = true;
-    } else if (arg == "--all") {
-      opts.all = true;
+    if (cli.ParseTargetFlag(arg)) {
     } else if (arg == "--check") {
       opts.check = true;
     } else if (arg == "--inject-check-failure") {
       opts.inject_check_failure = true;
-    } else if (const char* v = value("--target=")) {
-      for (auto& t : SplitCsv(v)) {
-        opts.targets.push_back(t);
-      }
     } else if (const char* v = value("--cycles=")) {
       opts.cycles = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--fleet=")) {
@@ -258,38 +227,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (opts.list) {
-    for (const auto& t : LintTargets()) {
-      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
-    }
-    return 0;
-  }
-  if (opts.all) {
-    for (const auto& t : LintTargets()) {
-      opts.targets.push_back(t.name);
-    }
-  }
-  if (opts.targets.empty() || opts.fleet < 1 || opts.publishes < 0) {
+  if (!cli.list_requested() && (opts.fleet < 1 || opts.publishes < 0)) {
     Usage(stderr);
     return 2;
   }
-
-  bool ok = true;
-  for (const auto& name : opts.targets) {
-    const tools::LintTarget* t = FindLintTarget(name);
-    if (t == nullptr) {
-      std::fprintf(stderr,
-                   "cheriot_flow: unknown target '%s' (--list-targets)\n",
-                   name.c_str());
-      return 2;
-    }
-    try {
-      ok = RunTarget(*t, opts) && ok;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "cheriot_flow: %s failed: %s\n", name.c_str(),
-                   e.what());
-      return 2;
-    }
-  }
-  return ok ? 0 : 1;
+  return cli.Run(
+      [&opts](const tools::LintTarget& t) { return RunTarget(t, opts); },
+      Usage);
 }

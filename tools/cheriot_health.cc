@@ -15,8 +15,6 @@
 // Exit codes: 0 ok, 1 --check failed, 2 usage or load failure.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,18 +22,14 @@
 #include "src/health/monitor.h"
 #include "src/sim/board.h"
 #include "src/sim/fleet.h"
-#include "tools/lint_targets.h"
+#include "tools/registry_cli.h"
 
 using namespace cheriot;
-using cheriot::tools::FindLintTarget;
-using cheriot::tools::LintTargets;
+using cheriot::tools::WriteArtifact;
 
 namespace {
 
 struct CliOptions {
-  std::vector<std::string> targets;
-  bool all = false;
-  bool list = false;
   bool check = false;
   bool scenes = false;
   int fleet = 0;        // 0 = single board
@@ -68,28 +62,6 @@ void Usage(std::FILE* out) {
                "artifacts (per target): health_<name>.json (schema v1)\n"
                "                        crash_<name>.txt   (crash dump)\n"
                "                        scene_<name>_*.snap (with --scenes)\n");
-}
-
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) {
-      out.push_back(item);
-    }
-  }
-  return out;
-}
-
-bool WriteFile(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "cheriot_health: cannot write %s\n", path.c_str());
-    return false;
-  }
-  out << text;
-  return true;
 }
 
 struct RunArtifacts {
@@ -178,18 +150,17 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
                                : RunBoard(target, opts, true);
 
   const std::string base = opts.out_dir + "/";
-  if (!WriteFile(base + "health_" + target.name + ".json", on.health_json) ||
-      !WriteFile(base + "crash_" + target.name + ".txt", on.crash_txt)) {
+  if (!WriteArtifact("cheriot_health",
+                     base + "health_" + target.name + ".json",
+                     on.health_json) ||
+      !WriteArtifact("cheriot_health", base + "crash_" + target.name + ".txt",
+                     on.crash_txt)) {
     return false;
   }
   for (const auto& [suffix, blob] : on.scenes) {
-    const std::string path =
-        base + "scene_" + target.name + "_" + suffix + ".snap";
-    std::ofstream scene(path, std::ios::binary | std::ios::trunc);
-    scene.write(reinterpret_cast<const char*>(blob.data()),
-                static_cast<std::streamsize>(blob.size()));
-    if (!scene.good()) {
-      std::fprintf(stderr, "cheriot_health: cannot write %s\n", path.c_str());
+    if (!WriteArtifact("cheriot_health",
+                       base + "scene_" + target.name + "_" + suffix + ".snap",
+                       blob)) {
       return false;
     }
   }
@@ -259,6 +230,7 @@ bool RunTarget(const tools::LintTarget& target, const CliOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  tools::RegistryCli cli("cheriot_health");
   CliOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -266,18 +238,11 @@ int main(int argc, char** argv) {
       const size_t n = std::strlen(flag);
       return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (arg == "--list-targets") {
-      opts.list = true;
-    } else if (arg == "--all") {
-      opts.all = true;
+    if (cli.ParseTargetFlag(arg)) {
     } else if (arg == "--check") {
       opts.check = true;
     } else if (arg == "--scenes") {
       opts.scenes = true;
-    } else if (const char* v = value("--target=")) {
-      for (auto& t : SplitCsv(v)) {
-        opts.targets.push_back(t);
-      }
     } else if (const char* v = value("--cycles=")) {
       opts.cycles = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--fleet=")) {
@@ -298,38 +263,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (opts.list) {
-    for (const auto& t : LintTargets()) {
-      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
-    }
-    return 0;
-  }
-  if (opts.all) {
-    for (const auto& t : LintTargets()) {
-      opts.targets.push_back(t.name);
-    }
-  }
-  if (opts.targets.empty()) {
-    Usage(stderr);
-    return 2;
-  }
-
-  bool ok = true;
-  for (const auto& name : opts.targets) {
-    const tools::LintTarget* t = FindLintTarget(name);
-    if (t == nullptr) {
-      std::fprintf(stderr,
-                   "cheriot_health: unknown target '%s' (--list-targets)\n",
-                   name.c_str());
-      return 2;
-    }
-    try {
-      ok = RunTarget(*t, opts) && ok;
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "cheriot_health: %s failed: %s\n", name.c_str(),
-                   e.what());
-      return 2;
-    }
-  }
-  return ok ? 0 : 1;
+  return cli.Run(
+      [&opts](const tools::LintTarget& t) { return RunTarget(t, opts); },
+      Usage);
 }

@@ -22,6 +22,7 @@
 #include "src/json/json.h"
 #include "src/kernel/system.h"
 #include "src/rtos.h"
+#include "tools/cov_targets.h"
 #include "tools/lint_targets.h"
 
 using namespace cheriot;
@@ -40,6 +41,7 @@ struct CliOptions {
   bool update_baselines = false;
   std::string baseline_file;  // single-image baseline
   std::string baseline_dir;   // per-image baselines: DIR/<name>.json
+  std::string coverage_file;  // CL010 evidence: a cheriot_cov export
   analysis::LintOptions lint;
 };
 
@@ -61,7 +63,11 @@ void Usage(std::FILE* out) {
                "  --update-baselines    rewrite DIR/<name>.json instead of\n"
                "                        checking (requires --baseline-dir)\n"
                "  --fix-suggestions     print the exact ImageBuilder call to\n"
-               "                        delete for fixable findings\n");
+               "                        delete for fixable findings\n"
+               "  --coverage=FILE       cheriot_cov export used as dynamic\n"
+               "                        evidence by rule CL010\n"
+               "                        (unused-authority); without it the\n"
+               "                        rule is silent\n");
 }
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -205,6 +211,8 @@ int main(int argc, char** argv) {
       opts.baseline_file = v;
     } else if (const char* v = value("--baseline-dir=")) {
       opts.baseline_dir = v;
+    } else if (const char* v = value("--coverage=")) {
+      opts.coverage_file = v;
     } else if (arg == "--help" || arg == "-h") {
       Usage(stdout);
       return 0;
@@ -243,10 +251,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Gather (name, report) pairs.
+  // CL010 evidence, if supplied; owned here so LintOptions can hold a
+  // pointer for the duration of every RunLints call.
+  json::Value coverage_doc;
+  if (!opts.coverage_file.empty()) {
+    std::string text;
+    if (!ReadFile(opts.coverage_file, &text)) {
+      std::fprintf(stderr, "cheriot_lint: cannot read %s\n",
+                   opts.coverage_file.c_str());
+      return 2;
+    }
+    try {
+      coverage_doc = json::Parse(text);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cheriot_lint: bad coverage %s: %s\n",
+                   opts.coverage_file.c_str(), e.what());
+      return 2;
+    }
+    opts.lint.coverage = &coverage_doc;
+  }
+
+  // Gather (name, report) pairs. FindCovTarget resolves the shipped
+  // registry plus the seeded cov-overprivileged image (opt-in, not --all).
   std::vector<std::pair<std::string, json::Value>> reports;
   for (const auto& name : opts.targets) {
-    const tools::LintTarget* t = FindLintTarget(name);
+    const tools::LintTarget* t = tools::FindCovTarget(name);
     if (t == nullptr) {
       std::fprintf(stderr,
                    "cheriot_lint: unknown target '%s' (--list-targets)\n",

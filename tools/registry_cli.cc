@@ -1,0 +1,120 @@
+#include "tools/registry_cli.h"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+namespace cheriot::tools {
+
+bool RegistryCli::ParseTargetFlag(const std::string& arg) {
+  if (arg == "--list-targets") {
+    list_ = true;
+    return true;
+  }
+  if (arg == "--all") {
+    all_ = true;
+    return true;
+  }
+  constexpr const char kTarget[] = "--target=";
+  constexpr size_t kTargetLen = sizeof(kTarget) - 1;
+  if (arg.compare(0, kTargetLen, kTarget) == 0) {
+    for (auto& t : SplitCsv(arg.substr(kTargetLen))) {
+      targets_.push_back(std::move(t));
+    }
+    return true;
+  }
+  return false;
+}
+
+int RegistryCli::Run(const std::function<bool(const LintTarget&)>& run_target,
+                     const std::function<void(std::FILE*)>& usage) const {
+  if (list_) {
+    for (const auto& t : LintTargets()) {
+      std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+    }
+    if (extra_ != nullptr) {
+      for (const auto& t : *extra_) {
+        std::printf("%-26s %s\n", t.name.c_str(), t.description.c_str());
+      }
+    }
+    return 0;
+  }
+  std::vector<std::string> names = targets_;
+  if (all_) {
+    for (const auto& t : LintTargets()) {
+      names.push_back(t.name);
+    }
+  }
+  if (names.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  bool ok = true;
+  for (const auto& name : names) {
+    const LintTarget* t = nullptr;
+    if (extra_ != nullptr) {
+      for (const auto& e : *extra_) {
+        if (e.name == name) {
+          t = &e;
+        }
+      }
+    }
+    if (t == nullptr) {
+      t = FindLintTarget(name);
+    }
+    if (t == nullptr) {
+      std::fprintf(stderr, "%s: unknown target '%s' (--list-targets)\n",
+                   tool_.c_str(), name.c_str());
+      return 2;
+    }
+    try {
+      ok = run_target(*t) && ok;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s failed: %s\n", tool_.c_str(), name.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool WriteArtifact(const std::string& tool, const std::string& path,
+                   const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out << text;
+  }
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool.c_str(), path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool WriteArtifact(const std::string& tool, const std::string& path,
+                   const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool.c_str(), path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cheriot::tools

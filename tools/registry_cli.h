@@ -1,0 +1,69 @@
+// Shared scaffolding for the registry-driven CLIs (cheriot_trace,
+// cheriot_health, cheriot_flow, cheriot_mc, cheriot_cov): the target
+// selection flags, the --all expansion against the image registry, artifact
+// writing, and the standard per-target run loop with its exit-code contract
+// (0 ok, 1 a check failed, 2 usage or load failure). Each tool keeps its own
+// option struct and Usage() text; this header only owns what every tool
+// repeats verbatim.
+#ifndef TOOLS_REGISTRY_CLI_H_
+#define TOOLS_REGISTRY_CLI_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tools/lint_targets.h"
+
+namespace cheriot::tools {
+
+class RegistryCli {
+ public:
+  explicit RegistryCli(std::string tool) : tool_(std::move(tool)) {}
+
+  // Consumes the target-selection flags every registry CLI shares:
+  // --list-targets, --all and --target=NAME[,NAME...]. Returns true when
+  // `arg` was one of them; the tool's own flag parsing handles the rest.
+  bool ParseTargetFlag(const std::string& arg);
+
+  // The standard per-target loop. Handles --list-targets (prints the
+  // registry, exit 0), expands --all, rejects an empty selection (prints
+  // `usage` to stderr, exit 2) and unknown names (exit 2), and wraps each
+  // run_target call in the shared try/catch (an exception is a load
+  // failure, exit 2). run_target returning false marks a check failure;
+  // the loop still visits every target and then exits 1.
+  int Run(const std::function<bool(const LintTarget&)>& run_target,
+          const std::function<void(std::FILE*)>& usage) const;
+
+  // Additional (seeded) images resolvable by --target= and shown by
+  // --list-targets, on top of the shipped registry. --all stays
+  // registry-only: seeded true positives are opt-in.
+  void AddExtraTargets(const std::vector<LintTarget>* extra) {
+    extra_ = extra;
+  }
+
+  const std::string& tool() const { return tool_; }
+  bool list_requested() const { return list_; }
+
+ private:
+  std::string tool_;
+  std::vector<std::string> targets_;
+  const std::vector<LintTarget>* extra_ = nullptr;
+  bool all_ = false;
+  bool list_ = false;
+};
+
+// "a,b,c" -> {"a", "b", "c"}; empty items are dropped.
+std::vector<std::string> SplitCsv(const std::string& s);
+
+// Writes text (or bytes) to `path`; on failure prints
+// "<tool>: cannot write <path>" to stderr and returns false.
+bool WriteArtifact(const std::string& tool, const std::string& path,
+                   const std::string& text);
+bool WriteArtifact(const std::string& tool, const std::string& path,
+                   const std::vector<uint8_t>& bytes);
+
+}  // namespace cheriot::tools
+
+#endif  // TOOLS_REGISTRY_CLI_H_
